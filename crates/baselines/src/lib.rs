@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+
+//! Naive co-location baselines (Table 3's `TG-TI-C` and `N-Gram-Gauss`
+//! rows).
+//!
+//! Both are tweet-geolocalization methods from the literature; for
+//! co-location judgement they are applied the "naive" way the paper
+//! describes (§2, §6.1.3): infer a POI for each profile independently and
+//! call the pair co-located iff the two inferred POIs coincide.
+//!
+//! - [`TgTiC`] reimplements Paraskevopoulos & Palpanas (\[22\]): similarity
+//!   comparison between a tweet and temporally-close geo-tagged tweets.
+//! - [`NGramGauss`] reimplements Flatow et al. (\[18\]): per-n-gram spatial
+//!   Gaussians whose low-variance ("geo-specific") members vote on a
+//!   location estimate.
+//!
+//! Both expose a per-POI score vector so the Fig. 4 `Acc@K` experiment can
+//! rank POI candidates.
+
+pub mod tgtic;
+pub mod ngram_gauss;
+
+pub use ngram_gauss::{NGramGauss, NGramGaussConfig};
+pub use tgtic::{TgTiC, TgTiCConfig};
+
+/// Infers the top-scoring POI from a score vector; `None` when every score
+/// is non-positive (no evidence at all).
+pub fn top_poi(scores: &[f64]) -> Option<u32> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &s) in scores.iter().enumerate() {
+        if s > 0.0 && best.is_none_or(|(_, b)| s > b) {
+            best = Some((i, s));
+        }
+    }
+    best.map(|(i, _)| i as u32)
+}
+
+/// POI ids ranked by descending score (ties by id for determinism).
+pub fn ranked_pois(scores: &[f64]) -> Vec<u32> {
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b as usize]
+            .total_cmp(&scores[a as usize])
+            .then(a.cmp(&b))
+    });
+    idx
+}
+
+/// The naive co-location rule shared by both baselines.
+pub fn naive_judge(scores_i: &[f64], scores_j: &[f64]) -> bool {
+    match (top_poi(scores_i), top_poi(scores_j)) {
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_poi_picks_strictly_positive_max() {
+        assert_eq!(top_poi(&[0.1, 0.9, 0.3]), Some(1));
+        assert_eq!(top_poi(&[0.0, 0.0]), None);
+        assert_eq!(top_poi(&[]), None);
+    }
+
+    #[test]
+    fn ranked_pois_descending_with_stable_ties() {
+        assert_eq!(ranked_pois(&[0.2, 0.9, 0.2]), vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn naive_judge_requires_agreement_and_evidence() {
+        assert!(naive_judge(&[0.9, 0.1], &[0.8, 0.2]));
+        assert!(!naive_judge(&[0.9, 0.1], &[0.1, 0.9]));
+        assert!(!naive_judge(&[0.0, 0.0], &[0.0, 0.0]));
+    }
+}

@@ -1,0 +1,261 @@
+//! N-Gram-Gauss: per-n-gram spatial Gaussians for hyper-local geotagging
+//! (Flatow et al., \[18\]).
+//!
+//! Each n-gram observed in geo-tagged training tweets gets a 2-D Gaussian
+//! (mean + isotropic variance) over its posting locations. N-grams whose
+//! spatial dispersion is small are "geo-specific"; a query tweet's
+//! geo-specific n-grams vote, precision-weighted, for a location estimate,
+//! and POIs are ranked by distance to it.
+
+use geo::GeoPoint;
+use std::collections::HashMap;
+use text::ngrams;
+use twitter_sim::{Dataset, Profile};
+
+/// N-Gram-Gauss hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct NGramGaussConfig {
+    /// Maximum n-gram order (paper uses short n-grams; default bigrams).
+    pub max_n: usize,
+    /// Minimum occurrences before an n-gram gets a Gaussian.
+    pub min_count: usize,
+    /// Geo-specificity threshold: standard deviation (meters) below which
+    /// an n-gram is considered location-bearing.
+    pub max_std_m: f64,
+    /// Distance-decay scale (meters) converting POI distance to a score.
+    pub score_scale_m: f64,
+}
+
+impl Default for NGramGaussConfig {
+    fn default() -> Self {
+        Self {
+            max_n: 2,
+            min_count: 3,
+            max_std_m: 1_500.0,
+            score_scale_m: 300.0,
+        }
+    }
+}
+
+/// A fitted spatial Gaussian for one n-gram, in local meters.
+#[derive(Debug, Clone, Copy)]
+struct GramGauss {
+    mean_x: f64,
+    mean_y: f64,
+    /// Isotropic variance (m²), floored to avoid divide-by-zero.
+    var: f64,
+}
+
+/// The fitted model.
+pub struct NGramGauss {
+    cfg: NGramGaussConfig,
+    origin: GeoPoint,
+    grams: HashMap<String, GramGauss>,
+    poi_locals: Vec<(f64, f64)>,
+}
+
+impl NGramGauss {
+    /// Fits Gaussians on the training split's geo-tagged profiles (labeled
+    /// and unlabeled: any geo-tag is evidence about where words are used).
+    pub fn fit(dataset: &Dataset, cfg: NGramGaussConfig) -> Self {
+        let origin = dataset.world.pois.get(0).center();
+        // Accumulate sufficient statistics per n-gram.
+        struct Acc {
+            n: usize,
+            sx: f64,
+            sy: f64,
+            sxx: f64,
+            syy: f64,
+        }
+        let mut accs: HashMap<String, Acc> = HashMap::new();
+        for &idx in dataset.train.labeled.iter().chain(&dataset.train.unlabeled) {
+            let p = dataset.profile(idx);
+            let (x, y) = p.geo.to_local_m(&origin);
+            for gram in ngrams(&p.tokens, cfg.max_n) {
+                if gram.contains(text::UNK_SYMBOL) {
+                    continue; // stopword-bearing n-grams carry no signal
+                }
+                let acc = accs.entry(gram).or_insert(Acc {
+                    n: 0,
+                    sx: 0.0,
+                    sy: 0.0,
+                    sxx: 0.0,
+                    syy: 0.0,
+                });
+                acc.n += 1;
+                acc.sx += x;
+                acc.sy += y;
+                acc.sxx += x * x;
+                acc.syy += y * y;
+            }
+        }
+        let grams = accs
+            .into_iter()
+            .filter(|(_, a)| a.n >= cfg.min_count)
+            .filter_map(|(g, a)| {
+                let n = a.n as f64;
+                let mean_x = a.sx / n;
+                let mean_y = a.sy / n;
+                let var_x = (a.sxx / n - mean_x * mean_x).max(0.0);
+                let var_y = (a.syy / n - mean_y * mean_y).max(0.0);
+                let var = ((var_x + var_y) / 2.0).max(25.0);
+                // Geo-specific filter: small spatial dispersion only.
+                (var.sqrt() <= cfg.max_std_m).then_some((
+                    g,
+                    GramGauss {
+                        mean_x,
+                        mean_y,
+                        var,
+                    },
+                ))
+            })
+            .collect();
+        let poi_locals = dataset
+            .world
+            .pois
+            .pois()
+            .iter()
+            .map(|p| p.center().to_local_m(&origin))
+            .collect();
+        Self {
+            cfg,
+            origin,
+            grams,
+            poi_locals,
+        }
+    }
+
+    /// Number of geo-specific n-grams retained.
+    pub fn n_geo_specific(&self) -> usize {
+        self.grams.len()
+    }
+
+    /// Precision-weighted location estimate for a token stream, or `None`
+    /// when no geo-specific n-gram matches.
+    pub fn estimate(&self, tokens: &[String]) -> Option<GeoPoint> {
+        let mut wx = 0.0;
+        let mut wy = 0.0;
+        let mut wsum = 0.0;
+        for gram in ngrams(tokens, self.cfg.max_n) {
+            if let Some(g) = self.grams.get(&gram) {
+                let w = 1.0 / g.var;
+                wx += w * g.mean_x;
+                wy += w * g.mean_y;
+                wsum += w;
+            }
+        }
+        (wsum > 0.0).then(|| GeoPoint::from_local_m(&self.origin, wx / wsum, wy / wsum))
+    }
+
+    /// Per-POI scores for a profile: distance-decayed closeness of each POI
+    /// center to the location estimate (all zeros when no estimate).
+    pub fn poi_scores(&self, profile: &Profile) -> Vec<f64> {
+        let mut scores = vec![0.0f64; self.poi_locals.len()];
+        if let Some(est) = self.estimate(&profile.tokens) {
+            let (ex, ey) = est.to_local_m(&self.origin);
+            for (k, &(px, py)) in self.poi_locals.iter().enumerate() {
+                let d = ((ex - px).powi(2) + (ey - py).powi(2)).sqrt();
+                scores[k] = self.cfg.score_scale_m / (self.cfg.score_scale_m + d);
+            }
+        }
+        scores
+    }
+
+    /// Convenience view of a fitted gram's spatial std in meters.
+    pub fn gram_std_m(&self, gram: &str) -> Option<f64> {
+        self.grams.get(gram).map(|g| g.var.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{naive_judge, top_poi};
+    use twitter_sim::{generate, SimConfig};
+
+    fn fitted() -> (Dataset, NGramGauss) {
+        let ds = generate(&SimConfig::tiny(33));
+        let model = NGramGauss::fit(&ds, NGramGaussConfig::default());
+        (ds, model)
+    }
+
+    #[test]
+    fn keeps_some_geo_specific_grams() {
+        let (_, model) = fitted();
+        assert!(model.n_geo_specific() > 0);
+    }
+
+    #[test]
+    fn poi_topic_words_are_geo_specific() {
+        let (ds, model) = fitted();
+        // At least one exclusive POI word should survive the filter with a
+        // small spatial std (they are only used inside one POI).
+        let found = ds
+            .world
+            .poi_words
+            .iter()
+            .flatten()
+            .filter_map(|w| model.gram_std_m(w))
+            .any(|std| std < 500.0);
+        assert!(found, "no POI topic word was geo-specific");
+    }
+
+    #[test]
+    fn estimate_lands_near_the_poi_for_topical_tweets() {
+        let (ds, model) = fitted();
+        let mut checked = 0usize;
+        let mut near = 0usize;
+        for &i in ds.test.labeled.iter().take(300) {
+            let p = ds.profile(i);
+            if let (Some(pid), Some(est)) = (p.pid, model.estimate(&p.tokens)) {
+                let d = est.fast_dist_m(&ds.world.pois.get(pid).center());
+                checked += 1;
+                if d < 2_000.0 {
+                    near += 1;
+                }
+            }
+        }
+        assert!(checked > 10, "estimates too rare: {checked}");
+        assert!(
+            near * 2 > checked,
+            "estimates mostly far off: {near}/{checked}"
+        );
+    }
+
+    #[test]
+    fn scores_zero_without_evidence() {
+        let (ds, model) = fitted();
+        let mut p = ds.profile(ds.test.labeled[0]).clone();
+        p.tokens = vec!["nonexistentword".to_string()];
+        assert!(model.poi_scores(&p).iter().all(|&s| s == 0.0));
+        assert_eq!(top_poi(&model.poi_scores(&p)), None);
+    }
+
+    #[test]
+    fn finds_some_colocated_pairs() {
+        let (ds, model) = fitted();
+        let mut hits = 0usize;
+        for pair in ds.test.pos_pairs.iter().take(60) {
+            let si = model.poi_scores(ds.profile(pair.i));
+            let sj = model.poi_scores(ds.profile(pair.j));
+            if naive_judge(&si, &sj) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn min_count_filters_rare_grams() {
+        let ds = generate(&SimConfig::tiny(33));
+        let strict = NGramGauss::fit(
+            &ds,
+            NGramGaussConfig {
+                min_count: 50,
+                ..NGramGaussConfig::default()
+            },
+        );
+        let loose = NGramGauss::fit(&ds, NGramGaussConfig::default());
+        assert!(strict.n_geo_specific() < loose.n_geo_specific());
+    }
+}

@@ -1,0 +1,177 @@
+//! TG-TI-C: tweet geolocalization by content similarity against
+//! temporally-close geo-tagged tweets (Paraskevopoulos & Palpanas, \[22\]).
+
+use geo::PoiId;
+use text::{SparseVec, TfIdf};
+use twitter_sim::{Dataset, Profile};
+
+/// TG-TI-C hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct TgTiCConfig {
+    /// Cyclic time-of-day window (seconds) within which reference tweets
+    /// count as "posted at the same time".
+    pub tod_window_s: i64,
+    /// Number of most-similar reference tweets that vote.
+    pub top_k: usize,
+}
+
+impl Default for TgTiCConfig {
+    fn default() -> Self {
+        Self {
+            tod_window_s: 2 * 3600,
+            top_k: 10,
+        }
+    }
+}
+
+struct RefTweet {
+    vec: SparseVec,
+    /// Time of day in seconds.
+    tod: i64,
+    poi: PoiId,
+}
+
+/// The fitted TG-TI-C model.
+pub struct TgTiC {
+    cfg: TgTiCConfig,
+    tfidf: TfIdf,
+    refs: Vec<RefTweet>,
+    n_pois: usize,
+}
+
+impl TgTiC {
+    /// Fits on the training split's labeled profiles (the geo-tagged
+    /// tweets with a known POI).
+    pub fn fit(dataset: &Dataset, cfg: TgTiCConfig) -> Self {
+        let docs: Vec<&[String]> = dataset
+            .train
+            .labeled
+            .iter()
+            .map(|&i| dataset.profile(i).tokens.as_slice())
+            .collect();
+        let tfidf = TfIdf::fit(docs.iter().copied());
+        let refs = dataset
+            .train
+            .labeled
+            .iter()
+            .map(|&i| {
+                let p = dataset.profile(i);
+                RefTweet {
+                    vec: tfidf.transform(&p.tokens),
+                    tod: time_of_day(p.ts),
+                    poi: p.pid.expect("labeled"),
+                }
+            })
+            .collect();
+        Self {
+            cfg,
+            tfidf,
+            refs,
+            n_pois: dataset.world.pois.len(),
+        }
+    }
+
+    /// Per-POI evidence scores for a query profile: the `top_k` most
+    /// similar temporally-close reference tweets vote their POI with their
+    /// cosine similarity.
+    pub fn poi_scores(&self, profile: &Profile) -> Vec<f64> {
+        let q = self.tfidf.transform(&profile.tokens);
+        let tod = time_of_day(profile.ts);
+        let mut sims: Vec<(f32, PoiId)> = self
+            .refs
+            .iter()
+            .filter(|r| cyclic_diff(r.tod, tod) <= self.cfg.tod_window_s)
+            .map(|r| (TfIdf::cosine(&q, &r.vec), r.poi))
+            .collect();
+        if sims.is_empty() {
+            // No temporally-close references: fall back to the whole set.
+            sims = self
+                .refs
+                .iter()
+                .map(|r| (TfIdf::cosine(&q, &r.vec), r.poi))
+                .collect();
+        }
+        sims.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut scores = vec![0.0f64; self.n_pois];
+        for (sim, poi) in sims.into_iter().take(self.cfg.top_k) {
+            if sim > 0.0 {
+                scores[poi as usize] += sim as f64;
+            }
+        }
+        scores
+    }
+}
+
+fn time_of_day(ts: i64) -> i64 {
+    ts.rem_euclid(86_400)
+}
+
+/// Cyclic absolute difference between two times of day.
+fn cyclic_diff(a: i64, b: i64) -> i64 {
+    let d = (a - b).rem_euclid(86_400);
+    d.min(86_400 - d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{naive_judge, top_poi};
+    use twitter_sim::{generate, SimConfig};
+
+    fn fitted() -> (Dataset, TgTiC) {
+        let ds = generate(&SimConfig::tiny(31));
+        let model = TgTiC::fit(&ds, TgTiCConfig::default());
+        (ds, model)
+    }
+
+    #[test]
+    fn cyclic_time_difference() {
+        assert_eq!(cyclic_diff(100, 200), 100);
+        assert_eq!(cyclic_diff(200, 100), 100);
+        // 23:30 vs 00:30 is one hour, not 23.
+        assert_eq!(cyclic_diff(23 * 3600 + 1800, 1800), 3600);
+    }
+
+    #[test]
+    fn scores_shape_and_nonnegativity() {
+        let (ds, model) = fitted();
+        let p = ds.profile(ds.test.labeled[0]);
+        let scores = model.poi_scores(p);
+        assert_eq!(scores.len(), ds.world.pois.len());
+        assert!(scores.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn beats_chance_on_test_profiles() {
+        let (ds, model) = fitted();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for &i in ds.test.labeled.iter().take(200) {
+            let p = ds.profile(i);
+            if let Some(top) = top_poi(&model.poi_scores(p)) {
+                total += 1;
+                if Some(top) == p.pid {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        let acc = correct as f64 / total as f64;
+        let chance = 1.0 / ds.world.pois.len() as f64;
+        assert!(acc > 2.0 * chance, "acc = {acc}, chance = {chance}");
+    }
+
+    #[test]
+    fn judge_positive_pairs_better_than_judging_everything_negative() {
+        let (ds, model) = fitted();
+        let mut hits = 0usize;
+        for pair in ds.test.pos_pairs.iter().take(50) {
+            let si = model.poi_scores(ds.profile(pair.i));
+            let sj = model.poi_scores(ds.profile(pair.j));
+            if naive_judge(&si, &sj) {
+                hits += 1;
+            }
+        }
+        assert!(hits > 0, "TG-TI-C should find at least some co-locations");
+    }
+}

@@ -1,0 +1,165 @@
+//! Criterion micro-benchmarks for the paper's online-performance claims
+//! (§6.4.4: featurization and judgement both under 1 ms per pair; profile
+//! construction under 1 ms per tweet) and for the hot kernels underneath.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hisrect::affinity::build_affinity;
+use hisrect::config::{ApproachSpec, HisRectConfig};
+use hisrect::fv::fv_feature;
+use hisrect::model::{Ablation, HisRectModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tensor::{randn, Matrix};
+use twitter_sim::{generate, SimConfig};
+
+fn small_dataset() -> twitter_sim::Dataset {
+    let mut cfg = SimConfig::tiny(31);
+    cfg.n_users = 80;
+    cfg.n_pois = 12;
+    generate(&cfg)
+}
+
+fn trained_model(ds: &twitter_sim::Dataset) -> HisRectModel {
+    let spec = ApproachSpec::hisrect().with_config(|c| {
+        *c = HisRectConfig {
+            featurizer_iters: 150,
+            judge_iters: 150,
+            ..HisRectConfig::fast()
+        };
+    });
+    HisRectModel::train(ds, &spec, 31)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let a = randn(&mut rng, 64, 64, 1.0);
+    let b = randn(&mut rng, 64, 64, 1.0);
+    c.bench_function("matmul_64x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+
+    let x = randn(&mut rng, 12, 24, 1.0);
+    c.bench_function("matrix_transpose_and_norms", |bench| {
+        bench.iter(|| {
+            let t = x.transpose();
+            black_box(t.l2_norm())
+        })
+    });
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let ds = small_dataset();
+    let p = ds.profile(ds.test.labeled[0]).geo;
+    c.bench_function("poi_containment_query", |bench| {
+        bench.iter(|| black_box(ds.world.pois.containing(&p)))
+    });
+    c.bench_function("poi_min_distance_query", |bench| {
+        bench.iter(|| black_box(ds.world.pois.min_distance_m(&p)))
+    });
+    c.bench_function("poi_center_distances", |bench| {
+        bench.iter(|| black_box(ds.world.pois.center_distances_m(&p)))
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    let ds = small_dataset();
+    // A profile with a realistic visit history.
+    let idx = *ds
+        .test
+        .labeled
+        .iter()
+        .max_by_key(|&&i| ds.profile(i).visits.len())
+        .unwrap();
+    let profile = ds.profile(idx);
+    c.bench_function("fv_feature_eq1_eq2", |bench| {
+        bench.iter(|| black_box(fv_feature(profile, &ds.world.pois, 1000.0, 86_400.0)))
+    });
+
+    let model = trained_model(&ds);
+    c.bench_function("featurize_one_profile", |bench| {
+        bench.iter(|| black_box(model.feature(&ds, idx, Ablation::default())))
+    });
+
+    let pair = ds.test.pos_pairs[0];
+    let fi = model.feature(&ds, pair.i, Ablation::default());
+    let fj = model.feature(&ds, pair.j, Ablation::default());
+    // §6.4.4: judgement from features must be well under 1 ms.
+    c.bench_function("judge_pair_cached_features", |bench| {
+        bench.iter(|| black_box(model.judge_features(&fi, &fj)))
+    });
+    c.bench_function("judge_pair_end_to_end", |bench| {
+        bench.iter(|| black_box(model.judge_pair(&ds, pair.i, pair.j)))
+    });
+    c.bench_function("poi_inference_one_profile", |bench| {
+        bench.iter(|| black_box(model.poi_probs_from_feature(&fi)))
+    });
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    c.bench_function("simulate_tiny_dataset", |bench| {
+        bench.iter(|| black_box(generate(&SimConfig::tiny(1))))
+    });
+
+    let ds = small_dataset();
+    let cfg = HisRectConfig::fast();
+    c.bench_function("build_affinity_graph", |bench| {
+        bench.iter(|| black_box(build_affinity(&ds, &cfg)))
+    });
+
+    // One SGNS training pass over a small corpus.
+    let vocab = text::Vocab::build(ds.train_docs.iter().map(|d| d.as_slice()), 10);
+    let docs: Vec<Vec<usize>> = ds
+        .train_docs
+        .iter()
+        .take(300)
+        .map(|d| vocab.encode(d))
+        .collect();
+    c.bench_function("skipgram_epoch_300_docs", |bench| {
+        bench.iter_batched(
+            || {
+                let mut rng = StdRng::seed_from_u64(5);
+                let sg = text::SkipGram::new(
+                    &vocab,
+                    text::SkipGramConfig {
+                        dim: 16,
+                        epochs: 1,
+                        ..text::SkipGramConfig::default()
+                    },
+                    &mut rng,
+                );
+                (sg, rng)
+            },
+            |(mut sg, mut rng)| black_box(sg.train(&docs, &mut rng)),
+            BatchSize::LargeInput,
+        )
+    });
+
+    // Exact t-SNE on 60 points.
+    let points: Vec<Vec<f32>> = (0..60)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(i);
+            randn(&mut rng, 1, 16, 1.0).as_slice().to_vec()
+        })
+        .collect();
+    c.bench_function("tsne_60_points", |bench| {
+        bench.iter(|| {
+            black_box(eval::tsne_2d(
+                &points,
+                &eval::TsneConfig {
+                    iterations: 50,
+                    ..eval::TsneConfig::default()
+                },
+            ))
+        })
+    });
+
+    let _ = Matrix::zeros(1, 1);
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_kernels, bench_geo, bench_features, bench_pipeline_stages
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! **Design-choice ablation** (DESIGN.md §5): the content-encoder family.
+//! Compares BiLSTM-C (the paper's choice), plain BLSTM (no convolution),
+//! ConvLSTM (Table 4's third variant), and the BiGRU-C extension (GRU
+//! cells under the same convolution) under otherwise identical training.
+//! Also reports parameter counts, since GRU's pitch is fewer parameters at
+//! similar quality.
+
+use bench::harness::{evaluate_judgement, Approach, TrainedApproach};
+use bench::report::{m4, Report};
+use hisrect::config::ApproachSpec;
+use serde::Serialize;
+use twitter_sim::{generate, SimConfig};
+
+#[derive(Serialize)]
+struct Row {
+    encoder: String,
+    dataset: String,
+    params: usize,
+    acc: f64,
+    rec: f64,
+    pre: f64,
+    f1: f64,
+}
+
+fn main() {
+    let seed = 7;
+    let mut report = Report::new("encoders");
+    let mut out = Vec::new();
+
+    for cfg in [SimConfig::nyc_like(seed), SimConfig::lv_like(seed)] {
+        let ds = generate(&cfg);
+        report.line(&format!("-- {} --", ds.name));
+        let mut rows = Vec::new();
+        for spec in [
+            ApproachSpec::hisrect(),
+            ApproachSpec::blstm(),
+            ApproachSpec::conv_lstm(),
+            ApproachSpec::bigru_c(),
+        ] {
+            let trained = TrainedApproach::train(&ds, &Approach::Learned(spec), seed);
+            let params = trained.model().expect("learned").n_parameters();
+            let m = evaluate_judgement(&trained, &ds);
+            rows.push(vec![
+                trained.name.clone(),
+                params.to_string(),
+                m4(m.acc),
+                m4(m.rec),
+                m4(m.pre),
+                m4(m.f1),
+            ]);
+            out.push(Row {
+                encoder: trained.name,
+                dataset: ds.name.clone(),
+                params,
+                acc: m.acc,
+                rec: m.rec,
+                pre: m.pre,
+                f1: m.f1,
+            });
+        }
+        report.table(&["Encoder", "Params", "Acc", "Rec", "Pre", "F1"], &rows);
+        report.line("");
+    }
+    report.save(&out);
+}

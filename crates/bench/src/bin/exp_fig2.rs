@@ -1,0 +1,56 @@
+//! **Figure 2** — ROC curves and AUC of the eight non-naive approaches on
+//! both datasets (§6.2). The three naive approaches are excluded exactly
+//! as in the paper ("it is impossible to set the thresholds of the false
+//! positive rates for them").
+
+use bench::harness::{roc_inputs, Approach, TrainedApproach};
+use bench::report::{m4, Report};
+use eval::{auc, roc_curve};
+use hisrect::config::ApproachSpec;
+use serde::Serialize;
+use twitter_sim::{generate, SimConfig};
+
+#[derive(Serialize)]
+struct Curve {
+    approach: String,
+    dataset: String,
+    auc: f64,
+    /// Down-sampled (fpr, tpr) polyline for plotting.
+    points: Vec<(f64, f64)>,
+}
+
+fn main() {
+    let seed = 7;
+    let mut report = Report::new("fig2");
+    let mut curves: Vec<Curve> = Vec::new();
+
+    for cfg in [SimConfig::nyc_like(seed), SimConfig::lv_like(seed)] {
+        let ds = generate(&cfg);
+        report.line(&format!("-- {} --", ds.name));
+        let mut rows = Vec::new();
+        for spec in ApproachSpec::all_learned() {
+            let trained = TrainedApproach::train(&ds, &Approach::Learned(spec), seed);
+            let (scores, labels) = roc_inputs(&trained, &ds).expect("learned approach");
+            let a = auc(&scores, &labels);
+            let curve = roc_curve(&scores, &labels);
+            // Down-sample to <= 101 points for the saved polyline.
+            let step = (curve.len() / 100).max(1);
+            let points: Vec<(f64, f64)> = curve
+                .iter()
+                .step_by(step)
+                .chain(curve.last())
+                .map(|p| (p.fpr, p.tpr))
+                .collect();
+            rows.push(vec![trained.name.clone(), m4(a)]);
+            curves.push(Curve {
+                approach: trained.name,
+                dataset: ds.name.clone(),
+                auc: a,
+                points,
+            });
+        }
+        report.table(&["Approach", "AUC"], &rows);
+        report.line("");
+    }
+    report.save(&curves);
+}

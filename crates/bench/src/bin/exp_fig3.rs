@@ -1,0 +1,95 @@
+//! **Figure 3** — 2-D t-SNE projection of HisRect features for the test
+//! profiles of the top-5 POIs (§6.3.2). The paper argues visually that
+//! same-POI profiles cluster; we emit the projected coordinates (for
+//! plotting) and quantify the claim with a k-NN cluster-purity score,
+//! compared against a random-feature control.
+
+use bench::harness::{Approach, TrainedApproach};
+use bench::report::Report;
+use eval::{cluster_purity, tsne_2d, TsneConfig};
+use hisrect::config::ApproachSpec;
+use hisrect::model::Ablation;
+use serde::Serialize;
+use std::collections::HashMap;
+use twitter_sim::{generate, ProfileIdx, SimConfig};
+
+#[derive(Serialize)]
+struct Out {
+    purity_hisrect: f64,
+    purity_random_control: f64,
+    points: Vec<PointOut>,
+}
+
+#[derive(Serialize)]
+struct PointOut {
+    x: f64,
+    y: f64,
+    poi: u32,
+}
+
+fn main() {
+    let seed = 7;
+    let mut report = Report::new("fig3");
+    let ds = generate(&SimConfig::nyc_like(seed));
+
+    // Top-5 POIs by test-profile count.
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &i in &ds.test.labeled {
+        *counts.entry(ds.profile(i).pid.expect("labeled")).or_insert(0) += 1;
+    }
+    let mut top: Vec<(u32, usize)> = counts.into_iter().collect();
+    top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let top5: Vec<u32> = top.iter().take(5).map(|&(p, _)| p).collect();
+    report.line(&format!("top-5 POIs: {top5:?}"));
+
+    // Cap per-POI profiles so t-SNE stays O(n^2)-friendly.
+    let mut idxs: Vec<ProfileIdx> = Vec::new();
+    let mut labels: Vec<u32> = Vec::new();
+    let mut per_poi: HashMap<u32, usize> = HashMap::new();
+    for &i in &ds.test.labeled {
+        let pid = ds.profile(i).pid.expect("labeled");
+        if top5.contains(&pid) {
+            let c = per_poi.entry(pid).or_insert(0);
+            if *c < 80 {
+                *c += 1;
+                idxs.push(i);
+                labels.push(pid);
+            }
+        }
+    }
+    report.line(&format!("profiles projected: {}", idxs.len()));
+
+    let trained = TrainedApproach::train(&ds, &Approach::Learned(ApproachSpec::hisrect()), seed);
+    let model = trained.model().expect("learned");
+    let feats = model.featurize_many(&ds, &idxs, Ablation::default());
+    let points: Vec<Vec<f32>> = idxs.iter().map(|i| feats[i].clone()).collect();
+
+    let coords = tsne_2d(&points, &TsneConfig::default());
+    let purity = cluster_purity(&coords, &labels, 10);
+
+    // Control: random features of the same dimensionality should show no
+    // structure.
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let random_points: Vec<Vec<f32>> = points
+        .iter()
+        .map(|p| p.iter().map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let random_coords = tsne_2d(&random_points, &TsneConfig::default());
+    let purity_random = cluster_purity(&random_coords, &labels, 10);
+
+    report.line(&format!("k-NN purity of HisRect features: {purity:.4}"));
+    report.line(&format!("k-NN purity of random control:   {purity_random:.4}"));
+    report.line("(paper: same-POI profiles form visible clusters, a small mixed center)");
+
+    let out = Out {
+        purity_hisrect: purity,
+        purity_random_control: purity_random,
+        points: coords
+            .iter()
+            .zip(&labels)
+            .map(|(&(x, y), &poi)| PointOut { x, y, poi })
+            .collect(),
+    };
+    report.save(&out);
+}

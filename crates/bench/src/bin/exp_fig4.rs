@@ -1,0 +1,73 @@
+//! **Figure 4** — `Acc@K` of POI inference for nine approaches on both
+//! datasets, K = 1..10 (§6.3.3). The approaches are the paper's: the seven
+//! learned feature variants (no One-phase) plus the two naive
+//! geolocalization baselines.
+
+use bench::harness::{Approach, TrainedApproach};
+use bench::report::{m4, Report};
+use eval::acc_at_k;
+use hisrect::config::ApproachSpec;
+use serde::Serialize;
+use twitter_sim::{generate, ProfileIdx, SimConfig};
+
+#[derive(Serialize)]
+struct Row {
+    approach: String,
+    dataset: String,
+    acc_at: Vec<f64>,
+}
+
+fn approaches() -> Vec<Approach> {
+    vec![
+        Approach::Learned(ApproachSpec::history_only()),
+        Approach::Learned(ApproachSpec::tweet_only()),
+        Approach::Learned(ApproachSpec::one_hot()),
+        Approach::Learned(ApproachSpec::hisrect_sl()),
+        Approach::Learned(ApproachSpec::blstm()),
+        Approach::Learned(ApproachSpec::conv_lstm()),
+        Approach::NGramGauss,
+        Approach::TgTiC,
+        Approach::Learned(ApproachSpec::hisrect()),
+    ]
+}
+
+fn main() {
+    let seed = 7;
+    let ks: Vec<usize> = (1..=10).collect();
+    let mut report = Report::new("fig4");
+    let mut out: Vec<Row> = Vec::new();
+
+    for cfg in [SimConfig::nyc_like(seed), SimConfig::lv_like(seed)] {
+        let ds = generate(&cfg);
+        let idxs: Vec<ProfileIdx> = ds.test.labeled.clone();
+        let truth: Vec<u32> = idxs
+            .iter()
+            .map(|&i| ds.profile(i).pid.expect("labeled"))
+            .collect();
+        report.line(&format!("-- {} ({} test profiles) --", ds.name, idxs.len()));
+        let mut rows = Vec::new();
+        for approach in approaches() {
+            let trained = TrainedApproach::train(&ds, &approach, seed);
+            let ctx = trained.prepare_for(&ds, &idxs, Default::default());
+            let rankings: Vec<Vec<u32>> = idxs
+                .iter()
+                .map(|&i| ctx.poi_ranking(&ds, i))
+                .collect();
+            let accs: Vec<f64> = ks.iter().map(|&k| acc_at_k(&rankings, &truth, k)).collect();
+            let mut row = vec![trained.name.clone()];
+            row.extend(accs.iter().map(|&a| m4(a)));
+            rows.push(row);
+            out.push(Row {
+                approach: trained.name,
+                dataset: ds.name.clone(),
+                acc_at: accs,
+            });
+        }
+        let mut header: Vec<String> = vec!["Approach".into()];
+        header.extend(ks.iter().map(|k| format!("@{k}")));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        report.table(&header_refs, &rows);
+        report.line("");
+    }
+    report.save(&out);
+}

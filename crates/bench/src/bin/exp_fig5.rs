@@ -1,0 +1,119 @@
+//! **Figure 5** — F1 of the learned approaches as the amount of training
+//! data grows from 10% to 100% of the timelines (§6.4.1), plus the data-
+//! volume ratios the paper plots alongside.
+//!
+//! The subsample keeps the *test* population fixed: we generate the full
+//! world once, then retrain each approach on a fraction of the training
+//! timelines.
+
+use bench::harness::{Approach, TrainedApproach};
+use bench::report::{m4, Report};
+use eval::averaged_metrics;
+use hisrect::config::ApproachSpec;
+use serde::Serialize;
+use twitter_sim::{generate, Dataset, SimConfig};
+
+#[derive(Serialize)]
+struct Row {
+    approach: String,
+    fraction: f64,
+    f1: f64,
+}
+
+#[derive(Serialize)]
+struct Ratios {
+    fraction: f64,
+    labeled_profiles: usize,
+    pos_pairs: usize,
+    neg_pairs: usize,
+    unlabeled_pairs: usize,
+}
+
+/// Restricts the training split to the first `frac` of its timelines
+/// (profiles and pairs are refiltered accordingly).
+fn subsample_train(ds: &Dataset, frac: f64) -> Dataset {
+    let mut out = ds.clone();
+    let keep_n = ((ds.train.uids.len() as f64) * frac).round().max(1.0) as usize;
+    let kept: std::collections::HashSet<u32> =
+        ds.train.uids.iter().copied().take(keep_n).collect();
+    let keep_profile = |i: &usize| kept.contains(&ds.profiles[*i].uid);
+    out.train.uids.retain(|u| kept.contains(u));
+    out.train.labeled.retain(keep_profile);
+    out.train.unlabeled.retain(keep_profile);
+    let keep_pair = |p: &twitter_sim::Pair| {
+        kept.contains(&ds.profiles[p.i].uid) && kept.contains(&ds.profiles[p.j].uid)
+    };
+    out.train.pos_pairs.retain(keep_pair);
+    out.train.neg_pairs.retain(keep_pair);
+    out.train.unlabeled_pairs.retain(keep_pair);
+    // Skip-gram corpus shrinks with the kept timelines.
+    out.train_docs = ds
+        .timelines
+        .iter()
+        .filter(|tl| kept.contains(&tl.uid))
+        .flat_map(|tl| tl.tweets.iter().map(|t| t.tokens.clone()))
+        .collect();
+    out
+}
+
+fn main() {
+    let seed = 7;
+    let mut report = Report::new("fig5");
+    let ds = generate(&SimConfig::nyc_like(seed));
+    let fractions = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+    // Approaches in the figure: all learned (the paper plots ten series;
+    // the naive ones are training-free so only the learned curves move).
+    let specs = ApproachSpec::all_learned();
+
+    let mut rows_out: Vec<Row> = Vec::new();
+    let mut ratios: Vec<Ratios> = Vec::new();
+    let mut table: Vec<Vec<String>> = Vec::new();
+
+    for &frac in &fractions {
+        let sub = subsample_train(&ds, frac);
+        ratios.push(Ratios {
+            fraction: frac,
+            labeled_profiles: sub.train.labeled.len(),
+            pos_pairs: sub.train.pos_pairs.len(),
+            neg_pairs: sub.train.neg_pairs.len(),
+            unlabeled_pairs: sub.train.unlabeled_pairs.len(),
+        });
+        let mut row = vec![format!("{:.0}%", frac * 100.0)];
+        for spec in &specs {
+            let trained = TrainedApproach::train(&sub, &Approach::Learned(spec.clone()), seed);
+            let ctx = trained.prepare(&sub);
+            let m = averaged_metrics(&sub.test.pos_pairs, &sub.test.neg_pairs, 10, |p| {
+                ctx.judge(p)
+            });
+            row.push(m4(m.f1));
+            rows_out.push(Row {
+                approach: spec.name.clone(),
+                fraction: frac,
+                f1: m.f1,
+            });
+        }
+        table.push(row);
+    }
+
+    let mut header: Vec<String> = vec!["fraction".into()];
+    header.extend(specs.iter().map(|s| s.name.clone()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    report.table(&header_refs, &table);
+    report.line("");
+    for r in &ratios {
+        report.line(&format!(
+            "frac {:.1}: {} labeled profiles, {}+ / {}- pairs, {} unlabeled pairs",
+            r.fraction, r.labeled_profiles, r.pos_pairs, r.neg_pairs, r.unlabeled_pairs
+        ));
+    }
+    #[derive(Serialize)]
+    struct Payload {
+        rows: Vec<Row>,
+        ratios: Vec<Ratios>,
+    }
+    report.save(&Payload {
+        rows: rows_out,
+        ratios,
+    });
+}

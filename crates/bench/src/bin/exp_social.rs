@@ -1,0 +1,63 @@
+//! **§7 extension** — the paper's future-work direction: use social
+//! relationships to "build better similarities for user profiles".
+//!
+//! The simulator plants coordinated friend co-visits
+//! (`SimConfig::with_social`); the extension raises the SSL affinity of
+//! unlabeled friend pairs (`HisRectConfig::social_w`). This experiment
+//! measures whether that extra graph signal improves co-location
+//! judgement, against the unmodified HisRect and HisRect-SL references.
+
+use bench::harness::{evaluate_judgement, Approach, TrainedApproach};
+use bench::report::{m4, Report};
+use hisrect::config::ApproachSpec;
+use serde::Serialize;
+use twitter_sim::{generate, SimConfig};
+
+#[derive(Serialize)]
+struct Row {
+    variant: String,
+    acc: f64,
+    rec: f64,
+    pre: f64,
+    f1: f64,
+}
+
+fn main() {
+    let seed = 7;
+    let mut report = Report::new("social_ext");
+    // A world where friends actually coordinate (2 co-visits per
+    // friendship per week).
+    let ds = generate(&SimConfig::nyc_like(seed).with_social(2.0));
+    report.line(&format!(
+        "social world: {} friendships, {}+ / {}- test pairs",
+        ds.friendships.len(),
+        ds.test.pos_pairs.len(),
+        ds.test.neg_pairs.len()
+    ));
+
+    let variants = [
+        ("HisRect (no social)", ApproachSpec::hisrect()),
+        (
+            "HisRect + social affinity",
+            ApproachSpec::hisrect().with_config(|c| c.social_w = 0.3),
+        ),
+        ("HisRect-SL (reference)", ApproachSpec::hisrect_sl()),
+    ];
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for (name, spec) in variants {
+        let trained = TrainedApproach::train(&ds, &Approach::Learned(spec), seed);
+        let m = evaluate_judgement(&trained, &ds);
+        rows.push(vec![name.to_string(), m4(m.acc), m4(m.rec), m4(m.pre), m4(m.f1)]);
+        out.push(Row {
+            variant: name.into(),
+            acc: m.acc,
+            rec: m.rec,
+            pre: m.pre,
+            f1: m.f1,
+        });
+    }
+    report.table(&["Variant", "Acc", "Rec", "Pre", "F1"], &rows);
+    report.save(&out);
+}

@@ -1,0 +1,76 @@
+//! **§6.4.3** — comparison with other SSL alternatives: cosine-distance
+//! unsupervised loss (HisRect's choice) vs ℓ2-of-difference (Weston et
+//! al.) vs dropping the embedding network `E` entirely. Also sweeps the
+//! affinity-graph thresholds ρ and ε′d called out in DESIGN.md's ablation
+//! list.
+
+use bench::harness::{evaluate_judgement, Approach, TrainedApproach};
+use bench::report::{m4, Report};
+use hisrect::config::{ApproachSpec, UnsupLoss};
+use serde::Serialize;
+use twitter_sim::{generate, SimConfig};
+
+#[derive(Serialize)]
+struct Row {
+    variant: String,
+    acc: f64,
+    rec: f64,
+    pre: f64,
+    f1: f64,
+}
+
+fn main() {
+    let seed = 7;
+    let mut report = Report::new("ssl_variants");
+    let ds = generate(&SimConfig::nyc_like(seed));
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    let run = |name: String, spec: ApproachSpec, rows: &mut Vec<Vec<String>>, out: &mut Vec<Row>| {
+        let trained = TrainedApproach::train(&ds, &Approach::Learned(spec), seed);
+        let m = evaluate_judgement(&trained, &ds);
+        rows.push(vec![name.clone(), m4(m.acc), m4(m.rec), m4(m.pre), m4(m.f1)]);
+        out.push(Row {
+            variant: name,
+            acc: m.acc,
+            rec: m.rec,
+            pre: m.pre,
+            f1: m.f1,
+        });
+    };
+
+    // Unsupervised-loss flavors.
+    for (name, unsup) in [
+        ("cosine (HisRect)", UnsupLoss::Cosine),
+        ("l2 of embeddings", UnsupLoss::L2),
+        ("l2, no embedding E", UnsupLoss::L2NoEmbed),
+    ] {
+        run(
+            name.to_string(),
+            ApproachSpec::hisrect().with_config(|c| c.unsup = unsup),
+            &mut rows,
+            &mut out,
+        );
+    }
+    // Affinity-threshold sweep (ρ in meters; paper default 1000).
+    for rho in [250.0, 1000.0, 4000.0] {
+        run(
+            format!("cosine, rho={rho}m"),
+            ApproachSpec::hisrect().with_config(|c| c.rho_m = rho),
+            &mut rows,
+            &mut out,
+        );
+    }
+    // ε′d sweep (paper default 50 m).
+    for eps in [10.0, 50.0, 500.0] {
+        run(
+            format!("cosine, eps_d'={eps}m"),
+            ApproachSpec::hisrect().with_config(|c| c.eps_d2_m = eps),
+            &mut rows,
+            &mut out,
+        );
+    }
+
+    report.table(&["Variant", "Acc", "Rec", "Pre", "F1"], &rows);
+    report.save(&out);
+}

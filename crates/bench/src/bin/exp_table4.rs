@@ -1,0 +1,85 @@
+//! **Table 4** — Acc / Rec / Pre / F1 of all eleven co-location approaches
+//! on the NYC-like and LV-like datasets, under the 10-fold negative
+//! protocol (§6.1.1, §6.2).
+
+use bench::harness::{evaluate_judgement, Approach, TrainedApproach};
+use bench::report::{m4, Report};
+use serde::Serialize;
+use std::time::Instant;
+use twitter_sim::{generate, SimConfig};
+
+#[derive(Serialize)]
+struct Row {
+    approach: String,
+    dataset: String,
+    acc: f64,
+    rec: f64,
+    pre: f64,
+    f1: f64,
+    train_secs: f64,
+}
+
+fn main() {
+    // Average over several simulation/training seeds: the LV-sized test
+    // set has only ~100 positive pairs, so single-seed orderings are noisy.
+    let seeds: Vec<u64> = std::env::var("HISRECT_SEEDS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(|n| (7..7 + n).collect())
+        .unwrap_or_else(|| vec![7, 8, 9]);
+    let mut report = Report::new("table4");
+    report.line(&format!("seeds: {seeds:?}"));
+    let mut rows_out: Vec<Row> = Vec::new();
+
+    for mk in [SimConfig::nyc_like as fn(u64) -> SimConfig, SimConfig::lv_like] {
+        let mut per_approach: Vec<(String, Vec<eval::BinaryMetrics>, f64)> = Approach::all()
+            .iter()
+            .map(|a| (a.name(), Vec::new(), 0.0))
+            .collect();
+        let mut name = String::new();
+        for &seed in &seeds {
+            let ds = generate(&mk(seed));
+            name = ds.name.clone();
+            report.line(&format!(
+                "dataset {} (seed {seed}): {} POIs, {} timelines, {} labeled train profiles,                  {}+ / {}- test pairs",
+                ds.name,
+                ds.world.pois.len(),
+                ds.timelines.len(),
+                ds.train.labeled.len(),
+                ds.test.pos_pairs.len(),
+                ds.test.neg_pairs.len()
+            ));
+            for (k, approach) in Approach::all().iter().enumerate() {
+                let t = Instant::now();
+                let trained = TrainedApproach::train(&ds, approach, seed);
+                per_approach[k].2 += t.elapsed().as_secs_f64();
+                per_approach[k].1.push(evaluate_judgement(&trained, &ds));
+            }
+        }
+        let mut table_rows = Vec::new();
+        for (approach, metrics, secs) in &per_approach {
+            let m = eval::BinaryMetrics::mean(metrics);
+            table_rows.push(vec![
+                approach.clone(),
+                m4(m.acc),
+                m4(m.rec),
+                m4(m.pre),
+                m4(m.f1),
+            ]);
+            rows_out.push(Row {
+                approach: approach.clone(),
+                dataset: name.clone(),
+                acc: m.acc,
+                rec: m.rec,
+                pre: m.pre,
+                f1: m.f1,
+                train_secs: secs / seeds.len() as f64,
+            });
+        }
+        report.line("");
+        report.line(&format!("-- {name} (mean of {} seeds) --", seeds.len()));
+        report.table(&["Approach", "Acc", "Rec", "Pre", "F1"], &table_rows);
+        report.line("");
+    }
+    report.save(&rows_out);
+}

@@ -1,0 +1,87 @@
+//! **Table 5** — the power of HisRect features when one information source
+//! is missing at *test* time (§6.3.1): HisRect\T (contents blanked),
+//! HisRect\H (histories blanked), versus History-only, Tweet-only and the
+//! full HisRect, on the NYC-like dataset.
+
+use bench::harness::{evaluate_judgement, Approach, TrainedApproach};
+use bench::report::{m4, Report};
+use eval::averaged_metrics;
+use hisrect::config::ApproachSpec;
+use hisrect::model::Ablation;
+use serde::Serialize;
+use twitter_sim::{generate, ProfileIdx, SimConfig};
+
+#[derive(Serialize)]
+struct Row {
+    approach: String,
+    acc: f64,
+    rec: f64,
+    pre: f64,
+    f1: f64,
+}
+
+fn main() {
+    let seed = 7;
+    let mut report = Report::new("table5");
+    let ds = generate(&SimConfig::nyc_like(seed));
+
+    let mut idxs: Vec<ProfileIdx> = ds
+        .test
+        .pos_pairs
+        .iter()
+        .chain(&ds.test.neg_pairs)
+        .flat_map(|p| [p.i, p.j])
+        .collect();
+    idxs.sort_unstable();
+    idxs.dedup();
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    let push = |name: &str, m: eval::BinaryMetrics, rows: &mut Vec<Vec<String>>, out: &mut Vec<Row>| {
+        rows.push(vec![name.into(), m4(m.acc), m4(m.rec), m4(m.pre), m4(m.f1)]);
+        out.push(Row {
+            approach: name.into(),
+            acc: m.acc,
+            rec: m.rec,
+            pre: m.pre,
+            f1: m.f1,
+        });
+    };
+
+    // The well-trained full model, evaluated on ablated test inputs.
+    let hisrect = TrainedApproach::train(&ds, &Approach::Learned(ApproachSpec::hisrect()), seed);
+    for (name, ablation) in [
+        (
+            "HisRect\\T",
+            Ablation {
+                drop_content: true,
+                drop_history: false,
+            },
+        ),
+        (
+            "HisRect\\H",
+            Ablation {
+                drop_content: false,
+                drop_history: true,
+            },
+        ),
+    ] {
+        let ctx = hisrect.prepare_for(&ds, &idxs, ablation);
+        let m = averaged_metrics(&ds.test.pos_pairs, &ds.test.neg_pairs, 10, |p| ctx.judge(p));
+        push(name, m, &mut rows, &mut out);
+    }
+
+    // Single-source models trained as such.
+    for spec in [ApproachSpec::history_only(), ApproachSpec::tweet_only()] {
+        let trained = TrainedApproach::train(&ds, &Approach::Learned(spec), seed);
+        let m = evaluate_judgement(&trained, &ds);
+        push(&trained.name.clone(), m, &mut rows, &mut out);
+    }
+
+    // The full model on complete inputs.
+    let m = evaluate_judgement(&hisrect, &ds);
+    push("HisRect", m, &mut rows, &mut out);
+
+    report.table(&["Approach", "Acc", "Rec", "Pre", "F1"], &rows);
+    report.save(&out);
+}

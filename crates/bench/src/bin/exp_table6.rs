@@ -1,0 +1,77 @@
+//! **Table 6** — HisRect POI-inference accuracy on the `TR`/`FR` split of
+//! the test profiles (§6.3.3): `TR` = profiles that History-only *or*
+//! Tweet-only already infers correctly; `FR` = profiles both get wrong.
+//! The paper's point: HisRect keeps ~91% of TR and still rescues ~26-32%
+//! of FR.
+
+use bench::harness::{Approach, TrainedApproach};
+use bench::report::{m4, Report};
+use hisrect::config::ApproachSpec;
+use serde::Serialize;
+use twitter_sim::{generate, ProfileIdx, SimConfig};
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    tr_count: usize,
+    tr_acc: f64,
+    fr_count: usize,
+    fr_acc: f64,
+}
+
+fn main() {
+    let seed = 7;
+    let mut report = Report::new("table6");
+    let mut out = Vec::new();
+
+    for cfg in [SimConfig::nyc_like(seed), SimConfig::lv_like(seed)] {
+        let ds = generate(&cfg);
+        let idxs: Vec<ProfileIdx> = ds.test.labeled.clone();
+        let truth: Vec<u32> = idxs
+            .iter()
+            .map(|&i| ds.profile(i).pid.expect("labeled"))
+            .collect();
+
+        // Top-1 predictions of the three models.
+        let top1 = |approach: Approach| -> Vec<u32> {
+            let trained = TrainedApproach::train(&ds, &approach, seed);
+            let ctx = trained.prepare_for(&ds, &idxs, Default::default());
+            idxs.iter().map(|&i| ctx.poi_ranking(&ds, i)[0]).collect()
+        };
+        let hist = top1(Approach::Learned(ApproachSpec::history_only()));
+        let tweet = top1(Approach::Learned(ApproachSpec::tweet_only()));
+        let hisrect = top1(Approach::Learned(ApproachSpec::hisrect()));
+
+        let mut tr = (0usize, 0usize); // (correct, total)
+        let mut fr = (0usize, 0usize);
+        for k in 0..idxs.len() {
+            let single_source_right = hist[k] == truth[k] || tweet[k] == truth[k];
+            let hisrect_right = hisrect[k] == truth[k];
+            let bucket = if single_source_right { &mut tr } else { &mut fr };
+            bucket.1 += 1;
+            if hisrect_right {
+                bucket.0 += 1;
+            }
+        }
+        let tr_acc = tr.0 as f64 / tr.1.max(1) as f64;
+        let fr_acc = fr.0 as f64 / fr.1.max(1) as f64;
+        report.table(
+            &["Dataset", "TR n", "TR Acc", "FR n", "FR Acc"],
+            &[vec![
+                ds.name.clone(),
+                tr.1.to_string(),
+                m4(tr_acc),
+                fr.1.to_string(),
+                m4(fr_acc),
+            ]],
+        );
+        out.push(Row {
+            dataset: ds.name.clone(),
+            tr_count: tr.1,
+            tr_acc,
+            fr_count: fr.1,
+            fr_acc,
+        });
+    }
+    report.save(&out);
+}

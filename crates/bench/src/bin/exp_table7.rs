@@ -1,0 +1,66 @@
+//! **Table 7** — recall and accuracy of HisRect across featurizer depths:
+//! `Qf` (fully-connected layers) × `Ql` (stacked BLSTM layers), §6.4.2.
+//! The paper's finding: deeper is not monotonically better; Qf = 2, Ql = 3
+//! peaks.
+
+use bench::harness::{evaluate_judgement, Approach, TrainedApproach};
+use bench::report::{m4, Report};
+use hisrect::config::ApproachSpec;
+use serde::Serialize;
+use twitter_sim::{generate, SimConfig};
+
+#[derive(Serialize)]
+struct Cell {
+    qf: usize,
+    ql: usize,
+    rec: f64,
+    acc: f64,
+}
+
+fn main() {
+    let seed = 7;
+    let mut report = Report::new("table7");
+    let ds = generate(&SimConfig::nyc_like(seed));
+
+    let qfs = [1usize, 2, 3];
+    let qls = [1usize, 2, 3, 4];
+    let mut cells = Vec::new();
+    let mut rec_rows = Vec::new();
+    let mut acc_rows = Vec::new();
+
+    for &qf in &qfs {
+        let mut rec_row = vec![format!("Qf={qf}")];
+        let mut acc_row = vec![format!("Qf={qf}")];
+        for &ql in &qls {
+            let spec = ApproachSpec::hisrect().with_config(|c| {
+                c.qf = qf;
+                c.ql = ql;
+            });
+            let trained = TrainedApproach::train(&ds, &Approach::Learned(spec), seed);
+            let m = evaluate_judgement(&trained, &ds);
+            rec_row.push(m4(m.rec));
+            acc_row.push(m4(m.acc));
+            cells.push(Cell {
+                qf,
+                ql,
+                rec: m.rec,
+                acc: m.acc,
+            });
+        }
+        rec_rows.push(rec_row);
+        acc_rows.push(acc_row);
+    }
+
+    let header: Vec<String> = std::iter::once("Rec".to_string())
+        .chain(qls.iter().map(|q| format!("Ql={q}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    report.table(&header_refs, &rec_rows);
+    report.line("");
+    let header: Vec<String> = std::iter::once("Acc".to_string())
+        .chain(qls.iter().map(|q| format!("Ql={q}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    report.table(&header_refs, &acc_rows);
+    report.save(&cells);
+}

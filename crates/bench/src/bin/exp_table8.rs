@@ -1,0 +1,190 @@
+//! **Table 8** — case study: clustering user profiles into co-located
+//! groups (§6.5). Groups of 5 profiles are sampled in the patterns 5-0,
+//! 4-1, 3-2, 3-1-1, 2-2-1; an approach is credited when its thresholded
+//! pairwise judgements yield exactly the ground-truth partition via
+//! connected components.
+
+use bench::harness::{Approach, TrainedApproach};
+use bench::report::{m4, Report};
+use hisrect::clustering::{cluster_by_threshold, same_partition};
+use hisrect::config::ApproachSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::collections::HashMap;
+use tensor::Matrix;
+use twitter_sim::{generate, Dataset, Pair, ProfileIdx, SimConfig};
+
+const PATTERNS: &[(&str, &[usize])] = &[
+    ("5-0", &[5]),
+    ("4-1", &[4, 1]),
+    ("3-2", &[3, 2]),
+    ("3-1-1", &[3, 1, 1]),
+    ("2-2-1", &[2, 2, 1]),
+];
+
+/// A sampled group: 5 profile indices + their ground-truth cluster labels.
+struct Group {
+    profiles: Vec<ProfileIdx>,
+    truth: Vec<usize>,
+}
+
+/// Samples up to `want` groups realizing `sizes` from the test split: all
+/// profiles in one Δt window, distinct users, sub-groups at distinct POIs.
+fn sample_groups(ds: &Dataset, sizes: &[usize], want: usize, rng: &mut StdRng) -> Vec<Group> {
+    // Bucket labeled test profiles into Δt windows.
+    let mut windows: HashMap<i64, HashMap<u32, Vec<ProfileIdx>>> = HashMap::new();
+    for &i in &ds.test.labeled {
+        let p = ds.profile(i);
+        let w = p.ts / ds.delta_t;
+        windows
+            .entry(w)
+            .or_default()
+            .entry(p.pid.expect("labeled"))
+            .or_default()
+            .push(i);
+    }
+    let mut keys: Vec<i64> = windows.keys().copied().collect();
+    keys.sort_unstable();
+
+    let mut groups = Vec::new();
+    'outer: for _ in 0..want * 20 {
+        if groups.len() >= want {
+            break;
+        }
+        let w = keys[rng.gen_range(0..keys.len())];
+        let by_poi = &windows[&w];
+        // POIs with at least the needed distinct users.
+        let mut eligible: Vec<(u32, &Vec<ProfileIdx>)> = by_poi
+            .iter()
+            .map(|(&poi, v)| (poi, v))
+            .filter(|(_, v)| {
+                let mut uids: Vec<u32> = v.iter().map(|&i| ds.profile(i).uid).collect();
+                uids.sort_unstable();
+                uids.dedup();
+                uids.len() >= sizes.iter().copied().max().unwrap_or(1)
+            })
+            .collect();
+        if eligible.len() < sizes.len() {
+            continue;
+        }
+        // Shuffle eligible POIs and take one per sub-group.
+        for i in (1..eligible.len()).rev() {
+            eligible.swap(i, rng.gen_range(0..=i));
+        }
+        let mut profiles = Vec::with_capacity(5);
+        let mut truth = Vec::with_capacity(5);
+        let mut used_uids: Vec<u32> = Vec::new();
+        for (g, &need) in sizes.iter().enumerate() {
+            let (_, pool) = eligible[g];
+            let mut pool: Vec<ProfileIdx> = pool.clone();
+            for i in (1..pool.len()).rev() {
+                pool.swap(i, rng.gen_range(0..=i));
+            }
+            let mut taken = 0;
+            for idx in pool {
+                let uid = ds.profile(idx).uid;
+                if !used_uids.contains(&uid) {
+                    used_uids.push(uid);
+                    profiles.push(idx);
+                    truth.push(g);
+                    taken += 1;
+                    if taken == need {
+                        break;
+                    }
+                }
+            }
+            if taken < need {
+                continue 'outer;
+            }
+        }
+        groups.push(Group { profiles, truth });
+    }
+    groups
+}
+
+#[derive(Serialize)]
+struct Row {
+    approach: String,
+    pattern: String,
+    groups: usize,
+    accuracy: f64,
+}
+
+fn main() {
+    let seed = 7;
+    let mut report = Report::new("table8");
+    let ds = generate(&SimConfig::nyc_like(seed));
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Pre-sample groups once so every approach sees the same task.
+    let mut groups: Vec<(String, Vec<Group>)> = Vec::new();
+    for (name, sizes) in PATTERNS {
+        let gs = sample_groups(&ds, sizes, 400, &mut rng);
+        report.line(&format!("pattern {name}: {} groups sampled", gs.len()));
+        groups.push((name.to_string(), gs));
+    }
+
+    let approaches = [
+        Approach::Learned(ApproachSpec::hisrect()),
+        Approach::Comp2Loc,
+        Approach::NGramGauss,
+        Approach::TgTiC,
+    ];
+
+    let mut out = Vec::new();
+    let mut table: Vec<Vec<String>> = Vec::new();
+    for approach in &approaches {
+        let trained = TrainedApproach::train(&ds, approach, seed);
+        // Prepare over every profile appearing in any group.
+        let mut idxs: Vec<ProfileIdx> = groups
+            .iter()
+            .flat_map(|(_, gs)| gs.iter().flat_map(|g| g.profiles.iter().copied()))
+            .collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        let ctx = trained.prepare_for(&ds, &idxs, Default::default());
+
+        let mut row = vec![trained.name.clone()];
+        for (pname, gs) in &groups {
+            let mut correct = 0usize;
+            for g in gs {
+                let n = g.profiles.len();
+                let mut probs = Matrix::zeros(n, n);
+                for a in 0..n {
+                    for b in (a + 1)..n {
+                        let pair = Pair {
+                            i: g.profiles[a],
+                            j: g.profiles[b],
+                            co_label: None,
+                        };
+                        let p = match ctx.score(&pair) {
+                            Some(s) => s as f32,
+                            None => ctx.judge(&pair) as u8 as f32,
+                        };
+                        probs.set(a, b, p);
+                        probs.set(b, a, p);
+                    }
+                }
+                let labels = cluster_by_threshold(&probs, 0.5);
+                if same_partition(&labels, &g.truth) {
+                    correct += 1;
+                }
+            }
+            let acc = correct as f64 / gs.len().max(1) as f64;
+            row.push(m4(acc));
+            out.push(Row {
+                approach: trained.name.clone(),
+                pattern: pname.clone(),
+                groups: gs.len(),
+                accuracy: acc,
+            });
+        }
+        table.push(row);
+    }
+    let mut header = vec!["Approach".to_string()];
+    header.extend(PATTERNS.iter().map(|(n, _)| n.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    report.table(&header_refs, &table);
+    report.save(&out);
+}

@@ -1,0 +1,230 @@
+//! Approach registry and evaluation wrappers.
+
+use baselines::{naive_judge, ranked_pois, NGramGauss, NGramGaussConfig, TgTiC, TgTiCConfig};
+use eval::{averaged_metrics, BinaryMetrics};
+use hisrect::config::ApproachSpec;
+use hisrect::model::{Ablation, HisRectModel};
+use std::collections::HashMap;
+use twitter_sim::{Dataset, Pair, ProfileIdx};
+
+/// One of the eleven Table-3 co-location approaches.
+#[derive(Debug, Clone)]
+pub enum Approach {
+    /// The eight learned feature-first / one-phase approaches.
+    Learned(ApproachSpec),
+    /// Naive: POI classifier over SSL HisRect features, argmax equality.
+    Comp2Loc,
+    /// Naive: content similarity against temporally-close geo-tagged tweets.
+    TgTiC,
+    /// Naive: Gaussian n-gram geolocalization.
+    NGramGauss,
+}
+
+impl Approach {
+    /// Display name matching Table 3/4 rows.
+    pub fn name(&self) -> String {
+        match self {
+            Approach::Learned(spec) => spec.name.clone(),
+            Approach::Comp2Loc => "Comp2Loc".into(),
+            Approach::TgTiC => "TG-TI-C".into(),
+            Approach::NGramGauss => "N-Gram-Gauss".into(),
+        }
+    }
+
+    /// All eleven approaches in the paper's Table 4 order.
+    pub fn all() -> Vec<Approach> {
+        let mut out = vec![
+            Approach::TgTiC,
+            Approach::NGramGauss,
+            Approach::Comp2Loc,
+        ];
+        out.extend(ApproachSpec::all_learned().into_iter().map(Approach::Learned));
+        out
+    }
+}
+
+enum Inner {
+    Learned(Box<HisRectModel>),
+    Comp2Loc(Box<HisRectModel>),
+    TgTiC(TgTiC),
+    NGramGauss(NGramGauss),
+}
+
+/// A trained approach ready for evaluation on its dataset.
+pub struct TrainedApproach {
+    /// Table-3 display name of the approach.
+    pub name: String,
+    inner: Inner,
+}
+
+impl TrainedApproach {
+    /// Trains the approach on the dataset's training split.
+    pub fn train(dataset: &Dataset, approach: &Approach, seed: u64) -> Self {
+        let name = approach.name();
+        let inner = match approach {
+            Approach::Learned(spec) => {
+                Inner::Learned(Box::new(HisRectModel::train(dataset, spec, seed)))
+            }
+            Approach::Comp2Loc => Inner::Comp2Loc(Box::new(HisRectModel::train(
+                dataset,
+                &ApproachSpec::hisrect(),
+                seed,
+            ))),
+            Approach::TgTiC => Inner::TgTiC(TgTiC::fit(dataset, TgTiCConfig::default())),
+            Approach::NGramGauss => {
+                Inner::NGramGauss(NGramGauss::fit(dataset, NGramGaussConfig::default()))
+            }
+        };
+        Self { name, inner }
+    }
+
+    /// The underlying learned model, when there is one.
+    pub fn model(&self) -> Option<&HisRectModel> {
+        match &self.inner {
+            Inner::Learned(m) | Inner::Comp2Loc(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True for the three naive approaches (excluded from Fig. 2: no
+    /// thresholdable score).
+    pub fn is_naive(&self) -> bool {
+        !matches!(self.inner, Inner::Learned(_))
+    }
+
+    /// Caches evaluation features/scores for the profiles of the test
+    /// pairs, then returns a judge closure context.
+    pub fn prepare(&self, dataset: &Dataset) -> JudgeContext<'_> {
+        let mut idxs: Vec<ProfileIdx> = dataset
+            .test
+            .pos_pairs
+            .iter()
+            .chain(&dataset.test.neg_pairs)
+            .flat_map(|p| [p.i, p.j])
+            .collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        self.prepare_for(dataset, &idxs, Ablation::default())
+    }
+
+    /// Like [`TrainedApproach::prepare`], but over explicit profiles with
+    /// an input ablation (Table 5).
+    pub fn prepare_for(
+        &self,
+        dataset: &Dataset,
+        idxs: &[ProfileIdx],
+        ablation: Ablation,
+    ) -> JudgeContext<'_> {
+        match &self.inner {
+            Inner::Learned(model) => JudgeContext {
+                approach: self,
+                features: model.featurize_many(dataset, idxs, ablation),
+                poi_scores: HashMap::new(),
+            },
+            Inner::Comp2Loc(model) => {
+                let features = model.featurize_many(dataset, idxs, ablation);
+                let poi_scores = features
+                    .iter()
+                    .map(|(&i, f)| {
+                        let probs = model.poi_probs_from_feature(f);
+                        (i, probs.iter().map(|&p| p as f64).collect())
+                    })
+                    .collect();
+                JudgeContext {
+                    approach: self,
+                    features,
+                    poi_scores,
+                }
+            }
+            Inner::TgTiC(model) => JudgeContext {
+                approach: self,
+                features: HashMap::new(),
+                poi_scores: idxs
+                    .iter()
+                    .map(|&i| (i, model.poi_scores(dataset.profile(i))))
+                    .collect(),
+            },
+            Inner::NGramGauss(model) => JudgeContext {
+                approach: self,
+                features: HashMap::new(),
+                poi_scores: idxs
+                    .iter()
+                    .map(|&i| (i, model.poi_scores(dataset.profile(i))))
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// Cached per-profile state for fast pair judgement.
+pub struct JudgeContext<'a> {
+    approach: &'a TrainedApproach,
+    features: HashMap<ProfileIdx, Vec<f32>>,
+    poi_scores: HashMap<ProfileIdx, Vec<f64>>,
+}
+
+impl JudgeContext<'_> {
+    /// Continuous co-location score for a pair (learned approaches only).
+    pub fn score(&self, pair: &Pair) -> Option<f64> {
+        match &self.approach.inner {
+            Inner::Learned(model) => {
+                let fi = &self.features[&pair.i];
+                let fj = &self.features[&pair.j];
+                Some(model.judge_features(fi, fj) as f64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Binary co-location decision for a pair.
+    pub fn judge(&self, pair: &Pair) -> bool {
+        match &self.approach.inner {
+            Inner::Learned(_) => self.score(pair).expect("learned") > 0.5,
+            Inner::Comp2Loc(_) | Inner::TgTiC(_) | Inner::NGramGauss(_) => {
+                naive_judge(&self.poi_scores[&pair.i], &self.poi_scores[&pair.j])
+            }
+        }
+    }
+
+    /// POI candidate ranking for a profile (Fig. 4). Uses the classifier
+    /// for learned approaches and the score vector for naive ones.
+    pub fn poi_ranking(&self, dataset: &Dataset, idx: ProfileIdx) -> Vec<u32> {
+        match &self.approach.inner {
+            Inner::Learned(model) | Inner::Comp2Loc(model) => {
+                let probs = match self.features.get(&idx) {
+                    Some(f) => model.poi_probs_from_feature(f),
+                    None => model.poi_probs(dataset, idx),
+                };
+                ranked_pois(&probs.iter().map(|&p| p as f64).collect::<Vec<_>>())
+            }
+            _ => ranked_pois(&self.poi_scores[&idx]),
+        }
+    }
+
+    /// Cached feature of a profile (learned approaches).
+    pub fn feature(&self, idx: ProfileIdx) -> Option<&[f32]> {
+        self.features.get(&idx).map(Vec::as_slice)
+    }
+}
+
+/// Evaluates an approach with the §6.1.1 10-fold negative protocol.
+pub fn evaluate_judgement(trained: &TrainedApproach, dataset: &Dataset) -> BinaryMetrics {
+    let ctx = trained.prepare(dataset);
+    averaged_metrics(&dataset.test.pos_pairs, &dataset.test.neg_pairs, 10, |p| {
+        ctx.judge(p)
+    })
+}
+
+/// Continuous scores + labels over the full test pair set (Fig. 2 input);
+/// `None` for naive approaches.
+pub fn roc_inputs(trained: &TrainedApproach, dataset: &Dataset) -> Option<(Vec<f64>, Vec<bool>)> {
+    if trained.is_naive() {
+        return None;
+    }
+    let ctx = trained.prepare(dataset);
+    Some(eval::protocol::score_set(
+        &dataset.test.pos_pairs,
+        &dataset.test.neg_pairs,
+        |p| ctx.score(p).expect("learned"),
+    ))
+}

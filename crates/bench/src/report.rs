@@ -1,0 +1,121 @@
+//! Result reporting: aligned text tables on stdout plus JSON rows under
+//! `results/` so EXPERIMENTS.md can cite machine-readable numbers.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// A named experiment report that renders tables and persists JSON.
+pub struct Report {
+    experiment: String,
+    lines: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report for `experiment` (e.g. `"table4"`).
+    pub fn new(experiment: &str) -> Self {
+        let mut r = Self {
+            experiment: experiment.to_string(),
+            lines: Vec::new(),
+        };
+        r.line(&format!("== {experiment} =="));
+        r
+    }
+
+    /// Adds (and echoes) one line.
+    pub fn line(&mut self, s: &str) {
+        println!("{s}");
+        self.lines.push(s.to_string());
+    }
+
+    /// Renders an aligned table: `header` then `rows`.
+    pub fn table(&mut self, header: &[&str], rows: &[Vec<String>]) {
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:<w$}", w = widths.get(i).copied().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+        self.line(&fmt_row(&head));
+        let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        self.line(&fmt_row(&rule));
+        for row in rows {
+            self.line(&fmt_row(row));
+        }
+    }
+
+    /// Persists a serializable payload as `results/<experiment>.json` and
+    /// the rendered text as `results/<experiment>.txt`.
+    pub fn save<T: Serialize>(&self, payload: &T) {
+        let dir = results_dir();
+        if let Err(e) = fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let json = serde_json::to_string_pretty(payload).expect("serializable payload");
+        let jpath = dir.join(format!("{}.json", self.experiment));
+        if let Err(e) = fs::write(&jpath, json) {
+            eprintln!("warning: cannot write {}: {e}", jpath.display());
+        }
+        let tpath = dir.join(format!("{}.txt", self.experiment));
+        if let Err(e) = fs::write(&tpath, self.lines.join("\n") + "\n") {
+            eprintln!("warning: cannot write {}: {e}", tpath.display());
+        }
+        println!("[saved {} and {}]", jpath.display(), tpath.display());
+    }
+}
+
+/// `results/` at the workspace root (falls back to CWD).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; the workspace root is two up.
+    let base = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    base.parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Formats a metric as the paper does (4 decimals).
+pub fn m4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_handles_ragged_rows() {
+        let mut r = Report::new("selftest");
+        r.table(
+            &["a", "long-header"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer-cell".into(), "2".into()],
+            ],
+        );
+        assert!(r.lines.iter().any(|l| l.contains("longer-cell")));
+    }
+
+    #[test]
+    fn m4_formats_four_decimals() {
+        assert_eq!(m4(0.93414), "0.9341");
+        assert_eq!(m4(1.0), "1.0000");
+    }
+
+    #[test]
+    fn results_dir_is_workspace_level() {
+        assert!(results_dir().ends_with("results"));
+    }
+}

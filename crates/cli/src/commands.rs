@@ -1,0 +1,223 @@
+//! CLI subcommand implementations.
+
+use crate::args::Flags;
+use baselines::ranked_pois;
+use eval::{acc_at_k, averaged_metrics};
+use hisrect::clustering::{cluster_by_threshold, partition_pattern};
+use hisrect::config::ApproachSpec;
+use hisrect::model::{Ablation, HisRectModel};
+use std::path::Path;
+use tensor::Matrix;
+use twitter_sim::io::CorpusFile;
+use twitter_sim::{generate, Dataset, ProfileIdx, SimConfig};
+
+fn load_dataset(flags: &Flags) -> Result<Dataset, String> {
+    let path = flags.require("corpus")?;
+    let seed = flags.parse_or("seed", 7u64)?;
+    let corpus = CorpusFile::load(Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    Ok(corpus.to_dataset(seed))
+}
+
+fn load_model(flags: &Flags) -> Result<HisRectModel, String> {
+    let path = flags.require("model")?;
+    HisRectModel::load_json(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn approach_by_name(name: &str) -> Result<ApproachSpec, String> {
+    Ok(match name {
+        "hisrect" => ApproachSpec::hisrect(),
+        "hisrect-sl" => ApproachSpec::hisrect_sl(),
+        "one-phase" => ApproachSpec::one_phase(),
+        "history-only" => ApproachSpec::history_only(),
+        "tweet-only" => ApproachSpec::tweet_only(),
+        "one-hot" => ApproachSpec::one_hot(),
+        "blstm" => ApproachSpec::blstm(),
+        "convlstm" => ApproachSpec::conv_lstm(),
+        other => return Err(format!("unknown approach `{other}`")),
+    })
+}
+
+/// `hisrect simulate` — generate a synthetic corpus and write it as JSON.
+pub fn simulate(flags: &Flags) -> Result<(), String> {
+    let seed = flags.parse_or("seed", 7u64)?;
+    let preset = flags.get("preset").unwrap_or("tiny");
+    let mut cfg = match preset {
+        "nyc" => SimConfig::nyc_like(seed),
+        "lv" => SimConfig::lv_like(seed),
+        "tiny" => SimConfig::tiny(seed),
+        other => return Err(format!("unknown preset `{other}` (nyc|lv|tiny)")),
+    };
+    let social = flags.parse_or("social", 0.0f64)?;
+    if social > 0.0 {
+        cfg = cfg.with_social(social);
+    }
+    let out = flags.require("out")?;
+    let ds = generate(&cfg);
+    CorpusFile::from_dataset(&ds)
+        .save(Path::new(out))
+        .map_err(|e| format!("{out}: {e}"))?;
+    let s = ds.stats();
+    println!(
+        "wrote {out}: {} timelines, {} POIs, {} labeled training profiles",
+        s.n_timelines, s.n_pois, s.train_labeled_profiles
+    );
+    Ok(())
+}
+
+/// `hisrect stats` — Table-2-style summary of a corpus.
+pub fn stats(flags: &Flags) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let s = ds.stats();
+    println!("{}", serde_json::to_string_pretty(&s).expect("serializable"));
+    Ok(())
+}
+
+/// `hisrect train` — train an approach and persist the model.
+pub fn train(flags: &Flags) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let seed = flags.parse_or("seed", 7u64)?;
+    let mut spec = approach_by_name(flags.get("approach").unwrap_or("hisrect"))?;
+    // Optional budget overrides for quick runs.
+    let iters = flags.parse_or("iters", spec.config.featurizer_iters)?;
+    let judge_iters = flags.parse_or("judge-iters", spec.config.judge_iters)?;
+    let early_stop = flags.parse_or("early-stop", false)?;
+    spec = spec.with_config(|c| {
+        c.featurizer_iters = iters;
+        c.judge_iters = judge_iters;
+        c.early_stop = early_stop;
+    });
+    let out = flags.require("out")?;
+    eprintln!(
+        "training `{}` on {} ({} labeled profiles) ...",
+        spec.name,
+        ds.name,
+        ds.train.labeled.len()
+    );
+    let model = HisRectModel::train(&ds, &spec, seed);
+    model
+        .save_json(Path::new(out))
+        .map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {out}: {} parameters, final L_poi = {:.4}",
+        model.n_parameters(),
+        model.ssl_stats.recent_poi_loss(20)
+    );
+    Ok(())
+}
+
+/// `hisrect judge` — §6.1.1 co-location metrics on the test split.
+pub fn judge(flags: &Flags) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let model = load_model(flags)?;
+    let mut idxs: Vec<ProfileIdx> = ds
+        .test
+        .pos_pairs
+        .iter()
+        .chain(&ds.test.neg_pairs)
+        .flat_map(|p| [p.i, p.j])
+        .collect();
+    idxs.sort_unstable();
+    idxs.dedup();
+    let feats = model.featurize_many(&ds, &idxs, Ablation::default());
+    let m = averaged_metrics(&ds.test.pos_pairs, &ds.test.neg_pairs, 10, |p| {
+        model.judge_features(&feats[&p.i], &feats[&p.j]) > 0.5
+    });
+    println!(
+        "test pairs: {} positive, {} negative (10-fold negative protocol)",
+        ds.test.pos_pairs.len(),
+        ds.test.neg_pairs.len()
+    );
+    println!(
+        "Acc {:.4}  Rec {:.4}  Pre {:.4}  F1 {:.4}",
+        m.acc, m.rec, m.pre, m.f1
+    );
+    Ok(())
+}
+
+/// `hisrect infer` — POI inference Acc@K on the labeled test profiles.
+pub fn infer(flags: &Flags) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let model = load_model(flags)?;
+    let top_k = flags.parse_or("top-k", 5usize)?;
+    let idxs = &ds.test.labeled;
+    let truth: Vec<u32> = idxs
+        .iter()
+        .map(|&i| ds.profile(i).pid.expect("labeled"))
+        .collect();
+    let feats = model.featurize_many(&ds, idxs, Ablation::default());
+    let rankings: Vec<Vec<u32>> = idxs
+        .iter()
+        .map(|&i| {
+            let probs = model.poi_probs_from_feature(&feats[&i]);
+            ranked_pois(&probs.iter().map(|&p| p as f64).collect::<Vec<_>>())
+        })
+        .collect();
+    println!("POI inference over {} test profiles:", idxs.len());
+    for k in 1..=top_k {
+        println!("  Acc@{k} = {:.4}", acc_at_k(&rankings, &truth, k));
+    }
+    Ok(())
+}
+
+/// `hisrect cluster` — group the first Δt window of concurrent test
+/// profiles by thresholded pairwise judgement.
+pub fn cluster(flags: &Flags) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let model = load_model(flags)?;
+    let want = flags.parse_or("group-size", 5usize)?;
+    if want < 2 {
+        return Err("--group-size must be at least 2".into());
+    }
+
+    // First window with `want` distinct-user labeled profiles.
+    let mut sorted: Vec<ProfileIdx> = ds.test.labeled.clone();
+    sorted.sort_by_key(|&i| ds.profile(i).ts);
+    let mut group: Vec<ProfileIdx> = Vec::new();
+    for (k, &start) in sorted.iter().enumerate() {
+        group.clear();
+        group.push(start);
+        let t0 = ds.profile(start).ts;
+        for &cand in &sorted[k + 1..] {
+            let p = ds.profile(cand);
+            if p.ts - t0 >= ds.delta_t {
+                break;
+            }
+            if group.iter().all(|&g| ds.profile(g).uid != p.uid) {
+                group.push(cand);
+                if group.len() == want {
+                    break;
+                }
+            }
+        }
+        if group.len() == want {
+            break;
+        }
+    }
+    if group.len() < 2 {
+        return Err("no window with enough concurrent profiles".into());
+    }
+
+    let feats = model.featurize_many(&ds, &group, Ablation::default());
+    let n = group.len();
+    let mut probs = Matrix::zeros(n, n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let p = model.judge_features(&feats[&group[a]], &feats[&group[b]]);
+            probs.set(a, b, p);
+            probs.set(b, a, p);
+        }
+    }
+    let labels = cluster_by_threshold(&probs, 0.5);
+    for (k, &idx) in group.iter().enumerate() {
+        let p = ds.profile(idx);
+        println!(
+            "user {:>5}  t={:>8}  true poi_{:<4} -> group {}",
+            p.uid,
+            p.ts,
+            p.pid.expect("labeled"),
+            labels[k]
+        );
+    }
+    println!("pattern: {:?}", partition_pattern(&labels));
+    Ok(())
+}

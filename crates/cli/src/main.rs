@@ -1,0 +1,73 @@
+//! `hisrect` — command-line front end for the HisRect reproduction.
+//!
+//! ```text
+//! hisrect simulate --preset nyc --seed 7 --out corpus.json
+//! hisrect stats    --corpus corpus.json
+//! hisrect train    --corpus corpus.json --approach hisrect --out model.json
+//! hisrect judge    --corpus corpus.json --model model.json
+//! hisrect infer    --corpus corpus.json --model model.json --top-k 5
+//! hisrect cluster  --corpus corpus.json --model model.json --group-size 5
+//! ```
+//!
+//! Argument parsing is hand-rolled (`clap` is outside the dependency set);
+//! see [`args`] for the tiny flag grammar.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+hisrect — co-location judgement from historical visits and recent tweets
+
+USAGE:
+    hisrect <COMMAND> [FLAGS]
+
+COMMANDS:
+    simulate   Generate a synthetic corpus            (--preset nyc|lv|tiny --seed N --out FILE [--social RATE])
+    stats      Print Table-2-style corpus statistics  (--corpus FILE [--seed N])
+    train      Train an approach on a corpus          (--corpus FILE --out FILE [--approach NAME] [--seed N] [--iters N] [--judge-iters N] [--early-stop true])
+    judge      Evaluate co-location on the test split (--corpus FILE --model FILE [--seed N])
+    infer      POI inference Acc@K on the test split  (--corpus FILE --model FILE [--top-k K] [--seed N])
+    cluster    Cluster concurrent test profiles       (--corpus FILE --model FILE [--group-size N] [--seed N])
+    help       Show this message
+
+APPROACHES (for train --approach):
+    hisrect (default), hisrect-sl, one-phase, history-only, tweet-only,
+    one-hot, blstm, convlstm
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match args::parse_flags(&argv[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "simulate" => commands::simulate(&flags),
+        "stats" => commands::stats(&flags),
+        "train" => commands::train(&flags),
+        "judge" => commands::judge(&flags),
+        "infer" => commands::infer(&flags),
+        "cluster" => commands::cluster(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; run `hisrect help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end CLI tests driving the compiled `hisrect` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hisrect"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hisrect-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    bin().args(args).output().expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    for cmd in ["simulate", "train", "judge", "infer", "cluster", "stats"] {
+        assert!(stdout(&out).contains(cmd), "help must mention {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_hint() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn missing_flags_are_reported() {
+    let out = run(&["simulate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--out"));
+}
+
+#[test]
+fn full_pipeline_simulate_train_judge_infer_cluster() {
+    let dir = tmpdir("pipeline");
+    let corpus = dir.join("corpus.json");
+    let model = dir.join("model.json");
+    let corpus_s = corpus.to_str().unwrap();
+    let model_s = model.to_str().unwrap();
+
+    // simulate
+    let out = run(&["simulate", "--preset", "tiny", "--seed", "3", "--out", corpus_s]);
+    assert!(out.status.success(), "simulate: {}", stderr(&out));
+    assert!(corpus.exists());
+
+    // stats
+    let out = run(&["stats", "--corpus", corpus_s]);
+    assert!(out.status.success(), "stats: {}", stderr(&out));
+    assert!(stdout(&out).contains("train_labeled_profiles"));
+
+    // train (budget trimmed to keep the test fast)
+    let out = run(&[
+        "train", "--corpus", corpus_s, "--out", model_s, "--seed", "3", "--iters", "200",
+        "--judge-iters", "200",
+    ]);
+    assert!(out.status.success(), "train: {}", stderr(&out));
+    assert!(model.exists());
+
+    // judge
+    let out = run(&["judge", "--corpus", corpus_s, "--model", model_s, "--seed", "3"]);
+    assert!(out.status.success(), "judge: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Acc") && text.contains("F1"), "got: {text}");
+
+    // infer
+    let out = run(&[
+        "infer", "--corpus", corpus_s, "--model", model_s, "--top-k", "3", "--seed", "3",
+    ]);
+    assert!(out.status.success(), "infer: {}", stderr(&out));
+    assert!(stdout(&out).contains("Acc@1"));
+
+    // cluster
+    let out = run(&[
+        "cluster", "--corpus", corpus_s, "--model", model_s, "--group-size", "3", "--seed", "3",
+    ]);
+    assert!(out.status.success(), "cluster: {}", stderr(&out));
+    assert!(stdout(&out).contains("pattern:"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn train_rejects_unknown_approach() {
+    let dir = tmpdir("badapproach");
+    let corpus = dir.join("corpus.json");
+    let corpus_s = corpus.to_str().unwrap();
+    let out = run(&["simulate", "--preset", "tiny", "--seed", "1", "--out", corpus_s]);
+    assert!(out.status.success());
+    let out = run(&[
+        "train", "--corpus", corpus_s, "--out", "/dev/null", "--approach", "nonsense",
+    ]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown approach"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn judge_with_missing_model_file_fails_cleanly() {
+    let dir = tmpdir("nomodel");
+    let corpus = dir.join("corpus.json");
+    let corpus_s = corpus.to_str().unwrap();
+    let out = run(&["simulate", "--preset", "tiny", "--seed", "1", "--out", corpus_s]);
+    assert!(out.status.success());
+    let out = run(&["judge", "--corpus", corpus_s, "--model", "/nonexistent.json"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("nonexistent"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,205 @@
+//! The affinity matrix `A` of the SSL framework (§4.4).
+//!
+//! Stored sparsely as one weight per pair — the dense `(L+U)²` matrix the
+//! paper writes down is almost entirely zeros, and only pairs in
+//! `Γ_L ∪ Γ_U` ever contribute to `L_u`.
+
+use crate::config::HisRectConfig;
+use twitter_sim::{Dataset, Pair, ProfileIdx};
+
+/// A pair with its affinity weight `a_ij`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedPair {
+    /// First profile of the pair.
+    pub i: ProfileIdx,
+    /// Second profile of the pair.
+    pub j: ProfileIdx,
+    /// The affinity weight `a_ij` in `[-1, 1]`.
+    pub a: f32,
+    /// True when the pair came from `Γ_L` (used for the per-epoch 1/10
+    /// subsampling of negative and unlabeled pairs, §6.1.2).
+    pub labeled_positive: bool,
+}
+
+/// Computes `a_ij` for one pair per the §4.4 case analysis. Returns `None`
+/// for pairs whose weight is zero (they "have no impact on the penalty
+/// L_u" and are dropped).
+pub fn affinity(dataset: &Dataset, cfg: &HisRectConfig, pair: &Pair) -> Option<WeightedPair> {
+    let (pi, pj) = (dataset.profile(pair.i), dataset.profile(pair.j));
+    let weighted = |a: f32, pos: bool| WeightedPair {
+        i: pair.i,
+        j: pair.j,
+        a,
+        labeled_positive: pos,
+    };
+    match pair.co_label {
+        Some(true) => Some(weighted(1.0, true)),
+        Some(false) => Some(weighted(-1.0, false)),
+        None => {
+            // Pair construction already enforces |ts_i - ts_j| < Δt.
+            let friends = cfg.social_w > 0.0 && dataset.are_friends(pi.uid, pj.uid);
+            let d = pi.geo.fast_dist_m(&pj.geo);
+            // §7 extension: friendship relaxes the proximity gate to 2ρ.
+            let gate = if friends { 2.0 * cfg.rho_m } else { cfg.rho_m };
+            if d >= gate {
+                return None;
+            }
+            let pois = &dataset.world.pois;
+            if pois.min_distance_m(&pi.geo) >= gate || pois.min_distance_m(&pj.geo) >= gate {
+                return None;
+            }
+            let mut a = if d < cfg.rho_m {
+                (cfg.eps_d2_m / (cfg.eps_d2_m + d)) as f32
+            } else {
+                0.0
+            };
+            if friends {
+                a = (a + cfg.social_w).min(1.0);
+            }
+            (a > 0.0).then(|| weighted(a, false))
+        }
+    }
+}
+
+/// Builds the sparse affinity list over `Γ_L ∪ Γ_U` of the training split.
+pub fn build_affinity(dataset: &Dataset, cfg: &HisRectConfig) -> Vec<WeightedPair> {
+    dataset
+        .train
+        .pos_pairs
+        .iter()
+        .chain(&dataset.train.neg_pairs)
+        .chain(&dataset.train.unlabeled_pairs)
+        .filter_map(|p| affinity(dataset, cfg, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twitter_sim::{generate, SimConfig};
+
+    fn setup() -> (Dataset, HisRectConfig) {
+        (generate(&SimConfig::tiny(21)), HisRectConfig::fast())
+    }
+
+    #[test]
+    fn labeled_pairs_get_plus_minus_one() {
+        let (ds, cfg) = setup();
+        for p in &ds.train.pos_pairs {
+            let w = affinity(&ds, &cfg, p).expect("positive pairs always weighted");
+            assert_eq!(w.a, 1.0);
+            assert!(w.labeled_positive);
+        }
+        for p in ds.train.neg_pairs.iter().take(200) {
+            let w = affinity(&ds, &cfg, p).expect("negative pairs always weighted");
+            assert_eq!(w.a, -1.0);
+            assert!(!w.labeled_positive);
+        }
+    }
+
+    #[test]
+    fn unlabeled_weights_in_unit_interval_and_distance_decayed() {
+        let (ds, cfg) = setup();
+        let mut seen = 0;
+        for p in &ds.train.unlabeled_pairs {
+            if let Some(w) = affinity(&ds, &cfg, p) {
+                assert!(w.a > 0.0 && w.a <= 1.0, "a = {}", w.a);
+                seen += 1;
+                let (pi, pj) = (ds.profile(p.i), ds.profile(p.j));
+                let d = pi.geo.fast_dist_m(&pj.geo);
+                let expect = (cfg.eps_d2_m / (cfg.eps_d2_m + d)) as f32;
+                assert!((w.a - expect).abs() < 1e-6);
+            }
+        }
+        assert!(seen > 0, "some unlabeled pairs should pass the ρ filters");
+    }
+
+    #[test]
+    fn distant_unlabeled_pairs_are_dropped() {
+        let (ds, cfg) = setup();
+        for p in &ds.train.unlabeled_pairs {
+            let (pi, pj) = (ds.profile(p.i), ds.profile(p.j));
+            if pi.geo.fast_dist_m(&pj.geo) >= cfg.rho_m {
+                assert!(affinity(&ds, &cfg, p).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn affinity_is_symmetric() {
+        let (ds, cfg) = setup();
+        for p in ds
+            .train
+            .unlabeled_pairs
+            .iter()
+            .chain(&ds.train.pos_pairs)
+            .take(300)
+        {
+            let swapped = Pair {
+                i: p.j,
+                j: p.i,
+                co_label: p.co_label,
+            };
+            let a = affinity(&ds, &cfg, p).map(|w| w.a);
+            let b = affinity(&ds, &cfg, &swapped).map(|w| w.a);
+            match (a, b) {
+                (Some(x), Some(y)) => assert!((x - y).abs() < 1e-6),
+                (None, None) => {}
+                other => panic!("asymmetric drop: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn build_affinity_covers_all_labeled_pairs() {
+        let (ds, cfg) = setup();
+        let ws = build_affinity(&ds, &cfg);
+        let n_labeled = ds.train.pos_pairs.len() + ds.train.neg_pairs.len();
+        assert!(ws.len() >= n_labeled);
+        let n_pos = ws.iter().filter(|w| w.labeled_positive).count();
+        assert_eq!(n_pos, ds.train.pos_pairs.len());
+    }
+
+    #[test]
+    fn social_boost_raises_friend_pair_affinity() {
+        let ds = generate(&SimConfig::tiny(21).with_social(3.0));
+        let base_cfg = HisRectConfig::fast();
+        let social_cfg = HisRectConfig {
+            social_w: 0.4,
+            ..HisRectConfig::fast()
+        };
+        let mut boosted = 0usize;
+        for p in &ds.train.unlabeled_pairs {
+            let (pi, pj) = (ds.profile(p.i), ds.profile(p.j));
+            if !ds.are_friends(pi.uid, pj.uid) {
+                // Non-friends are untouched by the extension.
+                let a0 = affinity(&ds, &base_cfg, p).map(|w| w.a);
+                let a1 = affinity(&ds, &social_cfg, p).map(|w| w.a);
+                assert_eq!(a0, a1);
+                continue;
+            }
+            let a0 = affinity(&ds, &base_cfg, p).map(|w| w.a).unwrap_or(0.0);
+            let a1 = affinity(&ds, &social_cfg, p).map(|w| w.a).unwrap_or(0.0);
+            assert!(a1 >= a0 - 1e-6, "friend affinity must not drop");
+            if a1 > a0 {
+                boosted += 1;
+            }
+        }
+        assert!(boosted > 0, "some friend pairs should be boosted");
+    }
+
+    #[test]
+    fn tight_rho_drops_more_unlabeled_pairs() {
+        let (ds, cfg) = setup();
+        let loose = build_affinity(&ds, &cfg).len();
+        let tight = build_affinity(
+            &ds,
+            &HisRectConfig {
+                rho_m: 50.0,
+                ..cfg
+            },
+        )
+        .len();
+        assert!(tight <= loose);
+    }
+}

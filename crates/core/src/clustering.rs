@@ -1,0 +1,133 @@
+//! Group clustering by thresholded pairwise judgement (§5 end).
+//!
+//! Given N profiles, the pairwise co-location probability matrix is
+//! converted to an undirected graph (edge iff `p > threshold`) and clusters
+//! are its connected components — no cluster count required.
+
+use tensor::Matrix;
+
+/// Computes connected-component cluster labels for a symmetric `N x N`
+/// probability matrix. Labels are dense, in order of first appearance.
+pub fn cluster_by_threshold(probs: &Matrix, threshold: f32) -> Vec<usize> {
+    assert_eq!(probs.rows(), probs.cols(), "probability matrix must be square");
+    let n = probs.rows();
+    let mut labels = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if labels[start] != usize::MAX {
+            continue;
+        }
+        labels[start] = next;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            #[allow(clippy::needless_range_loop)] // v indexes both labels and probs
+            for v in 0..n {
+                if v != u
+                    && labels[v] == usize::MAX
+                    && (probs.get(u, v) > threshold || probs.get(v, u) > threshold)
+                {
+                    labels[v] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    labels
+}
+
+/// True when two labelings induce the same partition (cluster identity is
+/// irrelevant, membership structure is not).
+pub fn same_partition(a: &[usize], b: &[usize]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    for i in 0..a.len() {
+        for j in (i + 1)..a.len() {
+            if (a[i] == a[j]) != (b[i] == b[j]) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Canonical "pattern" of a partition: sorted cluster sizes, descending —
+/// e.g. the paper's `3-2` pattern is `[3, 2]` (Table 8).
+pub fn partition_pattern(labels: &[usize]) -> Vec<usize> {
+    let max = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; max];
+    for &l in labels {
+        sizes[l] += 1;
+    }
+    sizes.retain(|&s| s > 0);
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probs(n: usize, edges: &[(usize, usize)]) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for &(a, b) in edges {
+            m.set(a, b, 0.9);
+            m.set(b, a, 0.9);
+        }
+        m
+    }
+
+    #[test]
+    fn disconnected_points_get_distinct_clusters() {
+        let labels = cluster_by_threshold(&probs(4, &[]), 0.5);
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fully_connected_is_one_cluster() {
+        let labels = cluster_by_threshold(&probs(4, &[(0, 1), (0, 2), (0, 3)]), 0.5);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn transitive_closure_through_chain() {
+        // 0-1, 1-2 => {0,1,2}, {3}
+        let labels = cluster_by_threshold(&probs(4, &[(0, 1), (1, 2)]), 0.5);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_ne!(labels[3], labels[0]);
+    }
+
+    #[test]
+    fn asymmetric_entries_still_connect() {
+        let mut m = Matrix::zeros(3, 3);
+        m.set(0, 1, 0.9); // only one direction set
+        let labels = cluster_by_threshold(&m, 0.5);
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[2], labels[0]);
+    }
+
+    #[test]
+    fn threshold_controls_connectivity() {
+        let m = probs(2, &[(0, 1)]);
+        assert_eq!(cluster_by_threshold(&m, 0.95), vec![0, 1]);
+        assert_eq!(cluster_by_threshold(&m, 0.5), vec![0, 0]);
+    }
+
+    #[test]
+    fn partition_equality_ignores_label_names() {
+        assert!(same_partition(&[0, 0, 1], &[5, 5, 2]));
+        assert!(!same_partition(&[0, 0, 1], &[0, 1, 1]));
+        assert!(!same_partition(&[0], &[0, 0]));
+    }
+
+    #[test]
+    fn patterns_match_table8_notation() {
+        assert_eq!(partition_pattern(&[0, 0, 0, 0, 0]), vec![5]); // 5-0
+        assert_eq!(partition_pattern(&[0, 0, 0, 1, 1]), vec![3, 2]); // 3-2
+        assert_eq!(partition_pattern(&[0, 1, 0, 2, 0]), vec![3, 1, 1]); // 3-1-1
+        assert_eq!(partition_pattern(&[0, 0, 1, 1, 2]), vec![2, 2, 1]); // 2-2-1
+    }
+}

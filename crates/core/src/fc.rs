@@ -1,0 +1,439 @@
+//! The recent-tweet feature `Fc(r)` (§4.2): BiLSTM-C over skip-gram word
+//! vectors, plus the BLSTM and ConvLSTM ablations of Table 4.
+
+use crate::config::{ContentEncoder, HisRectConfig};
+use nn::{BiGru, BiLstm, Conv1d, ParamId, ParamStore, Tape, Var};
+use rand::Rng;
+use tensor::Matrix;
+
+/// The content-encoding subnetwork. Stateless across tapes; parameters
+/// live in the shared [`ParamStore`].
+#[derive(Debug, Clone)]
+pub struct ContentNet {
+    kind: ContentEncoder,
+    /// `Ql` stacked bidirectional LSTMs (Table 7 sweeps Ql).
+    bilstms: Vec<BiLstm>,
+    /// `Ql` stacked bidirectional GRUs (the BiGRU-C extension).
+    bigrus: Vec<BiGru>,
+    /// The 3-wide convolution of BiLSTM-C.
+    conv: Option<Conv1d>,
+    /// ConvLSTM gate convolutions (input- and state-to-state).
+    convlstm: Option<ConvLstmCell>,
+    out_dim: usize,
+    word_dim: usize,
+    keep_prob: f32,
+}
+
+impl ContentNet {
+    /// Allocates the encoder for `kind`. Returns `None` for
+    /// [`ContentEncoder::None`] (the History-only variant).
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        cfg: &HisRectConfig,
+        kind: ContentEncoder,
+        rng: &mut R,
+    ) -> Option<Self> {
+        let n = cfg.hidden_n;
+        let m = cfg.word_dim;
+        match kind {
+            ContentEncoder::None => None,
+            ContentEncoder::BiLstmC | ContentEncoder::Blstm => {
+                let mut bilstms = Vec::with_capacity(cfg.ql.max(1));
+                let mut in_dim = m;
+                for l in 0..cfg.ql.max(1) {
+                    bilstms.push(BiLstm::new(
+                        store,
+                        &format!("fc/blstm{l}"),
+                        in_dim,
+                        n,
+                        cfg.init_std,
+                        rng,
+                    ));
+                    in_dim = 2 * n;
+                }
+                let (conv, out_dim) = if kind == ContentEncoder::BiLstmC {
+                    (
+                        Some(Conv1d::new(store, "fc/conv", 3, 2 * n, n, cfg.init_std, rng)),
+                        n,
+                    )
+                } else {
+                    (None, 2 * n)
+                };
+                Some(Self {
+                    kind,
+                    bilstms,
+                    bigrus: Vec::new(),
+                    conv,
+                    convlstm: None,
+                    out_dim,
+                    word_dim: m,
+                    keep_prob: cfg.keep_prob,
+                })
+            }
+            ContentEncoder::BiGruC => {
+                let mut bigrus = Vec::with_capacity(cfg.ql.max(1));
+                let mut in_dim = m;
+                for l in 0..cfg.ql.max(1) {
+                    bigrus.push(BiGru::new(
+                        store,
+                        &format!("fc/bgru{l}"),
+                        in_dim,
+                        n,
+                        cfg.init_std,
+                        rng,
+                    ));
+                    in_dim = 2 * n;
+                }
+                Some(Self {
+                    kind,
+                    bilstms: Vec::new(),
+                    bigrus,
+                    conv: Some(Conv1d::new(store, "fc/conv", 3, 2 * n, n, cfg.init_std, rng)),
+                    convlstm: None,
+                    out_dim: n,
+                    word_dim: m,
+                    keep_prob: cfg.keep_prob,
+                })
+            }
+            ContentEncoder::ConvLstm => Some(Self {
+                kind,
+                bilstms: Vec::new(),
+                bigrus: Vec::new(),
+                conv: None,
+                convlstm: Some(ConvLstmCell::new(store, "fc/convlstm", n, cfg.init_std, rng)),
+                out_dim: n,
+                word_dim: m,
+                keep_prob: cfg.keep_prob,
+            }),
+        }
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// All trainable parameter ids.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        let mut ids: Vec<ParamId> = self
+            .bilstms
+            .iter()
+            .flat_map(BiLstm::param_ids)
+            .collect();
+        ids.extend(self.bigrus.iter().flat_map(BiGru::param_ids));
+        if let Some(conv) = &self.conv {
+            ids.extend(conv.param_ids());
+        }
+        if let Some(cl) = &self.convlstm {
+            ids.extend(cl.param_ids());
+        }
+        ids
+    }
+
+    /// Encodes a `T x M` word-vector matrix into a `1 x out_dim` feature.
+    /// `train` toggles the LSTM-layer dropout of §6.1.2.
+    pub fn forward<R: Rng>(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        words: &Matrix,
+        train: bool,
+        rng: &mut R,
+    ) -> Var {
+        assert_eq!(words.cols(), self.word_dim, "word-vector width mismatch");
+        match self.kind {
+            ContentEncoder::ConvLstm => {
+                self.convlstm
+                    .as_ref()
+                    .expect("convlstm allocated")
+                    .forward(tape, store, words)
+            }
+            _ => self.forward_blstm(tape, store, words, train, rng),
+        }
+    }
+
+    fn forward_blstm<R: Rng>(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        words: &Matrix,
+        train: bool,
+        rng: &mut R,
+    ) -> Var {
+        // Pad very short tweets so the 3-wide convolution always has a
+        // window (empty contents become all-zero rows, which the paper's
+        // `</s>`-only degenerate contents effectively are too).
+        let min_t = if self.conv.is_some() { 3 } else { 1 };
+        let t = words.rows().max(min_t);
+        let mut xs: Vec<Var> = Vec::with_capacity(t);
+        for r in 0..t {
+            let row = if r < words.rows() {
+                Matrix::from_vec(1, self.word_dim, words.row(r).to_vec())
+            } else {
+                Matrix::zeros(1, self.word_dim)
+            };
+            xs.push(tape.input(row));
+        }
+        for bi in &self.bilstms {
+            xs = bi.forward_concat(tape, store, &xs);
+        }
+        for bi in &self.bigrus {
+            xs = bi.forward_concat(tape, store, &xs);
+        }
+        let mut h = tape.stack_rows(&xs); // T x 2N
+        if train && self.keep_prob < 1.0 {
+            h = tape.dropout(h, self.keep_prob, rng);
+        }
+        match &self.conv {
+            Some(conv) => {
+                let y = conv.forward(tape, store, h); // (T-2) x N
+                let y = tape.relu(y);
+                tape.mean_over_rows(y) // 1 x N  (Eq. 3)
+            }
+            None => tape.mean_over_rows(h), // 1 x 2N
+        }
+    }
+}
+
+/// A 1-D ConvLSTM cell (Shi et al., \[58\] in the paper): the input-to-state
+/// and state-to-state transitions are convolutions over the word-vector
+/// ("spatial") axis instead of full matrix products. The recurrence runs
+/// over tweet words; the final hidden map is mean-pooled over the spatial
+/// axis to a `1 x N` feature.
+#[derive(Debug, Clone)]
+pub struct ConvLstmCell {
+    /// Input-to-state conv: kernel 3 over M rows, 1 input channel → 4N.
+    conv_x: Conv1d,
+    /// State-to-state conv: kernel 3 over M rows, N channels → 4N.
+    conv_h: Conv1d,
+    channels: usize,
+}
+
+impl ConvLstmCell {
+    fn new<R: Rng>(store: &mut ParamStore, prefix: &str, channels: usize, std: f32, rng: &mut R) -> Self {
+        Self {
+            conv_x: Conv1d::new(store, &format!("{prefix}/cx"), 3, 1, 4 * channels, std, rng),
+            conv_h: Conv1d::new(
+                store,
+                &format!("{prefix}/ch"),
+                3,
+                channels,
+                4 * channels,
+                std,
+                rng,
+            ),
+            channels,
+        }
+    }
+
+    fn param_ids(&self) -> Vec<ParamId> {
+        let mut ids = self.conv_x.param_ids();
+        ids.extend(self.conv_h.param_ids());
+        ids
+    }
+
+    /// Zero-pads one row on each side so the kernel-3 convolution keeps the
+    /// spatial extent.
+    fn pad_same(tape: &mut Tape, x: Var, cols: usize) -> Var {
+        let z1 = tape.input(Matrix::zeros(1, cols));
+        let z2 = tape.input(Matrix::zeros(1, cols));
+        tape.stack_rows(&[z1, x, z2])
+    }
+
+    fn forward(&self, tape: &mut Tape, store: &ParamStore, words: &Matrix) -> Var {
+        let m = words.cols(); // spatial extent = word-vector dimensionality
+        let n = self.channels;
+        let mut h = tape.input(Matrix::zeros(m, n));
+        let mut c = tape.input(Matrix::zeros(m, n));
+        let steps = words.rows().max(1);
+        for t in 0..steps {
+            // x_t reshaped to an M x 1 single-channel spatial map.
+            let xt = if t < words.rows() {
+                Matrix::from_fn(m, 1, |r, _| words.get(t, r))
+            } else {
+                Matrix::zeros(m, 1)
+            };
+            let xt = tape.input(xt);
+            let xp = Self::pad_same(tape, xt, 1);
+            let hp = Self::pad_same(tape, h, n);
+            let gx = self.conv_x.forward(tape, store, xp); // M x 4N
+            let gh = self.conv_h.forward(tape, store, hp); // M x 4N
+            let gates = tape.add(gx, gh);
+            let i_raw = tape.slice_cols(gates, 0, n);
+            let f_raw = tape.slice_cols(gates, n, n);
+            let g_raw = tape.slice_cols(gates, 2 * n, n);
+            let o_raw = tape.slice_cols(gates, 3 * n, n);
+            let i = tape.sigmoid(i_raw);
+            let f = tape.sigmoid(f_raw);
+            let g = tape.tanh(g_raw);
+            let o = tape.sigmoid(o_raw);
+            let fc = tape.mul(f, c);
+            let ig = tape.mul(i, g);
+            c = tape.add(fc, ig);
+            let tc = tape.tanh(c);
+            h = tape.mul(o, tc);
+        }
+        tape.mean_over_rows(h) // 1 x N
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::randn;
+
+    fn cfg() -> HisRectConfig {
+        HisRectConfig {
+            word_dim: 8,
+            hidden_n: 6,
+            ql: 1,
+            ..HisRectConfig::fast()
+        }
+    }
+
+    fn words(t: usize, seed: u64) -> Matrix {
+        randn(&mut StdRng::seed_from_u64(seed), t, 8, 1.0)
+    }
+
+    #[test]
+    fn bilstm_c_output_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = ContentNet::new(&mut store, &cfg(), ContentEncoder::BiLstmC, &mut rng).unwrap();
+        assert_eq!(net.out_dim(), 6);
+        let mut tape = Tape::new();
+        let f = net.forward(&mut tape, &store, &words(10, 1), false, &mut rng);
+        assert_eq!(tape.value(f).shape(), (1, 6));
+    }
+
+    #[test]
+    fn blstm_output_is_twice_hidden() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = ContentNet::new(&mut store, &cfg(), ContentEncoder::Blstm, &mut rng).unwrap();
+        assert_eq!(net.out_dim(), 12);
+        let mut tape = Tape::new();
+        let f = net.forward(&mut tape, &store, &words(5, 2), false, &mut rng);
+        assert_eq!(tape.value(f).shape(), (1, 12));
+    }
+
+    #[test]
+    fn convlstm_output_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = ContentNet::new(&mut store, &cfg(), ContentEncoder::ConvLstm, &mut rng).unwrap();
+        assert_eq!(net.out_dim(), 6);
+        let mut tape = Tape::new();
+        let f = net.forward(&mut tape, &store, &words(4, 3), false, &mut rng);
+        assert_eq!(tape.value(f).shape(), (1, 6));
+    }
+
+    #[test]
+    fn bigru_c_output_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = ContentNet::new(&mut store, &cfg(), ContentEncoder::BiGruC, &mut rng).unwrap();
+        assert_eq!(net.out_dim(), 6);
+        let mut tape = Tape::new();
+        let f = net.forward(&mut tape, &store, &words(9, 4), false, &mut rng);
+        assert_eq!(tape.value(f).shape(), (1, 6));
+        assert!(!tape.value(f).has_non_finite());
+    }
+
+    #[test]
+    fn none_encoder_returns_none() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(ContentNet::new(&mut store, &cfg(), ContentEncoder::None, &mut rng).is_none());
+    }
+
+    #[test]
+    fn short_and_empty_tweets_are_padded() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = ContentNet::new(&mut store, &cfg(), ContentEncoder::BiLstmC, &mut rng).unwrap();
+        for t in [0usize, 1, 2] {
+            let mut tape = Tape::new();
+            let w = Matrix::zeros(t, 8);
+            let f = net.forward(&mut tape, &store, &w, false, &mut rng);
+            assert_eq!(tape.value(f).shape(), (1, 6), "t = {t}");
+            assert!(!tape.value(f).has_non_finite());
+        }
+    }
+
+    #[test]
+    fn stacked_bilstm_layers() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = HisRectConfig {
+            ql: 3,
+            ..cfg()
+        };
+        let net = ContentNet::new(&mut store, &c, ContentEncoder::BiLstmC, &mut rng).unwrap();
+        assert_eq!(net.bilstms.len(), 3);
+        let mut tape = Tape::new();
+        let f = net.forward(&mut tape, &store, &words(6, 5), false, &mut rng);
+        assert_eq!(tape.value(f).shape(), (1, 6));
+    }
+
+    #[test]
+    fn content_changes_feature() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = ContentNet::new(&mut store, &cfg(), ContentEncoder::BiLstmC, &mut rng).unwrap();
+        let mut t1 = Tape::new();
+        let f1 = net.forward(&mut t1, &store, &words(6, 7), false, &mut rng);
+        let mut t2 = Tape::new();
+        let f2 = net.forward(&mut t2, &store, &words(6, 8), false, &mut rng);
+        assert!(!t1.value(f1).approx_eq(t2.value(f2), 1e-6));
+    }
+
+    #[test]
+    fn eval_forward_is_deterministic() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = ContentNet::new(&mut store, &cfg(), ContentEncoder::BiLstmC, &mut rng).unwrap();
+        let w = words(7, 9);
+        let run = |rng: &mut StdRng| {
+            let mut tape = Tape::new();
+            let f = net.forward(&mut tape, &store, &w, false, rng);
+            tape.value(f).clone()
+        };
+        let a = run(&mut StdRng::seed_from_u64(1));
+        let b = run(&mut StdRng::seed_from_u64(2));
+        assert!(a.approx_eq(&b, 0.0), "eval mode must ignore the rng");
+    }
+
+    #[test]
+    fn gradients_flow_to_all_params() {
+        for kind in [
+            ContentEncoder::BiLstmC,
+            ContentEncoder::Blstm,
+            ContentEncoder::ConvLstm,
+            ContentEncoder::BiGruC,
+        ] {
+            let mut store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(0);
+            let net = ContentNet::new(&mut store, &cfg(), kind, &mut rng).unwrap();
+            let mut tape = Tape::new();
+            let f = net.forward(&mut tape, &store, &words(5, 11), false, &mut rng);
+            let sq = tape.mul(f, f);
+            let loss = tape.sum_all(sq);
+            tape.backward(loss, &mut store);
+            let live = net
+                .param_ids()
+                .iter()
+                .filter(|&&id| store.get(id).grad.max_abs() > 0.0)
+                .count();
+            // Biases of gates can occasionally have zero grad; the vast
+            // majority of parameters must receive gradient.
+            assert!(
+                live * 10 >= net.param_ids().len() * 8,
+                "{kind:?}: only {live}/{} params got gradient",
+                net.param_ids().len()
+            );
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The combined HisRect featurizer `F(r)` (§4.3):
+//! `F(r) = h_Qf(...h_1([Fv(r), Fc(r)]))`.
+
+use crate::config::{ContentEncoder, HisRectConfig, HistoryEncoder};
+use crate::fc::ContentNet;
+use nn::{FeedForward, ParamId, ParamStore, Tape, Var};
+use rand::Rng;
+use tensor::Matrix;
+
+/// Precomputed per-profile model inputs: the CPU-side `Fv` vector and the
+/// word-vector matrix of the recent tweet.
+#[derive(Debug, Clone)]
+pub struct ProfileInput {
+    /// `Fv(r)` (or its one-hot variant), length `|P|`; empty when the
+    /// history encoder is `None`.
+    pub fv: Vec<f32>,
+    /// `T x M` word vectors of `r.content`; zero-row matrix allowed.
+    pub words: Matrix,
+}
+
+impl ProfileInput {
+    /// Copy with the visit history blanked (uniform `Fv`), for the
+    /// HisRect\H ablation of Table 5.
+    pub fn without_history(&self) -> Self {
+        let n = self.fv.len();
+        let fv = if n == 0 {
+            Vec::new()
+        } else {
+            vec![1.0 / (n as f32).sqrt(); n]
+        };
+        Self {
+            fv,
+            words: self.words.clone(),
+        }
+    }
+
+    /// Copy with the tweet content blanked (every word replaced by the
+    /// `</s>` vector — here the zero vector), for the HisRect\T ablation.
+    pub fn without_content(&self) -> Self {
+        Self {
+            fv: self.fv.clone(),
+            words: Matrix::zeros(self.words.rows(), self.words.cols()),
+        }
+    }
+}
+
+/// The trainable featurizer `F`.
+#[derive(Debug, Clone)]
+pub struct Featurizer {
+    /// Which history encoding this featurizer was built with.
+    pub history: HistoryEncoder,
+    content: Option<ContentNet>,
+    /// The `Qf`-layer head over `[Fv | Fc]`.
+    head: FeedForward,
+    fv_dim: usize,
+    keep_prob: f32,
+}
+
+impl Featurizer {
+    /// Allocates the featurizer for a POI universe of size `n_pois`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        cfg: &HisRectConfig,
+        history: HistoryEncoder,
+        content: ContentEncoder,
+        n_pois: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            history != HistoryEncoder::None || content != ContentEncoder::None,
+            "featurizer needs at least one input source"
+        );
+        let content = ContentNet::new(store, cfg, content, rng);
+        let fv_dim = if history == HistoryEncoder::None {
+            0
+        } else {
+            n_pois
+        };
+        let fc_dim = content.as_ref().map_or(0, ContentNet::out_dim);
+        let mut dims = vec![fv_dim + fc_dim];
+        dims.extend(std::iter::repeat_n(cfg.feat_dim, cfg.qf.max(1)));
+        // §4.3: every layer of the head is followed by a ReLU.
+        let head = FeedForward::new(store, "featurizer/head", &dims, true, cfg.init_std, rng);
+        Self {
+            history,
+            content,
+            head,
+            fv_dim,
+            keep_prob: cfg.keep_prob,
+        }
+    }
+
+    /// Output dimensionality of `F(r)`.
+    pub fn feat_dim(&self) -> usize {
+        self.head.out_dim()
+    }
+
+    /// Width expected for [`ProfileInput::fv`].
+    pub fn fv_dim(&self) -> usize {
+        self.fv_dim
+    }
+
+    /// All trainable ids (Θ_F).
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        let mut ids = self
+            .content
+            .as_ref()
+            .map(ContentNet::param_ids)
+            .unwrap_or_default();
+        ids.extend(self.head.param_ids());
+        ids
+    }
+
+    /// Featurizes a batch of profiles into a `B x feat_dim` node.
+    ///
+    /// The recurrent part runs per profile (tweets have ragged lengths);
+    /// the head runs batched.
+    pub fn forward_batch<R: Rng>(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        inputs: &[&ProfileInput],
+        train: bool,
+        rng: &mut R,
+    ) -> Var {
+        assert!(!inputs.is_empty(), "empty featurizer batch");
+        let mut rows: Vec<Var> = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let mut parts: Vec<Var> = Vec::with_capacity(2);
+            if self.fv_dim > 0 {
+                assert_eq!(input.fv.len(), self.fv_dim, "Fv width mismatch");
+                parts.push(tape.input(Matrix::row_vector(&input.fv)));
+            }
+            if let Some(content) = &self.content {
+                parts.push(content.forward(tape, store, &input.words, train, rng));
+            }
+            let row = match parts.len() {
+                1 => parts[0],
+                _ => tape.concat_cols(parts[0], parts[1]),
+            };
+            rows.push(row);
+        }
+        let x = tape.stack_rows(&rows); // B x (fv_dim + fc_dim)
+        if train && self.keep_prob < 1.0 {
+            self.head.forward_dropout(tape, store, x, self.keep_prob, rng)
+        } else {
+            self.head.forward(tape, store, x)
+        }
+    }
+
+    /// Evaluation-mode features as a plain matrix (`B x feat_dim`).
+    pub fn features(&self, store: &ParamStore, inputs: &[&ProfileInput]) -> Matrix {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut tape = Tape::new();
+        let f = self.forward_batch(&mut tape, store, inputs, false, &mut rng);
+        tape.value(f).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::randn;
+
+    fn cfg() -> HisRectConfig {
+        HisRectConfig {
+            word_dim: 8,
+            hidden_n: 6,
+            feat_dim: 10,
+            qf: 2,
+            ..HisRectConfig::fast()
+        }
+    }
+
+    fn input(seed: u64, n_pois: usize, t: usize) -> ProfileInput {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fv: Vec<f32> = (0..n_pois).map(|_| rng.gen_range(0.0..1.0)).collect();
+        ProfileInput {
+            fv,
+            words: randn(&mut rng, t, 8, 1.0),
+        }
+    }
+
+    #[test]
+    fn full_featurizer_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = Featurizer::new(
+            &mut store,
+            &cfg(),
+            HistoryEncoder::Rect,
+            ContentEncoder::BiLstmC,
+            5,
+            &mut rng,
+        );
+        assert_eq!(f.feat_dim(), 10);
+        let ins = [input(1, 5, 6), input(2, 5, 3)];
+        let refs: Vec<&ProfileInput> = ins.iter().collect();
+        let m = f.features(&store, &refs);
+        assert_eq!(m.shape(), (2, 10));
+        assert!(!m.has_non_finite());
+    }
+
+    #[test]
+    fn history_only_ignores_words() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = Featurizer::new(
+            &mut store,
+            &cfg(),
+            HistoryEncoder::Rect,
+            ContentEncoder::None,
+            5,
+            &mut rng,
+        );
+        let a = input(1, 5, 6);
+        let mut b = a.clone();
+        b.words = randn(&mut rng, 4, 8, 1.0);
+        let fa = f.features(&store, &[&a]);
+        let fb = f.features(&store, &[&b]);
+        assert!(fa.approx_eq(&fb, 0.0));
+    }
+
+    #[test]
+    fn tweet_only_ignores_fv() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = Featurizer::new(
+            &mut store,
+            &cfg(),
+            HistoryEncoder::None,
+            ContentEncoder::BiLstmC,
+            5,
+            &mut rng,
+        );
+        assert_eq!(f.fv_dim(), 0);
+        let a = input(1, 0, 6);
+        let m = f.features(&store, &[&a]);
+        assert_eq!(m.shape(), (1, 10));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_double_none() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Featurizer::new(
+            &mut store,
+            &cfg(),
+            HistoryEncoder::None,
+            ContentEncoder::None,
+            5,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn ablations_blank_the_right_part() {
+        let a = input(3, 4, 5);
+        let no_h = a.without_history();
+        assert_eq!(no_h.words, a.words);
+        assert!(no_h.fv.iter().all(|&x| (x - no_h.fv[0]).abs() < 1e-7));
+        let no_t = a.without_content();
+        assert_eq!(no_t.fv, a.fv);
+        assert_eq!(no_t.words.sum(), 0.0);
+    }
+
+    #[test]
+    fn gradients_reach_head_and_content() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = Featurizer::new(
+            &mut store,
+            &cfg(),
+            HistoryEncoder::Rect,
+            ContentEncoder::BiLstmC,
+            4,
+            &mut rng,
+        );
+        let ins = [input(5, 4, 5)];
+        let refs: Vec<&ProfileInput> = ins.iter().collect();
+        let mut tape = Tape::new();
+        let out = f.forward_batch(&mut tape, &store, &refs, false, &mut rng);
+        let sq = tape.mul(out, out);
+        let loss = tape.sum_all(sq);
+        tape.backward(loss, &mut store);
+        let live = f
+            .param_ids()
+            .iter()
+            .filter(|&&id| store.get(id).grad.max_abs() > 0.0)
+            .count();
+        assert!(live > f.param_ids().len() / 2, "{live} live params");
+    }
+
+    #[test]
+    fn batch_matches_single(){
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = Featurizer::new(
+            &mut store,
+            &cfg(),
+            HistoryEncoder::Rect,
+            ContentEncoder::BiLstmC,
+            4,
+            &mut rng,
+        );
+        let a = input(7, 4, 4);
+        let b = input(8, 4, 6);
+        let batch = f.features(&store, &[&a, &b]);
+        let fa = f.features(&store, &[&a]);
+        let fb = f.features(&store, &[&b]);
+        assert!(Matrix::from_vec(1, 10, batch.row(0).to_vec()).approx_eq(&fa, 1e-5));
+        assert!(Matrix::from_vec(1, 10, batch.row(1).to_vec()).approx_eq(&fb, 1e-5));
+    }
+}

@@ -1,0 +1,196 @@
+//! The historical-visit feature `Fv(r)` (§4.1, Eq. 1–2) and its one-hot
+//! ablation.
+
+use geo::PoiSet;
+use twitter_sim::{Profile, Visit};
+
+/// Computes Eq. 1: the spatial relevance vector
+/// `w(v) = [εd/(εd + d(v, p_1)), ..., εd/(εd + d(v, p_|P|))]`.
+pub fn visit_relevance(visit: &Visit, pois: &PoiSet, eps_d_m: f64) -> Vec<f32> {
+    pois.center_distances_m(&visit.point)
+        .into_iter()
+        .map(|d| (eps_d_m / (eps_d_m + d)) as f32)
+        .collect()
+}
+
+/// Computes Eq. 2:
+/// `Fv(r) = ℓ2-norm( Σ_v  εt/(εt + r.ts − v.ts) · w(v) )`.
+///
+/// Profiles with no history get the uniform vector `ℓ2-norm([1, ..., 1])`
+/// (§4.1), so timelines without POI tweets still featurize.
+pub fn fv_feature(profile: &Profile, pois: &PoiSet, eps_d_m: f64, eps_t_s: f64) -> Vec<f32> {
+    let n = pois.len();
+    if profile.visits.is_empty() {
+        let u = 1.0 / (n as f32).sqrt();
+        return vec![u; n];
+    }
+    let mut acc = vec![0.0f32; n];
+    for v in &profile.visits {
+        let age = (profile.ts - v.ts).max(0) as f64;
+        let recency = (eps_t_s / (eps_t_s + age)) as f32;
+        for (a, w) in acc.iter_mut().zip(visit_relevance(v, pois, eps_d_m)) {
+            *a += recency * w;
+        }
+    }
+    l2_normalize(&mut acc);
+    acc
+}
+
+/// The §4.1 strawman the paper compares against (Table 4 "One-hot" row):
+/// a binary indicator per POI of whether any historical visit fell inside
+/// that POI, ℓ2-normalized. Visits outside every POI contribute nothing —
+/// exactly the weakness Eq. 1–2 fixes.
+pub fn one_hot_feature(profile: &Profile, pois: &PoiSet) -> Vec<f32> {
+    let n = pois.len();
+    let mut acc = vec![0.0f32; n];
+    let mut any = false;
+    for v in &profile.visits {
+        if let Some(pid) = pois.containing(&v.point) {
+            acc[pid as usize] = 1.0;
+            any = true;
+        }
+    }
+    if !any {
+        let u = 1.0 / (n as f32).sqrt();
+        return vec![u; n];
+    }
+    l2_normalize(&mut acc);
+    acc
+}
+
+fn l2_normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 1e-12 {
+        for x in v {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo::{GeoPoint, Poi, Polygon};
+
+    fn pois() -> PoiSet {
+        let base = GeoPoint::new(40.75, -73.99);
+        let mk = |dx: f64, dy: f64| Poi {
+            id: 0,
+            name: String::new(),
+            polygon: Polygon::regular(base.offset_m(dx, dy), 100.0, 8, 0.0),
+        };
+        PoiSet::new(vec![mk(0.0, 0.0), mk(2000.0, 0.0), mk(8000.0, 0.0)])
+    }
+
+    fn base() -> GeoPoint {
+        GeoPoint::new(40.75, -73.99)
+    }
+
+    fn profile(ts: i64, visits: Vec<Visit>) -> Profile {
+        Profile {
+            uid: 0,
+            ts,
+            tokens: vec![],
+            geo: base(),
+            visits,
+            pid: None,
+        }
+    }
+
+    #[test]
+    fn relevance_decays_with_distance() {
+        let v = Visit {
+            ts: 0,
+            point: base(),
+        };
+        let w = visit_relevance(&v, &pois(), 1000.0);
+        assert_eq!(w.len(), 3);
+        assert!(w[0] > w[1] && w[1] > w[2]);
+        // At the POI center: εd/(εd+0) = 1.
+        assert!((w[0] - 1.0).abs() < 0.01);
+        // 2000 m away: 1000/3000.
+        assert!((w[1] - 1.0 / 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_history_gives_uniform_unit_vector() {
+        let f = fv_feature(&profile(100, vec![]), &pois(), 1000.0, 86_400.0);
+        assert!(f.iter().all(|&x| (x - f[0]).abs() < 1e-7));
+        let norm: f32 = f.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn output_is_unit_norm() {
+        let visits = vec![
+            Visit { ts: 0, point: base() },
+            Visit {
+                ts: 50,
+                point: base().offset_m(2000.0, 0.0),
+            },
+        ];
+        let f = fv_feature(&profile(100, visits), &pois(), 1000.0, 86_400.0);
+        let norm: f32 = f.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn recent_visits_dominate_old_ones() {
+        // Visit near POI 0 long ago, near POI 1 just now.
+        let day = 86_400;
+        let visits = vec![
+            Visit {
+                ts: 0,
+                point: base(),
+            },
+            Visit {
+                ts: 10 * day - 60,
+                point: base().offset_m(2000.0, 0.0),
+            },
+        ];
+        let f = fv_feature(&profile(10 * day, visits), &pois(), 1000.0, day as f64);
+        assert!(
+            f[1] > f[0],
+            "recent visit near POI 1 must outweigh old visit near POI 0: {f:?}"
+        );
+    }
+
+    #[test]
+    fn visits_near_poi_raise_its_weight() {
+        let visits = vec![Visit { ts: 0, point: base() }];
+        let f = fv_feature(&profile(100, visits), &pois(), 1000.0, 86_400.0);
+        assert!(f[0] > f[1] && f[0] > f[2], "{f:?}");
+    }
+
+    #[test]
+    fn off_poi_visits_still_inform_fv_but_not_one_hot() {
+        // A visit 500 m from POI 0's center is outside its polygon.
+        let visits = vec![Visit {
+            ts: 0,
+            point: base().offset_m(500.0, 0.0),
+        }];
+        let p = profile(100, visits);
+        let set = pois();
+        let fv = fv_feature(&p, &set, 1000.0, 86_400.0);
+        assert!(fv[0] > fv[2], "fv should still prefer the nearby POI");
+        let oh = one_hot_feature(&p, &set);
+        // One-hot sees no in-POI visit and falls back to uniform.
+        assert!((oh[0] - oh[2]).abs() < 1e-7);
+    }
+
+    #[test]
+    fn one_hot_marks_contained_visits() {
+        let visits = vec![
+            Visit { ts: 0, point: base() },
+            Visit {
+                ts: 1,
+                point: base().offset_m(2000.0, 0.0),
+            },
+        ];
+        let oh = one_hot_feature(&profile(10, visits), &pois());
+        assert!(oh[0] > 0.0 && oh[1] > 0.0);
+        assert_eq!(oh[2], 0.0);
+        let norm: f32 = oh.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,285 @@
+//! HisRect-based co-location judgement (§5).
+//!
+//! The judge embeds the two HisRect features with `E′`, feeds the
+//! element-wise absolute difference into the classifier `C`, and reads the
+//! co-location probability off a logistic output:
+//! `p_co = σ(C(|E′(F(ri)) − E′(F(rj))|))`.
+
+use crate::config::HisRectConfig;
+use nn::{Adam, AdamConfig, FeedForward, ParamId, ParamStore, Tape, Var};
+use rand::rngs::StdRng;
+use rand::Rng;
+use tensor::Matrix;
+
+/// The judge networks `E′` and `C`.
+#[derive(Debug, Clone)]
+pub struct Judge {
+    /// `E′`: feature embedding (Qe' fully-connected layers).
+    pub e2: FeedForward,
+    /// `C`: classifier over the embedding difference (Qc layers → 1 logit).
+    pub c: FeedForward,
+}
+
+impl Judge {
+    /// Allocates `E′` and `C` for features of width `feat_dim`.
+    pub fn new(store: &mut ParamStore, cfg: &HisRectConfig, feat_dim: usize, rng: &mut StdRng) -> Self {
+        let mut edims = vec![feat_dim];
+        edims.extend(std::iter::repeat_n(cfg.embed_dim, cfg.qe2.max(1)));
+        let e2 = FeedForward::new(store, "judge/e2", &edims, false, cfg.init_std, rng);
+        let mut cdims = vec![cfg.embed_dim];
+        cdims.extend(std::iter::repeat_n(cfg.embed_dim, cfg.qc.max(1).saturating_sub(1)));
+        cdims.push(1);
+        let c = FeedForward::new(store, "judge/c", &cdims, false, cfg.init_std, rng);
+        Self { e2, c }
+    }
+
+    /// Θ_E′ ∪ Θ_C.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        let mut ids = self.e2.param_ids();
+        ids.extend(self.c.param_ids());
+        ids
+    }
+
+    /// Builds the logit node for batched feature pairs (`B x feat_dim`
+    /// each) → `B x 1`.
+    pub fn forward_logits(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        fi: Var,
+        fj: Var,
+    ) -> Var {
+        let ei = self.e2.forward(tape, store, fi);
+        let ej = self.e2.forward(tape, store, fj);
+        let diff = tape.abs_diff(ei, ej);
+        self.c.forward(tape, store, diff)
+    }
+
+    /// Co-location probabilities for batched cached features.
+    pub fn predict_batch(&self, store: &ParamStore, fi: &Matrix, fj: &Matrix) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let a = tape.input(fi.clone());
+        let b = tape.input(fj.clone());
+        let logits = self.forward_logits(&mut tape, store, a, b);
+        tape.value(logits)
+            .as_slice()
+            .iter()
+            .map(|&z| 1.0 / (1.0 + (-z).exp()))
+            .collect()
+    }
+
+    /// Single-pair convenience over row-vector features.
+    pub fn predict(&self, store: &ParamStore, fi: &[f32], fj: &[f32]) -> f32 {
+        self.predict_batch(
+            store,
+            &Matrix::row_vector(fi),
+            &Matrix::row_vector(fj),
+        )[0]
+    }
+}
+
+/// A training pair over cached features.
+#[derive(Debug, Clone, Copy)]
+pub struct FeaturePair<'a> {
+    /// Cached HisRect feature of the first profile.
+    pub fi: &'a [f32],
+    /// Cached HisRect feature of the second profile.
+    pub fj: &'a [f32],
+    /// True when the pair is co-located.
+    pub label: bool,
+}
+
+/// Trains `E′` and `C` on labeled pairs with the featurizer frozen: the
+/// caller passes *cached* features, so no gradient can reach Θ_F, exactly
+/// matching §5 ("the parameters Θ_F of F are fixed at this stage").
+/// Returns the per-iteration loss trace.
+pub fn train_judge(
+    judge: &Judge,
+    store: &mut ParamStore,
+    positives: &[FeaturePair<'_>],
+    negatives: &[FeaturePair<'_>],
+    cfg: &HisRectConfig,
+    rng: &mut StdRng,
+) -> Vec<f32> {
+    assert!(!positives.is_empty(), "need positive pairs");
+    assert!(!negatives.is_empty(), "need negative pairs");
+    let mut adam = Adam::new(
+        store,
+        judge.param_ids(),
+        AdamConfig {
+            lr: cfg.lr,
+            ..AdamConfig::default()
+        },
+    );
+    // §6.1.2 subsampling: negatives weighted down to `neg_subsample`.
+    let eff_pos = positives.len() as f64;
+    let eff_neg = negatives.len() as f64 * cfg.neg_subsample;
+    let p_pos = eff_pos / (eff_pos + eff_neg);
+
+    let feat_dim = positives[0].fi.len();
+    let mut losses = Vec::with_capacity(cfg.judge_iters);
+    for _ in 0..cfg.judge_iters {
+        let batch: Vec<&FeaturePair<'_>> = (0..cfg.batch)
+            .map(|_| {
+                if rng.gen::<f64>() < p_pos {
+                    &positives[rng.gen_range(0..positives.len())]
+                } else {
+                    &negatives[rng.gen_range(0..negatives.len())]
+                }
+            })
+            .collect();
+        let fi = Matrix::from_fn(batch.len(), feat_dim, |r, c| batch[r].fi[c]);
+        let fj = Matrix::from_fn(batch.len(), feat_dim, |r, c| batch[r].fj[c]);
+        let labels = Matrix::from_fn(batch.len(), 1, |r, _| batch[r].label as u8 as f32);
+        let mut tape = Tape::new();
+        let a = tape.input(fi);
+        let b = tape.input(fj);
+        let logits = judge.forward_logits(&mut tape, store, a, b);
+        let loss = tape.bce_with_logits(logits, labels);
+        losses.push(tape.backward(loss, store));
+        adam.step(store);
+    }
+    losses
+}
+
+/// The naive `Comp2Loc` judge (§5): run the POI classifier on both
+/// profiles and call them co-located iff the argmax POIs agree.
+pub fn comp2loc(poi_probs_i: &[f32], poi_probs_j: &[f32]) -> bool {
+    argmax(poi_probs_i) == argmax(poi_probs_j)
+}
+
+/// Index of the maximum element (ties resolve to the first).
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn cfg() -> HisRectConfig {
+        HisRectConfig {
+            embed_dim: 8,
+            judge_iters: 400,
+            batch: 16,
+            ..HisRectConfig::fast()
+        }
+    }
+
+    /// Features live on two clusters; same-cluster pairs are co-located.
+    #[allow(clippy::type_complexity)]
+    fn toy_pairs(rng: &mut StdRng) -> (Vec<Vec<f32>>, Vec<(usize, usize, bool)>) {
+        let mut feats = Vec::new();
+        for k in 0..40 {
+            let cluster = k % 2;
+            let base = if cluster == 0 { 1.0 } else { -1.0 };
+            let f: Vec<f32> = (0..6)
+                .map(|d| base * (1.0 + d as f32 * 0.1) + rng.gen_range(-0.05..0.05))
+                .collect();
+            feats.push(f);
+        }
+        let mut pairs = Vec::new();
+        for a in 0..feats.len() {
+            for b in (a + 1)..feats.len() {
+                pairs.push((a, b, a % 2 == b % 2));
+            }
+        }
+        (feats, pairs)
+    }
+
+    #[test]
+    fn judge_learns_toy_co_location() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (feats, pairs) = toy_pairs(&mut rng);
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let judge = Judge::new(&mut store, &cfg, 6, &mut rng);
+        let mk = |&(a, b, label): &(usize, usize, bool)| FeaturePair {
+            fi: &feats[a],
+            fj: &feats[b],
+            label,
+        };
+        let positives: Vec<_> = pairs.iter().filter(|p| p.2).map(mk).collect();
+        let negatives: Vec<_> = pairs.iter().filter(|p| !p.2).map(mk).collect();
+        let losses = train_judge(&judge, &mut store, &positives, &negatives, &cfg, &mut rng);
+        assert!(losses.last().unwrap() < &0.2, "final loss {:?}", losses.last());
+
+        let mut correct = 0usize;
+        for (a, b, label) in &pairs {
+            let p = judge.predict(&store, &feats[*a], &feats[*b]);
+            if (p > 0.5) == *label {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / pairs.len() as f64;
+        assert!(acc > 0.9, "acc = {acc}");
+    }
+
+    #[test]
+    fn judge_is_symmetric_in_its_inputs() {
+        // |e_i - e_j| is symmetric, so p(i,j) == p(j,i) exactly.
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let judge = Judge::new(&mut store, &cfg, 6, &mut rng);
+        let a: Vec<f32> = (0..6).map(|i| i as f32 * 0.3 - 1.0).collect();
+        let b: Vec<f32> = (0..6).map(|i| 1.0 - i as f32 * 0.2).collect();
+        let pij = judge.predict(&store, &a, &b);
+        let pji = judge.predict(&store, &b, &a);
+        assert!((pij - pji).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identical_features_after_training_look_colocated() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (feats, pairs) = toy_pairs(&mut rng);
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let judge = Judge::new(&mut store, &cfg, 6, &mut rng);
+        let mk = |&(a, b, label): &(usize, usize, bool)| FeaturePair {
+            fi: &feats[a],
+            fj: &feats[b],
+            label,
+        };
+        let positives: Vec<_> = pairs.iter().filter(|p| p.2).map(mk).collect();
+        let negatives: Vec<_> = pairs.iter().filter(|p| !p.2).map(mk).collect();
+        train_judge(&judge, &mut store, &positives, &negatives, &cfg, &mut rng);
+        let p = judge.predict(&store, &feats[0], &feats[0]);
+        assert!(p > 0.5, "identical features must judge co-located, p = {p}");
+    }
+
+    #[test]
+    fn comp2loc_matches_argmax_equality() {
+        assert!(comp2loc(&[0.1, 0.8, 0.1], &[0.2, 0.7, 0.1]));
+        assert!(!comp2loc(&[0.8, 0.1, 0.1], &[0.1, 0.8, 0.1]));
+    }
+
+    #[test]
+    fn argmax_tie_breaks_to_first() {
+        assert_eq!(argmax(&[0.5, 0.5, 0.1]), 0);
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn predict_batch_matches_single() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let judge = Judge::new(&mut store, &cfg, 4, &mut rng);
+        let f1 = vec![0.1, -0.4, 0.9, 0.0];
+        let f2 = vec![1.0, 0.5, -0.2, 0.3];
+        let f3 = vec![-0.9, 0.1, 0.2, 0.8];
+        let fi = Matrix::from_vec(2, 4, [f1.clone(), f3.clone()].concat());
+        let fj = Matrix::from_vec(2, 4, [f2.clone(), f2.clone()].concat());
+        let batch = judge.predict_batch(&store, &fi, &fj);
+        assert!((batch[0] - judge.predict(&store, &f1, &f2)).abs() < 1e-6);
+        assert!((batch[1] - judge.predict(&store, &f3, &f2)).abs() < 1e-6);
+    }
+}

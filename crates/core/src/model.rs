@@ -1,0 +1,604 @@
+//! End-to-end model: skip-gram pretraining, featurizer training
+//! (Algorithm 1 or its ablations), judge training, and inference APIs.
+
+use crate::affinity::build_affinity;
+use crate::config::{ApproachSpec, HistoryEncoder, TrainMode};
+use crate::featurizer::{Featurizer, ProfileInput};
+use crate::fv::{fv_feature, one_hot_feature};
+use crate::judge::{comp2loc, train_judge, FeaturePair, Judge};
+use crate::ssl::{train_featurizer_with_validation, SslNets, SslStats};
+use nn::params::ParamSnapshot;
+use nn::{Adam, AdamConfig, ParamStore, Tape};
+use serde::{Deserialize, Serialize};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use tensor::Matrix;
+use text::{SkipGram, SkipGramConfig, Vocab};
+use twitter_sim::{Dataset, Profile, ProfileIdx};
+
+/// Input ablations for the Table 5 experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ablation {
+    /// HisRect\H: blank the visit history.
+    pub drop_history: bool,
+    /// HisRect\T: blank the tweet content.
+    pub drop_content: bool,
+}
+
+/// Everything needed to reconstruct a trained [`HisRectModel`].
+#[derive(Serialize, Deserialize)]
+pub struct ModelSnapshot {
+    /// Architecture + training spec the model was built from.
+    pub spec: ApproachSpec,
+    /// Size of the POI universe.
+    pub n_pois: usize,
+    /// Trained vocabulary.
+    pub vocab: Vocab,
+    /// Trained word vectors.
+    pub skipgram: SkipGram,
+    /// All network parameter values, keyed by name.
+    pub params: ParamSnapshot,
+}
+
+/// A trained HisRect system (featurizer + POI classifier + judge).
+pub struct HisRectModel {
+    /// The approach this model implements.
+    pub spec: ApproachSpec,
+    /// Size of the POI universe the model was trained against.
+    n_pois: usize,
+    store: ParamStore,
+    vocab: Vocab,
+    skipgram: SkipGram,
+    featurizer: Featurizer,
+    nets: SslNets,
+    judge: Judge,
+    /// Loss traces from featurizer training.
+    pub ssl_stats: SslStats,
+    /// Loss trace from judge training (empty for One-phase, whose joint
+    /// losses land in `one_phase_losses`).
+    pub judge_losses: Vec<f32>,
+    /// Joint-loss trace for the One-phase variant.
+    pub one_phase_losses: Vec<f32>,
+}
+
+impl HisRectModel {
+    /// Trains the full system for `spec` on the dataset's training split.
+    pub fn train(dataset: &Dataset, spec: &ApproachSpec, seed: u64) -> Self {
+        let cfg = &spec.config;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // 1. Word vectors over C_train (§4.2). The skip-gram corpus and the
+        //    vocabulary are shared by every content encoder.
+        let vocab = Vocab::build(dataset.train_docs.iter().map(|d| d.as_slice()), 10);
+        let mut skipgram = SkipGram::new(
+            &vocab,
+            SkipGramConfig {
+                dim: cfg.word_dim,
+                ..SkipGramConfig::default()
+            },
+            &mut rng,
+        );
+        let encoded: Vec<Vec<usize>> = dataset
+            .train_docs
+            .iter()
+            .map(|d| vocab.encode(d))
+            .collect();
+        skipgram.train(&encoded, &mut rng);
+
+        // 2. Allocate all networks in one store; optimizer groups keep the
+        //    paper's Θ_F / Θ_P / Θ_E / Θ_E' / Θ_C separation.
+        let mut store = ParamStore::new();
+        let featurizer = Featurizer::new(
+            &mut store,
+            cfg,
+            spec.history,
+            spec.content,
+            dataset.world.pois.len(),
+            &mut rng,
+        );
+        let nets = SslNets::new(
+            &mut store,
+            cfg,
+            featurizer.feat_dim(),
+            dataset.world.pois.len(),
+            &mut rng,
+        );
+        let judge = Judge::new(&mut store, cfg, featurizer.feat_dim(), &mut rng);
+
+        let mut model = Self {
+            spec: spec.clone(),
+            n_pois: dataset.world.pois.len(),
+            store,
+            vocab,
+            skipgram,
+            featurizer,
+            nets,
+            judge,
+            ssl_stats: SslStats::default(),
+            judge_losses: Vec::new(),
+            one_phase_losses: Vec::new(),
+        };
+
+        // 3. Precompute model inputs for every training profile we touch.
+        let affinity = if spec.mode == TrainMode::SemiSupervised {
+            build_affinity(dataset, cfg)
+        } else {
+            Vec::new()
+        };
+        let mut needed: Vec<ProfileIdx> = dataset.train.labeled.clone();
+        needed.extend(affinity.iter().flat_map(|w| [w.i, w.j]));
+        if cfg.early_stop {
+            needed.extend(dataset.valid.labeled.iter().copied());
+        }
+        if spec.mode == TrainMode::OnePhase {
+            needed.extend(
+                dataset
+                    .train
+                    .pos_pairs
+                    .iter()
+                    .chain(&dataset.train.neg_pairs)
+                    .flat_map(|p| [p.i, p.j]),
+            );
+        }
+        needed.sort_unstable();
+        needed.dedup();
+        let inputs: HashMap<ProfileIdx, ProfileInput> = needed
+            .iter()
+            .map(|&idx| {
+                let input =
+                    model.profile_input_for(dataset, dataset.profile(idx), Ablation::default());
+                (idx, input)
+            })
+            .collect();
+
+        // 4. Train.
+        match spec.mode {
+            TrainMode::SemiSupervised | TrainMode::SupervisedOnly => {
+                let labeled: Vec<(ProfileIdx, usize)> = dataset
+                    .train
+                    .labeled
+                    .iter()
+                    .map(|&i| (i, dataset.profile(i).pid.expect("labeled") as usize))
+                    .collect();
+                let valid: Vec<(ProfileIdx, usize)> = if cfg.early_stop {
+                    dataset
+                        .valid
+                        .labeled
+                        .iter()
+                        .map(|&i| (i, dataset.profile(i).pid.expect("labeled") as usize))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                model.ssl_stats = train_featurizer_with_validation(
+                    &model.featurizer,
+                    &model.nets,
+                    &mut model.store,
+                    &inputs,
+                    &labeled,
+                    &affinity,
+                    &valid,
+                    cfg,
+                    spec.mode == TrainMode::SemiSupervised,
+                    &mut rng,
+                );
+                model.train_judge_phase(dataset, &inputs, &mut rng);
+            }
+            TrainMode::OnePhase => model.train_one_phase(dataset, &inputs, &mut rng),
+        }
+        model
+    }
+
+    /// Second phase: cache features with Θ_F frozen, then fit `E'` + `C`.
+    fn train_judge_phase(
+        &mut self,
+        dataset: &Dataset,
+        inputs: &HashMap<ProfileIdx, ProfileInput>,
+        rng: &mut StdRng,
+    ) {
+        let mut cache: HashMap<ProfileIdx, Vec<f32>> = HashMap::new();
+        let mut pair_profiles: Vec<ProfileIdx> = dataset
+            .train
+            .pos_pairs
+            .iter()
+            .chain(&dataset.train.neg_pairs)
+            .flat_map(|p| [p.i, p.j])
+            .collect();
+        pair_profiles.sort_unstable();
+        pair_profiles.dedup();
+        for chunk in pair_profiles.chunks(64) {
+            let owned: Vec<ProfileInput> = chunk
+                .iter()
+                .map(|idx| match inputs.get(idx) {
+                    Some(input) => input.clone(),
+                    None => {
+                        self.profile_input_for(dataset, dataset.profile(*idx), Ablation::default())
+                    }
+                })
+                .collect();
+            let refs: Vec<&ProfileInput> = owned.iter().collect();
+            let feats = self.featurizer.features(&self.store, &refs);
+            for (k, idx) in chunk.iter().enumerate() {
+                cache.insert(*idx, feats.row(k).to_vec());
+            }
+        }
+        let mk = |p: &twitter_sim::Pair, label: bool| FeaturePair {
+            fi: &cache[&p.i],
+            fj: &cache[&p.j],
+            label,
+        };
+        let positives: Vec<FeaturePair<'_>> =
+            dataset.train.pos_pairs.iter().map(|p| mk(p, true)).collect();
+        let negatives: Vec<FeaturePair<'_>> =
+            dataset.train.neg_pairs.iter().map(|p| mk(p, false)).collect();
+        self.judge_losses = train_judge(
+            &self.judge,
+            &mut self.store,
+            &positives,
+            &negatives,
+            &self.spec.config,
+            rng,
+        );
+    }
+
+    /// The One-phase alternative (§5): featurizer, `E'` and `C` trained
+    /// jointly on labeled pairs with the co-location log loss only.
+    fn train_one_phase(
+        &mut self,
+        dataset: &Dataset,
+        inputs: &HashMap<ProfileIdx, ProfileInput>,
+        rng: &mut StdRng,
+    ) {
+        let cfg = &self.spec.config;
+        let mut ids = self.featurizer.param_ids();
+        ids.extend(self.judge.param_ids());
+        // Joint training is prone to an early collapse: while the features
+        // are still uninformative, the fastest way to cut the pair loss is
+        // to make E' constant (driving |E'(fi) - E'(fj)| to zero), which
+        // permanently kills its ReLUs. A smaller step and no dropout noise
+        // give the feature signal time to emerge first.
+        let mut adam = Adam::new(
+            &self.store,
+            ids,
+            AdamConfig {
+                lr: cfg.lr * 0.3,
+                ..AdamConfig::default()
+            },
+        );
+        let positives = &dataset.train.pos_pairs;
+        let negatives = &dataset.train.neg_pairs;
+        assert!(!positives.is_empty() && !negatives.is_empty());
+        let eff_pos = positives.len() as f64;
+        let eff_neg = negatives.len() as f64 * cfg.neg_subsample;
+        let p_pos = eff_pos / (eff_pos + eff_neg);
+        // Same total gradient-step budget as the two-phase pipeline.
+        let iters = cfg.featurizer_iters + cfg.judge_iters;
+        for _ in 0..iters {
+            let batch: Vec<&twitter_sim::Pair> = (0..cfg.batch)
+                .map(|_| {
+                    if rng.gen::<f64>() < p_pos {
+                        &positives[rng.gen_range(0..positives.len())]
+                    } else {
+                        &negatives[rng.gen_range(0..negatives.len())]
+                    }
+                })
+                .collect();
+            let left: Vec<&ProfileInput> = batch.iter().map(|p| &inputs[&p.i]).collect();
+            let right: Vec<&ProfileInput> = batch.iter().map(|p| &inputs[&p.j]).collect();
+            let labels = Matrix::from_fn(batch.len(), 1, |r, _| {
+                batch[r].co_label.unwrap_or(false) as u8 as f32
+            });
+            let mut tape = Tape::new();
+            let fi = self
+                .featurizer
+                .forward_batch(&mut tape, &self.store, &left, false, rng);
+            let fj = self
+                .featurizer
+                .forward_batch(&mut tape, &self.store, &right, false, rng);
+            let logits = self.judge.forward_logits(&mut tape, &self.store, fi, fj);
+            let loss = tape.bce_with_logits(logits, labels);
+            self.one_phase_losses
+                .push(tape.backward(loss, &mut self.store));
+            adam.step(&mut self.store);
+        }
+    }
+
+    /// Builds the model input for a profile of `dataset`: `Fv` per the
+    /// history encoder and the word-vector matrix of the recent tweet.
+    pub fn profile_input_for(
+        &self,
+        dataset: &Dataset,
+        profile: &Profile,
+        ablation: Ablation,
+    ) -> ProfileInput {
+        let cfg = &self.spec.config;
+        let pois = &dataset.world.pois;
+        let fv = match self.spec.history {
+            HistoryEncoder::None => Vec::new(),
+            HistoryEncoder::Rect | HistoryEncoder::OneHot if ablation.drop_history => {
+                let n = pois.len();
+                vec![1.0 / (n as f32).sqrt(); n]
+            }
+            HistoryEncoder::Rect => fv_feature(profile, pois, cfg.eps_d_m, cfg.eps_t_s),
+            HistoryEncoder::OneHot => one_hot_feature(profile, pois),
+        };
+        let words = if ablation.drop_content {
+            Matrix::zeros(profile.tokens.len(), cfg.word_dim)
+        } else {
+            let ids = self.vocab.encode(&profile.tokens);
+            self.skipgram.embed_sequence(&ids)
+        };
+        ProfileInput { fv, words }
+    }
+
+    /// Evaluation-mode HisRect features for a set of profiles, keyed by
+    /// profile index.
+    pub fn featurize_many(
+        &self,
+        dataset: &Dataset,
+        idxs: &[ProfileIdx],
+        ablation: Ablation,
+    ) -> HashMap<ProfileIdx, Vec<f32>> {
+        let mut out = HashMap::with_capacity(idxs.len());
+        for chunk in idxs.chunks(64) {
+            let owned: Vec<ProfileInput> = chunk
+                .iter()
+                .map(|&i| self.profile_input_for(dataset, dataset.profile(i), ablation))
+                .collect();
+            let refs: Vec<&ProfileInput> = owned.iter().collect();
+            let feats = self.featurizer.features(&self.store, &refs);
+            for (k, &i) in chunk.iter().enumerate() {
+                out.insert(i, feats.row(k).to_vec());
+            }
+        }
+        out
+    }
+
+    /// `F(r)` for a single profile.
+    pub fn feature(&self, dataset: &Dataset, idx: ProfileIdx, ablation: Ablation) -> Vec<f32> {
+        let input = self.profile_input_for(dataset, dataset.profile(idx), ablation);
+        self.featurizer
+            .features(&self.store, &[&input])
+            .row(0)
+            .to_vec()
+    }
+
+    /// Co-location probability for a profile pair.
+    pub fn judge_pair(&self, dataset: &Dataset, i: ProfileIdx, j: ProfileIdx) -> f32 {
+        let fi = self.feature(dataset, i, Ablation::default());
+        let fj = self.feature(dataset, j, Ablation::default());
+        self.judge.predict(&self.store, &fi, &fj)
+    }
+
+    /// Co-location probability from cached features.
+    pub fn judge_features(&self, fi: &[f32], fj: &[f32]) -> f32 {
+        self.judge.predict(&self.store, fi, fj)
+    }
+
+    /// POI class probabilities from a cached feature.
+    pub fn poi_probs_from_feature(&self, feature: &[f32]) -> Vec<f32> {
+        let mut tape = Tape::new();
+        let f = tape.input(Matrix::row_vector(feature));
+        let logits = self.nets.classifier.forward(&mut tape, &self.store, f);
+        tape.softmax_probs(logits).row(0).to_vec()
+    }
+
+    /// POI class probabilities for a profile.
+    pub fn poi_probs(&self, dataset: &Dataset, idx: ProfileIdx) -> Vec<f32> {
+        let f = self.feature(dataset, idx, Ablation::default());
+        self.poi_probs_from_feature(&f)
+    }
+
+    /// The naive Comp2Loc decision for a pair.
+    pub fn comp2loc_pair(&self, dataset: &Dataset, i: ProfileIdx, j: ProfileIdx) -> bool {
+        comp2loc(&self.poi_probs(dataset, i), &self.poi_probs(dataset, j))
+    }
+
+    /// Serializes the trained system (architecture spec, vocabulary, word
+    /// vectors and every network parameter) for later reuse.
+    pub fn snapshot(&self) -> ModelSnapshot {
+        ModelSnapshot {
+            spec: self.spec.clone(),
+            n_pois: self.n_pois,
+            vocab: self.vocab.clone(),
+            skipgram: self.skipgram.clone(),
+            params: self.store.to_snapshot(),
+        }
+    }
+
+    /// Reconstructs a trained model from a snapshot. The network layers are
+    /// re-allocated (shapes are fully determined by the spec and `n_pois`)
+    /// and their values restored by parameter name.
+    pub fn from_snapshot(snap: ModelSnapshot) -> Self {
+        let cfg = &snap.spec.config;
+        // Seed is irrelevant: every initialized value is overwritten below.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut store = ParamStore::new();
+        let featurizer = Featurizer::new(
+            &mut store,
+            cfg,
+            snap.spec.history,
+            snap.spec.content,
+            snap.n_pois,
+            &mut rng,
+        );
+        let nets = SslNets::new(&mut store, cfg, featurizer.feat_dim(), snap.n_pois, &mut rng);
+        let judge = Judge::new(&mut store, cfg, featurizer.feat_dim(), &mut rng);
+        let restored = store.load_snapshot(&snap.params);
+        assert_eq!(
+            restored,
+            store.len(),
+            "snapshot does not cover every parameter"
+        );
+        Self {
+            spec: snap.spec,
+            n_pois: snap.n_pois,
+            store,
+            vocab: snap.vocab,
+            skipgram: snap.skipgram,
+            featurizer,
+            nets,
+            judge,
+            ssl_stats: SslStats::default(),
+            judge_losses: Vec::new(),
+            one_phase_losses: Vec::new(),
+        }
+    }
+
+    /// Writes the snapshot as JSON.
+    pub fn save_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(&self.snapshot()).expect("serializable snapshot");
+        std::fs::write(path, json)
+    }
+
+    /// Loads a model previously written by [`HisRectModel::save_json`].
+    pub fn load_json(path: &std::path::Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        let snap: ModelSnapshot =
+            serde_json::from_str(&json).map_err(std::io::Error::other)?;
+        Ok(Self::from_snapshot(snap))
+    }
+
+    /// The trained vocabulary (for inspection / experiments).
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// The trained word vectors.
+    pub fn skipgram(&self) -> &SkipGram {
+        &self.skipgram
+    }
+
+    /// Feature dimensionality `|F(r)|`.
+    pub fn feat_dim(&self) -> usize {
+        self.featurizer.feat_dim()
+    }
+
+    /// Number of trainable scalars across all components.
+    pub fn n_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ApproachSpec;
+    use twitter_sim::{generate, SimConfig};
+
+    fn fast_spec(spec: ApproachSpec) -> ApproachSpec {
+        spec.with_config(|c| {
+            *c = crate::config::HisRectConfig {
+                featurizer_iters: 60,
+                judge_iters: 60,
+                ..crate::config::HisRectConfig::fast()
+            };
+        })
+    }
+
+    #[test]
+    fn trains_and_judges_end_to_end() {
+        let ds = generate(&SimConfig::tiny(5));
+        let model = HisRectModel::train(&ds, &fast_spec(ApproachSpec::hisrect()), 5);
+        assert!(!model.ssl_stats.poi_losses.is_empty());
+        assert!(!model.judge_losses.is_empty());
+        let pair = ds.test.pos_pairs[0];
+        let p = model.judge_pair(&ds, pair.i, pair.j);
+        assert!((0.0..=1.0).contains(&p));
+        let probs = model.poi_probs(&ds, ds.test.labeled[0]);
+        assert_eq!(probs.len(), ds.world.pois.len());
+        let s: f32 = probs.iter().sum();
+        assert!((s - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn one_phase_trains_jointly() {
+        let ds = generate(&SimConfig::tiny(5));
+        let model = HisRectModel::train(&ds, &fast_spec(ApproachSpec::one_phase()), 5);
+        assert!(model.judge_losses.is_empty());
+        assert!(!model.one_phase_losses.is_empty());
+        let pair = ds.test.neg_pairs[0];
+        let p = model.judge_pair(&ds, pair.i, pair.j);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn ablations_change_features() {
+        let ds = generate(&SimConfig::tiny(5));
+        let model = HisRectModel::train(&ds, &fast_spec(ApproachSpec::hisrect()), 5);
+        // Pick a labeled profile with both history and content, so both
+        // ablations actually remove something.
+        let idx = *ds
+            .test
+            .labeled
+            .iter()
+            .find(|&&i| !ds.profile(i).visits.is_empty() && !ds.profile(i).tokens.is_empty())
+            .expect("such a profile exists in the tiny dataset");
+        let full = model.feature(&ds, idx, Ablation::default());
+        let no_h = model.feature(
+            &ds,
+            idx,
+            Ablation {
+                drop_history: true,
+                drop_content: false,
+            },
+        );
+        let no_t = model.feature(
+            &ds,
+            idx,
+            Ablation {
+                drop_history: false,
+                drop_content: true,
+            },
+        );
+        assert_ne!(full, no_h);
+        assert_ne!(full, no_t);
+    }
+
+    #[test]
+    fn snapshot_round_trips_exactly() {
+        let ds = generate(&SimConfig::tiny(5));
+        let model = HisRectModel::train(&ds, &fast_spec(ApproachSpec::hisrect()), 5);
+        let restored = HisRectModel::from_snapshot(model.snapshot());
+        let pair = ds.test.pos_pairs[0];
+        assert_eq!(
+            model.judge_pair(&ds, pair.i, pair.j),
+            restored.judge_pair(&ds, pair.i, pair.j)
+        );
+        let idx = ds.test.labeled[0];
+        assert_eq!(model.poi_probs(&ds, idx), restored.poi_probs(&ds, idx));
+    }
+
+    #[test]
+    fn save_load_json_round_trip() {
+        let ds = generate(&SimConfig::tiny(5));
+        let model = HisRectModel::train(&ds, &fast_spec(ApproachSpec::tweet_only()), 5);
+        let dir = std::env::temp_dir().join("hisrect-model-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save_json(&path).unwrap();
+        let restored = HisRectModel::load_json(&path).unwrap();
+        let pair = ds.test.neg_pairs[0];
+        assert_eq!(
+            model.judge_pair(&ds, pair.i, pair.j),
+            restored.judge_pair(&ds, pair.i, pair.j)
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn featurize_many_matches_single() {
+        let ds = generate(&SimConfig::tiny(5));
+        let model = HisRectModel::train(&ds, &fast_spec(ApproachSpec::tweet_only()), 5);
+        let idxs: Vec<_> = ds.test.labeled.iter().copied().take(5).collect();
+        let many = model.featurize_many(&ds, &idxs, Ablation::default());
+        for &i in &idxs {
+            let single = model.feature(&ds, i, Ablation::default());
+            let batch = &many[&i];
+            for (a, b) in single.iter().zip(batch) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+}

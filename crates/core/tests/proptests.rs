@@ -1,0 +1,129 @@
+//! Property-based tests on the core feature definitions and clustering.
+
+use geo::{GeoPoint, Poi, PoiSet, Polygon};
+use hisrect::clustering::{cluster_by_threshold, partition_pattern, same_partition};
+use hisrect::fv::{fv_feature, one_hot_feature, visit_relevance};
+use proptest::prelude::*;
+use tensor::Matrix;
+use twitter_sim::{Profile, Visit};
+
+fn poi_set(n: usize) -> PoiSet {
+    let base = GeoPoint::new(40.75, -73.99);
+    PoiSet::new(
+        (0..n)
+            .map(|k| Poi {
+                id: 0,
+                name: format!("p{k}"),
+                polygon: Polygon::regular(
+                    base.offset_m((k as f64) * 1_500.0, (k as f64 % 3.0) * 900.0),
+                    100.0,
+                    8,
+                    0.0,
+                ),
+            })
+            .collect(),
+    )
+}
+
+fn profile_with(visits: Vec<Visit>, ts: i64) -> Profile {
+    Profile {
+        uid: 0,
+        ts,
+        tokens: vec![],
+        geo: GeoPoint::new(40.75, -73.99),
+        visits,
+        pid: None,
+    }
+}
+
+fn visit_strategy() -> impl Strategy<Value = Visit> {
+    (0i64..1_000_000, -5_000.0f64..10_000.0, -5_000.0f64..5_000.0).prop_map(|(ts, dx, dy)| {
+        Visit {
+            ts,
+            point: GeoPoint::new(40.75, -73.99).offset_m(dx, dy),
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn fv_always_unit_norm_nonnegative(visits in proptest::collection::vec(visit_strategy(), 0..20)) {
+        let pois = poi_set(5);
+        let p = profile_with(visits, 1_000_001);
+        let f = fv_feature(&p, &pois, 1000.0, 86_400.0);
+        prop_assert_eq!(f.len(), 5);
+        prop_assert!(f.iter().all(|&x| x >= 0.0 && x.is_finite()));
+        let norm: f32 = f.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-4, "norm = {}", norm);
+    }
+
+    #[test]
+    fn one_hot_unit_norm_and_binary_support(visits in proptest::collection::vec(visit_strategy(), 0..20)) {
+        let pois = poi_set(5);
+        let p = profile_with(visits, 1_000_001);
+        let f = one_hot_feature(&p, &pois);
+        let norm: f32 = f.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assert!((norm - 1.0).abs() < 1e-4);
+        // All nonzero entries are equal (scaled indicator).
+        let nz: Vec<f32> = f.iter().copied().filter(|&x| x > 0.0).collect();
+        for &x in &nz {
+            prop_assert!((x - nz[0]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn visit_relevance_monotone_in_distance(dx in 0.0f64..20_000.0) {
+        let pois = poi_set(3);
+        let near = Visit { ts: 0, point: pois.get(0).center() };
+        let far = Visit { ts: 0, point: pois.get(0).center().offset_m(dx + 1.0, 0.0) };
+        let wn = visit_relevance(&near, &pois, 1000.0);
+        let wf = visit_relevance(&far, &pois, 1000.0);
+        prop_assert!(wn[0] >= wf[0] - 1e-6);
+        prop_assert!(wn.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn clustering_labels_are_dense_and_cover(n in 1usize..12, edges in proptest::collection::vec((0usize..12, 0usize..12), 0..30), threshold in 0.1f32..0.9) {
+        let mut m = Matrix::zeros(n, n);
+        for (a, b) in edges {
+            if a < n && b < n && a != b {
+                m.set(a, b, 0.95);
+                m.set(b, a, 0.95);
+            }
+        }
+        let labels = cluster_by_threshold(&m, threshold);
+        prop_assert_eq!(labels.len(), n);
+        let max = labels.iter().copied().max().unwrap();
+        for l in 0..=max {
+            prop_assert!(labels.contains(&l), "labels must be dense");
+        }
+        let pattern = partition_pattern(&labels);
+        prop_assert_eq!(pattern.iter().sum::<usize>(), n);
+    }
+
+    #[test]
+    fn same_partition_is_reflexive_and_symmetric(labels in proptest::collection::vec(0usize..4, 1..10), other in proptest::collection::vec(0usize..4, 1..10)) {
+        prop_assert!(same_partition(&labels, &labels));
+        prop_assert_eq!(same_partition(&labels, &other), same_partition(&other, &labels));
+    }
+
+    #[test]
+    fn clustering_invariant_under_relabeling(n in 2usize..10, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut m = Matrix::zeros(n, n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.gen::<bool>() {
+                    m.set(a, b, 0.9);
+                    m.set(b, a, 0.9);
+                }
+            }
+        }
+        let labels = cluster_by_threshold(&m, 0.5);
+        // Relabeled copy: add a constant offset then re-canonicalize via
+        // partition comparison.
+        let shifted: Vec<usize> = labels.iter().map(|&l| l + 7).collect();
+        prop_assert!(same_partition(&labels, &shifted));
+    }
+}

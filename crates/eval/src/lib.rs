@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! Evaluation machinery for the HisRect experiments (§6).
+//!
+//! - [`metrics`] — Acc / Rec / Pre / F1 (§6.1.3) and `Acc@K` (§6.3.3).
+//! - [`roc`] — ROC curves and AUC (Fig. 2).
+//! - [`tsne`] — exact t-SNE for the Fig. 3 feature visualization, plus a
+//!   cluster-purity score so the "clusters look separated" claim becomes
+//!   measurable.
+//! - [`protocol`] — the §6.1.1 testing protocol: split the negative pairs
+//!   into 10 folds, merge each with the positives, average the metrics.
+
+pub mod metrics;
+pub mod roc;
+pub mod tsne;
+pub mod protocol;
+
+pub use metrics::{acc_at_k, BinaryMetrics, ConfusionCounts};
+pub use protocol::{negative_folds, averaged_metrics};
+pub use roc::{auc, roc_curve, RocPoint};
+pub use tsne::{cluster_purity, tsne_2d, TsneConfig};

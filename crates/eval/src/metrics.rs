@@ -1,0 +1,200 @@
+//! Binary-classification metrics and `Acc@K`.
+
+use serde::Serialize;
+
+/// Raw confusion-matrix counts.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ConfusionCounts {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives (`fn` is a keyword).
+    pub fn_: usize,
+}
+
+impl ConfusionCounts {
+    /// Accumulates one (prediction, truth) observation.
+    pub fn observe(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    /// Builds counts from parallel prediction/truth slices.
+    pub fn from_slices(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len());
+        let mut c = Self::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            c.observe(p, a);
+        }
+        c
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Converts to the four §6.1.3 metrics.
+    pub fn metrics(&self) -> BinaryMetrics {
+        let total = self.total();
+        let acc = if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        };
+        let rec = if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        };
+        let pre = if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        };
+        let f1 = if rec + pre == 0.0 {
+            0.0
+        } else {
+            2.0 * rec * pre / (rec + pre)
+        };
+        BinaryMetrics { acc, rec, pre, f1 }
+    }
+}
+
+/// Accuracy, recall, precision, F1 (§6.1.3:
+/// `F1 = 2 / (1/Rec + 1/Pre)`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize)]
+pub struct BinaryMetrics {
+    /// Accuracy.
+    pub acc: f64,
+    /// Recall.
+    pub rec: f64,
+    /// Precision.
+    pub pre: f64,
+    /// F1 score (harmonic mean of recall and precision).
+    pub f1: f64,
+}
+
+impl BinaryMetrics {
+    /// Element-wise mean of several metric sets (the 10-fold protocol).
+    pub fn mean(all: &[BinaryMetrics]) -> BinaryMetrics {
+        if all.is_empty() {
+            return BinaryMetrics::default();
+        }
+        let n = all.len() as f64;
+        BinaryMetrics {
+            acc: all.iter().map(|m| m.acc).sum::<f64>() / n,
+            rec: all.iter().map(|m| m.rec).sum::<f64>() / n,
+            pre: all.iter().map(|m| m.pre).sum::<f64>() / n,
+            f1: all.iter().map(|m| m.f1).sum::<f64>() / n,
+        }
+    }
+}
+
+/// `Acc@K` (§6.3.3): fraction of cases whose true class appears among the
+/// top `k` ranked candidates. `rankings[i]` is the candidate list for case
+/// `i`, best first; `truth[i]` the true class.
+pub fn acc_at_k(rankings: &[Vec<u32>], truth: &[u32], k: usize) -> f64 {
+    assert_eq!(rankings.len(), truth.len());
+    if rankings.is_empty() {
+        return 0.0;
+    }
+    let hits = rankings
+        .iter()
+        .zip(truth)
+        .filter(|(ranking, &t)| ranking.iter().take(k).any(|&c| c == t))
+        .count();
+    hits as f64 / rankings.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counting() {
+        let c = ConfusionCounts::from_slices(
+            &[true, true, false, false, true],
+            &[true, false, false, true, true],
+        );
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.tn, 1);
+        assert_eq!(c.fn_, 1);
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn metrics_hand_computed() {
+        let c = ConfusionCounts {
+            tp: 8,
+            fp: 2,
+            tn: 85,
+            fn_: 5,
+        };
+        let m = c.metrics();
+        assert!((m.acc - 0.93).abs() < 1e-9);
+        assert!((m.rec - 8.0 / 13.0).abs() < 1e-9);
+        assert!((m.pre - 0.8).abs() < 1e-9);
+        let f1 = 2.0 * m.rec * m.pre / (m.rec + m.pre);
+        assert!((m.f1 - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        let all_neg = ConfusionCounts {
+            tn: 10,
+            ..Default::default()
+        }
+        .metrics();
+        assert_eq!(all_neg.rec, 0.0);
+        assert_eq!(all_neg.pre, 0.0);
+        assert_eq!(all_neg.f1, 0.0);
+        assert_eq!(all_neg.acc, 1.0);
+        assert_eq!(ConfusionCounts::default().metrics().acc, 0.0);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let c = ConfusionCounts::from_slices(&[true, false], &[true, false]);
+        let m = c.metrics();
+        assert_eq!(m.acc, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn mean_of_metrics() {
+        let a = BinaryMetrics {
+            acc: 0.8,
+            rec: 0.6,
+            pre: 1.0,
+            f1: 0.75,
+        };
+        let b = BinaryMetrics {
+            acc: 1.0,
+            rec: 1.0,
+            pre: 0.0,
+            f1: 0.25,
+        };
+        let m = BinaryMetrics::mean(&[a, b]);
+        assert!((m.acc - 0.9).abs() < 1e-12);
+        assert!((m.pre - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acc_at_k_hits_grow_with_k() {
+        let rankings = vec![vec![3, 1, 2], vec![0, 2, 1], vec![2, 0, 1]];
+        let truth = vec![1, 0, 1];
+        assert!((acc_at_k(&rankings, &truth, 1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((acc_at_k(&rankings, &truth, 2) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((acc_at_k(&rankings, &truth, 3) - 1.0).abs() < 1e-12);
+        assert_eq!(acc_at_k(&[], &[], 5), 0.0);
+    }
+}

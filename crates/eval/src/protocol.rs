@@ -1,0 +1,137 @@
+//! The §6.1.1 testing protocol.
+//!
+//! "The original testing set contains significantly more negative pairs
+//! than positive pairs. In order to have clear comparison, we split the
+//! negative pairs into 10 parts, merge each of them with the positive
+//! pairs to form 10 testing sets instead. The reported results of each
+//! approach are the average over the 10 testing sets."
+
+use crate::metrics::BinaryMetrics;
+use twitter_sim::Pair;
+
+/// Splits `negatives` into `k` near-equal folds (round-robin, so every
+/// fold spans the full time range).
+pub fn negative_folds(negatives: &[Pair], k: usize) -> Vec<Vec<Pair>> {
+    assert!(k >= 1);
+    let mut folds = vec![Vec::with_capacity(negatives.len() / k + 1); k];
+    for (i, &p) in negatives.iter().enumerate() {
+        folds[i % k].push(p);
+    }
+    folds
+}
+
+/// Runs `judge` over the 10-fold protocol and averages the metrics.
+/// `judge` maps a pair to the predicted co-location decision.
+pub fn averaged_metrics(
+    positives: &[Pair],
+    negatives: &[Pair],
+    k: usize,
+    mut judge: impl FnMut(&Pair) -> bool,
+) -> BinaryMetrics {
+    use crate::metrics::ConfusionCounts;
+    // Judge each pair exactly once; fold-averaging reuses the decisions.
+    let pos_preds: Vec<bool> = positives.iter().map(&mut judge).collect();
+    let neg_preds: Vec<bool> = negatives.iter().map(&mut judge).collect();
+
+    let mut fold_metrics = Vec::with_capacity(k);
+    for fold in 0..k {
+        let mut c = ConfusionCounts::default();
+        for &p in &pos_preds {
+            c.observe(p, true);
+        }
+        for (i, &p) in neg_preds.iter().enumerate() {
+            if i % k == fold {
+                c.observe(p, false);
+            }
+        }
+        if c.total() > 0 {
+            fold_metrics.push(c.metrics());
+        }
+    }
+    BinaryMetrics::mean(&fold_metrics)
+}
+
+/// Scores + labels over the *full* (unfolded) test set, for ROC/AUC
+/// (Fig. 2 uses the continuous scores, where fold-splitting is unneeded).
+pub fn score_set(
+    positives: &[Pair],
+    negatives: &[Pair],
+    mut score: impl FnMut(&Pair) -> f64,
+) -> (Vec<f64>, Vec<bool>) {
+    let mut scores = Vec::with_capacity(positives.len() + negatives.len());
+    let mut labels = Vec::with_capacity(scores.capacity());
+    for p in positives {
+        scores.push(score(p));
+        labels.push(true);
+    }
+    for p in negatives {
+        scores.push(score(p));
+        labels.push(false);
+    }
+    (scores, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(i: usize, j: usize, label: bool) -> Pair {
+        Pair {
+            i,
+            j,
+            co_label: Some(label),
+        }
+    }
+
+    #[test]
+    fn folds_partition_everything() {
+        let negs: Vec<Pair> = (0..25).map(|i| pair(i, i + 100, false)).collect();
+        let folds = negative_folds(&negs, 10);
+        assert_eq!(folds.len(), 10);
+        let total: usize = folds.iter().map(Vec::len).sum();
+        assert_eq!(total, 25);
+        // Sizes differ by at most one.
+        let min = folds.iter().map(Vec::len).min().unwrap();
+        let max = folds.iter().map(Vec::len).max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn perfect_judge_scores_one() {
+        let pos: Vec<Pair> = (0..5).map(|i| pair(i, i + 10, true)).collect();
+        let neg: Vec<Pair> = (0..50).map(|i| pair(i, i + 200, false)).collect();
+        let m = averaged_metrics(&pos, &neg, 10, |p| p.co_label.unwrap());
+        assert_eq!(m.acc, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn always_negative_judge_has_zero_recall_but_decent_acc() {
+        let pos: Vec<Pair> = (0..5).map(|i| pair(i, i + 10, true)).collect();
+        let neg: Vec<Pair> = (0..50).map(|i| pair(i, i + 200, false)).collect();
+        let m = averaged_metrics(&pos, &neg, 10, |_| false);
+        assert_eq!(m.rec, 0.0);
+        // Each fold: 5 negatives correct out of 10 total.
+        assert!((m.acc - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn folding_rebalances_accuracy() {
+        // A judge that is right on positives and wrong on 20% of negatives.
+        let pos: Vec<Pair> = (0..10).map(|i| pair(i, i + 10, true)).collect();
+        let neg: Vec<Pair> = (0..100).map(|i| pair(i, i + 200, false)).collect();
+        let m = averaged_metrics(&pos, &neg, 10, |p| p.co_label.unwrap() || p.i % 5 == 0);
+        // Unfolded accuracy would be (10 + 80) / 110 ≈ 0.82; folded is
+        // (10 + 8) / 20 = 0.9.
+        assert!((m.acc - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_set_shapes() {
+        let pos: Vec<Pair> = (0..3).map(|i| pair(i, i + 10, true)).collect();
+        let neg: Vec<Pair> = (0..4).map(|i| pair(i, i + 20, false)).collect();
+        let (scores, labels) = score_set(&pos, &neg, |p| p.i as f64);
+        assert_eq!(scores.len(), 7);
+        assert_eq!(labels.iter().filter(|&&l| l).count(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! ROC curves and AUC (Fig. 2).
+
+use serde::Serialize;
+
+/// One operating point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RocPoint {
+    /// False-positive rate.
+    pub fpr: f64,
+    /// True-positive rate.
+    pub tpr: f64,
+    /// The score threshold producing this point.
+    pub threshold: f64,
+}
+
+/// Computes the ROC curve of `scores` (higher = more positive) against
+/// boolean labels. Points are returned from threshold `+inf` (0, 0) down
+/// to `-inf` (1, 1), with one point per distinct score.
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), labels.len());
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+
+    let mut points = vec![RocPoint {
+        fpr: 0.0,
+        tpr: 0.0,
+        threshold: f64::INFINITY,
+    }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut k = 0usize;
+    while k < order.len() {
+        let threshold = scores[order[k]];
+        // Consume every sample tied at this score before emitting a point.
+        while k < order.len() && scores[order[k]] == threshold {
+            if labels[order[k]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            k += 1;
+        }
+        points.push(RocPoint {
+            fpr: if neg == 0 { 0.0 } else { fp as f64 / neg as f64 },
+            tpr: if pos == 0 { 0.0 } else { tp as f64 / pos as f64 },
+            threshold,
+        });
+    }
+    points
+}
+
+/// Area under the ROC curve by trapezoidal integration.
+pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
+    let curve = roc_curve(scores, labels);
+    let mut area = 0.0;
+    for w in curve.windows(2) {
+        area += (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0;
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_has_auc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_scores_have_auc_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [true, true, false, false];
+        assert!(auc(&scores, &labels).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_interleave_has_auc_half() {
+        // Scores identical for all samples: AUC = 0.5 by the tie handling.
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_small_case() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+        // Pairs: (0.8 vs 0.6 ok), (0.8 vs 0.2 ok), (0.4 vs 0.6 bad),
+        // (0.4 vs 0.2 ok) => AUC = 3/4.
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let labels = [true, true, false, false];
+        assert!((auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_monotone_and_anchored() {
+        let scores = [0.9, 0.1, 0.5, 0.3, 0.7, 0.6];
+        let labels = [true, false, true, false, false, true];
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(curve.first().unwrap().fpr, 0.0);
+        assert_eq!(curve.first().unwrap().tpr, 0.0);
+        assert_eq!(curve.last().unwrap().fpr, 1.0);
+        assert_eq!(curve.last().unwrap().tpr, 1.0);
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+            assert!(w[1].threshold <= w[0].threshold);
+        }
+    }
+
+    #[test]
+    fn auc_equals_pairwise_concordance() {
+        // AUC must equal P(score_pos > score_neg) + 0.5 P(tie).
+        let scores = [0.3, 0.7, 0.7, 0.1, 0.9, 0.4];
+        let labels = [false, true, false, false, true, true];
+        let mut concordant = 0.0;
+        let mut total = 0.0;
+        for i in 0..scores.len() {
+            for j in 0..scores.len() {
+                if labels[i] && !labels[j] {
+                    total += 1.0;
+                    if scores[i] > scores[j] {
+                        concordant += 1.0;
+                    } else if scores[i] == scores[j] {
+                        concordant += 0.5;
+                    }
+                }
+            }
+        }
+        assert!((auc(&scores, &labels) - concordant / total).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,296 @@
+//! Exact t-SNE (van der Maaten & Hinton, \[59\]) for the Fig. 3 feature
+//! visualization.
+//!
+//! The paper projects HisRect features of the top-5 POIs to 2-D and argues
+//! the clusters separate. Point counts there are small, so the exact
+//! O(n²) formulation is sufficient — no Barnes-Hut machinery needed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// t-SNE hyper-parameters.
+#[derive(Debug, Clone, Serialize)]
+pub struct TsneConfig {
+    /// Target perplexity of the Gaussian neighborhoods.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Gradient step size.
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+    /// Seed for the random initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 20.0,
+            iterations: 400,
+            learning_rate: 100.0,
+            exaggeration: 4.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Embeds high-dimensional rows into 2-D. Returns one `(x, y)` per input.
+pub fn tsne_2d(points: &[Vec<f32>], cfg: &TsneConfig) -> Vec<(f64, f64)> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![(0.0, 0.0)];
+    }
+    let d2 = pairwise_sq_dists(points);
+    let p = joint_probabilities(&d2, cfg.perplexity.min((n as f64 - 1.0) / 3.0).max(2.0));
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut y: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen_range(-1e-2..1e-2), rng.gen_range(-1e-2..1e-2)))
+        .collect();
+    let mut vel = vec![(0.0f64, 0.0f64); n];
+    let exag_until = cfg.iterations / 4;
+
+    for iter in 0..cfg.iterations {
+        let exag = if iter < exag_until { cfg.exaggeration } else { 1.0 };
+        let momentum = if iter < exag_until { 0.5 } else { 0.8 };
+
+        // Student-t affinities in the embedding.
+        let mut qnum = vec![0.0f64; n * n];
+        let mut qsum = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i].0 - y[j].0;
+                let dy = y[i].1 - y[j].1;
+                let q = 1.0 / (1.0 + dx * dx + dy * dy);
+                qnum[i * n + j] = q;
+                qnum[j * n + i] = q;
+                qsum += 2.0 * q;
+            }
+        }
+        let qsum = qsum.max(1e-12);
+
+        for i in 0..n {
+            let mut gx = 0.0f64;
+            let mut gy = 0.0f64;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let qn = qnum[i * n + j];
+                let pij = exag * p[i * n + j];
+                let qij = (qn / qsum).max(1e-12);
+                let mult = (pij - qij) * qn;
+                gx += 4.0 * mult * (y[i].0 - y[j].0);
+                gy += 4.0 * mult * (y[i].1 - y[j].1);
+            }
+            vel[i].0 = momentum * vel[i].0 - cfg.learning_rate * gx;
+            vel[i].1 = momentum * vel[i].1 - cfg.learning_rate * gy;
+        }
+        for i in 0..n {
+            y[i].0 += vel[i].0;
+            y[i].1 += vel[i].1;
+        }
+        // Re-center to keep the embedding from drifting.
+        let (mx, my) = y
+            .iter()
+            .fold((0.0, 0.0), |(ax, ay), &(x, yv)| (ax + x, ay + yv));
+        let (mx, my) = (mx / n as f64, my / n as f64);
+        for v in &mut y {
+            v.0 -= mx;
+            v.1 -= my;
+        }
+    }
+    y
+}
+
+fn pairwise_sq_dists(points: &[Vec<f32>]) -> Vec<f64> {
+    let n = points.len();
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d: f64 = points[i]
+                .iter()
+                .zip(&points[j])
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum();
+            d2[i * n + j] = d;
+            d2[j * n + i] = d;
+        }
+    }
+    d2
+}
+
+/// Converts squared distances into symmetric joint probabilities, binary
+/// searching each row's Gaussian bandwidth for the target perplexity.
+fn joint_probabilities(d2: &[f64], perplexity: f64) -> Vec<f64> {
+    let n = (d2.len() as f64).sqrt() as usize;
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        let row = &d2[i * n..(i + 1) * n];
+        let mut beta = 1.0f64; // 1/(2σ²)
+        let (mut beta_lo, mut beta_hi) = (0.0f64, f64::INFINITY);
+        let mut probs = vec![0.0f64; n];
+        for _ in 0..64 {
+            let mut sum = 0.0;
+            for j in 0..n {
+                probs[j] = if j == i { 0.0 } else { (-row[j] * beta).exp() };
+                sum += probs[j];
+            }
+            let sum = sum.max(1e-300);
+            let mut entropy = 0.0;
+            for pj in probs.iter_mut() {
+                *pj /= sum;
+                if *pj > 1e-12 {
+                    entropy -= *pj * pj.ln();
+                }
+            }
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                beta_lo = beta;
+                beta = if beta_hi.is_finite() {
+                    (beta + beta_hi) / 2.0
+                } else {
+                    beta * 2.0
+                };
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2.0;
+            }
+        }
+        for j in 0..n {
+            p[i * n + j] = probs[j];
+        }
+    }
+    // Symmetrize and normalize.
+    let mut joint = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+    joint
+}
+
+/// Neighborhood purity of an embedding: for each point, the fraction of
+/// its `k` nearest neighbors sharing its label, averaged. 1.0 = perfectly
+/// separated clusters; `1/n_labels`-ish = chance.
+pub fn cluster_purity(coords: &[(f64, f64)], labels: &[u32], k: usize) -> f64 {
+    assert_eq!(coords.len(), labels.len());
+    let n = coords.len();
+    if n <= 1 {
+        return 1.0;
+    }
+    let k = k.min(n - 1);
+    let mut total = 0.0;
+    for i in 0..n {
+        let mut dists: Vec<(f64, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let dx = coords[i].0 - coords[j].0;
+                let dy = coords[i].1 - coords[j].1;
+                (dx * dx + dy * dy, j)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let same = dists
+            .iter()
+            .take(k)
+            .filter(|&&(_, j)| labels[j] == labels[i])
+            .count();
+        total += same as f64 / k as f64;
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated Gaussian blobs in 8-D.
+    fn blobs(per_blob: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for b in 0..3u32 {
+            for _ in 0..per_blob {
+                let p: Vec<f32> = (0..8)
+                    .map(|d| {
+                        let center = if d % 3 == b as usize { 10.0 } else { 0.0 };
+                        center + rng.gen_range(-0.5..0.5)
+                    })
+                    .collect();
+                points.push(p);
+                labels.push(b);
+            }
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn separated_blobs_stay_separated() {
+        let (points, labels) = blobs(20, 1);
+        let coords = tsne_2d(
+            &points,
+            &TsneConfig {
+                iterations: 250,
+                ..TsneConfig::default()
+            },
+        );
+        assert_eq!(coords.len(), points.len());
+        let purity = cluster_purity(&coords, &labels, 5);
+        assert!(purity > 0.9, "purity = {purity}");
+    }
+
+    #[test]
+    fn output_is_finite_and_centered() {
+        let (points, _) = blobs(10, 2);
+        let coords = tsne_2d(&points, &TsneConfig::default());
+        assert!(coords.iter().all(|&(x, y)| x.is_finite() && y.is_finite()));
+        let mx: f64 = coords.iter().map(|c| c.0).sum::<f64>() / coords.len() as f64;
+        assert!(mx.abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(tsne_2d(&[], &TsneConfig::default()).is_empty());
+        let one = tsne_2d(&[vec![1.0, 2.0]], &TsneConfig::default());
+        assert_eq!(one, vec![(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (points, _) = blobs(8, 3);
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..TsneConfig::default()
+        };
+        assert_eq!(tsne_2d(&points, &cfg), tsne_2d(&points, &cfg));
+    }
+
+    #[test]
+    fn purity_of_mixed_labels_is_low() {
+        // Alternating labels on a line: neighbors mostly differ.
+        let coords: Vec<(f64, f64)> = (0..40).map(|i| (i as f64, 0.0)).collect();
+        let labels: Vec<u32> = (0..40).map(|i| i % 2).collect();
+        let p = cluster_purity(&coords, &labels, 2);
+        assert!(p < 0.3, "p = {p}");
+    }
+
+    #[test]
+    fn purity_perfect_for_split_line() {
+        let coords: Vec<(f64, f64)> = (0..20)
+            .map(|i| (if i < 10 { i as f64 } else { 100.0 + i as f64 }, 0.0))
+            .collect();
+        let labels: Vec<u32> = (0..20).map(|i| (i >= 10) as u32).collect();
+        assert!((cluster_purity(&coords, &labels, 3) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for metrics, ROC and the folding protocol.
+
+use eval::{acc_at_k, auc, cluster_purity, negative_folds, roc_curve, ConfusionCounts};
+use proptest::prelude::*;
+use twitter_sim::Pair;
+
+fn scored_set() -> impl Strategy<Value = (Vec<f64>, Vec<bool>)> {
+    proptest::collection::vec((0.0f64..1.0, any::<bool>()), 2..60).prop_map(|v| {
+        let (scores, labels): (Vec<f64>, Vec<bool>) = v.into_iter().unzip();
+        (scores, labels)
+    })
+}
+
+proptest! {
+    #[test]
+    fn metrics_are_in_unit_interval(preds in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..100)) {
+        let (p, a): (Vec<bool>, Vec<bool>) = preds.into_iter().unzip();
+        let m = ConfusionCounts::from_slices(&p, &a).metrics();
+        for x in [m.acc, m.rec, m.pre, m.f1] {
+            prop_assert!((0.0..=1.0).contains(&x), "{m:?}");
+        }
+        // F1 is the harmonic mean: bounded by min and max of rec/pre.
+        if m.rec > 0.0 && m.pre > 0.0 {
+            prop_assert!(m.f1 <= m.rec.max(m.pre) + 1e-12);
+            prop_assert!(m.f1 >= m.rec.min(m.pre) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn auc_in_unit_interval_and_flip_invariant((scores, labels) in scored_set()) {
+        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+        let a = auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&a), "auc = {a}");
+        // Negating the scores and the labels leaves AUC unchanged.
+        let neg_scores: Vec<f64> = scores.iter().map(|s| -s).collect();
+        let neg_labels: Vec<bool> = labels.iter().map(|l| !l).collect();
+        let b = auc(&neg_scores, &neg_labels);
+        prop_assert!((a - b).abs() < 1e-9, "a = {a}, b = {b}");
+    }
+
+    #[test]
+    fn roc_curve_is_monotone((scores, labels) in scored_set()) {
+        let curve = roc_curve(&scores, &labels);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].fpr >= w[0].fpr - 1e-12);
+            prop_assert!(w[1].tpr >= w[0].tpr - 1e-12);
+        }
+    }
+
+    #[test]
+    fn acc_at_k_monotone_in_k(n in 2usize..20, cases in 1usize..30, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rankings: Vec<Vec<u32>> = (0..cases)
+            .map(|_| {
+                let mut r: Vec<u32> = (0..n as u32).collect();
+                for i in (1..r.len()).rev() {
+                    r.swap(i, rng.gen_range(0..=i));
+                }
+                r
+            })
+            .collect();
+        let truth: Vec<u32> = (0..cases).map(|_| rng.gen_range(0..n as u32)).collect();
+        let mut prev = 0.0;
+        for k in 1..=n {
+            let a = acc_at_k(&rankings, &truth, k);
+            prop_assert!(a >= prev - 1e-12);
+            prev = a;
+        }
+        prop_assert!((prev - 1.0).abs() < 1e-12, "full ranking must hit");
+    }
+
+    #[test]
+    fn folds_cover_and_balance(n in 0usize..200, k in 1usize..12) {
+        let pairs: Vec<Pair> = (0..n)
+            .map(|i| Pair { i, j: i + 1000, co_label: Some(false) })
+            .collect();
+        let folds = negative_folds(&pairs, k);
+        prop_assert_eq!(folds.len(), k);
+        let total: usize = folds.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, n);
+        let min = folds.iter().map(Vec::len).min().unwrap_or(0);
+        let max = folds.iter().map(Vec::len).max().unwrap_or(0);
+        prop_assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn purity_bounded(coords in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 2..40), k in 1usize..8) {
+        let labels: Vec<u32> = (0..coords.len() as u32).map(|i| i % 3).collect();
+        let p = cluster_purity(&coords, &labels, k);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+}

@@ -1,0 +1,152 @@
+//! A uniform grid index over lat/lon space.
+//!
+//! `d(r, P)` queries (Section 3.1: the lower-bound distance between a
+//! profile and *all* POIs) and point→POI containment lookups are on the hot
+//! path of both profile labeling and affinity-graph construction, so a
+//! linear scan over every POI per query is avoided with a flat uniform grid:
+//! cheap to build, cache-friendly to probe, and adequate for the few
+//! thousand POIs a city holds.
+
+use crate::point::GeoPoint;
+
+/// A uniform grid over a geographic bounding box mapping cells to item ids.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    min_lat: f64,
+    min_lon: f64,
+    cell_deg: f64,
+    rows: usize,
+    cols: usize,
+    cells: Vec<Vec<u32>>,
+}
+
+impl GridIndex {
+    /// Builds an index covering `(min_lat, min_lon)..(max_lat, max_lon)`
+    /// with cells roughly `cell_deg` degrees on a side.
+    pub fn new(min_lat: f64, min_lon: f64, max_lat: f64, max_lon: f64, cell_deg: f64) -> Self {
+        assert!(cell_deg > 0.0);
+        assert!(max_lat >= min_lat && max_lon >= min_lon);
+        let rows = (((max_lat - min_lat) / cell_deg).ceil() as usize).max(1);
+        let cols = (((max_lon - min_lon) / cell_deg).ceil() as usize).max(1);
+        Self {
+            min_lat,
+            min_lon,
+            cell_deg,
+            rows,
+            cols,
+            cells: vec![Vec::new(); rows * cols],
+        }
+    }
+
+    /// Number of grid cells.
+    pub fn len_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn cell_of(&self, p: &GeoPoint) -> (usize, usize) {
+        let r = ((p.lat - self.min_lat) / self.cell_deg).floor();
+        let c = ((p.lon - self.min_lon) / self.cell_deg).floor();
+        (
+            (r.max(0.0) as usize).min(self.rows - 1),
+            (c.max(0.0) as usize).min(self.cols - 1),
+        )
+    }
+
+    /// Inserts `id` into every cell overlapped by the bbox
+    /// `(min_lat, min_lon, max_lat, max_lon)`.
+    pub fn insert_bbox(&mut self, id: u32, bbox: (f64, f64, f64, f64)) {
+        let (r0, c0) = self.cell_of(&GeoPoint::new(bbox.0, bbox.1));
+        let (r1, c1) = self.cell_of(&GeoPoint::new(bbox.2, bbox.3));
+        for r in r0..=r1 {
+            for c in c0..=c1 {
+                let cell = &mut self.cells[r * self.cols + c];
+                if cell.last() != Some(&id) {
+                    cell.push(id);
+                }
+            }
+        }
+    }
+
+    /// Returns candidate ids whose bbox-overlapping cells fall within
+    /// `ring` cells of the cell containing `p` (Chebyshev distance).
+    /// Duplicates may appear; callers typically dedup implicitly by taking
+    /// a min over candidates.
+    pub fn candidates_within(&self, p: &GeoPoint, ring: usize) -> impl Iterator<Item = u32> + '_ {
+        let (r, c) = self.cell_of(p);
+        let r0 = r.saturating_sub(ring);
+        let r1 = (r + ring).min(self.rows - 1);
+        let c0 = c.saturating_sub(ring);
+        let c1 = (c + ring).min(self.cols - 1);
+        (r0..=r1)
+            .flat_map(move |rr| (c0..=c1).map(move |cc| rr * self.cols + cc))
+            .flat_map(move |idx| self.cells[idx].iter().copied())
+    }
+
+    /// Candidate ids in the single cell containing `p`.
+    pub fn candidates_at(&self, p: &GeoPoint) -> &[u32] {
+        let (r, c) = self.cell_of(p);
+        &self.cells[r * self.cols + c]
+    }
+
+    /// Approximate meters spanned by one cell side at the index's mid
+    /// latitude — used by callers to convert a search radius in meters into
+    /// a cell ring count.
+    pub fn cell_side_m(&self) -> f64 {
+        let mid_lat = self.min_lat + self.cell_deg * (self.rows as f64) / 2.0;
+        let a = GeoPoint::new(mid_lat, self.min_lon);
+        let b = GeoPoint::new(mid_lat + self.cell_deg, self.min_lon);
+        a.fast_dist_m(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_probe_single_cell() {
+        let mut g = GridIndex::new(40.0, -75.0, 41.0, -74.0, 0.1);
+        let p = GeoPoint::new(40.55, -74.55);
+        g.insert_bbox(7, (40.54, -74.56, 40.56, -74.54));
+        assert!(g.candidates_at(&p).contains(&7));
+        let far = GeoPoint::new(40.05, -74.95);
+        assert!(!g.candidates_at(&far).contains(&7));
+    }
+
+    #[test]
+    fn large_bbox_lands_in_many_cells() {
+        let mut g = GridIndex::new(40.0, -75.0, 41.0, -74.0, 0.1);
+        g.insert_bbox(3, (40.0, -75.0, 41.0, -74.0));
+        for lat in [40.05, 40.55, 40.95] {
+            for lon in [-74.95, -74.55, -74.05] {
+                assert!(g.candidates_at(&GeoPoint::new(lat, lon)).contains(&3));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_query_expands_coverage() {
+        let mut g = GridIndex::new(40.0, -75.0, 41.0, -74.0, 0.1);
+        g.insert_bbox(1, (40.51, -74.59, 40.52, -74.58));
+        let probe = GeoPoint::new(40.75, -74.55); // two cells north
+        assert!(!g.candidates_within(&probe, 1).any(|id| id == 1));
+        assert!(g.candidates_within(&probe, 3).any(|id| id == 1));
+    }
+
+    #[test]
+    fn out_of_bounds_points_clamp() {
+        let mut g = GridIndex::new(40.0, -75.0, 41.0, -74.0, 0.1);
+        g.insert_bbox(9, (40.95, -74.05, 41.0, -74.0));
+        // A point beyond the bbox clamps to the nearest edge cell.
+        let outside = GeoPoint::new(42.0, -73.0);
+        assert!(g.candidates_at(&outside).contains(&9));
+    }
+
+    #[test]
+    fn cell_side_m_reasonable() {
+        let g = GridIndex::new(40.0, -75.0, 41.0, -74.0, 0.01);
+        let m = g.cell_side_m();
+        // 0.01 degrees latitude is ~1.11 km.
+        assert!((m - 1_112.0).abs() < 20.0, "m = {m}");
+    }
+}

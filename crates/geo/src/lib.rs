@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Geographic substrate for the HisRect reproduction.
+//!
+//! The paper (Defs. 1–3) models a POI as a bounding polygon with a central
+//! point, decides whether a geo-tagged tweet is a *POI tweet* by a
+//! point-in-polygon test, and measures spatial distances `d(a, b)` between
+//! profiles, visits and POIs. This crate provides those primitives:
+//!
+//! - [`GeoPoint`] — a WGS-84 latitude/longitude pair with haversine and
+//!   fast equirectangular distances.
+//! - [`Polygon`] — ray-casting containment and point-to-polygon distance.
+//! - [`Poi`] / [`PoiSet`] — the POI universe `P` with a uniform-grid spatial
+//!   index supporting `d(r, P)` lower-bound queries and containment lookups.
+
+pub mod point;
+pub mod polygon;
+pub mod poi;
+pub mod grid;
+
+pub use point::{GeoPoint, EARTH_RADIUS_M};
+pub use polygon::Polygon;
+pub use poi::{Poi, PoiId, PoiSet};
+pub use grid::GridIndex;

@@ -1,0 +1,155 @@
+//! WGS-84 points and distances.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in meters (IUGG value), used by both distance formulas.
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A latitude/longitude pair in degrees (WGS-84).
+///
+/// Latitude is in `[-90, 90]`, longitude in `[-180, 180]`. Constructors do
+/// not clamp; use [`GeoPoint::is_valid`] to check untrusted input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from latitude and longitude in degrees.
+    pub const fn new(lat: f64, lon: f64) -> Self {
+        Self { lat, lon }
+    }
+
+    /// Returns true when both coordinates are finite and in range.
+    pub fn is_valid(&self) -> bool {
+        self.lat.is_finite()
+            && self.lon.is_finite()
+            && (-90.0..=90.0).contains(&self.lat)
+            && (-180.0..=180.0).contains(&self.lon)
+    }
+
+    /// Great-circle distance to `other` in meters (haversine formula).
+    ///
+    /// Accurate for all separations; slower than
+    /// [`GeoPoint::fast_dist_m`], which should be preferred inside hot loops
+    /// at city scale.
+    pub fn haversine_m(&self, other: &GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().min(1.0).asin()
+    }
+
+    /// Equirectangular-approximation distance in meters.
+    ///
+    /// Within a metropolitan area (tens of kilometers) the error versus
+    /// haversine is far below the paper's smallest spatial threshold
+    /// (ε′d = 50 m is a smoothing constant, not an accuracy bound), so this
+    /// is the distance used by the featurizer and affinity graph.
+    pub fn fast_dist_m(&self, other: &GeoPoint) -> f64 {
+        let mean_lat = ((self.lat + other.lat) / 2.0).to_radians();
+        let dx = (other.lon - self.lon).to_radians() * mean_lat.cos();
+        let dy = (other.lat - self.lat).to_radians();
+        EARTH_RADIUS_M * (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Projects this point to local planar meters `(x, y)` relative to
+    /// `origin`, using an equirectangular projection at the origin latitude.
+    pub fn to_local_m(&self, origin: &GeoPoint) -> (f64, f64) {
+        let x = (self.lon - origin.lon).to_radians() * origin.lat.to_radians().cos()
+            * EARTH_RADIUS_M;
+        let y = (self.lat - origin.lat).to_radians() * EARTH_RADIUS_M;
+        (x, y)
+    }
+
+    /// Inverse of [`GeoPoint::to_local_m`]: lifts local planar meters back to
+    /// a lat/lon around `origin`.
+    pub fn from_local_m(origin: &GeoPoint, x: f64, y: f64) -> GeoPoint {
+        let lat = origin.lat + (y / EARTH_RADIUS_M).to_degrees();
+        let lon = origin.lon
+            + (x / (EARTH_RADIUS_M * origin.lat.to_radians().cos())).to_degrees();
+        GeoPoint::new(lat, lon)
+    }
+
+    /// Returns the point displaced by `(dx, dy)` meters (east, north).
+    pub fn offset_m(&self, dx: f64, dy: f64) -> GeoPoint {
+        GeoPoint::from_local_m(self, dx, dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NYC: GeoPoint = GeoPoint::new(40.7128, -74.0060);
+    const LV: GeoPoint = GeoPoint::new(36.1699, -115.1398);
+
+    #[test]
+    fn zero_distance_to_self() {
+        assert_eq!(NYC.haversine_m(&NYC), 0.0);
+        assert_eq!(NYC.fast_dist_m(&NYC), 0.0);
+    }
+
+    #[test]
+    fn haversine_nyc_to_lv_matches_known_value() {
+        // Great-circle NYC <-> Las Vegas is about 3,580 km.
+        let d = NYC.haversine_m(&LV);
+        assert!((d - 3_580_000.0).abs() < 30_000.0, "d = {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        assert!((NYC.haversine_m(&LV) - LV.haversine_m(&NYC)).abs() < 1e-6);
+        let a = GeoPoint::new(40.71, -74.0);
+        assert!((NYC.fast_dist_m(&a) - a.fast_dist_m(&NYC)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_dist_close_to_haversine_at_city_scale() {
+        let a = GeoPoint::new(40.7128, -74.0060);
+        let b = GeoPoint::new(40.7580, -73.9855); // Times Square, ~5.3 km
+        let h = a.haversine_m(&b);
+        let f = a.fast_dist_m(&b);
+        assert!((h - f).abs() / h < 1e-3, "h={h} f={f}");
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111_km() {
+        let a = GeoPoint::new(40.0, -74.0);
+        let b = GeoPoint::new(41.0, -74.0);
+        let d = a.haversine_m(&b);
+        assert!((d - 111_195.0).abs() < 200.0, "d = {d}");
+    }
+
+    #[test]
+    fn local_projection_round_trips() {
+        let p = GeoPoint::new(40.7580, -73.9855);
+        let (x, y) = p.to_local_m(&NYC);
+        let q = GeoPoint::from_local_m(&NYC, x, y);
+        assert!((p.lat - q.lat).abs() < 1e-9);
+        assert!((p.lon - q.lon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_moves_expected_distance() {
+        let q = NYC.offset_m(1000.0, 0.0);
+        let d = NYC.haversine_m(&q);
+        assert!((d - 1000.0).abs() < 2.0, "d = {d}");
+        let q = NYC.offset_m(0.0, -2500.0);
+        let d = NYC.haversine_m(&q);
+        assert!((d - 2500.0).abs() < 2.0, "d = {d}");
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(NYC.is_valid());
+        assert!(!GeoPoint::new(f64::NAN, 0.0).is_valid());
+        assert!(!GeoPoint::new(91.0, 0.0).is_valid());
+        assert!(!GeoPoint::new(0.0, 181.0).is_valid());
+    }
+}

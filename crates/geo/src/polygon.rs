@@ -1,0 +1,227 @@
+//! Bounding polygons for POIs (Def. 1).
+
+use crate::point::GeoPoint;
+use serde::{Deserialize, Serialize};
+
+/// A simple (non-self-intersecting) polygon on the sphere, stored as a ring
+/// of vertices without repetition of the first vertex.
+///
+/// Containment uses ray casting in an equirectangular projection around the
+/// polygon centroid; distance is the minimum point-to-edge distance in the
+/// same projection (zero for interior points). Both are exact enough at
+/// POI scale (hundreds of meters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<GeoPoint>,
+    centroid: GeoPoint,
+}
+
+impl Polygon {
+    /// Builds a polygon from at least three vertices.
+    ///
+    /// # Panics
+    /// Panics if fewer than three vertices are supplied or any is invalid.
+    pub fn new(vertices: Vec<GeoPoint>) -> Self {
+        assert!(vertices.len() >= 3, "a polygon needs at least 3 vertices");
+        assert!(vertices.iter().all(GeoPoint::is_valid), "invalid vertex");
+        let centroid = Self::vertex_mean(&vertices);
+        Self { vertices, centroid }
+    }
+
+    /// Builds a regular `n`-gon of circumradius `radius_m` meters around
+    /// `center`, optionally rotated by `phase` radians. This is how the
+    /// simulator fabricates OSM-like POI bounding polygons.
+    pub fn regular(center: GeoPoint, radius_m: f64, n: usize, phase: f64) -> Self {
+        assert!(n >= 3);
+        assert!(radius_m > 0.0);
+        let vertices = (0..n)
+            .map(|i| {
+                let theta = phase + std::f64::consts::TAU * (i as f64) / (n as f64);
+                center.offset_m(radius_m * theta.cos(), radius_m * theta.sin())
+            })
+            .collect();
+        Self::new(vertices)
+    }
+
+    fn vertex_mean(vertices: &[GeoPoint]) -> GeoPoint {
+        let n = vertices.len() as f64;
+        let lat = vertices.iter().map(|v| v.lat).sum::<f64>() / n;
+        let lon = vertices.iter().map(|v| v.lon).sum::<f64>() / n;
+        GeoPoint::new(lat, lon)
+    }
+
+    /// The vertex ring.
+    pub fn vertices(&self) -> &[GeoPoint] {
+        &self.vertices
+    }
+
+    /// The mean of the vertices — the paper's "central point" `(lat, lon)`.
+    pub fn centroid(&self) -> GeoPoint {
+        self.centroid
+    }
+
+    /// Axis-aligned bounding box `(min_lat, min_lon, max_lat, max_lon)`.
+    pub fn bbox(&self) -> (f64, f64, f64, f64) {
+        let mut b = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
+        for v in &self.vertices {
+            b.0 = b.0.min(v.lat);
+            b.1 = b.1.min(v.lon);
+            b.2 = b.2.max(v.lat);
+            b.3 = b.3.max(v.lon);
+        }
+        b
+    }
+
+    /// Ray-casting point-in-polygon test (`(lat, lon) ∈ p.bp` in Def. 1).
+    ///
+    /// Points exactly on an edge may land on either side; POI membership in
+    /// the paper has no meaningful boundary case, so this is acceptable.
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        let (px, py) = p.to_local_m(&self.centroid);
+        let mut inside = false;
+        let n = self.vertices.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let (xi, yi) = self.vertices[i].to_local_m(&self.centroid);
+            let (xj, yj) = self.vertices[j].to_local_m(&self.centroid);
+            if ((yi > py) != (yj > py))
+                && (px < (xj - xi) * (py - yi) / (yj - yi) + xi)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Distance from `p` to this polygon in meters: zero if `p` is inside,
+    /// otherwise the minimum distance to any boundary edge.
+    pub fn distance_m(&self, p: &GeoPoint) -> f64 {
+        if self.contains(p) {
+            return 0.0;
+        }
+        let (px, py) = p.to_local_m(&self.centroid);
+        let n = self.vertices.len();
+        let mut best = f64::MAX;
+        let mut j = n - 1;
+        for i in 0..n {
+            let (xi, yi) = self.vertices[i].to_local_m(&self.centroid);
+            let (xj, yj) = self.vertices[j].to_local_m(&self.centroid);
+            best = best.min(point_segment_dist(px, py, xi, yi, xj, yj));
+            j = i;
+        }
+        best
+    }
+}
+
+/// Distance from point `(px, py)` to segment `(ax, ay)-(bx, by)` in the
+/// plane.
+fn point_segment_dist(px: f64, py: f64, ax: f64, ay: f64, bx: f64, by: f64) -> f64 {
+    let (dx, dy) = (bx - ax, by - ay);
+    let len2 = dx * dx + dy * dy;
+    let t = if len2 == 0.0 {
+        0.0
+    } else {
+        (((px - ax) * dx + (py - ay) * dy) / len2).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (ax + t * dx, ay + t * dy);
+    ((px - cx).powi(2) + (py - cy).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        // ~200 m x 200 m square around a point in Manhattan.
+        let c = GeoPoint::new(40.75, -73.99);
+        Polygon::new(vec![
+            c.offset_m(-100.0, -100.0),
+            c.offset_m(100.0, -100.0),
+            c.offset_m(100.0, 100.0),
+            c.offset_m(-100.0, 100.0),
+        ])
+    }
+
+    #[test]
+    fn centroid_of_square_is_center() {
+        let sq = unit_square();
+        let c = GeoPoint::new(40.75, -73.99);
+        assert!(sq.centroid().fast_dist_m(&c) < 1.0);
+    }
+
+    #[test]
+    fn contains_center_and_not_outside() {
+        let sq = unit_square();
+        let c = GeoPoint::new(40.75, -73.99);
+        assert!(sq.contains(&c));
+        assert!(sq.contains(&c.offset_m(90.0, 90.0)));
+        assert!(!sq.contains(&c.offset_m(110.0, 0.0)));
+        assert!(!sq.contains(&c.offset_m(0.0, -150.0)));
+        assert!(!sq.contains(&c.offset_m(5000.0, 5000.0)));
+    }
+
+    #[test]
+    fn distance_zero_inside_positive_outside() {
+        let sq = unit_square();
+        let c = GeoPoint::new(40.75, -73.99);
+        assert_eq!(sq.distance_m(&c), 0.0);
+        let d = sq.distance_m(&c.offset_m(200.0, 0.0));
+        assert!((d - 100.0).abs() < 2.0, "d = {d}");
+        // Corner-diagonal case: distance to nearest corner.
+        let d = sq.distance_m(&c.offset_m(200.0, 200.0));
+        let expect = (100.0f64.powi(2) * 2.0).sqrt();
+        assert!((d - expect).abs() < 3.0, "d = {d}, expect = {expect}");
+    }
+
+    #[test]
+    fn regular_polygon_contains_center_and_radius_scales() {
+        let c = GeoPoint::new(36.17, -115.14);
+        for n in [3usize, 5, 8, 12] {
+            let poly = Polygon::regular(c, 150.0, n, 0.3);
+            assert!(poly.contains(&c), "n = {n}");
+            assert_eq!(poly.vertices().len(), n);
+            // All vertices at the circumradius.
+            for v in poly.vertices() {
+                let d = c.fast_dist_m(v);
+                assert!((d - 150.0).abs() < 1.5, "n = {n}, d = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn bbox_covers_all_vertices() {
+        let sq = unit_square();
+        let (min_lat, min_lon, max_lat, max_lon) = sq.bbox();
+        for v in sq.vertices() {
+            assert!(v.lat >= min_lat && v.lat <= max_lat);
+            assert!(v.lon >= min_lon && v.lon <= max_lon);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_degenerate_polygon() {
+        let c = GeoPoint::new(40.0, -74.0);
+        let _ = Polygon::new(vec![c, c.offset_m(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn concave_polygon_containment() {
+        // L-shaped polygon.
+        let c = GeoPoint::new(40.75, -73.99);
+        let l = Polygon::new(vec![
+            c.offset_m(0.0, 0.0),
+            c.offset_m(200.0, 0.0),
+            c.offset_m(200.0, 100.0),
+            c.offset_m(100.0, 100.0),
+            c.offset_m(100.0, 200.0),
+            c.offset_m(0.0, 200.0),
+        ]);
+        assert!(l.contains(&c.offset_m(50.0, 50.0)));
+        assert!(l.contains(&c.offset_m(150.0, 50.0)));
+        assert!(l.contains(&c.offset_m(50.0, 150.0)));
+        // The notch is outside.
+        assert!(!l.contains(&c.offset_m(150.0, 150.0)));
+    }
+}

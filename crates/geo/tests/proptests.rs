@@ -1,0 +1,98 @@
+//! Property-based tests for the geo substrate.
+
+use geo::{GeoPoint, Polygon};
+use proptest::prelude::*;
+
+/// Points within a metro-scale box around Manhattan.
+fn metro_point() -> impl Strategy<Value = GeoPoint> {
+    (40.4f64..41.0, -74.4f64..-73.6).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn haversine_symmetric_nonnegative(a in metro_point(), b in metro_point()) {
+        let ab = a.haversine_m(&b);
+        let ba = b.haversine_m(&a);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-6);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(a in metro_point(), b in metro_point(), c in metro_point()) {
+        let ab = a.haversine_m(&b);
+        let bc = b.haversine_m(&c);
+        let ac = a.haversine_m(&c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn fast_dist_tracks_haversine_at_city_scale(a in metro_point(), b in metro_point()) {
+        let h = a.haversine_m(&b);
+        let f = a.fast_dist_m(&b);
+        // Within the metro box the approximation error stays below 0.5%.
+        prop_assert!((h - f).abs() <= 0.005 * h + 1.0, "h={h} f={f}");
+    }
+
+    #[test]
+    fn local_projection_round_trip(origin in metro_point(), p in metro_point()) {
+        let (x, y) = p.to_local_m(&origin);
+        let q = GeoPoint::from_local_m(&origin, x, y);
+        prop_assert!((p.lat - q.lat).abs() < 1e-9);
+        prop_assert!((p.lon - q.lon).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_then_measure(center in metro_point(), dx in -5_000.0f64..5_000.0, dy in -5_000.0f64..5_000.0) {
+        let q = center.offset_m(dx, dy);
+        let d = center.fast_dist_m(&q);
+        let expect = (dx * dx + dy * dy).sqrt();
+        prop_assert!((d - expect).abs() <= 0.01 * expect + 1.0, "d={d} expect={expect}");
+    }
+
+    #[test]
+    fn regular_polygon_contains_interior_points(
+        center in metro_point(),
+        radius in 20.0f64..500.0,
+        n in 3usize..12,
+        frac in 0.0f64..0.5,
+        theta in 0.0f64..std::f64::consts::TAU,
+    ) {
+        // Points within half the apothem are always inside the n-gon.
+        let poly = Polygon::regular(center, radius, n, 0.0);
+        let apothem = radius * (std::f64::consts::PI / n as f64).cos();
+        let p = center.offset_m(frac * apothem * theta.cos(), frac * apothem * theta.sin());
+        prop_assert!(poly.contains(&p));
+        prop_assert_eq!(poly.distance_m(&p), 0.0);
+    }
+
+    #[test]
+    fn points_beyond_circumradius_are_outside(
+        center in metro_point(),
+        radius in 20.0f64..500.0,
+        n in 3usize..12,
+        extra in 1.05f64..4.0,
+        theta in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let poly = Polygon::regular(center, radius, n, 0.0);
+        let p = center.offset_m(extra * radius * theta.cos(), extra * radius * theta.sin());
+        prop_assert!(!poly.contains(&p));
+        prop_assert!(poly.distance_m(&p) > 0.0);
+    }
+
+    #[test]
+    fn polygon_distance_consistent_with_containment(
+        center in metro_point(),
+        radius in 20.0f64..500.0,
+        dx in -2_000.0f64..2_000.0,
+        dy in -2_000.0f64..2_000.0,
+    ) {
+        let poly = Polygon::regular(center, radius, 8, 0.0);
+        let p = center.offset_m(dx, dy);
+        let d = poly.distance_m(&p);
+        if poly.contains(&p) {
+            prop_assert_eq!(d, 0.0);
+        } else {
+            prop_assert!(d >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Mini-batch Adam with the paper's training hygiene (§6.1.2):
+//! learning-rate 0.01 decaying with iterations, ℓ2 regularization whose
+//! coefficient also decays, and a hard global-norm gradient clip at 5.
+
+use crate::params::{ParamId, ParamStore};
+use tensor::Matrix;
+
+/// Adam hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct AdamConfig {
+    /// Initial learning rate (paper: 0.01).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical floor.
+    pub eps: f32,
+    /// ℓ2 regularization coefficient (applied as decoupled-from-loss
+    /// gradient shaping: `g += l2 * w`).
+    pub l2: f32,
+    /// Gradient global-norm clip threshold (paper: 5.0). `f32::INFINITY`
+    /// disables clipping.
+    pub clip_norm: f32,
+    /// Hyperbolic decay applied to both `lr` and `l2`:
+    /// `lr_t = lr / (1 + decay * t)`.
+    pub decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self {
+            lr: 0.01,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            l2: 1e-5,
+            clip_norm: 5.0,
+            decay: 1e-4,
+        }
+    }
+}
+
+/// Adam state over a fixed subset of a [`ParamStore`]'s parameters.
+///
+/// The paper uses *three* Adam optimizers (for `L_poi`, `L_u`, `L_co`),
+/// each over its own parameter group; construct one [`Adam`] per group.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    cfg: AdamConfig,
+    ids: Vec<ParamId>,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimizer over `ids`, with moment buffers shaped from the
+    /// store's current parameter shapes.
+    pub fn new(store: &ParamStore, ids: Vec<ParamId>, cfg: AdamConfig) -> Self {
+        let m = ids
+            .iter()
+            .map(|&id| {
+                let (r, c) = store.value(id).shape();
+                Matrix::zeros(r, c)
+            })
+            .collect::<Vec<_>>();
+        let v = m.clone();
+        Self { cfg, ids, m, v, t: 0 }
+    }
+
+    /// The parameter group this optimizer updates.
+    pub fn ids(&self) -> &[ParamId] {
+        &self.ids
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Current (decayed) learning rate.
+    pub fn current_lr(&self) -> f32 {
+        self.cfg.lr / (1.0 + self.cfg.decay * self.t as f32)
+    }
+
+    /// Applies one update from the gradients accumulated in `store`, then
+    /// zeroes those gradients. Returns the pre-clip gradient global norm.
+    pub fn step(&mut self, store: &mut ParamStore) -> f32 {
+        self.t += 1;
+        let decay_factor = 1.0 / (1.0 + self.cfg.decay * self.t as f32);
+        let lr = self.cfg.lr * decay_factor;
+        let l2 = self.cfg.l2 * decay_factor;
+
+        // ℓ2 regularization folds into the gradient before clipping, the
+        // same as adding (l2/2)‖w‖² to the loss.
+        if l2 > 0.0 {
+            for &id in &self.ids {
+                let p = store.get_mut(id);
+                let w = p.value.clone();
+                p.grad.axpy(l2, &w);
+            }
+        }
+
+        let norm = store.grad_global_norm(&self.ids);
+        let scale = if norm.is_finite() && norm > self.cfg.clip_norm {
+            self.cfg.clip_norm / norm
+        } else if norm.is_finite() {
+            1.0
+        } else {
+            0.0 // NaN/inf gradients: skip the update entirely
+        };
+
+        if scale > 0.0 {
+            let bc1 = 1.0 - self.cfg.beta1.powi(self.t as i32);
+            let bc2 = 1.0 - self.cfg.beta2.powi(self.t as i32);
+            for (k, &id) in self.ids.iter().enumerate() {
+                let p = store.get_mut(id);
+                let g = p.grad.scale(scale);
+                // m = b1*m + (1-b1)*g ; v = b2*v + (1-b2)*g^2
+                self.m[k].scale_mut(self.cfg.beta1);
+                self.m[k].axpy(1.0 - self.cfg.beta1, &g);
+                self.v[k].scale_mut(self.cfg.beta2);
+                let g2 = g.hadamard(&g);
+                self.v[k].axpy(1.0 - self.cfg.beta2, &g2);
+                let mhat = self.m[k].scale(1.0 / bc1);
+                let vhat = self.v[k].scale(1.0 / bc2);
+                let update = mhat.zip_map(&vhat, |m, v| m / (v.sqrt() + self.cfg.eps));
+                p.value.axpy(-lr, &update);
+            }
+        }
+        store.zero_grads_of(&self.ids);
+        norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimizes `(w - 3)^2` and expects convergence to 3.
+    #[test]
+    fn converges_on_quadratic() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_vec(1, 1, vec![0.0]));
+        let mut adam = Adam::new(
+            &store,
+            vec![id],
+            AdamConfig {
+                lr: 0.1,
+                l2: 0.0,
+                decay: 0.0,
+                ..AdamConfig::default()
+            },
+        );
+        for _ in 0..300 {
+            let mut t = Tape::new();
+            let w = t.param(&store, id);
+            let shifted = t.affine(w, 1.0, -3.0);
+            let sq = t.mul(shifted, shifted);
+            let loss = t.sum_all(sq);
+            t.backward(loss, &mut store);
+            adam.step(&mut store);
+        }
+        let w = store.value(id).get(0, 0);
+        assert!((w - 3.0).abs() < 1e-2, "w = {w}");
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::zeros(1, 4));
+        let mut adam = Adam::new(
+            &store,
+            vec![id],
+            AdamConfig {
+                lr: 1.0,
+                l2: 0.0,
+                decay: 0.0,
+                clip_norm: 1.0,
+                ..AdamConfig::default()
+            },
+        );
+        store.get_mut(id).grad = Matrix::filled(1, 4, 1000.0);
+        let norm = adam.step(&mut store);
+        assert!((norm - 2000.0).abs() < 1.0, "pre-clip norm = {norm}");
+        // Adam's first step is ~lr regardless of magnitude, but the clip
+        // must have kept internal moments finite.
+        assert!(!store.value(id).has_non_finite());
+    }
+
+    #[test]
+    fn nan_gradients_skip_update() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::filled(1, 2, 1.5));
+        let mut adam = Adam::new(&store, vec![id], AdamConfig::default());
+        store.get_mut(id).grad = Matrix::from_vec(1, 2, vec![f32::NAN, 1.0]);
+        adam.step(&mut store);
+        assert_eq!(store.value(id).as_slice(), &[1.5, 1.5]);
+        assert_eq!(store.get(id).grad.sum(), 0.0, "grads must still reset");
+    }
+
+    #[test]
+    fn lr_decays_with_steps() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::zeros(1, 1));
+        let mut adam = Adam::new(
+            &store,
+            vec![id],
+            AdamConfig {
+                lr: 0.01,
+                decay: 0.1,
+                ..AdamConfig::default()
+            },
+        );
+        let lr0 = adam.current_lr();
+        for _ in 0..10 {
+            store.get_mut(id).grad = Matrix::filled(1, 1, 1.0);
+            adam.step(&mut store);
+        }
+        assert!(adam.current_lr() < lr0);
+        assert!((adam.current_lr() - 0.01 / 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn l2_pulls_weights_toward_zero() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::filled(1, 1, 5.0));
+        let mut adam = Adam::new(
+            &store,
+            vec![id],
+            AdamConfig {
+                lr: 0.05,
+                l2: 0.5,
+                decay: 0.0,
+                ..AdamConfig::default()
+            },
+        );
+        for _ in 0..200 {
+            // No data gradient at all: only the regularizer acts.
+            adam.step(&mut store);
+        }
+        let w = store.value(id).get(0, 0);
+        assert!(w.abs() < 1.0, "w = {w}");
+    }
+
+    #[test]
+    fn optimizer_groups_do_not_interfere() {
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::filled(1, 1, 1.0));
+        let b = store.add("b", Matrix::filled(1, 1, 1.0));
+        let mut adam_a = Adam::new(
+            &store,
+            vec![a],
+            AdamConfig {
+                l2: 0.0,
+                ..AdamConfig::default()
+            },
+        );
+        store.get_mut(a).grad = Matrix::filled(1, 1, 1.0);
+        store.get_mut(b).grad = Matrix::filled(1, 1, 1.0);
+        adam_a.step(&mut store);
+        // a moved, b untouched (its pending grad preserved).
+        assert!(store.value(a).get(0, 0) < 1.0);
+        assert_eq!(store.value(b).get(0, 0), 1.0);
+        assert_eq!(store.get(b).grad.get(0, 0), 1.0);
+    }
+}

@@ -1,0 +1,740 @@
+//! Neural-network layers over the autograd tape.
+//!
+//! Layers own no tensors — they allocate parameters in a [`ParamStore`] at
+//! construction and hold only [`ParamId`]s, so the same layer object can be
+//! used across tapes and its parameters can be grouped into the paper's
+//! Θ_F / Θ_P / Θ_E optimizer groups.
+
+use crate::params::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use rand::Rng;
+use tensor::{randn, Matrix};
+
+/// `std` if positive, else He init `sqrt(2 / fan_in)`.
+fn resolve_std(std: f32, fan_in: usize) -> f32 {
+    if std > 0.0 {
+        std
+    } else {
+        (2.0 / fan_in.max(1) as f32).sqrt()
+    }
+}
+
+/// A fully-connected layer `y = x W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight matrix (`in_dim x out_dim`).
+    pub w: ParamId,
+    /// Bias row (`1 x out_dim`).
+    pub b: ParamId,
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+}
+
+impl Linear {
+    /// Allocates a layer with Gaussian-initialized weights and zero bias.
+    ///
+    /// `std > 0` fixes the standard deviation (§6.1.2: the paper uses
+    /// 0.01); `std <= 0` selects He scaling `sqrt(2 / fan_in)`, which keeps
+    /// activations from vanishing through deep ReLU stacks at the small
+    /// widths this reproduction trains.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        out_dim: usize,
+        std: f32,
+        rng: &mut R,
+    ) -> Self {
+        let std = resolve_std(std, in_dim);
+        let w = store.add(format!("{prefix}/w"), randn(rng, in_dim, out_dim, std));
+        let b = store.add(format!("{prefix}/b"), Matrix::zeros(1, out_dim));
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// `x @ W + b` for `x: B x in_dim`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        let xw = tape.matmul(x, w);
+        tape.add_bias(xw, b)
+    }
+
+    /// Parameter ids of this layer.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        vec![self.w, self.b]
+    }
+}
+
+/// A stack of fully-connected layers, each followed by ReLU, per the
+/// paper's `h_Q(...h_2(h_1(x)))` feed-forward blocks (§4.3, §5). The last
+/// layer's activation is controlled by `relu_last` so the block can emit
+/// raw logits.
+#[derive(Debug, Clone)]
+pub struct FeedForward {
+    /// The linear layers, in forward order.
+    pub layers: Vec<Linear>,
+    /// Whether the final layer is also followed by ReLU.
+    pub relu_last: bool,
+}
+
+impl FeedForward {
+    /// Builds `dims.len() - 1` linear layers, e.g. `dims = [64, 32, 16]`
+    /// gives two layers 64→32→16.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        prefix: &str,
+        dims: &[usize],
+        relu_last: bool,
+        std: f32,
+        rng: &mut R,
+    ) -> Self {
+        assert!(dims.len() >= 2, "FeedForward needs at least one layer");
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(store, &format!("{prefix}/fc{i}"), w[0], w[1], std, rng))
+            .collect();
+        Self { layers, relu_last }
+    }
+
+    /// Forward pass without dropout.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        self.forward_impl::<rand::rngs::ThreadRng>(tape, store, x, None)
+    }
+
+    /// Forward pass with inverted dropout (keep probability `keep`)
+    /// applied *before* every layer, matching §6.1.2.
+    pub fn forward_dropout<R: Rng>(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        x: Var,
+        keep: f32,
+        rng: &mut R,
+    ) -> Var {
+        self.forward_impl(tape, store, x, Some((keep, rng)))
+    }
+
+    fn forward_impl<R: Rng>(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        mut x: Var,
+        mut dropout: Option<(f32, &mut R)>,
+    ) -> Var {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            if let Some((keep, rng)) = dropout.as_mut() {
+                if *keep < 1.0 {
+                    x = tape.dropout(x, *keep, *rng);
+                }
+            }
+            x = layer.forward(tape, store, x);
+            if i != last || self.relu_last {
+                x = tape.relu(x);
+            }
+        }
+        x
+    }
+
+    /// Parameter ids of all layers.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        self.layers.iter().flat_map(Linear::param_ids).collect()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim
+    }
+}
+
+/// A single-direction LSTM (§4.2) with gate order `[i | f | g | o]` packed
+/// into one `4h`-wide weight pair.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    /// Input-to-gates weights (`in_dim x 4h`).
+    pub wx: ParamId,
+    /// State-to-gates weights (`h x 4h`).
+    pub wh: ParamId,
+    /// Gate biases (`1 x 4h`), forget gate initialized to 1.
+    pub b: ParamId,
+    /// Input width.
+    pub in_dim: usize,
+    /// Hidden width `h`.
+    pub hidden: usize,
+}
+
+impl Lstm {
+    /// Allocates LSTM parameters. The forget-gate bias is initialized to
+    /// 1.0 (standard practice to avoid early vanishing of the cell state);
+    /// other biases are zero, weights Gaussian with the given std.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        hidden: usize,
+        std: f32,
+        rng: &mut R,
+    ) -> Self {
+        let std_x = resolve_std(std, in_dim + hidden);
+        let std_h = std_x;
+        let wx = store.add(format!("{prefix}/wx"), randn(rng, in_dim, 4 * hidden, std_x));
+        let wh = store.add(format!("{prefix}/wh"), randn(rng, hidden, 4 * hidden, std_h));
+        let mut bias = Matrix::zeros(1, 4 * hidden);
+        for c in hidden..2 * hidden {
+            bias.set(0, c, 1.0);
+        }
+        let b = store.add(format!("{prefix}/b"), bias);
+        Self {
+            wx,
+            wh,
+            b,
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Runs the recurrence over `xs` (each `1 x in_dim`); initial hidden and
+    /// cell states are zero (§6.1.2). Returns one `1 x hidden` state per
+    /// step.
+    pub fn forward_seq(&self, tape: &mut Tape, store: &ParamStore, xs: &[Var]) -> Vec<Var> {
+        let wx = tape.param(store, self.wx);
+        let wh = tape.param(store, self.wh);
+        let b = tape.param(store, self.b);
+        let h0 = tape.input(Matrix::zeros(1, self.hidden));
+        let c0 = tape.input(Matrix::zeros(1, self.hidden));
+        let mut h = h0;
+        let mut c = c0;
+        let mut out = Vec::with_capacity(xs.len());
+        for &x in xs {
+            let xg = tape.matmul(x, wx);
+            let hg = tape.matmul(h, wh);
+            let gsum = tape.add(xg, hg);
+            let gates = tape.add_bias(gsum, b);
+            let i_raw = tape.slice_cols(gates, 0, self.hidden);
+            let f_raw = tape.slice_cols(gates, self.hidden, self.hidden);
+            let g_raw = tape.slice_cols(gates, 2 * self.hidden, self.hidden);
+            let o_raw = tape.slice_cols(gates, 3 * self.hidden, self.hidden);
+            let i = tape.sigmoid(i_raw);
+            let f = tape.sigmoid(f_raw);
+            let g = tape.tanh(g_raw);
+            let o = tape.sigmoid(o_raw);
+            let fc = tape.mul(f, c);
+            let ig = tape.mul(i, g);
+            c = tape.add(fc, ig);
+            let tc = tape.tanh(c);
+            h = tape.mul(o, tc);
+            out.push(h);
+        }
+        out
+    }
+
+    /// Parameter ids.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        vec![self.wx, self.wh, self.b]
+    }
+}
+
+/// A gated recurrent unit (Cho et al.) — an extension ablation of the
+/// paper's LSTM content encoder with one gate fewer:
+/// `r = σ(xW_xr + hW_hr)`, `z = σ(xW_xz + hW_hz)`,
+/// `h̃ = tanh(xW_xc + (r ⊙ h)W_hc)`, `h ← (1−z) ⊙ h + z ⊙ h̃`.
+#[derive(Debug, Clone)]
+pub struct Gru {
+    /// Input-to-gates weights (`in_dim x 3h`, order `[r | z | c]`).
+    pub wx: ParamId,
+    /// State-to-r/z weights (`h x 2h`).
+    pub wh_rz: ParamId,
+    /// State-to-candidate weights (`h x h`), applied after the reset gate.
+    pub wh_c: ParamId,
+    /// Gate biases (`1 x 3h`).
+    pub b: ParamId,
+    /// Input width.
+    pub in_dim: usize,
+    /// Hidden width `h`.
+    pub hidden: usize,
+}
+
+impl Gru {
+    /// Allocates GRU parameters (same init conventions as [`Lstm::new`]).
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        hidden: usize,
+        std: f32,
+        rng: &mut R,
+    ) -> Self {
+        let std = resolve_std(std, in_dim + hidden);
+        let wx = store.add(format!("{prefix}/wx"), randn(rng, in_dim, 3 * hidden, std));
+        let wh_rz = store.add(format!("{prefix}/wh_rz"), randn(rng, hidden, 2 * hidden, std));
+        let wh_c = store.add(format!("{prefix}/wh_c"), randn(rng, hidden, hidden, std));
+        let b = store.add(format!("{prefix}/b"), Matrix::zeros(1, 3 * hidden));
+        Self {
+            wx,
+            wh_rz,
+            wh_c,
+            b,
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Runs the recurrence over `xs` (each `1 x in_dim`), zero initial
+    /// state. Returns one `1 x hidden` state per step.
+    pub fn forward_seq(&self, tape: &mut Tape, store: &ParamStore, xs: &[Var]) -> Vec<Var> {
+        let wx = tape.param(store, self.wx);
+        let wh_rz = tape.param(store, self.wh_rz);
+        let wh_c = tape.param(store, self.wh_c);
+        let b = tape.param(store, self.b);
+        let h0 = tape.input(Matrix::zeros(1, self.hidden));
+        let mut h = h0;
+        let mut out = Vec::with_capacity(xs.len());
+        for &x in xs {
+            let xg = tape.matmul(x, wx);
+            let xg = tape.add_bias(xg, b); // 1 x 3h
+            let hg_rz = tape.matmul(h, wh_rz); // 1 x 2h
+            let xr = tape.slice_cols(xg, 0, self.hidden);
+            let xz = tape.slice_cols(xg, self.hidden, self.hidden);
+            let xc = tape.slice_cols(xg, 2 * self.hidden, self.hidden);
+            let hr = tape.slice_cols(hg_rz, 0, self.hidden);
+            let hz = tape.slice_cols(hg_rz, self.hidden, self.hidden);
+            let r_pre = tape.add(xr, hr);
+            let r = tape.sigmoid(r_pre);
+            let z_pre = tape.add(xz, hz);
+            let z = tape.sigmoid(z_pre);
+            let rh = tape.mul(r, h);
+            let hc = tape.matmul(rh, wh_c);
+            let c_pre = tape.add(xc, hc);
+            let cand = tape.tanh(c_pre);
+            // h = (1 - z) * h + z * cand
+            let one_minus_z = tape.affine(z, -1.0, 1.0);
+            let keep = tape.mul(one_minus_z, h);
+            let update = tape.mul(z, cand);
+            h = tape.add(keep, update);
+            out.push(h);
+        }
+        out
+    }
+
+    /// Parameter ids.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        vec![self.wx, self.wh_rz, self.wh_c, self.b]
+    }
+}
+
+/// A bidirectional GRU, mirroring [`BiLstm`].
+#[derive(Debug, Clone)]
+pub struct BiGru {
+    /// Left-to-right recurrence.
+    pub fwd: Gru,
+    /// Right-to-left recurrence.
+    pub bwd: Gru,
+}
+
+impl BiGru {
+    /// Allocates both directions with `hidden` units each.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        hidden: usize,
+        std: f32,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            fwd: Gru::new(store, &format!("{prefix}/fwd"), in_dim, hidden, std, rng),
+            bwd: Gru::new(store, &format!("{prefix}/bwd"), in_dim, hidden, std, rng),
+        }
+    }
+
+    /// Per-step concatenation `[h_fwd | h_bwd]`, each `1 x 2h`.
+    pub fn forward_concat(&self, tape: &mut Tape, store: &ParamStore, xs: &[Var]) -> Vec<Var> {
+        let hf = self.fwd.forward_seq(tape, store, xs);
+        let reversed: Vec<Var> = xs.iter().rev().copied().collect();
+        let mut hb = self.bwd.forward_seq(tape, store, &reversed);
+        hb.reverse();
+        hf.into_iter()
+            .zip(hb)
+            .map(|(f, b)| tape.concat_cols(f, b))
+            .collect()
+    }
+
+    /// Parameter ids of both directions.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        let mut ids = self.fwd.param_ids();
+        ids.extend(self.bwd.param_ids());
+        ids
+    }
+}
+
+/// A bidirectional LSTM (§4.2): two independent recurrences, one over the
+/// sequence and one over its reverse.
+#[derive(Debug, Clone)]
+pub struct BiLstm {
+    /// Left-to-right recurrence.
+    pub fwd: Lstm,
+    /// Right-to-left recurrence.
+    pub bwd: Lstm,
+}
+
+impl BiLstm {
+    /// Allocates both directions with `hidden` units each.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        prefix: &str,
+        in_dim: usize,
+        hidden: usize,
+        std: f32,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            fwd: Lstm::new(store, &format!("{prefix}/fwd"), in_dim, hidden, std, rng),
+            bwd: Lstm::new(store, &format!("{prefix}/bwd"), in_dim, hidden, std, rng),
+        }
+    }
+
+    /// Returns per-step `(h_fwd_t, h_bwd_t)` pairs, both aligned to the
+    /// original sequence order.
+    pub fn forward_seq(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        xs: &[Var],
+    ) -> (Vec<Var>, Vec<Var>) {
+        let hf = self.fwd.forward_seq(tape, store, xs);
+        let reversed: Vec<Var> = xs.iter().rev().copied().collect();
+        let mut hb = self.bwd.forward_seq(tape, store, &reversed);
+        hb.reverse();
+        (hf, hb)
+    }
+
+    /// Per-step concatenation `[h_fwd | h_bwd]`, each `1 x 2h`.
+    pub fn forward_concat(&self, tape: &mut Tape, store: &ParamStore, xs: &[Var]) -> Vec<Var> {
+        let (hf, hb) = self.forward_seq(tape, store, xs);
+        hf.into_iter()
+            .zip(hb)
+            .map(|(f, b)| tape.concat_cols(f, b))
+            .collect()
+    }
+
+    /// Parameter ids of both directions.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        let mut ids = self.fwd.param_ids();
+        ids.extend(self.bwd.param_ids());
+        ids
+    }
+
+    /// Hidden width per direction.
+    pub fn hidden(&self) -> usize {
+        self.fwd.hidden
+    }
+}
+
+/// A stride-1 1-D convolution over time: windows of `k` consecutive rows
+/// of a `T x in_dim` sequence, each mapped to `out_dim` features.
+///
+/// With `k = 3`, `in_dim = 2N` (the concatenated BLSTM states) and
+/// `out_dim = N`, this is the "3×N Conv" of BiLSTM-C (Eq. 3): the paper's
+/// 2-channel `T x N` image with a 3×N filter is exactly a width-3 temporal
+/// window over the 2N-dimensional per-step states.
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    /// Flattened filter bank (`k*in_dim x out_dim`).
+    pub w: ParamId,
+    /// Output bias (`1 x out_dim`).
+    pub b: ParamId,
+    /// Temporal kernel width.
+    pub k: usize,
+    /// Input channels.
+    pub in_dim: usize,
+    /// Output channels.
+    pub out_dim: usize,
+}
+
+impl Conv1d {
+    /// Allocates a `k`-wide filter bank.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        prefix: &str,
+        k: usize,
+        in_dim: usize,
+        out_dim: usize,
+        std: f32,
+        rng: &mut R,
+    ) -> Self {
+        let std = resolve_std(std, k * in_dim);
+        let w = store.add(format!("{prefix}/w"), randn(rng, k * in_dim, out_dim, std));
+        let b = store.add(format!("{prefix}/b"), Matrix::zeros(1, out_dim));
+        Self {
+            w,
+            b,
+            k,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Applies the convolution to a `T x in_dim` node (`T >= k`), giving
+    /// `(T-k+1) x out_dim`.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let cols = tape.im2col(x, self.k);
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        let y = tape.matmul(cols, w);
+        tape.add_bias(y, b)
+    }
+
+    /// Parameter ids.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        vec![self.w, self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::gradcheck_scalar;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::randn as trandn;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn linear_shapes_and_values() {
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 3, 2, 0.1, &mut rng(0));
+        // Overwrite with known weights.
+        store.get_mut(lin.w).value = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        store.get_mut(lin.b).value = Matrix::from_vec(1, 2, vec![0.5, -0.5]);
+        let mut t = Tape::new();
+        let x = t.input(Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let y = lin.forward(&mut t, &store, x);
+        assert_eq!(t.value(y).as_slice(), &[4.5, 4.5]);
+    }
+
+    #[test]
+    fn feedforward_stack_depth_and_dims() {
+        let mut store = ParamStore::new();
+        let ff = FeedForward::new(&mut store, "ff", &[8, 6, 4, 2], false, 0.1, &mut rng(1));
+        assert_eq!(ff.layers.len(), 3);
+        assert_eq!(ff.out_dim(), 2);
+        let mut t = Tape::new();
+        let x = t.input(trandn(&mut rng(2), 5, 8, 1.0));
+        let y = ff.forward(&mut t, &store, x);
+        assert_eq!(t.value(y).shape(), (5, 2));
+    }
+
+    #[test]
+    fn feedforward_gradcheck_every_param() {
+        let mut store = ParamStore::new();
+        let ff = FeedForward::new(&mut store, "ff", &[4, 5, 3], false, 0.3, &mut rng(3));
+        let x = trandn(&mut rng(4), 2, 4, 1.0);
+        for id in ff.param_ids() {
+            let x = x.clone();
+            let ff = ff.clone();
+            let err = gradcheck_scalar(&mut store, id, move |t, s| {
+                let xv = t.input(x.clone());
+                let y = ff.forward(t, s, xv);
+                let sq = t.mul(y, y);
+                t.mean_all(sq)
+            });
+            assert!(err < 2e-2, "param {id:?}: err = {err}");
+        }
+    }
+
+    #[test]
+    fn lstm_output_shapes_and_bounds() {
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, "lstm", 3, 4, 0.3, &mut rng(5));
+        let mut t = Tape::new();
+        let xs: Vec<Var> = (0..6)
+            .map(|i| t.input(trandn(&mut rng(10 + i), 1, 3, 1.0)))
+            .collect();
+        let hs = lstm.forward_seq(&mut t, &store, &xs);
+        assert_eq!(hs.len(), 6);
+        for h in &hs {
+            assert_eq!(t.value(*h).shape(), (1, 4));
+            // h = o * tanh(c) is bounded by (-1, 1).
+            assert!(t.value(*h).as_slice().iter().all(|&x| x.abs() < 1.0));
+        }
+    }
+
+    #[test]
+    fn lstm_gradcheck_all_params() {
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, "lstm", 2, 3, 0.4, &mut rng(6));
+        let xs: Vec<Matrix> = (0..4)
+            .map(|i| trandn(&mut rng(20 + i), 1, 2, 1.0))
+            .collect();
+        for id in lstm.param_ids() {
+            let xs = xs.clone();
+            let lstm = lstm.clone();
+            let err = gradcheck_scalar(&mut store, id, move |t, s| {
+                let vars: Vec<Var> = xs.iter().map(|x| t.input(x.clone())).collect();
+                let hs = lstm.forward_seq(t, s, &vars);
+                let stacked = t.stack_rows(&hs);
+                let sq = t.mul(stacked, stacked);
+                t.sum_all(sq)
+            });
+            assert!(err < 2e-2, "param {id:?}: err = {err}");
+        }
+    }
+
+    #[test]
+    fn bilstm_backward_direction_sees_future() {
+        // The backward state at t=0 must depend on the last input; verify by
+        // perturbing the final element and watching h_bwd[0] change.
+        let mut store = ParamStore::new();
+        let bi = BiLstm::new(&mut store, "bi", 2, 3, 0.5, &mut rng(7));
+        let base: Vec<Matrix> = (0..5)
+            .map(|i| trandn(&mut rng(30 + i), 1, 2, 1.0))
+            .collect();
+        let run = |store: &ParamStore, xs: &[Matrix]| {
+            let mut t = Tape::new();
+            let vars: Vec<Var> = xs.iter().map(|x| t.input(x.clone())).collect();
+            let (hf, hb) = bi.forward_seq(&mut t, store, &vars);
+            (
+                t.value(hf[0]).clone(),
+                t.value(hb[0]).clone(),
+                t.value(*hf.last().unwrap()).clone(),
+            )
+        };
+        let (f0, b0, _) = run(&store, &base);
+        let mut perturbed = base.clone();
+        perturbed[4] = perturbed[4].scale(-2.0);
+        let (f0p, b0p, _) = run(&store, &perturbed);
+        assert!(f0.approx_eq(&f0p, 1e-7), "forward t=0 must ignore future");
+        assert!(!b0.approx_eq(&b0p, 1e-5), "backward t=0 must see future");
+    }
+
+    #[test]
+    fn bilstm_concat_width() {
+        let mut store = ParamStore::new();
+        let bi = BiLstm::new(&mut store, "bi", 2, 3, 0.3, &mut rng(8));
+        let mut t = Tape::new();
+        let xs: Vec<Var> = (0..4)
+            .map(|i| t.input(trandn(&mut rng(40 + i), 1, 2, 1.0)))
+            .collect();
+        let cat = bi.forward_concat(&mut t, &store, &xs);
+        assert_eq!(cat.len(), 4);
+        for h in cat {
+            assert_eq!(t.value(h).shape(), (1, 6));
+        }
+    }
+
+    #[test]
+    fn conv1d_shape_and_gradcheck() {
+        let mut store = ParamStore::new();
+        let conv = Conv1d::new(&mut store, "conv", 3, 4, 2, 0.4, &mut rng(9));
+        let x = trandn(&mut rng(50), 7, 4, 1.0);
+        {
+            let mut t = Tape::new();
+            let xv = t.input(x.clone());
+            let y = conv.forward(&mut t, &store, xv);
+            assert_eq!(t.value(y).shape(), (5, 2));
+        }
+        for id in conv.param_ids() {
+            let x = x.clone();
+            let conv = conv.clone();
+            let err = gradcheck_scalar(&mut store, id, move |t, s| {
+                let xv = t.input(x.clone());
+                let y = conv.forward(t, s, xv);
+                let r = t.relu(y);
+                t.mean_all(r)
+            });
+            assert!(err < 2e-2, "param {id:?}: err = {err}");
+        }
+    }
+
+    #[test]
+    fn gru_output_shapes_and_bounds() {
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "gru", 3, 4, 0.3, &mut rng(20));
+        let mut t = Tape::new();
+        let xs: Vec<Var> = (0..5)
+            .map(|i| t.input(trandn(&mut rng(60 + i), 1, 3, 1.0)))
+            .collect();
+        let hs = gru.forward_seq(&mut t, &store, &xs);
+        assert_eq!(hs.len(), 5);
+        for h in &hs {
+            assert_eq!(t.value(*h).shape(), (1, 4));
+            // h is a convex combination of tanh outputs: bounded by (-1,1).
+            assert!(t.value(*h).as_slice().iter().all(|&x| x.abs() < 1.0));
+        }
+    }
+
+    #[test]
+    fn gru_gradcheck_all_params() {
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "gru", 2, 3, 0.4, &mut rng(21));
+        let xs: Vec<Matrix> = (0..4)
+            .map(|i| trandn(&mut rng(70 + i), 1, 2, 1.0))
+            .collect();
+        for id in gru.param_ids() {
+            let xs = xs.clone();
+            let gru = gru.clone();
+            let err = crate::gradcheck::gradcheck_scalar(&mut store, id, move |t, s| {
+                let vars: Vec<Var> = xs.iter().map(|x| t.input(x.clone())).collect();
+                let hs = gru.forward_seq(t, s, &vars);
+                let stacked = t.stack_rows(&hs);
+                let sq = t.mul(stacked, stacked);
+                t.sum_all(sq)
+            });
+            assert!(err < 2e-2, "param {id:?}: err = {err}");
+        }
+    }
+
+    #[test]
+    fn bigru_concat_width_and_future_sensitivity() {
+        let mut store = ParamStore::new();
+        let bi = BiGru::new(&mut store, "bi", 2, 3, 0.5, &mut rng(22));
+        let base: Vec<Matrix> = (0..5)
+            .map(|i| trandn(&mut rng(80 + i), 1, 2, 1.0))
+            .collect();
+        let run = |xs: &[Matrix]| {
+            let mut t = Tape::new();
+            let vars: Vec<Var> = xs.iter().map(|x| t.input(x.clone())).collect();
+            let cat = bi.forward_concat(&mut t, &store, &vars);
+            assert_eq!(t.value(cat[0]).shape(), (1, 6));
+            t.value(cat[0]).clone()
+        };
+        let c0 = run(&base);
+        let mut perturbed = base.clone();
+        perturbed[4] = perturbed[4].scale(-2.0);
+        let c0p = run(&perturbed);
+        // The backward half of step 0 must see the change at step 4.
+        assert!(!c0.approx_eq(&c0p, 1e-6));
+    }
+
+    #[test]
+    fn auto_init_uses_he_scaling() {
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, "l", 50, 50, 0.0, &mut rng(12));
+        let w = store.value(lin.w);
+        let var = w.map(|x| x * x).mean();
+        let expect = 2.0 / 50.0;
+        assert!((var - expect).abs() < expect * 0.3, "var = {var}");
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut store = ParamStore::new();
+        let lstm = Lstm::new(&mut store, "l", 2, 3, 0.1, &mut rng(11));
+        let b = store.value(lstm.b);
+        for c in 0..12 {
+            let expect = if (3..6).contains(&c) { 1.0 } else { 0.0 };
+            assert_eq!(b.get(0, c), expect, "col {c}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! From-scratch neural-network stack for the HisRect reproduction.
+//!
+//! The paper's models (§4–§5) are built from fully-connected stacks with
+//! ReLU, (bidirectional) LSTMs, a 1-D convolution over BLSTM states
+//! (BiLSTM-C), dropout, softmax cross-entropy, logistic loss, and cosine /
+//! ℓ2 embedding losses, all trained with mini-batch Adam under gradient-norm
+//! clipping and ℓ2 regularization (§6.1.2). Mature Rust NN crates being
+//! unavailable in this environment, the whole stack is implemented here:
+//!
+//! - [`tape`] — a reverse-mode autograd tape over [`tensor::Matrix`].
+//! - [`params`] — named trainable parameters with gradient accumulators.
+//! - [`layers`] — `Linear`, feed-forward stacks, `Lstm`, `BiLstm`, `Conv1d`.
+//! - [`adam`] — Adam with learning-rate decay, ℓ2 regularization and
+//!   global-norm gradient clipping.
+//! - [`gradcheck`] — finite-difference gradient checking used heavily in
+//!   tests.
+
+pub mod tape;
+pub mod params;
+pub mod layers;
+pub mod adam;
+pub mod gradcheck;
+
+pub use adam::{Adam, AdamConfig};
+pub use layers::{BiGru, BiLstm, Conv1d, FeedForward, Gru, Linear, Lstm};
+pub use params::{Param, ParamId, ParamStore};
+pub use tape::{Tape, Var};

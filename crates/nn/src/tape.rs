@@ -1,0 +1,946 @@
+//! Reverse-mode autograd over dense matrices.
+//!
+//! A [`Tape`] records one forward pass as a flat list of nodes; calling
+//! [`Tape::backward`] walks the list in reverse and accumulates gradients,
+//! scattering those of bound parameters back into the [`ParamStore`]. Tapes
+//! are cheap, single-use values: build one per training step and drop it.
+
+use crate::params::{ParamId, ParamStore};
+use rand::Rng;
+use tensor::Matrix;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+/// One recorded operation. Saved tensors needed by the backward pass
+/// (dropout masks, softmax probabilities, ...) live in the variant.
+enum Op {
+    /// Constant input or bound parameter.
+    Leaf,
+    MatMul { a: usize, b: usize },
+    Add { a: usize, b: usize },
+    Sub { a: usize, b: usize },
+    Mul { a: usize, b: usize },
+    /// `x + bias` where bias is `1 x C` broadcast across rows.
+    AddBias { x: usize, bias: usize },
+    /// `alpha * a + beta` elementwise.
+    Affine { a: usize, alpha: f32 },
+    /// Elementwise multiply by a constant (non-differentiated) matrix.
+    MulConst { a: usize, c: Matrix },
+    Relu { a: usize },
+    Sigmoid { a: usize },
+    Tanh { a: usize },
+    ConcatCols { a: usize, b: usize },
+    SliceCols { a: usize, start: usize },
+    /// Vertical stack of row blocks.
+    StackRows { parts: Vec<usize> },
+    /// Column-wise mean over rows: `(R x C) -> (1 x C)`.
+    MeanOverRows { a: usize },
+    /// Row-wise sum: `(R x C) -> (R x 1)`.
+    RowSum { a: usize },
+    /// Sliding windows of `k` rows flattened: `(T x C) -> ((T-k+1) x kC)`.
+    Im2Col { a: usize, k: usize },
+    /// Rows rescaled to unit ℓ2 norm (rows with norm < eps pass through).
+    L2NormRows { a: usize },
+    AbsDiff { a: usize, b: usize },
+    Dropout { a: usize, mask: Matrix },
+    /// Mean softmax cross-entropy over rows; `probs` are saved softmaxes.
+    SoftmaxCE {
+        logits: usize,
+        targets: Vec<usize>,
+        probs: Matrix,
+    },
+    /// Mean binary cross-entropy on logits (`R x 1`), labels in {0, 1}.
+    BceLogits {
+        logits: usize,
+        labels: Matrix,
+        sig: Matrix,
+    },
+    SumAll { a: usize },
+    MeanAll { a: usize },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// A single-use autograd tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    bindings: Vec<(ParamId, usize)>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::with_capacity(256),
+            bindings: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The scalar held by a `1 x 1` node (typically a loss).
+    pub fn scalar(&self, v: Var) -> f32 {
+        let m = self.value(v);
+        assert_eq!(m.shape(), (1, 1), "scalar() on non-scalar node");
+        m.get(0, 0)
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records a constant input (no gradient flows back out of the tape).
+    pub fn input(&mut self, m: Matrix) -> Var {
+        self.push(m, Op::Leaf)
+    }
+
+    /// Binds a parameter: copies its current value onto the tape and
+    /// remembers the id so [`Tape::backward`] can scatter its gradient.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let v = self.push(store.value(id).clone(), Op::Leaf);
+        self.bindings.push((id, v.0));
+        v
+    }
+
+    /// `a @ b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(value, Op::MatMul { a: a.0, b: b.0 })
+    }
+
+    /// `a + b` (same shape).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        self.push(value, Op::Add { a: a.0, b: b.0 })
+    }
+
+    /// `a - b` (same shape).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        self.push(value, Op::Sub { a: a.0, b: b.0 })
+    }
+
+    /// Elementwise `a * b` (same shape).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(value, Op::Mul { a: a.0, b: b.0 })
+    }
+
+    /// `x + bias`, bias broadcast across rows.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let value = self.nodes[x.0].value.add_row_broadcast(&self.nodes[bias.0].value);
+        self.push(value, Op::AddBias { x: x.0, bias: bias.0 })
+    }
+
+    /// `alpha * a + beta` elementwise.
+    pub fn affine(&mut self, a: Var, alpha: f32, beta: f32) -> Var {
+        let value = self.nodes[a.0].value.map(|x| alpha * x + beta);
+        self.push(value, Op::Affine { a: a.0, alpha })
+    }
+
+    /// Elementwise multiply by a constant matrix (no gradient into `c`).
+    pub fn mul_const(&mut self, a: Var, c: Matrix) -> Var {
+        let value = self.nodes[a.0].value.hadamard(&c);
+        self.push(value, Op::MulConst { a: a.0, c })
+    }
+
+    /// `max(0, a)`.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(value, Op::Relu { a: a.0 })
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(value, Op::Sigmoid { a: a.0 })
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(f32::tanh);
+        self.push(value, Op::Tanh { a: a.0 })
+    }
+
+    /// `[a | b]` column concatenation.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.concat_cols(&self.nodes[b.0].value);
+        self.push(value, Op::ConcatCols { a: a.0, b: b.0 })
+    }
+
+    /// Columns `start..start+len` of `a`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, len: usize) -> Var {
+        let src = &self.nodes[a.0].value;
+        assert!(start + len <= src.cols(), "slice_cols out of range");
+        let value = Matrix::from_fn(src.rows(), len, |r, c| src.get(r, start + c));
+        self.push(value, Op::SliceCols { a: a.0, start })
+    }
+
+    /// Vertical stack of row blocks (all with equal column counts).
+    pub fn stack_rows(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "stack_rows needs at least one part");
+        let cols = self.nodes[parts[0].0].value.cols();
+        let total: usize = parts.iter().map(|p| self.nodes[p.0].value.rows()).sum();
+        let mut value = Matrix::zeros(total, cols);
+        let mut r = 0;
+        for p in parts {
+            let m = &self.nodes[p.0].value;
+            assert_eq!(m.cols(), cols, "stack_rows column mismatch");
+            for i in 0..m.rows() {
+                value.row_mut(r).copy_from_slice(m.row(i));
+                r += 1;
+            }
+        }
+        self.push(
+            value,
+            Op::StackRows {
+                parts: parts.iter().map(|p| p.0).collect(),
+            },
+        )
+    }
+
+    /// Column-wise mean over rows: `(R x C) -> (1 x C)`.
+    pub fn mean_over_rows(&mut self, a: Var) -> Var {
+        let m = &self.nodes[a.0].value;
+        let rows = m.rows().max(1) as f32;
+        let mut out = Matrix::zeros(1, m.cols());
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                out.set(0, c, out.get(0, c) + m.get(r, c) / rows);
+            }
+        }
+        self.push(out, Op::MeanOverRows { a: a.0 })
+    }
+
+    /// Row-wise sum: `(R x C) -> (R x 1)`.
+    pub fn row_sum(&mut self, a: Var) -> Var {
+        let m = &self.nodes[a.0].value;
+        let out = Matrix::from_fn(m.rows(), 1, |r, _| m.row(r).iter().sum());
+        self.push(out, Op::RowSum { a: a.0 })
+    }
+
+    /// Sliding windows of `k` consecutive rows, flattened per window:
+    /// `(T x C) -> ((T-k+1) x kC)`. This is the im2col of a stride-1 1-D
+    /// convolution over time; combined with [`Tape::matmul`] it implements
+    /// the 3×N convolution of BiLSTM-C (Eq. 3).
+    pub fn im2col(&mut self, a: Var, k: usize) -> Var {
+        let m = &self.nodes[a.0].value;
+        assert!(k >= 1 && m.rows() >= k, "im2col window larger than input");
+        let (t, c) = m.shape();
+        let out_rows = t - k + 1;
+        let mut out = Matrix::zeros(out_rows, k * c);
+        for w in 0..out_rows {
+            for dk in 0..k {
+                out.row_mut(w)[dk * c..(dk + 1) * c].copy_from_slice(m.row(w + dk));
+            }
+        }
+        self.push(out, Op::Im2Col { a: a.0, k })
+    }
+
+    /// Rows rescaled to unit ℓ2 norm. Rows whose norm falls below `1e-12`
+    /// pass through unchanged (gradient treated as identity there).
+    pub fn l2_normalize_rows(&mut self, a: Var) -> Var {
+        let m = &self.nodes[a.0].value;
+        let mut out = m.clone();
+        for r in 0..out.rows() {
+            let norm = row_norm(m.row(r));
+            if norm > 1e-12 {
+                for x in out.row_mut(r) {
+                    *x /= norm;
+                }
+            }
+        }
+        self.push(out, Op::L2NormRows { a: a.0 })
+    }
+
+    /// Elementwise `|a - b|`.
+    pub fn abs_diff(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0]
+            .value
+            .zip_map(&self.nodes[b.0].value, |x, y| (x - y).abs());
+        self.push(value, Op::AbsDiff { a: a.0, b: b.0 })
+    }
+
+    /// Inverted dropout with keep probability `keep`; scales surviving
+    /// activations by `1/keep` so evaluation needs no rescaling (§6.1.2
+    /// uses keep = 0.8 at the LSTM layer and before every FC layer).
+    pub fn dropout<R: Rng>(&mut self, a: Var, keep: f32, rng: &mut R) -> Var {
+        assert!((0.0..=1.0).contains(&keep) && keep > 0.0, "bad keep prob");
+        let shape = self.nodes[a.0].value.shape();
+        let mask = Matrix::from_fn(shape.0, shape.1, |_, _| {
+            if rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            }
+        });
+        let value = self.nodes[a.0].value.hadamard(&mask);
+        self.push(value, Op::Dropout { a: a.0, mask })
+    }
+
+    /// Mean softmax cross-entropy of `logits` (`B x K`) against class
+    /// indices `targets` (length `B`). Returns a `1 x 1` loss node.
+    pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let z = &self.nodes[logits.0].value;
+        assert_eq!(z.rows(), targets.len(), "target count mismatch");
+        let mut probs = Matrix::zeros(z.rows(), z.cols());
+        let mut loss = 0.0f64;
+        #[allow(clippy::needless_range_loop)] // r indexes z, probs and targets together
+        for r in 0..z.rows() {
+            let row = z.row(r);
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let mut denom = 0.0f32;
+            for (c, &x) in row.iter().enumerate() {
+                let e = (x - max).exp();
+                probs.set(r, c, e);
+                denom += e;
+            }
+            for c in 0..z.cols() {
+                probs.set(r, c, probs.get(r, c) / denom);
+            }
+            assert!(targets[r] < z.cols(), "target class out of range");
+            loss -= (probs.get(r, targets[r]).max(1e-12) as f64).ln();
+        }
+        let mean = (loss / z.rows().max(1) as f64) as f32;
+        self.push(
+            Matrix::from_vec(1, 1, vec![mean]),
+            Op::SoftmaxCE {
+                logits: logits.0,
+                targets: targets.to_vec(),
+                probs,
+            },
+        )
+    }
+
+    /// Softmax probabilities of a logits node (forward-only convenience for
+    /// inference; participates in the graph as a constant).
+    pub fn softmax_probs(&self, logits: Var) -> Matrix {
+        let z = self.value(logits);
+        Matrix::from_fn(z.rows(), z.cols(), |r, c| {
+            let row = z.row(r);
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+            let denom: f32 = row.iter().map(|&x| (x - max).exp()).sum();
+            (z.get(r, c) - max).exp() / denom
+        })
+    }
+
+    /// Mean binary cross-entropy of logits (`B x 1`) against labels in
+    /// {0, 1} (`B x 1`). Returns a `1 x 1` loss node. This is the reduced
+    /// log-loss of the co-location judge (§5).
+    pub fn bce_with_logits(&mut self, logits: Var, labels: Matrix) -> Var {
+        let z = &self.nodes[logits.0].value;
+        assert_eq!(z.shape(), labels.shape(), "label shape mismatch");
+        assert_eq!(z.cols(), 1, "bce expects a column of logits");
+        let sig = z.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let mut loss = 0.0f64;
+        for r in 0..z.rows() {
+            let (x, y) = (z.get(r, 0) as f64, labels.get(r, 0) as f64);
+            // Numerically stable: log(1+e^-|x|) + max(x,0) - x*y
+            loss += (1.0 + (-x.abs()).exp()).ln() + x.max(0.0) - x * y;
+        }
+        let mean = (loss / z.rows().max(1) as f64) as f32;
+        self.push(
+            Matrix::from_vec(1, 1, vec![mean]),
+            Op::BceLogits {
+                logits: logits.0,
+                labels,
+                sig,
+            },
+        )
+    }
+
+    /// Sum of all elements as a `1 x 1` node.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let s = self.nodes[a.0].value.sum();
+        self.push(Matrix::from_vec(1, 1, vec![s]), Op::SumAll { a: a.0 })
+    }
+
+    /// Mean of all elements as a `1 x 1` node.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let s = self.nodes[a.0].value.mean();
+        self.push(Matrix::from_vec(1, 1, vec![s]), Op::MeanAll { a: a.0 })
+    }
+
+    /// Runs the backward pass from the scalar node `loss`, accumulating the
+    /// gradients of every bound parameter into `store` (`+=`, so batches
+    /// can be split across multiple tapes). Returns the loss value.
+    pub fn backward(&self, loss: Var, store: &mut ParamStore) -> f32 {
+        let grads = self.backward_grads(loss);
+        for &(pid, node) in &self.bindings {
+            if let Some(g) = &grads[node] {
+                store.get_mut(pid).grad.add_assign(g);
+            }
+        }
+        self.scalar(loss)
+    }
+
+    /// Backward pass returning the raw per-node gradients (used by tests
+    /// and by callers that need input gradients).
+    pub fn grad_of(&self, loss: Var, wrt: Var) -> Option<Matrix> {
+        self.backward_grads(loss)[wrt.0].clone()
+    }
+
+    fn backward_grads(&self, loss: Var) -> Vec<Option<Matrix>> {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward() must start from a scalar node"
+        );
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Matrix::filled(1, 1, 1.0));
+
+        for i in (0..self.nodes.len()).rev() {
+            let g = match grads[i].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            self.backprop_node(i, &g, &mut grads);
+            grads[i] = Some(g);
+        }
+        grads
+    }
+
+    fn backprop_node(&self, i: usize, g: &Matrix, grads: &mut [Option<Matrix>]) {
+        let acc = |grads: &mut [Option<Matrix>], idx: usize, delta: Matrix| {
+            match &mut grads[idx] {
+                Some(existing) => existing.add_assign(&delta),
+                slot @ None => *slot = Some(delta),
+            }
+        };
+        match &self.nodes[i].op {
+            Op::Leaf => {}
+            Op::MatMul { a, b } => {
+                let da = g.matmul_nt(&self.nodes[*b].value);
+                let db = self.nodes[*a].value.matmul_tn(g);
+                acc(grads, *a, da);
+                acc(grads, *b, db);
+            }
+            Op::Add { a, b } => {
+                acc(grads, *a, g.clone());
+                acc(grads, *b, g.clone());
+            }
+            Op::Sub { a, b } => {
+                acc(grads, *a, g.clone());
+                acc(grads, *b, g.scale(-1.0));
+            }
+            Op::Mul { a, b } => {
+                acc(grads, *a, g.hadamard(&self.nodes[*b].value));
+                acc(grads, *b, g.hadamard(&self.nodes[*a].value));
+            }
+            Op::AddBias { x, bias } => {
+                acc(grads, *x, g.clone());
+                let mut db = Matrix::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for c in 0..g.cols() {
+                        db.set(0, c, db.get(0, c) + g.get(r, c));
+                    }
+                }
+                acc(grads, *bias, db);
+            }
+            Op::Affine { a, alpha } => acc(grads, *a, g.scale(*alpha)),
+            Op::MulConst { a, c } => acc(grads, *a, g.hadamard(c)),
+            Op::Relu { a } => {
+                let y = &self.nodes[i].value;
+                acc(grads, *a, g.zip_map(y, |gi, yi| if yi > 0.0 { gi } else { 0.0 }));
+            }
+            Op::Sigmoid { a } => {
+                let y = &self.nodes[i].value;
+                acc(grads, *a, g.zip_map(y, |gi, yi| gi * yi * (1.0 - yi)));
+            }
+            Op::Tanh { a } => {
+                let y = &self.nodes[i].value;
+                acc(grads, *a, g.zip_map(y, |gi, yi| gi * (1.0 - yi * yi)));
+            }
+            Op::ConcatCols { a, b } => {
+                let ca = self.nodes[*a].value.cols();
+                let da = Matrix::from_fn(g.rows(), ca, |r, c| g.get(r, c));
+                let db =
+                    Matrix::from_fn(g.rows(), g.cols() - ca, |r, c| g.get(r, ca + c));
+                acc(grads, *a, da);
+                acc(grads, *b, db);
+            }
+            Op::SliceCols { a, start } => {
+                let src = &self.nodes[*a].value;
+                let mut da = Matrix::zeros(src.rows(), src.cols());
+                for r in 0..g.rows() {
+                    for c in 0..g.cols() {
+                        da.set(r, start + c, g.get(r, c));
+                    }
+                }
+                acc(grads, *a, da);
+            }
+            Op::StackRows { parts } => {
+                let mut r0 = 0;
+                for &p in parts {
+                    let rows = self.nodes[p].value.rows();
+                    let dp = Matrix::from_fn(rows, g.cols(), |r, c| g.get(r0 + r, c));
+                    acc(grads, p, dp);
+                    r0 += rows;
+                }
+            }
+            Op::MeanOverRows { a } => {
+                let rows = self.nodes[*a].value.rows().max(1);
+                let scale = 1.0 / rows as f32;
+                let da = Matrix::from_fn(rows, g.cols(), |_, c| g.get(0, c) * scale);
+                acc(grads, *a, da);
+            }
+            Op::RowSum { a } => {
+                let src = &self.nodes[*a].value;
+                let da = Matrix::from_fn(src.rows(), src.cols(), |r, _| g.get(r, 0));
+                acc(grads, *a, da);
+            }
+            Op::Im2Col { a, k } => {
+                let src = &self.nodes[*a].value;
+                let (t, c) = src.shape();
+                let mut da = Matrix::zeros(t, c);
+                for w in 0..(t - k + 1) {
+                    for dk in 0..*k {
+                        for cc in 0..c {
+                            let v = da.get(w + dk, cc) + g.get(w, dk * c + cc);
+                            da.set(w + dk, cc, v);
+                        }
+                    }
+                }
+                acc(grads, *a, da);
+            }
+            Op::L2NormRows { a } => {
+                let x = &self.nodes[*a].value;
+                let y = &self.nodes[i].value;
+                let mut da = Matrix::zeros(x.rows(), x.cols());
+                for r in 0..x.rows() {
+                    let norm = row_norm(x.row(r));
+                    if norm > 1e-12 {
+                        let gy: f32 = g
+                            .row(r)
+                            .iter()
+                            .zip(y.row(r).iter())
+                            .map(|(&gi, &yi)| gi * yi)
+                            .sum();
+                        for c in 0..x.cols() {
+                            da.set(r, c, (g.get(r, c) - y.get(r, c) * gy) / norm);
+                        }
+                    } else {
+                        da.row_mut(r).copy_from_slice(g.row(r));
+                    }
+                }
+                acc(grads, *a, da);
+            }
+            Op::AbsDiff { a, b } => {
+                let va = &self.nodes[*a].value;
+                let vb = &self.nodes[*b].value;
+                let sign = va.zip_map(vb, |x, y| {
+                    if x > y {
+                        1.0
+                    } else if x < y {
+                        -1.0
+                    } else {
+                        0.0
+                    }
+                });
+                acc(grads, *a, g.hadamard(&sign));
+                acc(grads, *b, g.hadamard(&sign).scale(-1.0));
+            }
+            Op::Dropout { a, mask } => acc(grads, *a, g.hadamard(mask)),
+            Op::SoftmaxCE {
+                logits,
+                targets,
+                probs,
+            } => {
+                let scale = g.get(0, 0) / probs.rows().max(1) as f32;
+                let mut dz = probs.scale(scale);
+                for (r, &t) in targets.iter().enumerate() {
+                    dz.set(r, t, dz.get(r, t) - scale);
+                }
+                acc(grads, *logits, dz);
+            }
+            Op::BceLogits { logits, labels, sig } => {
+                let scale = g.get(0, 0) / sig.rows().max(1) as f32;
+                let dz = sig.zip_map(labels, |s, y| (s - y) * scale);
+                acc(grads, *logits, dz);
+            }
+            Op::SumAll { a } => {
+                let shape = self.nodes[*a].value.shape();
+                acc(grads, *a, Matrix::filled(shape.0, shape.1, g.get(0, 0)));
+            }
+            Op::MeanAll { a } => {
+                let shape = self.nodes[*a].value.shape();
+                let n = (shape.0 * shape.1).max(1) as f32;
+                acc(grads, *a, Matrix::filled(shape.0, shape.1, g.get(0, 0) / n));
+            }
+        }
+    }
+}
+
+fn row_norm(row: &[f32]) -> f32 {
+    row.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::gradcheck_scalar;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tensor::randn;
+
+    /// Runs gradcheck for a scalar-valued graph builder over one parameter.
+    fn check(build: impl Fn(&mut Tape, Var) -> Var, init: Matrix) {
+        let mut store = ParamStore::new();
+        let id = store.add("p", init);
+        let max_err = gradcheck_scalar(&mut store, id, |tape, store| {
+            let p = tape.param(store, id);
+            build(tape, p)
+        });
+        assert!(max_err < 2e-2, "gradcheck failed: max rel err = {max_err}");
+    }
+
+    fn seeded(rows: usize, cols: usize, seed: u64) -> Matrix {
+        randn(&mut StdRng::seed_from_u64(seed), rows, cols, 1.0)
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let c = seeded(3, 2, 9);
+        check(
+            move |t, p| {
+                let c = t.input(c.clone());
+                let y = t.matmul(p, c);
+                t.sum_all(y)
+            },
+            seeded(2, 3, 1),
+        );
+    }
+
+    #[test]
+    fn grad_add_sub_mul() {
+        let other = seeded(2, 3, 5);
+        check(
+            move |t, p| {
+                let o = t.input(other.clone());
+                let a = t.add(p, o);
+                let s = t.sub(a, p);
+                let m = t.mul(s, p);
+                t.sum_all(m)
+            },
+            seeded(2, 3, 2),
+        );
+    }
+
+    #[test]
+    fn grad_bias_broadcast() {
+        let x = seeded(4, 3, 11);
+        check(
+            move |t, p| {
+                let x = t.input(x.clone());
+                let y = t.add_bias(x, p);
+                let z = t.tanh(y);
+                t.sum_all(z)
+            },
+            seeded(1, 3, 3),
+        );
+    }
+
+    #[test]
+    fn grad_activations() {
+        check(
+            |t, p| {
+                let r = t.relu(p);
+                let s = t.sigmoid(r);
+                let h = t.tanh(s);
+                t.mean_all(h)
+            },
+            seeded(3, 3, 4).scale(2.0),
+        );
+    }
+
+    #[test]
+    fn grad_concat_slice_stack() {
+        let other = seeded(2, 2, 6);
+        check(
+            move |t, p| {
+                let o = t.input(other.clone());
+                let cat = t.concat_cols(p, o);
+                let left = t.slice_cols(cat, 1, 3);
+                let st = t.stack_rows(&[left, left]);
+                t.sum_all(st)
+            },
+            seeded(2, 3, 7),
+        );
+    }
+
+    #[test]
+    fn grad_reductions() {
+        check(
+            |t, p| {
+                let m = t.mean_over_rows(p);
+                let s = t.row_sum(m);
+                t.sum_all(s)
+            },
+            seeded(4, 3, 8),
+        );
+    }
+
+    #[test]
+    fn grad_im2col() {
+        let w = seeded(6, 2, 13);
+        check(
+            move |t, p| {
+                let cols = t.im2col(p, 3);
+                let w = t.input(w.clone());
+                let y = t.matmul(cols, w);
+                let y = t.relu(y);
+                t.mean_all(y)
+            },
+            seeded(5, 2, 12),
+        );
+    }
+
+    #[test]
+    fn grad_l2_normalize() {
+        check(
+            |t, p| {
+                let n = t.l2_normalize_rows(p);
+                let s = t.row_sum(n);
+                t.mean_all(s)
+            },
+            seeded(3, 4, 14),
+        );
+    }
+
+    #[test]
+    fn grad_abs_diff() {
+        let other = seeded(2, 3, 16);
+        check(
+            move |t, p| {
+                let o = t.input(other.clone());
+                let d = t.abs_diff(p, o);
+                t.sum_all(d)
+            },
+            seeded(2, 3, 15),
+        );
+    }
+
+    #[test]
+    fn grad_softmax_ce() {
+        check(
+            |t, p| t.softmax_cross_entropy(p, &[2, 0, 1]),
+            seeded(3, 4, 17),
+        );
+    }
+
+    #[test]
+    fn grad_bce() {
+        let labels = Matrix::from_vec(4, 1, vec![1.0, 0.0, 1.0, 0.0]);
+        check(
+            move |t, p| t.bce_with_logits(p, labels.clone()),
+            seeded(4, 1, 18),
+        );
+    }
+
+    #[test]
+    fn grad_affine_mulconst() {
+        let c = seeded(2, 2, 20);
+        check(
+            move |t, p| {
+                let a = t.affine(p, -2.0, 0.5);
+                let m = t.mul_const(a, c.clone());
+                t.sum_all(m)
+            },
+            seeded(2, 2, 19),
+        );
+    }
+
+    #[test]
+    fn dropout_forward_scales_and_masks() {
+        let mut t = Tape::new();
+        let x = t.input(Matrix::filled(10, 10, 1.0));
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = t.dropout(x, 0.8, &mut rng);
+        let vals = t.value(d).as_slice();
+        assert!(vals.iter().all(|&v| v == 0.0 || (v - 1.25).abs() < 1e-6));
+        let kept = vals.iter().filter(|&&v| v > 0.0).count();
+        assert!((60..=95).contains(&kept), "kept = {kept}");
+    }
+
+    #[test]
+    fn dropout_gradient_respects_mask() {
+        let mut store = ParamStore::new();
+        let id = store.add("p", Matrix::filled(4, 4, 2.0));
+        let mut t = Tape::new();
+        let p = t.param(&store, id);
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = t.dropout(p, 0.5, &mut rng);
+        let loss = t.sum_all(d);
+        t.backward(loss, &mut store);
+        let g = &store.get(id).grad;
+        let y = t.value(d);
+        for r in 0..4 {
+            for c in 0..4 {
+                if y.get(r, c) == 0.0 {
+                    assert_eq!(g.get(r, c), 0.0);
+                } else {
+                    assert!((g.get(r, c) - 2.0).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_probs_sum_to_one() {
+        let mut t = Tape::new();
+        let z = t.input(seeded(5, 7, 21).scale(3.0));
+        let p = t.softmax_probs(z);
+        for r in 0..5 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.row(r).iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn bce_matches_manual_value() {
+        let mut t = Tape::new();
+        let z = t.input(Matrix::from_vec(2, 1, vec![0.0, 2.0]));
+        let l = t.bce_with_logits(z, Matrix::from_vec(2, 1, vec![1.0, 0.0]));
+        // -ln(0.5) and -ln(1 - sigmoid(2))
+        let expect = (-0.5f64.ln() + -(1.0 - 1.0 / (1.0 + (-2.0f64).exp())).ln()) / 2.0;
+        assert!((t.scalar(l) as f64 - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grads_accumulate_across_tapes() {
+        let mut store = ParamStore::new();
+        let id = store.add("p", Matrix::filled(1, 2, 1.0));
+        for _ in 0..3 {
+            let mut t = Tape::new();
+            let p = t.param(&store, id);
+            let loss = t.sum_all(p);
+            t.backward(loss, &mut store);
+        }
+        assert_eq!(store.get(id).grad.as_slice(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn shared_subexpression_gradients_sum() {
+        // loss = sum(p + p) => dloss/dp = 2
+        let mut store = ParamStore::new();
+        let id = store.add("p", Matrix::filled(2, 2, 0.5));
+        let mut t = Tape::new();
+        let p = t.param(&store, id);
+        let y = t.add(p, p);
+        let loss = t.sum_all(y);
+        t.backward(loss, &mut store);
+        assert!(store
+            .get(id)
+            .grad
+            .approx_eq(&Matrix::filled(2, 2, 2.0), 1e-6));
+    }
+
+    #[test]
+    fn zero_row_matrices_flow_through_elementwise_ops() {
+        let mut t = Tape::new();
+        let x = t.input(Matrix::zeros(0, 4));
+        let y = t.relu(x);
+        let z = t.sigmoid(y);
+        assert_eq!(t.value(z).shape(), (0, 4));
+        let m = t.mean_all(z);
+        assert_eq!(t.scalar(m), 0.0);
+    }
+
+    #[test]
+    fn slice_cols_full_width_is_identity() {
+        let mut t = Tape::new();
+        let m = seeded(3, 4, 30);
+        let x = t.input(m.clone());
+        let y = t.slice_cols(x, 0, 4);
+        assert!(t.value(y).approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_cols_out_of_range_panics() {
+        let mut t = Tape::new();
+        let x = t.input(Matrix::zeros(2, 3));
+        let _ = t.slice_cols(x, 2, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn softmax_ce_rejects_out_of_range_target() {
+        let mut t = Tape::new();
+        let z = t.input(Matrix::zeros(1, 3));
+        let _ = t.softmax_cross_entropy(z, &[3]);
+    }
+
+    #[test]
+    fn softmax_ce_is_stable_for_extreme_logits() {
+        let mut t = Tape::new();
+        let z = t.input(Matrix::from_vec(2, 2, vec![1e4, -1e4, -1e4, 1e4]));
+        let loss = t.softmax_cross_entropy(z, &[0, 1]);
+        let v = t.scalar(loss);
+        assert!(v.is_finite() && v >= 0.0, "loss = {v}");
+        let wrong = Tape::new();
+        drop(wrong);
+        // And the badly-wrong case is large but finite.
+        let mut t2 = Tape::new();
+        let z2 = t2.input(Matrix::from_vec(1, 2, vec![-1e4, 1e4]));
+        let loss2 = t2.softmax_cross_entropy(z2, &[0]);
+        assert!(t2.scalar(loss2).is_finite());
+    }
+
+    #[test]
+    fn bce_is_stable_for_extreme_logits() {
+        let mut t = Tape::new();
+        let z = t.input(Matrix::from_vec(2, 1, vec![1e4, -1e4]));
+        let loss = t.bce_with_logits(z, Matrix::from_vec(2, 1, vec![0.0, 1.0]));
+        let v = t.scalar(loss);
+        assert!(v.is_finite() && v > 100.0, "loss = {v}");
+    }
+
+    #[test]
+    fn l2_normalize_handles_zero_rows() {
+        let mut t = Tape::new();
+        let x = t.input(Matrix::zeros(2, 3));
+        let y = t.l2_normalize_rows(x);
+        assert_eq!(t.value(y).sum(), 0.0);
+        // And gradient passes through as identity there.
+        let mut store = ParamStore::new();
+        let id = store.add("p", Matrix::zeros(1, 3));
+        let mut t = Tape::new();
+        let p = t.param(&store, id);
+        let n = t.l2_normalize_rows(p);
+        let loss = t.sum_all(n);
+        t.backward(loss, &mut store);
+        assert!(store.get(id).grad.approx_eq(&Matrix::filled(1, 3, 1.0), 1e-6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn backward_requires_scalar() {
+        let mut store = ParamStore::new();
+        let id = store.add("p", Matrix::filled(2, 2, 1.0));
+        let mut t = Tape::new();
+        let p = t.param(&store, id);
+        t.backward(p, &mut store);
+    }
+}

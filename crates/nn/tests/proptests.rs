@@ -1,0 +1,116 @@
+//! Property-based tests for the autograd stack: randomized graphs must
+//! pass finite-difference gradient checks, and op outputs must satisfy
+//! their algebraic invariants.
+
+use nn::gradcheck::gradcheck_scalar;
+use nn::{ParamStore, Tape};
+use proptest::prelude::*;
+use tensor::Matrix;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_elementwise_chains_pass_gradcheck(
+        init in matrix(2, 3),
+        other in matrix(2, 3),
+        // abs_diff is excluded: its kink at equality makes central
+        // differences unreliable when random values land within eps.
+        ops in proptest::collection::vec(0u8..5, 1..6),
+    ) {
+        let mut store = ParamStore::new();
+        let id = store.add("p", init);
+        let err = gradcheck_scalar(&mut store, id, move |t, s| {
+            let mut x = t.param(s, id);
+            let o = t.input(other.clone());
+            for &op in &ops {
+                x = match op {
+                    0 => t.tanh(x),
+                    1 => t.sigmoid(x),
+                    2 => t.add(x, o),
+                    3 => t.mul(x, o),
+                    _ => t.affine(x, 0.5, 0.1),
+                };
+            }
+            t.mean_all(x)
+        });
+        prop_assert!(err < 5e-2, "max rel err = {err}");
+    }
+
+    #[test]
+    fn matmul_chain_gradcheck(a in matrix(2, 3), b in matrix(3, 2)) {
+        let mut store = ParamStore::new();
+        let id = store.add("p", a);
+        let err = gradcheck_scalar(&mut store, id, move |t, s| {
+            let p = t.param(s, id);
+            let b = t.input(b.clone());
+            let y = t.matmul(p, b);
+            let n = t.l2_normalize_rows(y);
+            let r = t.row_sum(n);
+            t.mean_all(r)
+        });
+        prop_assert!(err < 5e-2, "max rel err = {err}");
+    }
+
+    #[test]
+    fn softmax_ce_nonnegative_and_prob_rows_sum(logits in matrix(3, 4)) {
+        let mut t = Tape::new();
+        let z = t.input(logits);
+        let loss = t.softmax_cross_entropy(z, &[0, 1, 2]);
+        prop_assert!(t.scalar(loss) >= 0.0);
+        let p = t.softmax_probs(z);
+        for r in 0..3 {
+            let s: f32 = p.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn dropout_keeps_expectation(keep in 0.3f32..1.0, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut t = Tape::new();
+        let x = t.input(Matrix::filled(40, 40, 1.0));
+        let d = t.dropout(x, keep, &mut rng);
+        // Inverted dropout: E[output] = input; check the sample mean.
+        let mean = t.value(d).mean();
+        prop_assert!((mean - 1.0).abs() < 0.15, "mean = {mean}, keep = {keep}");
+    }
+
+    #[test]
+    fn stack_then_slice_recovers_parts(a in matrix(2, 3), b in matrix(4, 3)) {
+        let mut t = Tape::new();
+        let va = t.input(a.clone());
+        let vb = t.input(b.clone());
+        let s = t.stack_rows(&[va, vb]);
+        let m = t.value(s);
+        prop_assert_eq!(m.shape(), (6, 3));
+        for r in 0..2 {
+            prop_assert_eq!(m.row(r), a.row(r));
+        }
+        for r in 0..4 {
+            prop_assert_eq!(m.row(2 + r), b.row(r));
+        }
+    }
+
+    #[test]
+    fn im2col_preserves_window_contents(x in matrix(5, 2), k in 1usize..4) {
+        let mut t = Tape::new();
+        let v = t.input(x.clone());
+        let c = t.im2col(v, k);
+        let m = t.value(c);
+        prop_assert_eq!(m.shape(), (5 - k + 1, k * 2));
+        for w in 0..(5 - k + 1) {
+            for dk in 0..k {
+                for col in 0..2 {
+                    prop_assert_eq!(m.get(w, dk * 2 + col), x.get(w + dk, col));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Random initializers.
+//!
+//! The paper initializes LSTM and fully-connected parameters "with Gaussian
+//! noise with mean 0 and standard deviation 0.01" (§6.1.2); [`randn`] with
+//! `std = 0.01` reproduces that. [`glorot_uniform`] is provided for the
+//! word-embedding tables, where variance-scaled init markedly speeds up
+//! skip-gram convergence.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Gaussian-initialized matrix with the given mean 0 and standard deviation.
+pub fn randn<R: Rng>(rng: &mut R, rows: usize, cols: usize, std: f32) -> Matrix {
+    // Box-Muller transform; rand 0.8's `StandardNormal` lives in rand_distr,
+    // which is not in the allowed dependency set.
+    let next = move |rng: &mut R| {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    };
+    Matrix::from_fn(rows, cols, |_, _| next(rng) * std)
+}
+
+/// Uniformly-initialized matrix over `[lo, hi)`.
+pub fn uniform<R: Rng>(rng: &mut R, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..hi))
+}
+
+/// Glorot/Xavier uniform init: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn glorot_uniform<R: Rng>(rng: &mut R, rows: usize, cols: usize) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rng, rows, cols, -a, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = randn(&mut rng, 100, 100, 2.0);
+        let mean = m.mean();
+        let var = m.map(|x| (x - mean) * (x - mean)).mean();
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var = {var}");
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = uniform(&mut rng, 50, 50, -0.25, 0.75);
+        assert!(m.as_slice().iter().all(|&x| (-0.25..0.75).contains(&x)));
+    }
+
+    #[test]
+    fn glorot_scale_shrinks_with_fan() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let small = glorot_uniform(&mut rng, 4, 4);
+        let large = glorot_uniform(&mut rng, 400, 400);
+        assert!(small.max_abs() > large.max_abs());
+        let bound = (6.0f32 / 800.0).sqrt();
+        assert!(large.max_abs() <= bound);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = randn(&mut StdRng::seed_from_u64(1), 5, 5, 1.0);
+        let b = randn(&mut StdRng::seed_from_u64(1), 5, 5, 1.0);
+        assert!(a.approx_eq(&b, 0.0));
+    }
+}

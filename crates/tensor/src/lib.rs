@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! Dense row-major `f32` matrices.
+//!
+//! This is the storage layer under the `nn` autograd crate. Everything in
+//! the paper's models — fully-connected stacks, (Bi)LSTM gates, the 3×N
+//! convolution of BiLSTM-C, skip-gram embeddings — reduces to 2-D dense
+//! algebra, so a single [`Matrix`] type with explicit-transpose matmuls is
+//! all the tensor machinery the reproduction needs.
+
+pub mod matrix;
+pub mod init;
+
+pub use matrix::Matrix;
+pub use init::{glorot_uniform, randn, uniform};

@@ -1,0 +1,73 @@
+//! Algebraic laws of [`tensor::Matrix`] under proptest.
+
+use proptest::prelude::*;
+use tensor::Matrix;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in matrix(3, 4), b in matrix(3, 4)) {
+        prop_assert!(a.add(&b).approx_eq(&b.add(&a), 1e-5));
+    }
+
+    #[test]
+    fn add_associates(a in matrix(2, 3), b in matrix(2, 3), c in matrix(2, 3)) {
+        prop_assert!(a.add(&b).add(&c).approx_eq(&a.add(&b.add(&c)), 1e-4));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in matrix(3, 4), b in matrix(4, 2), c in matrix(4, 2)) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-2));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix(3, 4), b in matrix(4, 2)) {
+        // (A B)^T = B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.approx_eq(&rhs, 1e-3));
+    }
+
+    #[test]
+    fn tn_nt_consistency(a in matrix(4, 3), b in matrix(4, 2)) {
+        prop_assert!(a.matmul_tn(&b).approx_eq(&a.transpose().matmul(&b), 1e-3));
+        let c = Matrix::from_fn(5, 3, |r, c| (r as f32 + 1.0) * 0.1 - c as f32 * 0.2);
+        prop_assert!(a.matmul_nt(&c).approx_eq(&a.matmul(&c.transpose()), 1e-3));
+    }
+
+    #[test]
+    fn scale_linearity(a in matrix(3, 3), s in -4.0f32..4.0) {
+        prop_assert!((a.scale(s).sum() - s * a.sum()).abs() < 1e-2 * (1.0 + a.sum().abs() * s.abs()));
+    }
+
+    #[test]
+    fn hadamard_commutes(a in matrix(2, 5), b in matrix(2, 5)) {
+        prop_assert!(a.hadamard(&b).approx_eq(&b.hadamard(&a), 1e-6));
+    }
+
+    #[test]
+    fn concat_cols_preserves_rows(a in matrix(3, 2), b in matrix(3, 4)) {
+        let h = a.concat_cols(&b);
+        prop_assert_eq!(h.shape(), (3, 6));
+        for r in 0..3 {
+            prop_assert_eq!(&h.row(r)[..2], a.row(r));
+            prop_assert_eq!(&h.row(r)[2..], b.row(r));
+        }
+    }
+
+    #[test]
+    fn l2_norm_triangle(a in matrix(4, 4), b in matrix(4, 4)) {
+        prop_assert!(a.add(&b).l2_norm() <= a.l2_norm() + b.l2_norm() + 1e-4);
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(a in matrix(1, 8), b in matrix(1, 8)) {
+        prop_assert!(a.dot(&b).abs() <= a.l2_norm() * b.l2_norm() + 1e-3);
+    }
+}

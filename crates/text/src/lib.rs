@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Text substrate for the HisRect reproduction.
+//!
+//! The paper preprocesses tweet contents by replacing every stopword with a
+//! `</s>` symbol, keeps only words appearing more than 10 times, trains
+//! skip-gram word vectors over all timeline contents (§4.2, §6.1.2), and —
+//! for the TG-TI-C and N-Gram-Gauss baselines — needs TF-IDF similarity
+//! and n-gram extraction. All of that lives here:
+//!
+//! - [`tokenize`] / [`preprocess`] — tokenizer and stopword replacement.
+//! - [`Vocab`] — frequency-thresholded vocabulary with the `</s>` symbol.
+//! - [`SkipGram`] — skip-gram with negative sampling, from scratch.
+//! - [`ngrams`] — n-gram extraction for the Gaussian baseline.
+//! - [`TfIdf`] — document vectors and cosine similarity for TG-TI-C.
+
+pub mod tokenizer;
+pub mod vocab;
+pub mod skipgram;
+pub mod ngram;
+pub mod tfidf;
+
+pub use ngram::ngrams;
+pub use skipgram::{SkipGram, SkipGramConfig};
+pub use tfidf::{SparseVec, TfIdf};
+pub use tokenizer::{preprocess, tokenize, STOPWORDS, UNK_SYMBOL};
+pub use vocab::Vocab;

@@ -1,0 +1,55 @@
+//! N-gram extraction for the N-Gram-Gauss baseline (\[18\] in the paper).
+
+/// Returns all contiguous `n`-grams (space-joined) for `1 <= n <= max_n`.
+///
+/// The N-Gram-Gauss baseline fits a Gaussian per geo-specific n-gram;
+/// following \[18\] we use unigrams and bigrams by default.
+pub fn ngrams(tokens: &[String], max_n: usize) -> Vec<String> {
+    assert!(max_n >= 1);
+    let mut out = Vec::new();
+    for n in 1..=max_n {
+        if tokens.len() < n {
+            break;
+        }
+        for w in tokens.windows(n) {
+            out.push(w.join(" "));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn unigrams_only() {
+        assert_eq!(ngrams(&toks(&["a", "b"]), 1), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn bigrams_included() {
+        assert_eq!(
+            ngrams(&toks(&["statue", "of", "liberty"]), 2),
+            vec!["statue", "of", "liberty", "statue of", "of liberty"]
+        );
+    }
+
+    #[test]
+    fn trigram_count() {
+        let g = ngrams(&toks(&["a", "b", "c", "d"]), 3);
+        // 4 + 3 + 2
+        assert_eq!(g.len(), 9);
+        assert!(g.contains(&"b c d".to_string()));
+    }
+
+    #[test]
+    fn short_input_degrades_gracefully() {
+        assert_eq!(ngrams(&toks(&["solo"]), 3), vec!["solo"]);
+        assert!(ngrams(&[], 2).is_empty());
+    }
+}

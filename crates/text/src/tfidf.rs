@@ -1,0 +1,148 @@
+//! TF-IDF document vectors and cosine similarity.
+//!
+//! The TG-TI-C baseline (\[22\] in the paper) geolocalizes a tweet by
+//! comparing its content against a corpus of geo-tagged tweets; content
+//! similarity is computed here as cosine over TF-IDF-weighted sparse
+//! vectors.
+
+use std::collections::HashMap;
+
+/// A TF-IDF model fit on a reference corpus of tokenized documents.
+#[derive(Debug, Clone)]
+pub struct TfIdf {
+    /// idf per term, computed as `ln(1 + N / (1 + df))` (smoothed).
+    idf: HashMap<String, f32>,
+    n_docs: usize,
+}
+
+/// A sparse TF-IDF vector: `term -> weight`, pre-normalized to unit ℓ2.
+pub type SparseVec = HashMap<String, f32>;
+
+impl TfIdf {
+    /// Fits document frequencies on `docs`.
+    pub fn fit<'a>(docs: impl IntoIterator<Item = &'a [String]>) -> Self {
+        let mut df: HashMap<String, u32> = HashMap::new();
+        let mut n_docs = 0usize;
+        for doc in docs {
+            n_docs += 1;
+            let mut seen: Vec<&String> = doc.iter().collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for term in seen {
+                *df.entry(term.clone()).or_insert(0) += 1;
+            }
+        }
+        let idf = df
+            .into_iter()
+            .map(|(t, d)| {
+                let w = (1.0 + n_docs as f32 / (1.0 + d as f32)).ln();
+                (t, w)
+            })
+            .collect();
+        Self { idf, n_docs }
+    }
+
+    /// Number of fitted documents.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Transforms a token stream into a unit-norm sparse TF-IDF vector.
+    /// Unseen terms get the maximum idf (they are maximally surprising).
+    pub fn transform(&self, tokens: &[String]) -> SparseVec {
+        let default_idf = (1.0 + self.n_docs as f32).ln();
+        let mut tf: HashMap<&String, f32> = HashMap::new();
+        for t in tokens {
+            *tf.entry(t).or_insert(0.0) += 1.0;
+        }
+        let mut vec: SparseVec = tf
+            .into_iter()
+            .map(|(t, f)| {
+                let idf = self.idf.get(t).copied().unwrap_or(default_idf);
+                (t.clone(), f * idf)
+            })
+            .collect();
+        let norm: f32 = vec.values().map(|w| w * w).sum::<f32>().sqrt();
+        if norm > 1e-12 {
+            for w in vec.values_mut() {
+                *w /= norm;
+            }
+        }
+        vec
+    }
+
+    /// Cosine similarity of two transformed vectors (both unit-norm, so
+    /// this is just the sparse dot product).
+    pub fn cosine(a: &SparseVec, b: &SparseVec) -> f32 {
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        small
+            .iter()
+            .filter_map(|(t, &wa)| large.get(t).map(|&wb| wa * wb))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_docs_have_cosine_one() {
+        let corpus = [toks(&["a", "b", "c"]), toks(&["d", "e"])];
+        let model = TfIdf::fit(corpus.iter().map(|d| d.as_slice()));
+        let v = model.transform(&toks(&["a", "b"]));
+        assert!((TfIdf::cosine(&v, &v) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn disjoint_docs_have_cosine_zero() {
+        let corpus = [toks(&["a", "b"]), toks(&["c", "d"])];
+        let model = TfIdf::fit(corpus.iter().map(|d| d.as_slice()));
+        let va = model.transform(&toks(&["a", "b"]));
+        let vc = model.transform(&toks(&["c", "d"]));
+        assert_eq!(TfIdf::cosine(&va, &vc), 0.0);
+    }
+
+    #[test]
+    fn rare_terms_weigh_more() {
+        // "common" appears in every doc, "rare" in one.
+        let corpus = [
+            toks(&["common", "rare"]),
+            toks(&["common", "x"]),
+            toks(&["common", "y"]),
+            toks(&["common", "z"]),
+        ];
+        let model = TfIdf::fit(corpus.iter().map(|d| d.as_slice()));
+        let v = model.transform(&toks(&["common", "rare"]));
+        assert!(v["rare"] > v["common"]);
+    }
+
+    #[test]
+    fn shared_rare_term_dominates_similarity() {
+        let corpus = [
+            toks(&["the", "statue", "liberty"]),
+            toks(&["the", "park"]),
+            toks(&["the", "deli"]),
+            toks(&["the", "subway"]),
+        ];
+        let model = TfIdf::fit(corpus.iter().map(|d| d.as_slice()));
+        let q = model.transform(&toks(&["the", "statue"]));
+        let d1 = model.transform(&toks(&["the", "statue", "liberty"]));
+        let d2 = model.transform(&toks(&["the", "park"]));
+        assert!(TfIdf::cosine(&q, &d1) > TfIdf::cosine(&q, &d2));
+    }
+
+    #[test]
+    fn empty_doc_is_zero_vector() {
+        let corpus = [toks(&["a"])];
+        let model = TfIdf::fit(corpus.iter().map(|d| d.as_slice()));
+        let v = model.transform(&[]);
+        assert!(v.is_empty());
+        let w = model.transform(&toks(&["a"]));
+        assert_eq!(TfIdf::cosine(&v, &w), 0.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Tokenization and stopword handling (§6.1.2).
+
+/// The symbol the paper substitutes for stopwords and that we also use for
+/// out-of-vocabulary words.
+pub const UNK_SYMBOL: &str = "</s>";
+
+/// A compact English stopword list (the paper points at ranks.nl's list;
+/// this is the same short variant commonly distributed from there).
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "could", "did", "do", "does", "doing", "down", "during", "each", "few", "for", "from",
+    "further", "had", "has", "have", "having", "he", "her", "here", "hers", "herself", "him",
+    "himself", "his", "how", "i", "if", "in", "into", "is", "it", "its", "itself", "just", "me",
+    "more", "most", "my", "myself", "no", "nor", "not", "now", "of", "off", "on", "once", "only",
+    "or", "other", "our", "ours", "ourselves", "out", "over", "own", "same", "she", "should",
+    "so", "some", "such", "than", "that", "the", "their", "theirs", "them", "themselves", "then",
+    "there", "these", "they", "this", "those", "through", "to", "too", "under", "until", "up",
+    "very", "was", "we", "were", "what", "when", "where", "which", "while", "who", "whom", "why",
+    "will", "with", "you", "your", "yours", "yourself", "yourselves",
+];
+
+fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// Splits raw tweet text into lowercase word tokens. Twitter text is noisy
+/// (§1), so the rule is deliberately simple: alphanumeric runs (plus `#`
+/// and `@` prefixes kept attached, as hashtags/mentions carry location
+/// signal) separated by anything else.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch == '#' || ch == '@' {
+            // Hashtags/mentions start a fresh token even mid-run.
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            current.push(ch);
+        } else if ch.is_alphanumeric() || ch == '_' {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Tokenizes and replaces every stopword with [`UNK_SYMBOL`], exactly the
+/// preprocessing of §6.1.2.
+pub fn preprocess(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .map(|t| {
+            if is_stopword(&t) {
+                UNK_SYMBOL.to_string()
+            } else {
+                t
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopword_list_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS, "STOPWORDS must stay sorted");
+    }
+
+    #[test]
+    fn tokenize_basic() {
+        assert_eq!(
+            tokenize("Eating a sandwich in Glasgow!"),
+            vec!["eating", "a", "sandwich", "in", "glasgow"]
+        );
+    }
+
+    #[test]
+    fn tokenize_keeps_hashtags_and_mentions() {
+        assert_eq!(
+            tokenize("at #TimesSquare with @bob"),
+            vec!["at", "#timessquare", "with", "@bob"]
+        );
+    }
+
+    #[test]
+    fn tokenize_splits_on_punctuation_and_unicode() {
+        assert_eq!(tokenize("one,two;three—four"), vec!["one", "two", "three", "four"]);
+        assert_eq!(tokenize("café au lait"), vec!["café", "au", "lait"]);
+    }
+
+    #[test]
+    fn tokenize_empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn preprocess_replaces_stopwords() {
+        let toks = preprocess("I am at the Statue of Liberty");
+        assert_eq!(
+            toks,
+            vec![UNK_SYMBOL, UNK_SYMBOL, UNK_SYMBOL, UNK_SYMBOL, "statue", UNK_SYMBOL, "liberty"]
+        );
+    }
+
+    #[test]
+    fn hash_prefix_only_at_token_start() {
+        assert_eq!(tokenize("mid#tag"), vec!["mid", "#tag"]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Frequency-thresholded vocabulary.
+
+use crate::tokenizer::UNK_SYMBOL;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A word ↔ id mapping built from corpus frequencies.
+///
+/// Per §6.1.2, only words appearing strictly more than `min_count` times
+/// are kept (the paper uses 10); everything else maps to the `</s>` symbol,
+/// which always holds id 0.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    words: Vec<String>,
+    index: HashMap<String, usize>,
+    counts: Vec<u64>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from token streams.
+    pub fn build<'a>(docs: impl IntoIterator<Item = &'a [String]>, min_count: u64) -> Self {
+        let mut freq: HashMap<&str, u64> = HashMap::new();
+        for doc in docs {
+            for tok in doc {
+                *freq.entry(tok.as_str()).or_insert(0) += 1;
+            }
+        }
+        let unk_count = freq.remove(UNK_SYMBOL).unwrap_or(0);
+        let mut kept: Vec<(&str, u64)> = freq
+            .into_iter()
+            .filter(|&(_, c)| c > min_count)
+            .collect();
+        // Deterministic id assignment: by descending count, ties by word.
+        kept.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+
+        let mut words = Vec::with_capacity(kept.len() + 1);
+        let mut counts = Vec::with_capacity(kept.len() + 1);
+        words.push(UNK_SYMBOL.to_string());
+        counts.push(unk_count.max(1));
+        for (w, c) in kept {
+            words.push(w.to_string());
+            counts.push(c);
+        }
+        let index = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i))
+            .collect();
+        Self {
+            words,
+            index,
+            counts,
+        }
+    }
+
+    /// Vocabulary size including the `</s>` symbol.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Never true: the `</s>` symbol is always present.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Id for a word; unknown words fall back to the `</s>` id (0).
+    pub fn id(&self, word: &str) -> usize {
+        self.index.get(word).copied().unwrap_or(0)
+    }
+
+    /// True when the word survives the frequency threshold.
+    pub fn contains(&self, word: &str) -> bool {
+        self.index.contains_key(word)
+    }
+
+    /// The word for an id.
+    pub fn word(&self, id: usize) -> &str {
+        &self.words[id]
+    }
+
+    /// Corpus frequency of an id.
+    pub fn count(&self, id: usize) -> u64 {
+        self.counts[id]
+    }
+
+    /// Encodes a token stream to ids (unknowns map to 0).
+    pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
+        tokens.iter().map(|t| self.id(t)).collect()
+    }
+
+    /// Unigram distribution raised to the 3/4 power — the negative-sampling
+    /// table of Mikolov et al. (\[53\] in the paper).
+    pub fn unigram_weights(&self) -> Vec<f64> {
+        self.counts.iter().map(|&c| (c as f64).powf(0.75)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn threshold_filters_rare_words() {
+        let a = doc(&["pizza", "pizza", "pizza", "rare"]);
+        let b = doc(&["pizza", "tacos", "tacos", "tacos"]);
+        let v = Vocab::build([a.as_slice(), b.as_slice()], 2);
+        assert!(v.contains("pizza")); // 4 > 2
+        assert!(v.contains("tacos")); // 3 > 2
+        assert!(!v.contains("rare")); // 1 <= 2
+        assert_eq!(v.id("rare"), 0);
+        assert_eq!(v.word(0), UNK_SYMBOL);
+    }
+
+    #[test]
+    fn ids_deterministic_and_frequency_ordered() {
+        let a = doc(&["b", "b", "b", "a", "a", "a", "a", "c", "c", "c"]);
+        let v1 = Vocab::build([a.as_slice()], 0);
+        let v2 = Vocab::build([a.as_slice()], 0);
+        assert_eq!(v1.id("a"), 1); // most frequent after UNK
+        assert_eq!(v1.id("a"), v2.id("a"));
+        assert_eq!(v1.id("b"), v2.id("b"));
+        // b and c tie at 3; lexicographic tiebreak puts b first.
+        assert_eq!(v1.id("b"), 2);
+        assert_eq!(v1.id("c"), 3);
+    }
+
+    #[test]
+    fn encode_round_trips_known_words() {
+        let a = doc(&["x", "x", "y", "y"]);
+        let v = Vocab::build([a.as_slice()], 1);
+        let ids = v.encode(&doc(&["x", "zzz", "y"]));
+        assert_eq!(v.word(ids[0]), "x");
+        assert_eq!(ids[1], 0);
+        assert_eq!(v.word(ids[2]), "y");
+    }
+
+    #[test]
+    fn unigram_weights_are_subunit_power() {
+        let a = doc(&["w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w"]);
+        let v = Vocab::build([a.as_slice()], 1);
+        let w = v.unigram_weights();
+        assert_eq!(w.len(), v.len());
+        assert!((w[v.id("w")] - (16f64).powf(0.75)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unk_counts_tracked() {
+        let a = doc(&[UNK_SYMBOL, UNK_SYMBOL, "k", "k"]);
+        let v = Vocab::build([a.as_slice()], 1);
+        assert_eq!(v.count(0), 2);
+    }
+}

@@ -1,0 +1,388 @@
+//! The §6.1.1 dataset-assembly pipeline, shared by the simulator and by
+//! [`crate::builder::CorpusBuilder`] (real-data import):
+//!
+//! 1. drop timelines without a POI tweet;
+//! 2. materialize one profile per geo-tagged tweet (recent tweet + prior
+//!    visit history), labeled by point-in-polygon against the POI set;
+//! 3. split timelines 1/5 test, remainder 9:1 train:valid;
+//! 4. build positive / negative / unlabeled pairs with a Δt sliding
+//!    window (reservoir-capped);
+//! 5. collect the training-timeline contents as the skip-gram corpus.
+
+use crate::dataset::{Dataset, Split};
+use crate::types::{Pair, Profile, ProfileIdx, Timeline, Visit};
+use crate::world::World;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Assembly knobs (a subset of [`crate::SimConfig`], so imported corpora
+/// don't need the simulation fields).
+#[derive(Debug, Clone)]
+pub struct AssembleParams {
+    /// Dataset label.
+    pub name: String,
+    /// Pairing threshold Δt in seconds.
+    pub delta_t: i64,
+    /// Reservoir cap on negative pairs per split (0 = unbounded).
+    pub max_neg_pairs: usize,
+    /// Reservoir cap on unlabeled pairs (0 = unbounded).
+    pub max_unlabeled_pairs: usize,
+}
+
+impl Default for AssembleParams {
+    fn default() -> Self {
+        Self {
+            name: "corpus".into(),
+            delta_t: 3600,
+            max_neg_pairs: 400_000,
+            max_unlabeled_pairs: 250_000,
+        }
+    }
+}
+
+/// Runs the full §6.1.1 pipeline over already-tokenized timelines.
+///
+/// `friendships` may be empty (imported corpora usually have none). The
+/// timelines' `true_poi` fields are ignored — labels always come from the
+/// geometric containment test, exactly as the paper derives them from OSM.
+pub fn assemble(
+    world: World,
+    timelines: Vec<Timeline>,
+    friendships: Vec<(u32, u32)>,
+    params: &AssembleParams,
+    rng: &mut StdRng,
+) -> Dataset {
+    // 1. Timeline filter. A timeline qualifies when at least one of its
+    //    geo-tagged tweets lands inside a POI (we re-derive this
+    //    geometrically rather than trusting `true_poi`).
+    let timelines: Vec<Timeline> = timelines
+        .into_iter()
+        .filter(|tl| {
+            tl.tweets
+                .iter()
+                .any(|t| t.geo.is_some_and(|g| world.pois.containing(&g).is_some()))
+        })
+        .collect();
+
+    // 2. Profiles.
+    let mut profiles: Vec<Profile> = Vec::new();
+    let mut profiles_of_timeline: Vec<Vec<ProfileIdx>> = Vec::with_capacity(timelines.len());
+    for tl in &timelines {
+        let mut own = Vec::new();
+        let mut visits_so_far: Vec<Visit> = Vec::new();
+        for tweet in &tl.tweets {
+            if let Some(geo) = tweet.geo {
+                let pid = world.pois.containing(&geo);
+                own.push(profiles.len());
+                profiles.push(Profile {
+                    uid: tl.uid,
+                    ts: tweet.ts,
+                    tokens: tweet.tokens.clone(),
+                    geo,
+                    visits: visits_so_far.clone(),
+                    pid,
+                });
+                visits_so_far.push(Visit {
+                    ts: tweet.ts,
+                    point: geo,
+                });
+            }
+        }
+        profiles_of_timeline.push(own);
+    }
+
+    // 3. Splits.
+    let mut order: Vec<usize> = (0..timelines.len()).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let n_test = order.len() / 5;
+    let n_valid = (order.len() - n_test) / 10;
+    let (test_tl, rest) = order.split_at(n_test.max(1).min(order.len()));
+    let (valid_tl, train_tl) = rest.split_at(n_valid.min(rest.len()));
+
+    let build = |tl_idxs: &[usize], with_unlabeled: bool, rng: &mut StdRng| {
+        build_split(
+            params,
+            &timelines,
+            &profiles,
+            &profiles_of_timeline,
+            tl_idxs,
+            with_unlabeled,
+            rng,
+        )
+    };
+    let train = build(train_tl, true, rng);
+    let valid = build(valid_tl, false, rng);
+    let test = build(test_tl, false, rng);
+
+    // 5. Skip-gram corpus.
+    let train_uids: std::collections::HashSet<u32> = train.uids.iter().copied().collect();
+    let train_docs = timelines
+        .iter()
+        .filter(|tl| train_uids.contains(&tl.uid))
+        .flat_map(|tl| tl.tweets.iter().map(|t| t.tokens.clone()))
+        .collect();
+
+    Dataset {
+        name: params.name.clone(),
+        world,
+        timelines,
+        profiles,
+        train,
+        valid,
+        test,
+        train_docs,
+        delta_t: params.delta_t,
+        friendships,
+    }
+}
+
+/// Reservoir-samples `pair` into `sink` with capacity `cap` (0 = no cap).
+fn reservoir_push<R: Rng>(
+    sink: &mut Vec<Pair>,
+    seen: &mut usize,
+    cap: usize,
+    pair: Pair,
+    rng: &mut R,
+) {
+    *seen += 1;
+    if cap == 0 || sink.len() < cap {
+        sink.push(pair);
+    } else {
+        let k = rng.gen_range(0..*seen);
+        if k < cap {
+            sink[k] = pair;
+        }
+    }
+}
+
+fn build_split(
+    params: &AssembleParams,
+    timelines: &[Timeline],
+    profiles: &[Profile],
+    profiles_of_timeline: &[Vec<ProfileIdx>],
+    tl_idxs: &[usize],
+    with_unlabeled: bool,
+    rng: &mut StdRng,
+) -> Split {
+    let mut split = Split {
+        uids: tl_idxs.iter().map(|&i| timelines[i].uid).collect(),
+        ..Split::default()
+    };
+
+    // Profiles of this split, sorted by timestamp for the Δt window scan.
+    let mut idxs: Vec<ProfileIdx> = tl_idxs
+        .iter()
+        .flat_map(|&i| profiles_of_timeline[i].iter().copied())
+        .collect();
+    idxs.sort_by_key(|&i| profiles[i].ts);
+
+    for &i in &idxs {
+        if profiles[i].is_labeled() {
+            split.labeled.push(i);
+        } else if with_unlabeled {
+            split.unlabeled.push(i);
+        }
+    }
+
+    // Pair construction: sliding window over the time-sorted profiles.
+    let mut neg_seen = 0usize;
+    let mut unl_seen = 0usize;
+    let mut window_start = 0usize;
+    for (k, &i) in idxs.iter().enumerate() {
+        let pi = &profiles[i];
+        while profiles[idxs[window_start]].ts < pi.ts - params.delta_t {
+            window_start += 1;
+        }
+        for &j in &idxs[window_start..k] {
+            let pj = &profiles[j];
+            debug_assert!((pi.ts - pj.ts).abs() < params.delta_t + 1);
+            if pi.uid == pj.uid || (pi.ts - pj.ts).abs() >= params.delta_t {
+                continue;
+            }
+            match (pi.pid, pj.pid) {
+                (Some(a), Some(b)) => {
+                    let pair = Pair {
+                        i: j,
+                        j: i,
+                        co_label: Some(a == b),
+                    };
+                    if a == b {
+                        split.pos_pairs.push(pair);
+                    } else {
+                        reservoir_push(
+                            &mut split.neg_pairs,
+                            &mut neg_seen,
+                            params.max_neg_pairs,
+                            pair,
+                            rng,
+                        );
+                    }
+                }
+                _ if with_unlabeled => {
+                    reservoir_push(
+                        &mut split.unlabeled_pairs,
+                        &mut unl_seen,
+                        params.max_unlabeled_pairs,
+                        Pair {
+                            i: j,
+                            j: i,
+                            co_label: None,
+                        },
+                        rng,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    split
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geo::GeoPoint;
+    use rand::SeedableRng;
+
+    /// A hand-built world with two POIs and timelines exercising every
+    /// branch of the pipeline.
+    fn tiny_world() -> World {
+        use geo::{Poi, PoiSet, Polygon};
+        let base = GeoPoint::new(40.75, -73.99);
+        let pois = PoiSet::new(vec![
+            Poi {
+                id: 0,
+                name: "a".into(),
+                polygon: Polygon::regular(base, 100.0, 8, 0.0),
+            },
+            Poi {
+                id: 0,
+                name: "b".into(),
+                polygon: Polygon::regular(base.offset_m(2_000.0, 0.0), 100.0, 8, 0.0),
+            },
+        ]);
+        World::from_pois(pois)
+    }
+
+    fn tweet(ts: i64, geo: Option<GeoPoint>) -> crate::Tweet {
+        crate::Tweet {
+            ts,
+            tokens: vec!["w".into()],
+            geo,
+            true_poi: None,
+        }
+    }
+
+    #[test]
+    fn timelines_without_poi_tweets_are_dropped() {
+        let world = tiny_world();
+        let base = GeoPoint::new(40.75, -73.99);
+        let timelines = vec![
+            Timeline {
+                uid: 0,
+                tweets: vec![tweet(10, Some(base))], // inside POI a
+            },
+            Timeline {
+                uid: 1,
+                tweets: vec![tweet(20, Some(base.offset_m(800.0, 0.0)))], // outside
+            },
+            Timeline {
+                uid: 2,
+                tweets: vec![tweet(30, None)], // not even geo-tagged
+            },
+        ];
+        let ds = assemble(
+            world,
+            timelines,
+            Vec::new(),
+            &AssembleParams::default(),
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert_eq!(ds.timelines.len(), 1);
+        assert_eq!(ds.timelines[0].uid, 0);
+    }
+
+    #[test]
+    fn labels_derive_from_geometry_not_metadata() {
+        let world = tiny_world();
+        let base = GeoPoint::new(40.75, -73.99);
+        let mut t = tweet(10, Some(base));
+        t.true_poi = Some(1); // lies: geometrically it is inside POI 0
+        let ds = assemble(
+            world,
+            vec![Timeline {
+                uid: 0,
+                tweets: vec![t],
+            }],
+            Vec::new(),
+            &AssembleParams::default(),
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert_eq!(ds.profiles[0].pid, Some(0));
+    }
+
+    #[test]
+    fn visit_history_accumulates_in_order() {
+        let world = tiny_world();
+        let base = GeoPoint::new(40.75, -73.99);
+        let tl = Timeline {
+            uid: 0,
+            tweets: vec![
+                tweet(10, Some(base)),
+                tweet(20, None),
+                tweet(30, Some(base.offset_m(2_000.0, 0.0))),
+            ],
+        };
+        let ds = assemble(
+            world,
+            vec![tl],
+            Vec::new(),
+            &AssembleParams::default(),
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert_eq!(ds.profiles.len(), 2);
+        assert!(ds.profiles[0].visits.is_empty());
+        assert_eq!(ds.profiles[1].visits.len(), 1);
+        assert_eq!(ds.profiles[1].visits[0].ts, 10);
+    }
+
+    #[test]
+    fn reservoir_respects_cap_and_keeps_everything_below_it() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut sink = Vec::new();
+        let mut seen = 0usize;
+        for k in 0..100 {
+            reservoir_push(
+                &mut sink,
+                &mut seen,
+                10,
+                Pair {
+                    i: k,
+                    j: k,
+                    co_label: None,
+                },
+                &mut rng,
+            );
+        }
+        assert_eq!(sink.len(), 10);
+        assert_eq!(seen, 100);
+        let mut sink2 = Vec::new();
+        let mut seen2 = 0usize;
+        for k in 0..5 {
+            reservoir_push(
+                &mut sink2,
+                &mut seen2,
+                10,
+                Pair {
+                    i: k,
+                    j: k,
+                    co_label: None,
+                },
+                &mut rng,
+            );
+        }
+        assert_eq!(sink2.len(), 5);
+    }
+}

@@ -1,0 +1,133 @@
+//! Assembled datasets: profiles, pairs and the §6.1.1 splits.
+
+use crate::types::{Pair, Profile, ProfileIdx, Timeline};
+use crate::world::World;
+use serde::Serialize;
+
+/// One of the train / validation / test partitions.
+#[derive(Debug, Clone, Default)]
+pub struct Split {
+    /// Uids of the timelines assigned to this split.
+    pub uids: Vec<u32>,
+    /// Indices of labeled profiles (`R_L`).
+    pub labeled: Vec<ProfileIdx>,
+    /// Indices of unlabeled profiles (`R_U`) — only populated for train;
+    /// the paper needs unlabeled data only during SSL training.
+    pub unlabeled: Vec<ProfileIdx>,
+    /// Positive pairs `Γ⁺_L`.
+    pub pos_pairs: Vec<Pair>,
+    /// Negative pairs `Γ⁻_L`.
+    pub neg_pairs: Vec<Pair>,
+    /// Unlabeled pairs `Γ_U` — train only.
+    pub unlabeled_pairs: Vec<Pair>,
+}
+
+impl Split {
+    /// `Γ_L = Γ⁺_L ∪ Γ⁻_L` size.
+    pub fn n_labeled_pairs(&self) -> usize {
+        self.pos_pairs.len() + self.neg_pairs.len()
+    }
+}
+
+/// A complete simulated dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset label ("NYC", "LV", ...).
+    pub name: String,
+    /// The static world (POIs, vocabulary).
+    pub world: World,
+    /// All kept timelines (those with at least one POI tweet).
+    pub timelines: Vec<Timeline>,
+    /// Every materialized profile; splits reference these by index.
+    pub profiles: Vec<Profile>,
+    /// Training split.
+    pub train: Split,
+    /// Validation split.
+    pub valid: Split,
+    /// Testing split.
+    pub test: Split,
+    /// Tokenized contents of *all* tweets of training timelines — the
+    /// corpus `C_train` the skip-gram vectors are trained on (§4.2).
+    pub train_docs: Vec<Vec<String>>,
+    /// The pairing threshold Δt in seconds.
+    pub delta_t: i64,
+    /// Undirected friendship pairs `(lo_uid, hi_uid)`, sorted — the social
+    /// side information of the §7 future-work extension.
+    pub friendships: Vec<(u32, u32)>,
+}
+
+/// Table-2-style summary row.
+#[derive(Debug, Clone, Serialize)]
+pub struct DatasetStats {
+    /// Dataset label.
+    pub name: String,
+    /// POI count `|P|`.
+    pub n_pois: usize,
+    /// Kept timelines (those with a POI tweet).
+    pub n_timelines: usize,
+    /// Timelines in the training split.
+    pub train_timelines: usize,
+    /// Timelines in the validation split.
+    pub valid_timelines: usize,
+    /// Timelines in the testing split.
+    pub test_timelines: usize,
+    /// Labeled training profiles `|R_L|`.
+    pub train_labeled_profiles: usize,
+    /// Unlabeled training profiles `|R_U|`.
+    pub train_unlabeled_profiles: usize,
+    /// Mean visit-history length of labeled training profiles.
+    pub avg_visits_per_profile: f64,
+    /// Positive training pairs.
+    pub train_pos_pairs: usize,
+    /// Negative training pairs (after the reservoir cap).
+    pub train_neg_pairs: usize,
+    /// Unlabeled training pairs (after the cap).
+    pub train_unlabeled_pairs: usize,
+    /// Positive testing pairs.
+    pub test_pos_pairs: usize,
+    /// Negative testing pairs.
+    pub test_neg_pairs: usize,
+}
+
+impl Dataset {
+    /// Profile by index.
+    pub fn profile(&self, idx: ProfileIdx) -> &Profile {
+        &self.profiles[idx]
+    }
+
+    /// True when the two users are friends.
+    pub fn are_friends(&self, a: u32, b: u32) -> bool {
+        let key = (a.min(b), a.max(b));
+        self.friendships.binary_search(&key).is_ok()
+    }
+
+    /// Summary statistics in the shape of the paper's Table 2.
+    pub fn stats(&self) -> DatasetStats {
+        let avg_visits = if self.train.labeled.is_empty() {
+            0.0
+        } else {
+            self.train
+                .labeled
+                .iter()
+                .map(|&i| self.profiles[i].visits.len() as f64)
+                .sum::<f64>()
+                / self.train.labeled.len() as f64
+        };
+        DatasetStats {
+            name: self.name.clone(),
+            n_pois: self.world.pois.len(),
+            n_timelines: self.timelines.len(),
+            train_timelines: self.train.uids.len(),
+            valid_timelines: self.valid.uids.len(),
+            test_timelines: self.test.uids.len(),
+            train_labeled_profiles: self.train.labeled.len(),
+            train_unlabeled_profiles: self.train.unlabeled.len(),
+            avg_visits_per_profile: avg_visits,
+            train_pos_pairs: self.train.pos_pairs.len(),
+            train_neg_pairs: self.train.neg_pairs.len(),
+            train_unlabeled_pairs: self.train.unlabeled_pairs.len(),
+            test_pos_pairs: self.test.pos_pairs.len(),
+            test_neg_pairs: self.test.neg_pairs.len(),
+        }
+    }
+}

@@ -1,0 +1,565 @@
+//! Timeline generation and dataset assembly.
+
+use crate::assemble::{assemble, AssembleParams};
+use crate::config::SimConfig;
+use crate::dataset::Dataset;
+use crate::types::{Timeline, Timestamp, Tweet};
+use crate::world::World;
+use geo::{GeoPoint, PoiId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use text::{preprocess, STOPWORDS};
+
+const SECONDS_PER_DAY: i64 = 86_400;
+/// Tweets are emitted between 08:00 and 24:00 local time.
+const ACTIVE_START: i64 = 8 * 3600;
+const ACTIVE_END: i64 = 24 * 3600;
+/// Momentum only applies when the previous visit is this recent.
+const MOMENTUM_WINDOW: i64 = 2 * 3600;
+
+/// A simulated user's fixed traits.
+struct UserTraits {
+    home: GeoPoint,
+    /// Favorite POIs with sampling weights (normalized).
+    favorites: Vec<(PoiId, f64)>,
+    /// Home cluster, used for en-route vocabulary.
+    home_cluster: usize,
+}
+
+/// Generates a full dataset from a config. Deterministic in `cfg.seed`.
+pub fn generate(cfg: &SimConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let world = World::generate(cfg, &mut rng);
+
+    // --- users, friendships, coordinated co-visits -----------------------
+    let traits: Vec<UserTraits> = (0..cfg.n_users)
+        .map(|_| sample_user(cfg, &world, &mut rng))
+        .collect();
+    let friendships = build_friendships(cfg, &traits);
+    let forced = sample_co_visits(cfg, &traits, &friendships, &mut rng);
+
+    // --- raw timelines ----------------------------------------------------
+    let mut timelines = Vec::with_capacity(cfg.n_users);
+    for uid in 0..cfg.n_users as u32 {
+        let tl = sample_timeline(
+            cfg,
+            &world,
+            &traits[uid as usize],
+            uid,
+            &forced[uid as usize],
+            &mut rng,
+        );
+        if tl.has_poi_tweet() {
+            // §6.1.1: timelines with no POI tweet are filtered out.
+            timelines.push(tl);
+        }
+    }
+
+    assemble(
+        world,
+        timelines,
+        friendships,
+        &AssembleParams {
+            name: cfg.name.clone(),
+            delta_t: cfg.delta_t,
+            max_neg_pairs: cfg.max_neg_pairs,
+            max_unlabeled_pairs: cfg.max_unlabeled_pairs,
+        },
+        &mut rng,
+    )
+}
+
+/// Builds the undirected friendship list: each user befriends its
+/// `n_friends` nearest homes. Pairs are stored sorted `(lo, hi)` and
+/// deduplicated, ready for [`crate::Dataset::are_friends`]'s binary search.
+fn build_friendships(cfg: &SimConfig, traits: &[UserTraits]) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for (a, ta) in traits.iter().enumerate() {
+        let mut dists: Vec<(f64, usize)> = traits
+            .iter()
+            .enumerate()
+            .filter(|&(b, _)| b != a)
+            .map(|(b, tb)| (ta.home.fast_dist_m(&tb.home), b))
+            .collect();
+        dists.sort_by(|x, y| x.0.total_cmp(&y.0));
+        for &(_, b) in dists.iter().take(cfg.n_friends) {
+            let (lo, hi) = (a.min(b) as u32, a.max(b) as u32);
+            pairs.push((lo, hi));
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Samples coordinated co-visits for friend pairs (the §7 social
+/// extension): both users visit the same POI at nearly the same time.
+/// Returns one forced-visit list `(ts, poi)` per user; all lists are empty
+/// when `co_visits_per_week` is zero.
+fn sample_co_visits(
+    cfg: &SimConfig,
+    traits: &[UserTraits],
+    friendships: &[(u32, u32)],
+    rng: &mut StdRng,
+) -> Vec<Vec<(Timestamp, PoiId)>> {
+    let mut forced: Vec<Vec<(Timestamp, PoiId)>> = vec![Vec::new(); traits.len()];
+    if cfg.co_visits_per_week <= 0.0 {
+        return forced;
+    }
+    let expected = cfg.co_visits_per_week * cfg.days as f64 / 7.0;
+    for &(a, b) in friendships {
+        let n = poisson(expected, rng);
+        for _ in 0..n {
+            // Meet at one of either friend's favorites.
+            let favs = if rng.gen::<bool>() {
+                &traits[a as usize].favorites
+            } else {
+                &traits[b as usize].favorites
+            };
+            if favs.is_empty() {
+                continue;
+            }
+            let poi = favs[rng.gen_range(0..favs.len())].0;
+            let day = rng.gen_range(0..cfg.days) as i64;
+            let ts = day * SECONDS_PER_DAY + rng.gen_range(ACTIVE_START..ACTIVE_END - 1800);
+            forced[a as usize].push((ts, poi));
+            // The friend arrives within half an hour.
+            forced[b as usize].push((ts + rng.gen_range(0..1800), poi));
+        }
+    }
+    forced
+}
+
+fn sample_user<R: Rng>(cfg: &SimConfig, world: &World, rng: &mut R) -> UserTraits {
+    let home_cluster = rng.gen_range(0..world.cluster_centers.len());
+    let cc = world.cluster_centers[home_cluster];
+    let spread = cfg.extent_m / 4.0;
+    let home = cc.offset_m(
+        rng.gen_range(-spread..spread),
+        rng.gen_range(-spread..spread),
+    );
+
+    // Preference weight per POI: popularity × distance decay from home.
+    let weights: Vec<f64> = world
+        .pois
+        .pois()
+        .iter()
+        .map(|p| {
+            let d = home.fast_dist_m(&p.center());
+            world.popularity[p.id as usize] * (-d / cfg.pref_scale_m).exp()
+        })
+        .collect();
+
+    // Favorites: top weights win a weighted sample without replacement.
+    let mut remaining: Vec<(PoiId, f64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (i as PoiId, w))
+        .collect();
+    let mut favorites = Vec::with_capacity(cfg.n_favorites);
+    for _ in 0..cfg.n_favorites.min(remaining.len()) {
+        let total: f64 = remaining.iter().map(|(_, w)| w).sum();
+        let mut x = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+        let mut chosen = remaining.len() - 1;
+        for (k, (_, w)) in remaining.iter().enumerate() {
+            x -= w;
+            if x <= 0.0 {
+                chosen = k;
+                break;
+            }
+        }
+        favorites.push(remaining.swap_remove(chosen));
+    }
+    let total: f64 = favorites.iter().map(|(_, w)| w).sum();
+    for (_, w) in &mut favorites {
+        *w /= total.max(f64::MIN_POSITIVE);
+    }
+
+    UserTraits {
+        home,
+        favorites,
+        home_cluster,
+    }
+}
+
+/// Knuth's Poisson sampler (rand_distr is outside the dependency set).
+fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> usize {
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 1000 {
+            return k; // guard against pathological lambda
+        }
+    }
+}
+
+fn sample_timeline<R: Rng>(
+    cfg: &SimConfig,
+    world: &World,
+    traits: &UserTraits,
+    uid: u32,
+    forced_visits: &[(Timestamp, PoiId)],
+    rng: &mut R,
+) -> Timeline {
+    // Event plan: spontaneous tweets (POI chosen at event time) plus
+    // coordinated co-visits (POI fixed up front).
+    let mut events: Vec<(Timestamp, Option<PoiId>)> = Vec::new();
+    for day in 0..cfg.days {
+        let n = poisson(cfg.tweets_per_day, rng);
+        for _ in 0..n {
+            let ts = day as i64 * SECONDS_PER_DAY + rng.gen_range(ACTIVE_START..ACTIVE_END);
+            events.push((ts, None));
+        }
+    }
+    events.extend(forced_visits.iter().map(|&(ts, poi)| (ts, Some(poi))));
+    events.sort_unstable_by_key(|&(ts, _)| ts);
+
+    let mut tweets = Vec::new();
+    let mut prev_poi: Option<(PoiId, Timestamp)> = None;
+    for (ts, forced) in events {
+        // `near_poi` models geo-tagged tweets sent just outside a POI
+        // ("heading to the museum"): they stay unlabeled (outside every
+        // polygon) but sit close to the POI and carry weak content hints —
+        // exactly the profiles that make the SSL affinity graph's
+        // unlabeled edges informative (§4.4).
+        let (geo_point, true_poi, near_poi) = if let Some(pid) = forced {
+            prev_poi = Some((pid, ts));
+            (world.point_in_poi(pid, rng), Some(pid), None)
+        } else if rng.gen::<f64>() < cfg.p_at_poi {
+            let pid = choose_poi(cfg, traits, prev_poi, ts, rng);
+            prev_poi = Some((pid, ts));
+            (world.point_in_poi(pid, rng), Some(pid), None)
+        } else if rng.gen::<f64>() < 0.6 {
+            // In transit near a POI the user is drawn to.
+            let pid = choose_poi(cfg, traits, prev_poi, ts, rng);
+            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+            let dist = cfg.poi_radius_m.1 + rng.gen_range(50.0..400.0);
+            let p = world
+                .pois
+                .get(pid)
+                .center()
+                .offset_m(dist * theta.cos(), dist * theta.sin());
+            (p, None, Some(pid))
+        } else {
+            // Elsewhere: near home, rarely inside any polygon.
+            let p = traits.home.offset_m(
+                rng.gen_range(-1_500.0..1_500.0),
+                rng.gen_range(-1_500.0..1_500.0),
+            );
+            (p, None, None)
+        };
+        let raw = compose_content(cfg, world, traits, true_poi, near_poi, rng);
+        let tokens = preprocess(&raw);
+        let geo = (rng.gen::<f64>() < cfg.geo_tag_prob).then_some(geo_point);
+        tweets.push(Tweet {
+            ts,
+            tokens,
+            geo,
+            true_poi,
+        });
+    }
+    Timeline { uid, tweets }
+}
+
+fn choose_poi<R: Rng>(
+    cfg: &SimConfig,
+    traits: &UserTraits,
+    prev: Option<(PoiId, Timestamp)>,
+    now: Timestamp,
+    rng: &mut R,
+) -> PoiId {
+    if let Some((pid, ts)) = prev {
+        if now - ts < MOMENTUM_WINDOW && rng.gen::<f64>() < cfg.p_momentum {
+            return pid;
+        }
+    }
+    // Weighted draw from favorites.
+    let mut x = rng.gen::<f64>();
+    for &(pid, w) in &traits.favorites {
+        x -= w;
+        if x <= 0.0 {
+            return pid;
+        }
+    }
+    traits.favorites.last().map(|&(p, _)| p).unwrap_or(0)
+}
+
+/// Composes raw tweet text (with real stopwords, later replaced by `</s>`
+/// in preprocessing, as §6.1.2 prescribes).
+fn compose_content<R: Rng>(
+    cfg: &SimConfig,
+    world: &World,
+    traits: &UserTraits,
+    at_poi: Option<PoiId>,
+    near_poi: Option<PoiId>,
+    rng: &mut R,
+) -> String {
+    let len = rng.gen_range(cfg.tweet_len.0..=cfg.tweet_len.1);
+    let mut words: Vec<&str> = Vec::with_capacity(len + 2);
+    let mut i = 0;
+    while i < len {
+        let roll: f64 = rng.gen();
+        if let Some(pid) = at_poi {
+            if roll < cfg.p_exclusive_token {
+                // Rare POI-exclusive emission; 30% of these are the 2-word
+                // landmark phrase (the word-group signal for BiLSTM-C).
+                let topic = &world.poi_words[pid as usize];
+                if rng.gen::<f64>() < 0.3 {
+                    words.push(&topic[0]);
+                    words.push(&topic[1]);
+                    i += 2;
+                } else {
+                    words.push(&topic[rng.gen_range(0..topic.len())]);
+                    i += 1;
+                }
+                continue;
+            }
+            if roll < cfg.p_exclusive_token + cfg.p_category_token {
+                // Ambiguous: shared by every same-category POI city-wide.
+                let cw = &world.category_words[world.category_of[pid as usize]];
+                words.push(&cw[rng.gen_range(0..cw.len())]);
+                i += 1;
+                continue;
+            }
+            let cluster = world.cluster_of[pid as usize];
+            if roll < cfg.p_exclusive_token + cfg.p_category_token + 0.10 {
+                let cw = &world.cluster_words[cluster];
+                words.push(&cw[rng.gen_range(0..cw.len())]);
+                i += 1;
+                continue;
+            }
+        } else if let Some(pid) = near_poi {
+            // Weak hint about the POI being approached: category words at
+            // a reduced rate, never the exclusive vocabulary.
+            if roll < 0.15 {
+                let cw = &world.category_words[world.category_of[pid as usize]];
+                words.push(&cw[rng.gen_range(0..cw.len())]);
+                i += 1;
+                continue;
+            }
+        } else if roll < 0.08 {
+            // Weak neighborhood signal even when not at a POI.
+            let cw = &world.cluster_words[traits.home_cluster];
+            words.push(&cw[rng.gen_range(0..cw.len())]);
+            i += 1;
+            continue;
+        }
+        // Filler: stopword / global / noise mix.
+        let filler: f64 = rng.gen();
+        if filler < 0.35 {
+            words.push(STOPWORDS[rng.gen_range(0..STOPWORDS.len())]);
+        } else if filler < 0.85 {
+            words.push(&world.global_words[rng.gen_range(0..world.global_words.len())]);
+        } else {
+            words.push(&world.noise_words[rng.gen_range(0..world.noise_words.len())]);
+        }
+        i += 1;
+    }
+    words.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        generate(&SimConfig::tiny(11))
+    }
+
+    #[test]
+    fn dataset_has_all_components() {
+        let ds = tiny();
+        assert!(!ds.timelines.is_empty());
+        assert!(!ds.profiles.is_empty());
+        assert!(!ds.train.labeled.is_empty());
+        assert!(!ds.train.pos_pairs.is_empty(), "need positive pairs");
+        assert!(!ds.train.neg_pairs.is_empty());
+        assert!(!ds.train_docs.is_empty());
+        assert!(!ds.test.labeled.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.profiles.len(), b.profiles.len());
+        assert_eq!(a.train.pos_pairs, b.train.pos_pairs);
+        assert_eq!(a.test.neg_pairs.len(), b.test.neg_pairs.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SimConfig::tiny(1));
+        let b = generate(&SimConfig::tiny(2));
+        assert_ne!(a.profiles.len(), b.profiles.len());
+    }
+
+    #[test]
+    fn pair_invariants() {
+        let ds = tiny();
+        for split in [&ds.train, &ds.valid, &ds.test] {
+            for pair in split
+                .pos_pairs
+                .iter()
+                .chain(&split.neg_pairs)
+                .chain(&split.unlabeled_pairs)
+            {
+                let (pi, pj) = (&ds.profiles[pair.i], &ds.profiles[pair.j]);
+                assert_ne!(pi.uid, pj.uid, "pairs must span distinct users");
+                assert!(
+                    (pi.ts - pj.ts).abs() < ds.delta_t,
+                    "pairs must be within delta t"
+                );
+                match pair.co_label {
+                    Some(true) => assert_eq!(pi.pid, pj.pid),
+                    Some(false) => {
+                        assert!(pi.pid.is_some() && pj.pid.is_some());
+                        assert_ne!(pi.pid, pj.pid);
+                    }
+                    None => assert!(pi.pid.is_none() || pj.pid.is_none()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_geometry() {
+        let ds = tiny();
+        for p in &ds.profiles {
+            assert_eq!(p.pid, ds.world.pois.containing(&p.geo));
+        }
+    }
+
+    #[test]
+    fn visit_histories_strictly_precede_profiles() {
+        let ds = tiny();
+        for p in &ds.profiles {
+            for v in &p.visits {
+                assert!(v.ts < p.ts);
+            }
+            // Visits are in time order.
+            for w in p.visits.windows(2) {
+                assert!(w[0].ts <= w[1].ts);
+            }
+        }
+    }
+
+    #[test]
+    fn splits_are_disjoint_by_user() {
+        let ds = tiny();
+        let train: std::collections::HashSet<_> = ds.train.uids.iter().collect();
+        let valid: std::collections::HashSet<_> = ds.valid.uids.iter().collect();
+        let test: std::collections::HashSet<_> = ds.test.uids.iter().collect();
+        assert!(train.is_disjoint(&valid));
+        assert!(train.is_disjoint(&test));
+        assert!(valid.is_disjoint(&test));
+    }
+
+    #[test]
+    fn unlabeled_pairs_only_in_train() {
+        let ds = tiny();
+        assert!(ds.valid.unlabeled_pairs.is_empty());
+        assert!(ds.test.unlabeled_pairs.is_empty());
+        assert!(ds.valid.unlabeled.is_empty());
+        assert!(ds.test.unlabeled.is_empty());
+    }
+
+    #[test]
+    fn poi_tweets_carry_location_flavoured_words() {
+        let ds = tiny();
+        // Most at-POI tweets should contain a word tied to the POI (its
+        // exclusive vocabulary or its category's) — the planted Fc signal.
+        let mut hits = 0usize;
+        let mut exclusive_hits = 0usize;
+        let mut total = 0usize;
+        for tl in &ds.timelines {
+            for t in &tl.tweets {
+                if let Some(pid) = t.true_poi {
+                    total += 1;
+                    let topic = &ds.world.poi_words[pid as usize];
+                    let cat = &ds.world.category_words[ds.world.category_of[pid as usize]];
+                    if t.tokens.iter().any(|tok| topic.contains(tok)) {
+                        exclusive_hits += 1;
+                    }
+                    if t.tokens
+                        .iter()
+                        .any(|tok| topic.contains(tok) || cat.contains(tok))
+                    {
+                        hits += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            hits as f64 / total as f64 > 0.5,
+            "location signal too weak: {hits}/{total}"
+        );
+        // Exclusive words must be present but *rare* — that rarity is what
+        // keeps content-only baselines honest.
+        let frac = exclusive_hits as f64 / total as f64;
+        assert!(frac > 0.1 && frac < 0.7, "exclusive fraction = {frac}");
+    }
+
+    #[test]
+    fn stats_report_consistent_counts() {
+        let ds = tiny();
+        let s = ds.stats();
+        assert_eq!(s.n_timelines, ds.timelines.len());
+        assert_eq!(s.train_pos_pairs, ds.train.pos_pairs.len());
+        assert_eq!(
+            s.train_timelines + s.valid_timelines + s.test_timelines,
+            s.n_timelines
+        );
+    }
+
+    #[test]
+    fn friendships_are_sorted_dedup_and_symmetricless() {
+        let ds = tiny();
+        assert!(!ds.friendships.is_empty());
+        for w in ds.friendships.windows(2) {
+            assert!(w[0] < w[1], "sorted, deduplicated");
+        }
+        for &(a, b) in &ds.friendships {
+            assert!(a < b, "stored as (lo, hi)");
+            assert!(ds.are_friends(a, b));
+            assert!(ds.are_friends(b, a));
+        }
+        assert!(!ds.are_friends(0, 0));
+    }
+
+    #[test]
+    fn zero_co_visit_rate_leaves_corpus_unchanged() {
+        let base = generate(&SimConfig::tiny(11));
+        let social_off = generate(&SimConfig::tiny(11).with_social(0.0));
+        assert_eq!(base.profiles.len(), social_off.profiles.len());
+        assert_eq!(base.train.pos_pairs, social_off.train.pos_pairs);
+    }
+
+    #[test]
+    fn co_visits_create_more_positive_pairs() {
+        let base = generate(&SimConfig::tiny(11));
+        let social = generate(&SimConfig::tiny(11).with_social(3.0));
+        let base_pos = base.train.pos_pairs.len() + base.test.pos_pairs.len();
+        let social_pos = social.train.pos_pairs.len() + social.test.pos_pairs.len();
+        assert!(
+            social_pos > base_pos,
+            "co-visits should add positives: {base_pos} -> {social_pos}"
+        );
+    }
+
+    #[test]
+    fn poisson_mean_close_to_lambda() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| poisson(3.0, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean = {mean}");
+    }
+}

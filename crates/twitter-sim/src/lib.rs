@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Synthetic Twitter-like corpus with planted co-location ground truth.
+//!
+//! The paper evaluates on ~1.1M crawled user timelines from New York City
+//! and Las Vegas, with OpenStreetMap POI polygons — data we cannot acquire.
+//! This crate substitutes a generative simulator that plants exactly the
+//! signals the paper's models exploit:
+//!
+//! 1. **Visit regularity** — each user has a home location and a
+//!    distance-decayed, popularity-weighted preference over POIs, with
+//!    short-term momentum (consecutive visits tend to stay nearby), so
+//!    historical visits carry information about current location (Fv).
+//! 2. **POI-specific vocabulary** — tweets sent at a POI mix words from
+//!    that POI's topic with city-wide filler, noise and stopwords, so
+//!    recent tweet content carries location clues (Fc), including
+//!    *multi-word* landmarks (e.g. `statue liberty`-style bigrams) that
+//!    reward the convolution in BiLSTM-C.
+//! 3. **Sparse geo-tags** — only a configurable fraction of tweets are
+//!    geo-tagged, and only geo-tagged tweets inside a top-POI polygon are
+//!    labeled, reproducing the paper's labeled/unlabeled imbalance.
+//!
+//! The output follows the paper's Definitions 2–5 (tweets, visits,
+//! profiles, pairs) and the §6.1.1 protocol (timeline filtering, top-POI
+//! selection, 1/5 test split, 9:1 train:valid, pair construction under Δt).
+
+pub mod config;
+pub mod types;
+pub mod world;
+pub mod generate;
+pub mod assemble;
+pub mod builder;
+pub mod io;
+pub mod dataset;
+
+pub use assemble::{assemble, AssembleParams};
+pub use builder::{CorpusBuilder, RawTweet};
+pub use io::CorpusFile;
+pub use config::SimConfig;
+pub use dataset::{Dataset, Split};
+pub use generate::generate;
+pub use types::{Pair, Profile, ProfileIdx, Timeline, Tweet, Visit};
+pub use world::World;

@@ -1,0 +1,168 @@
+//! Core data types mirroring the paper's Definitions 2–5.
+
+use geo::{GeoPoint, PoiId};
+use serde::{Deserialize, Serialize};
+
+/// Seconds since the simulated epoch.
+pub type Timestamp = i64;
+
+/// A tweet (Def. 2): timestamp, content, optional geo-tag.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tweet {
+    /// Posting time.
+    pub ts: Timestamp,
+    /// Preprocessed tokens (stopwords already replaced by `</s>`).
+    pub tokens: Vec<String>,
+    /// `Some` iff the tweet is geo-tagged (lat/lon non-null in Def. 2).
+    pub geo: Option<GeoPoint>,
+    /// Ground-truth POI the author was at when tweeting, if any. This is
+    /// the *simulator's* hidden state — models never see it directly; it
+    /// only becomes visible through labels when the tweet is geo-tagged
+    /// inside a top POI.
+    pub true_poi: Option<PoiId>,
+}
+
+impl Tweet {
+    /// True when the tweet carries coordinates.
+    pub fn is_geotagged(&self) -> bool {
+        self.geo.is_some()
+    }
+}
+
+/// A visit (Def. 3): a geo-tagged tweet reduced to time + place.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Visit {
+    /// When the visit happened.
+    pub ts: Timestamp,
+    /// Where (the geo-tag of the underlying tweet).
+    pub point: GeoPoint,
+}
+
+/// One user's complete tweet sequence.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Timeline {
+    /// The owning user.
+    pub uid: u32,
+    /// Tweets in ascending timestamp order.
+    pub tweets: Vec<Tweet>,
+}
+
+impl Timeline {
+    /// All visits implied by geo-tagged tweets, in time order.
+    pub fn visits(&self) -> Vec<Visit> {
+        self.tweets
+            .iter()
+            .filter_map(|t| t.geo.map(|point| Visit { ts: t.ts, point }))
+            .collect()
+    }
+
+    /// True when at least one tweet is a POI tweet — the §6.1.1 timeline
+    /// filter keeps only such timelines.
+    pub fn has_poi_tweet(&self) -> bool {
+        self.tweets
+            .iter()
+            .any(|t| t.is_geotagged() && t.true_poi.is_some())
+    }
+}
+
+/// Index of a profile inside [`crate::Dataset::profiles`].
+pub type ProfileIdx = usize;
+
+/// A user profile (Def. 4): the recent tweet plus the visit history that
+/// precedes it, labeled with a POI id when the recent tweet is a POI tweet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Profile {
+    /// The user who sent the recent tweet.
+    pub uid: u32,
+    /// Timestamp of the recent tweet (`r.ts`).
+    pub ts: Timestamp,
+    /// Preprocessed content of the recent tweet (`r.content`).
+    pub tokens: Vec<String>,
+    /// Geo-tag of the recent tweet (`r.lat`, `r.lon`); present for every
+    /// profile the simulator materializes (profiles are built from
+    /// geo-tagged tweets, labeled or not), but hidden from models at
+    /// judgement time.
+    pub geo: GeoPoint,
+    /// Visit history strictly before `ts` (`r.v-history`).
+    pub visits: Vec<Visit>,
+    /// `r.pid`: the POI label, or `None` for unlabeled profiles.
+    pub pid: Option<PoiId>,
+}
+
+impl Profile {
+    /// True when `pid` is set.
+    pub fn is_labeled(&self) -> bool {
+        self.pid.is_some()
+    }
+}
+
+/// A pair (Def. 5): two profiles of distinct users within Δt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pair {
+    /// First profile.
+    pub i: ProfileIdx,
+    /// Second profile.
+    pub j: ProfileIdx,
+    /// `Some(true)` = positive, `Some(false)` = negative, `None` =
+    /// unlabeled (at least one profile lacks a POI label).
+    pub co_label: Option<bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tweet(ts: Timestamp, geo: Option<GeoPoint>, poi: Option<PoiId>) -> Tweet {
+        Tweet {
+            ts,
+            tokens: vec!["hello".into()],
+            geo,
+            true_poi: poi,
+        }
+    }
+
+    #[test]
+    fn visits_only_from_geotagged() {
+        let p = GeoPoint::new(40.0, -74.0);
+        let tl = Timeline {
+            uid: 1,
+            tweets: vec![
+                tweet(10, Some(p), None),
+                tweet(20, None, Some(3)),
+                tweet(30, Some(p), Some(1)),
+            ],
+        };
+        let vs = tl.visits();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0].ts, 10);
+        assert_eq!(vs[1].ts, 30);
+    }
+
+    #[test]
+    fn poi_tweet_filter_requires_geotag_and_poi() {
+        let p = GeoPoint::new(40.0, -74.0);
+        let no_poi = Timeline {
+            uid: 1,
+            tweets: vec![tweet(1, Some(p), None), tweet(2, None, Some(2))],
+        };
+        assert!(!no_poi.has_poi_tweet());
+        let with_poi = Timeline {
+            uid: 2,
+            tweets: vec![tweet(1, Some(p), Some(0))],
+        };
+        assert!(with_poi.has_poi_tweet());
+    }
+
+    #[test]
+    fn profile_labeling() {
+        let prof = Profile {
+            uid: 0,
+            ts: 0,
+            tokens: vec![],
+            geo: GeoPoint::new(0.0, 0.0),
+            visits: vec![],
+            pid: Some(4),
+        };
+        assert!(prof.is_labeled());
+    }
+}

@@ -1,0 +1,265 @@
+//! Static world generation: POI geometry and vocabulary.
+
+use crate::config::SimConfig;
+use geo::{GeoPoint, Poi, PoiSet, Polygon};
+use rand::Rng;
+
+/// The immutable stage on which timelines play out.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// The POI universe `P`.
+    pub pois: PoiSet,
+    /// Cluster ("neighborhood") index per POI.
+    pub cluster_of: Vec<usize>,
+    /// Cluster centers.
+    pub cluster_centers: Vec<GeoPoint>,
+    /// Exclusive topic words per POI. The first two entries form the POI's
+    /// "landmark phrase" and are always emitted adjacently, planting the
+    /// word-group signal BiLSTM-C's convolution is designed to catch
+    /// (the paper's "Statue of Liberty" example, §4.2).
+    pub poi_words: Vec<Vec<String>>,
+    /// Category ("coffee", "museum", ...) index per POI.
+    pub category_of: Vec<usize>,
+    /// Words shared by every POI of a category, city-wide. These carry
+    /// semantic but *ambiguous* location signal — the reason content-only
+    /// geolocalization struggles and HisRect's history prior helps.
+    pub category_words: Vec<Vec<String>>,
+    /// Words shared by all POIs of a geographic cluster.
+    pub cluster_words: Vec<Vec<String>>,
+    /// City-wide filler vocabulary (no location signal).
+    pub global_words: Vec<String>,
+    /// Rare noise vocabulary (mostly filtered by the min-count threshold).
+    pub noise_words: Vec<String>,
+    /// Zipf-like popularity weight per POI.
+    pub popularity: Vec<f64>,
+}
+
+impl World {
+    /// Wraps an externally-supplied POI set (real-data import): empty
+    /// vocabularies, one trivial cluster, uniform popularity. Only the
+    /// geometric parts of the world are meaningful for imported corpora.
+    pub fn from_pois(pois: geo::PoiSet) -> Self {
+        let n = pois.len();
+        let centroid_lat =
+            pois.pois().iter().map(|p| p.center().lat).sum::<f64>() / n as f64;
+        let centroid_lon =
+            pois.pois().iter().map(|p| p.center().lon).sum::<f64>() / n as f64;
+        Self {
+            cluster_of: vec![0; n],
+            cluster_centers: vec![GeoPoint::new(centroid_lat, centroid_lon)],
+            poi_words: vec![Vec::new(); n],
+            category_of: vec![0; n],
+            category_words: vec![Vec::new()],
+            cluster_words: vec![Vec::new()],
+            global_words: Vec::new(),
+            noise_words: Vec::new(),
+            popularity: vec![1.0; n],
+            pois,
+        }
+    }
+
+    /// Deterministically generates a world from the config (given the
+    /// caller's RNG).
+    pub fn generate<R: Rng>(cfg: &SimConfig, rng: &mut R) -> Self {
+        let center = cfg.center();
+
+        // Cluster centers scattered across the city extent.
+        let cluster_centers: Vec<GeoPoint> = (0..cfg.n_clusters)
+            .map(|_| {
+                center.offset_m(
+                    rng.gen_range(-cfg.extent_m..cfg.extent_m),
+                    rng.gen_range(-cfg.extent_m..cfg.extent_m),
+                )
+            })
+            .collect();
+
+        // POIs gather around cluster centers with Gaussian-ish scatter.
+        let mut pois = Vec::with_capacity(cfg.n_pois);
+        let mut cluster_of = Vec::with_capacity(cfg.n_pois);
+        let scatter = cfg.extent_m / (cfg.n_clusters as f64).sqrt() / 1.5;
+        for k in 0..cfg.n_pois {
+            let cl = k % cfg.n_clusters;
+            let cc = cluster_centers[cl];
+            let poi_center = cc.offset_m(
+                rng.gen_range(-scatter..scatter),
+                rng.gen_range(-scatter..scatter),
+            );
+            let radius = rng.gen_range(cfg.poi_radius_m.0..cfg.poi_radius_m.1);
+            let sides = rng.gen_range(5..10);
+            let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+            pois.push(Poi {
+                id: 0, // reassigned by PoiSet
+                name: format!("poi_{k}"),
+                polygon: Polygon::regular(poi_center, radius, sides, phase),
+            });
+            cluster_of.push(cl);
+        }
+
+        // Vocabulary. Word surface forms encode their role only for
+        // debuggability; models treat them as opaque strings.
+        let poi_words: Vec<Vec<String>> = (0..cfg.n_pois)
+            .map(|k| {
+                (0..cfg.words_per_poi.max(2))
+                    .map(|w| format!("poi{k}w{w}"))
+                    .collect()
+            })
+            .collect();
+        let category_of: Vec<usize> = (0..cfg.n_pois)
+            .map(|_| rng.gen_range(0..cfg.n_categories.max(1)))
+            .collect();
+        let category_words: Vec<Vec<String>> = (0..cfg.n_categories.max(1))
+            .map(|c| {
+                (0..cfg.words_per_category)
+                    .map(|w| format!("cat{c}w{w}"))
+                    .collect()
+            })
+            .collect();
+        let cluster_words: Vec<Vec<String>> = (0..cfg.n_clusters)
+            .map(|c| {
+                (0..cfg.words_per_cluster)
+                    .map(|w| format!("cl{c}w{w}"))
+                    .collect()
+            })
+            .collect();
+        let global_words: Vec<String> =
+            (0..cfg.n_global_words).map(|w| format!("g{w}")).collect();
+        let noise_words: Vec<String> =
+            (0..cfg.n_noise_words).map(|w| format!("z{w}")).collect();
+
+        // Zipf popularity: weight 1/(rank+1)^0.8 over a random permutation.
+        let mut ranks: Vec<usize> = (0..cfg.n_pois).collect();
+        for i in (1..ranks.len()).rev() {
+            ranks.swap(i, rng.gen_range(0..=i));
+        }
+        let mut popularity = vec![0.0; cfg.n_pois];
+        for (rank, &poi) in ranks.iter().enumerate() {
+            popularity[poi] = 1.0 / ((rank + 1) as f64).powf(0.8);
+        }
+
+        Self {
+            pois: PoiSet::new(pois),
+            cluster_of,
+            cluster_centers,
+            poi_words,
+            category_of,
+            category_words,
+            cluster_words,
+            global_words,
+            noise_words,
+            popularity,
+        }
+    }
+
+    /// Uniformly samples a point inside POI `pid`'s polygon (rejection in
+    /// the bbox; falls back to the centroid after 64 misses, which for the
+    /// near-convex generated polygons essentially never happens).
+    pub fn point_in_poi<R: Rng>(&self, pid: u32, rng: &mut R) -> GeoPoint {
+        let poly = &self.pois.get(pid).polygon;
+        let (min_lat, min_lon, max_lat, max_lon) = poly.bbox();
+        for _ in 0..64 {
+            let p = GeoPoint::new(
+                rng.gen_range(min_lat..=max_lat),
+                rng.gen_range(min_lon..=max_lon),
+            );
+            if poly.contains(&p) {
+                return p;
+            }
+        }
+        poly.centroid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world() -> World {
+        World::generate(&SimConfig::tiny(7), &mut StdRng::seed_from_u64(7))
+    }
+
+    #[test]
+    fn from_pois_wraps_external_sets() {
+        let src = world();
+        let wrapped = World::from_pois(src.pois.clone());
+        assert_eq!(wrapped.pois.len(), src.pois.len());
+        assert_eq!(wrapped.popularity.len(), src.pois.len());
+        assert!(wrapped.global_words.is_empty());
+    }
+
+    #[test]
+    fn poi_count_matches_config() {
+        let w = world();
+        assert_eq!(w.pois.len(), 8);
+        assert_eq!(w.cluster_of.len(), 8);
+        assert_eq!(w.poi_words.len(), 8);
+        assert_eq!(w.popularity.len(), 8);
+    }
+
+    #[test]
+    fn poi_words_are_disjoint_across_pois() {
+        let w = world();
+        for a in 0..w.poi_words.len() {
+            for b in (a + 1)..w.poi_words.len() {
+                for wa in &w.poi_words[a] {
+                    assert!(!w.poi_words[b].contains(wa));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_is_normalizable_and_positive() {
+        let w = world();
+        assert!(w.popularity.iter().all(|&p| p > 0.0));
+        let max = w.popularity.iter().cloned().fold(0.0, f64::max);
+        let min = w.popularity.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max / min > 2.0, "popularity should be skewed");
+    }
+
+    #[test]
+    fn sampled_points_land_inside_their_poi() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(1);
+        for pid in 0..w.pois.len() as u32 {
+            for _ in 0..20 {
+                let p = w.point_in_poi(pid, &mut rng);
+                assert_eq!(w.pois.containing(&p), Some(pid));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = World::generate(&SimConfig::tiny(3), &mut StdRng::seed_from_u64(3));
+        let b = World::generate(&SimConfig::tiny(3), &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.poi_words, b.poi_words);
+        for (pa, pb) in a.pois.pois().iter().zip(b.pois.pois()) {
+            assert_eq!(pa.polygon.centroid(), pb.polygon.centroid());
+        }
+    }
+
+    #[test]
+    fn categories_cover_every_poi() {
+        let w = world();
+        assert_eq!(w.category_of.len(), w.pois.len());
+        for &c in &w.category_of {
+            assert!(c < w.category_words.len());
+        }
+        // Ambiguity requires at least one category with 2+ POIs.
+        let mut counts = vec![0; w.category_words.len()];
+        for &c in &w.category_of {
+            counts[c] += 1;
+        }
+        assert!(counts.iter().any(|&n| n >= 2));
+    }
+
+    #[test]
+    fn every_poi_has_a_landmark_phrase() {
+        let w = world();
+        for words in &w.poi_words {
+            assert!(words.len() >= 2, "need 2+ words for the landmark bigram");
+        }
+    }
+}

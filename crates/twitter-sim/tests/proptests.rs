@@ -1,0 +1,110 @@
+//! Property-based tests on the assembly pipeline and the corpus builder.
+
+use geo::{GeoPoint, Poi, Polygon};
+use proptest::prelude::*;
+use twitter_sim::{CorpusBuilder, RawTweet};
+
+fn pois(n: usize) -> Vec<Poi> {
+    let base = GeoPoint::new(40.75, -73.99);
+    (0..n)
+        .map(|k| Poi {
+            id: 0,
+            name: format!("p{k}"),
+            polygon: Polygon::regular(base.offset_m(k as f64 * 1_000.0, 0.0), 120.0, 8, 0.0),
+        })
+        .collect()
+}
+
+/// Strategy: a raw tweet whose geo-tag is near POI `poi` (inside with high
+/// probability) or absent.
+fn raw_tweet(n_pois: usize) -> impl Strategy<Value = RawTweet> {
+    (
+        0i64..500_000,
+        0usize..n_pois,
+        prop::bool::weighted(0.7),
+        -50.0f64..50.0,
+        -50.0f64..50.0,
+    )
+        .prop_map(move |(ts, poi, tagged, dx, dy)| {
+            let base = GeoPoint::new(40.75, -73.99).offset_m(poi as f64 * 1_000.0 + dx, dy);
+            RawTweet {
+                ts,
+                text: format!("word{poi} filler text"),
+                lat: tagged.then_some(base.lat),
+                lon: tagged.then_some(base.lon),
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn assembled_dataset_invariants(
+        timelines in prop::collection::vec(prop::collection::vec(raw_tweet(3), 1..12), 2..20),
+        seed in any::<u64>(),
+    ) {
+        let mut builder = CorpusBuilder::new("prop", pois(3)).seed(seed);
+        for (uid, tl) in timelines.into_iter().enumerate() {
+            builder.push_timeline(uid as u32, tl);
+        }
+        let ds = builder.build();
+
+        // Every profile's label agrees with geometry; visits precede it.
+        for p in &ds.profiles {
+            prop_assert_eq!(p.pid, ds.world.pois.containing(&p.geo));
+            for v in &p.visits {
+                prop_assert!(v.ts < p.ts);
+            }
+        }
+        // Splits partition the kept timelines.
+        let total = ds.train.uids.len() + ds.valid.uids.len() + ds.test.uids.len();
+        prop_assert_eq!(total, ds.timelines.len());
+        // All pairs respect Δt, distinct users and label semantics.
+        for split in [&ds.train, &ds.valid, &ds.test] {
+            for pair in split.pos_pairs.iter().chain(&split.neg_pairs).chain(&split.unlabeled_pairs) {
+                let (pi, pj) = (&ds.profiles[pair.i], &ds.profiles[pair.j]);
+                prop_assert!(pi.uid != pj.uid);
+                prop_assert!((pi.ts - pj.ts).abs() < ds.delta_t);
+                match pair.co_label {
+                    Some(true) => prop_assert_eq!(pi.pid, pj.pid),
+                    Some(false) => prop_assert!(pi.pid.is_some() && pj.pid.is_some() && pi.pid != pj.pid),
+                    None => prop_assert!(pi.pid.is_none() || pj.pid.is_none()),
+                }
+            }
+        }
+        // Labeled/unlabeled profile lists are consistent with pid.
+        for &i in &ds.train.labeled {
+            prop_assert!(ds.profiles[i].pid.is_some());
+        }
+        for &i in &ds.train.unlabeled {
+            prop_assert!(ds.profiles[i].pid.is_none());
+        }
+    }
+
+    #[test]
+    fn pair_caps_are_respected(
+        cap in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        // Many co-temporal users at two POIs → plenty of negatives.
+        let mut builder = CorpusBuilder::new("prop", pois(2))
+            .pair_caps(cap, cap)
+            .seed(seed);
+        let base = GeoPoint::new(40.75, -73.99);
+        for uid in 0..30u32 {
+            let at = base.offset_m((uid % 2) as f64 * 1_000.0, 0.0);
+            builder.push_timeline(uid, vec![RawTweet {
+                ts: 100 + uid as i64,
+                text: "hello world".into(),
+                lat: Some(at.lat),
+                lon: Some(at.lon),
+            }]);
+        }
+        let ds = builder.build();
+        for split in [&ds.train, &ds.valid, &ds.test] {
+            prop_assert!(split.neg_pairs.len() <= cap);
+            prop_assert!(split.unlabeled_pairs.len() <= cap);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Group detection (the paper's §6.5 case study): given a handful of
+//! profiles from the same hour, cluster them into co-located groups by
+//! thresholding pairwise co-location probabilities and taking connected
+//! components — no cluster count needed.
+//!
+//! ```sh
+//! cargo run --release -p hisrect --example group_detection
+//! ```
+
+use hisrect::clustering::{cluster_by_threshold, partition_pattern};
+use hisrect::config::ApproachSpec;
+use hisrect::model::{Ablation, HisRectModel};
+use tensor::Matrix;
+use twitter_sim::{generate, ProfileIdx, SimConfig};
+
+fn main() {
+    let dataset = generate(&SimConfig::tiny(11));
+    println!("training HisRect ...");
+    let model = HisRectModel::train(&dataset, &ApproachSpec::hisrect(), 11);
+
+    // Pick up to 6 labeled test profiles from the densest Δt window,
+    // distinct users.
+    let mut sorted: Vec<ProfileIdx> = dataset.test.labeled.clone();
+    sorted.sort_by_key(|&i| dataset.profile(i).ts);
+    let mut group: Vec<ProfileIdx> = Vec::new();
+    'outer: for (k, &start) in sorted.iter().enumerate() {
+        let mut candidate = vec![start];
+        let t0 = dataset.profile(start).ts;
+        for &cand in &sorted[k + 1..] {
+            let p = dataset.profile(cand);
+            if p.ts - t0 >= dataset.delta_t {
+                break;
+            }
+            if candidate
+                .iter()
+                .all(|&g| dataset.profile(g).uid != p.uid)
+            {
+                candidate.push(cand);
+                if candidate.len() == 6 {
+                    group = candidate;
+                    break 'outer;
+                }
+            }
+        }
+        if candidate.len() > group.len() {
+            group = candidate;
+        }
+    }
+    assert!(group.len() >= 2, "not enough concurrent test profiles");
+
+    // Pairwise probability matrix from cached features.
+    let feats = model.featurize_many(&dataset, &group, Ablation::default());
+    let n = group.len();
+    let mut probs = Matrix::zeros(n, n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let p = model.judge_features(&feats[&group[a]], &feats[&group[b]]);
+            probs.set(a, b, p);
+            probs.set(b, a, p);
+        }
+    }
+
+    let labels = cluster_by_threshold(&probs, 0.5);
+    println!("\nprofiles and predicted groups:");
+    for (k, &idx) in group.iter().enumerate() {
+        let p = dataset.profile(idx);
+        println!(
+            "  user {:>3} at t={:>7}  true poi_{:<3} -> predicted group {}",
+            p.uid,
+            p.ts,
+            p.pid.unwrap(),
+            labels[k]
+        );
+    }
+    println!("predicted pattern: {:?}", partition_pattern(&labels));
+
+    let truth: Vec<usize> = {
+        // Dense ground-truth labels from the POIs.
+        let mut map = std::collections::HashMap::new();
+        group
+            .iter()
+            .map(|&i| {
+                let pid = dataset.profile(i).pid.unwrap();
+                let next = map.len();
+                *map.entry(pid).or_insert(next)
+            })
+            .collect()
+    };
+    println!("actual pattern:    {:?}", partition_pattern(&truth));
+}

@@ -1,0 +1,63 @@
+//! POI inference for non-geotagged tweets (§6.3.3): rank POI candidates
+//! for a profile with the HisRect featurizer + POI classifier, and compare
+//! against the N-Gram-Gauss geolocalization baseline.
+//!
+//! ```sh
+//! cargo run --release -p hisrect --example poi_inference
+//! ```
+
+use baselines::{ranked_pois, NGramGauss, NGramGaussConfig};
+use eval::acc_at_k;
+use hisrect::config::ApproachSpec;
+use hisrect::model::HisRectModel;
+use twitter_sim::{generate, SimConfig};
+
+fn main() {
+    let dataset = generate(&SimConfig::tiny(19));
+    println!("training HisRect ...");
+    let model = HisRectModel::train(&dataset, &ApproachSpec::hisrect(), 19);
+    let gauss = NGramGauss::fit(&dataset, NGramGaussConfig::default());
+
+    // Rank POIs for every labeled test profile (geo-tags hidden).
+    let idxs = &dataset.test.labeled;
+    let truth: Vec<u32> = idxs
+        .iter()
+        .map(|&i| dataset.profile(i).pid.unwrap())
+        .collect();
+
+    let hisrect_rankings: Vec<Vec<u32>> = idxs
+        .iter()
+        .map(|&i| {
+            let probs = model.poi_probs(&dataset, i);
+            ranked_pois(&probs.iter().map(|&p| p as f64).collect::<Vec<_>>())
+        })
+        .collect();
+    let gauss_rankings: Vec<Vec<u32>> = idxs
+        .iter()
+        .map(|&i| ranked_pois(&gauss.poi_scores(dataset.profile(i))))
+        .collect();
+
+    println!("\nAcc@K on {} test profiles:", idxs.len());
+    println!("{:>4} {:>10} {:>14}", "K", "HisRect", "N-Gram-Gauss");
+    for k in [1usize, 2, 3, 5] {
+        println!(
+            "{k:>4} {:>10.4} {:>14.4}",
+            acc_at_k(&hisrect_rankings, &truth, k),
+            acc_at_k(&gauss_rankings, &truth, k)
+        );
+    }
+
+    // Show one concrete inference.
+    let i = idxs[0];
+    let p = dataset.profile(i);
+    println!(
+        "\nexample profile: user {} tweeting {:?}",
+        p.uid,
+        p.tokens.iter().take(6).collect::<Vec<_>>()
+    );
+    println!(
+        "  true POI poi_{}, HisRect top-3: {:?}",
+        p.pid.unwrap(),
+        &hisrect_rankings[0][..3.min(hisrect_rankings[0].len())]
+    );
+}

@@ -1,0 +1,72 @@
+//! Quickstart: simulate a small city, train the full HisRect system, and
+//! judge whether two users are co-located.
+//!
+//! ```sh
+//! cargo run --release -p hisrect --example quickstart
+//! ```
+
+use hisrect::config::ApproachSpec;
+use hisrect::model::HisRectModel;
+use twitter_sim::{generate, SimConfig};
+
+fn main() {
+    // 1. A small simulated Twitter corpus with planted co-location truth.
+    //    (Swap in `SimConfig::nyc_like(42)` for the full experiment scale.)
+    let dataset = generate(&SimConfig::tiny(42));
+    let stats = dataset.stats();
+    println!(
+        "simulated {}: {} POIs, {} timelines, {} labeled training profiles",
+        stats.name, stats.n_pois, stats.n_timelines, stats.train_labeled_profiles
+    );
+
+    // 2. Train the full pipeline: skip-gram word vectors, the semi-
+    //    supervised HisRect featurizer (Algorithm 1), and the co-location
+    //    judge E' + C.
+    let spec = ApproachSpec::hisrect();
+    println!("training `{}` ...", spec.name);
+    let model = HisRectModel::train(&dataset, &spec, 42);
+    println!(
+        "trained {} parameters; final L_poi = {:.3}, L_co = {:.3}",
+        model.n_parameters(),
+        model.ssl_stats.recent_poi_loss(20),
+        model.judge_losses.iter().rev().take(20).sum::<f32>() / 20.0,
+    );
+
+    // 3. Judge test pairs: co-located pairs should score higher than
+    //    separated ones, and thresholding at 0.5 should mostly agree with
+    //    the ground truth.
+    let avg = |pairs: &[twitter_sim::Pair]| {
+        let take = pairs.len().min(25);
+        pairs[..take]
+            .iter()
+            .map(|p| model.judge_pair(&dataset, p.i, p.j) as f64)
+            .sum::<f64>()
+            / take as f64
+    };
+    let p_pos = avg(&dataset.test.pos_pairs);
+    let p_neg = avg(&dataset.test.neg_pairs);
+    println!("mean p_co over co-located pairs: {p_pos:.3}");
+    println!("mean p_co over separated pairs:  {p_neg:.3}");
+
+    // 4. The same features also power POI inference.
+    let mut correct = 0usize;
+    let sample: Vec<_> = dataset.test.labeled.iter().copied().take(50).collect();
+    for &idx in &sample {
+        let probs = model.poi_probs(&dataset, idx);
+        let best = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i as u32)
+            .unwrap();
+        if Some(best) == dataset.profile(idx).pid {
+            correct += 1;
+        }
+    }
+    println!(
+        "POI inference: {}/{} test profiles correct (chance: 1/{})",
+        correct,
+        sample.len(),
+        dataset.world.pois.len()
+    );
+}

@@ -1,0 +1,157 @@
+//! End-to-end pipeline integration tests: simulate → train → judge,
+//! asserting the system actually learns and behaves consistently.
+
+use hisrect::config::{ApproachSpec, HisRectConfig};
+use hisrect::model::{Ablation, HisRectModel};
+use twitter_sim::{generate, Dataset, SimConfig};
+
+fn fast(spec: ApproachSpec) -> ApproachSpec {
+    spec.with_config(|c| {
+        *c = HisRectConfig {
+            featurizer_iters: 500,
+            judge_iters: 400,
+            ..HisRectConfig::fast()
+        };
+    })
+}
+
+/// Between `tiny` and the experiment presets: big enough that learning is
+/// measurable, small enough for the test suite.
+fn dataset() -> Dataset {
+    let mut cfg = SimConfig::tiny(101);
+    cfg.n_users = 120;
+    cfg.n_pois = 12;
+    cfg.days = 20;
+    generate(&cfg)
+}
+
+/// Judgement accuracy on a balanced sample of test pairs.
+fn balanced_accuracy(model: &HisRectModel, ds: &Dataset, n: usize) -> f64 {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for pair in ds.test.pos_pairs.iter().take(n) {
+        total += 1;
+        if model.judge_pair(ds, pair.i, pair.j) > 0.5 {
+            correct += 1;
+        }
+    }
+    for pair in ds.test.neg_pairs.iter().take(n) {
+        total += 1;
+        if model.judge_pair(ds, pair.i, pair.j) <= 0.5 {
+            correct += 1;
+        }
+    }
+    correct as f64 / total as f64
+}
+
+#[test]
+fn hisrect_learns_co_location_above_chance() {
+    let ds = dataset();
+    let model = HisRectModel::train(&ds, &fast(ApproachSpec::hisrect()), 1);
+    let acc = balanced_accuracy(&model, &ds, 60);
+    assert!(acc > 0.65, "balanced accuracy = {acc}");
+}
+
+#[test]
+fn supervised_only_variant_also_learns() {
+    let ds = dataset();
+    let model = HisRectModel::train(&ds, &fast(ApproachSpec::hisrect_sl()), 1);
+    let acc = balanced_accuracy(&model, &ds, 60);
+    assert!(acc > 0.6, "balanced accuracy = {acc}");
+}
+
+#[test]
+fn one_phase_variant_also_learns() {
+    let ds = dataset();
+    let model = HisRectModel::train(&ds, &fast(ApproachSpec::one_phase()), 1);
+    let acc = balanced_accuracy(&model, &ds, 60);
+    assert!(acc > 0.6, "balanced accuracy = {acc}");
+}
+
+#[test]
+fn judgement_is_symmetric() {
+    let ds = dataset();
+    let model = HisRectModel::train(&ds, &fast(ApproachSpec::hisrect()), 2);
+    for pair in ds.test.pos_pairs.iter().take(5) {
+        let pij = model.judge_pair(&ds, pair.i, pair.j);
+        let pji = model.judge_pair(&ds, pair.j, pair.i);
+        assert!((pij - pji).abs() < 1e-5, "asymmetric: {pij} vs {pji}");
+    }
+}
+
+#[test]
+fn poi_classifier_beats_chance() {
+    let ds = dataset();
+    let model = HisRectModel::train(&ds, &fast(ApproachSpec::hisrect()), 3);
+    let mut correct = 0usize;
+    let sample: Vec<_> = ds.test.labeled.iter().copied().take(150).collect();
+    for &i in &sample {
+        let probs = model.poi_probs(&ds, i);
+        let pred = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(k, _)| k as u32)
+            .unwrap();
+        if Some(pred) == ds.profile(i).pid {
+            correct += 1;
+        }
+    }
+    let acc = correct as f64 / sample.len() as f64;
+    let chance = 1.0 / ds.world.pois.len() as f64;
+    assert!(acc > 2.0 * chance, "acc = {acc}, chance = {chance}");
+}
+
+#[test]
+fn training_is_deterministic_in_the_seed() {
+    let ds = dataset();
+    let m1 = HisRectModel::train(&ds, &fast(ApproachSpec::tweet_only()), 9);
+    let m2 = HisRectModel::train(&ds, &fast(ApproachSpec::tweet_only()), 9);
+    let pair = ds.test.pos_pairs[0];
+    let p1 = m1.judge_pair(&ds, pair.i, pair.j);
+    let p2 = m2.judge_pair(&ds, pair.i, pair.j);
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn features_are_finite_and_fixed_width() {
+    let ds = dataset();
+    let model = HisRectModel::train(&ds, &fast(ApproachSpec::hisrect()), 4);
+    for &i in ds.test.labeled.iter().take(30) {
+        let f = model.feature(&ds, i, Ablation::default());
+        assert_eq!(f.len(), model.feat_dim());
+        assert!(f.iter().all(|x| x.is_finite()));
+    }
+}
+
+#[test]
+fn full_model_degrades_gracefully_under_test_time_ablation() {
+    // Table 5's qualitative claim: removing either source hurts, removing
+    // content hurts more than removing history for this model family.
+    let ds = dataset();
+    let model = HisRectModel::train(&ds, &fast(ApproachSpec::hisrect()), 5);
+    let acc = |ablation: Ablation| {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for (pairs, label) in [(&ds.test.pos_pairs, true), (&ds.test.neg_pairs, false)] {
+            for pair in pairs.iter().take(50) {
+                let fi = model.feature(&ds, pair.i, ablation);
+                let fj = model.feature(&ds, pair.j, ablation);
+                total += 1;
+                if (model.judge_features(&fi, &fj) > 0.5) == label {
+                    correct += 1;
+                }
+            }
+        }
+        correct as f64 / total as f64
+    };
+    let full = acc(Ablation::default());
+    let no_content = acc(Ablation {
+        drop_content: true,
+        drop_history: false,
+    });
+    assert!(
+        full >= no_content - 0.02,
+        "full = {full}, without content = {no_content}"
+    );
+}
