@@ -17,8 +17,8 @@
 //! Both expose a per-POI score vector so the Fig. 4 `Acc@K` experiment can
 //! rank POI candidates.
 
-pub mod tgtic;
 pub mod ngram_gauss;
+pub mod tgtic;
 
 pub use ngram_gauss::{NGramGauss, NGramGaussConfig};
 pub use tgtic::{TgTiC, TgTiCConfig};

@@ -1,17 +1,119 @@
-//! Criterion micro-benchmarks for the paper's online-performance claims
-//! (§6.4.4: featurization and judgement both under 1 ms per pair; profile
-//! construction under 1 ms per tweet) and for the hot kernels underneath.
+//! Wall-clock micro-benchmarks for the paper's online-performance claims
+//! (§6.4.4: featurization and judgement both under 1 ms per pair) and for
+//! the hot kernels underneath, including serial-vs-parallel matmul and
+//! `train_featurizer` cases that track the thread-pool speedup.
+//!
+//! The harness is hand-rolled (run `cargo bench -p bench`): each case is
+//! timed in calibrated batches for a fixed budget and reported as ns per
+//! iteration; all cases plus the serial/parallel speedup ratios land in
+//! `results/microbench.json`. `MICROBENCH_BUDGET_MS` adjusts the
+//! per-case budget (default 300 ms).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use bench::report::Report;
 use hisrect::affinity::build_affinity;
-use hisrect::config::{ApproachSpec, HisRectConfig};
+use hisrect::config::{ApproachSpec, ContentEncoder, HisRectConfig, HistoryEncoder, UnsupLoss};
+use hisrect::featurizer::{Featurizer, ProfileInput};
 use hisrect::fv::fv_feature;
 use hisrect::model::{Ablation, HisRectModel};
+use hisrect::ssl::{train_featurizer, SslNets};
+use nn::ParamStore;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap};
 use std::hint::black_box;
+use std::time::Instant;
 use tensor::{randn, Matrix};
 use twitter_sim::{generate, SimConfig};
+
+#[derive(Serialize)]
+struct Case {
+    name: String,
+    iters: u64,
+    mean_ns: f64,
+    min_sample_ns: f64,
+}
+
+#[derive(Serialize)]
+struct Payload {
+    threads: usize,
+    budget_ms: u64,
+    cases: Vec<Case>,
+    /// serial-time / parallel-time per paired case name.
+    speedups: BTreeMap<String, f64>,
+}
+
+struct Harness {
+    report: Report,
+    budget_ms: u64,
+    cases: Vec<Case>,
+}
+
+impl Harness {
+    fn new() -> Self {
+        let budget_ms = std::env::var("MICROBENCH_BUDGET_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300);
+        Self {
+            report: Report::new("microbench"),
+            budget_ms,
+            cases: Vec::new(),
+        }
+    }
+
+    /// Times `f` in calibrated batches until the budget is spent and
+    /// records mean ns/iter plus the fastest batch.
+    fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Warm-up and calibration: grow the batch until it takes ≥ 10 ms.
+        let mut batch: u64 = 1;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed.as_millis() >= 10 || batch >= 1 << 24 {
+                break elapsed.as_nanos() as f64 / batch as f64;
+            }
+            batch *= 4;
+        };
+        let budget_ns = self.budget_ms as f64 * 1e6;
+        let samples = ((budget_ns / (per_iter * batch as f64)) as u64).clamp(1, 50);
+
+        let mut total_ns = 0.0f64;
+        let mut iters = 0u64;
+        let mut min_sample = f64::INFINITY;
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64;
+            total_ns += ns;
+            iters += batch;
+            min_sample = min_sample.min(ns / batch as f64);
+        }
+        let mean = total_ns / iters as f64;
+        self.report.line(&format!(
+            "{name:<38} {:>12.0} ns/iter  (min {:>12.0}, {iters} iters)",
+            mean, min_sample
+        ));
+        self.cases.push(Case {
+            name: name.to_string(),
+            iters,
+            mean_ns: mean,
+            min_sample_ns: min_sample,
+        });
+    }
+
+    fn mean_of(&self, name: &str) -> Option<f64> {
+        self.cases
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.mean_ns)
+    }
+}
 
 fn small_dataset() -> twitter_sim::Dataset {
     let mut cfg = SimConfig::tiny(31);
@@ -31,40 +133,110 @@ fn trained_model(ds: &twitter_sim::Dataset) -> HisRectModel {
     HisRectModel::train(ds, &spec, 31)
 }
 
-fn bench_kernels(c: &mut Criterion) {
+fn bench_kernels(h: &mut Harness) {
     let mut rng = StdRng::seed_from_u64(0);
     let a = randn(&mut rng, 64, 64, 1.0);
     let b = randn(&mut rng, 64, 64, 1.0);
-    c.bench_function("matmul_64x64", |bench| {
-        bench.iter(|| black_box(a.matmul(&b)))
-    });
+    h.bench("matmul_64x64", || a.matmul(&b));
+
+    let a = randn(&mut rng, 256, 256, 1.0);
+    let b = randn(&mut rng, 256, 256, 1.0);
+    h.bench("matmul_256x256_serial", || a.matmul_serial(&b));
+    h.bench("matmul_256x256_parallel", || a.matmul_parallel(&b));
+    h.bench("matmul_tn_256x256_serial", || a.matmul_tn_serial(&b));
+    h.bench("matmul_tn_256x256_parallel", || a.matmul_tn_parallel(&b));
+    h.bench("matmul_nt_256x256_serial", || a.matmul_nt_serial(&b));
+    h.bench("matmul_nt_256x256_parallel", || a.matmul_nt_parallel(&b));
 
     let x = randn(&mut rng, 12, 24, 1.0);
-    c.bench_function("matrix_transpose_and_norms", |bench| {
-        bench.iter(|| {
-            let t = x.transpose();
-            black_box(t.l2_norm())
-        })
+    h.bench("matrix_transpose_and_norms", || {
+        let t = x.transpose();
+        t.l2_norm()
     });
 }
 
-fn bench_geo(c: &mut Criterion) {
-    let ds = small_dataset();
+/// A toy but non-trivial Algorithm-1 run: Rect history encoder over a
+/// synthetic fully-separable class problem, sized so the per-batch
+/// matmuls clear the parallel-dispatch threshold.
+fn toy_train_featurizer(threads: usize) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let cfg = HisRectConfig {
+        word_dim: 6,
+        hidden_n: 16,
+        feat_dim: 64,
+        embed_dim: 16,
+        batch: 64,
+        featurizer_iters: 8,
+        unsup: UnsupLoss::Cosine,
+        ..HisRectConfig::fast()
+    };
+    let fv_dim = 32;
+    let mut store = ParamStore::new();
+    let featurizer = Featurizer::new(
+        &mut store,
+        &cfg,
+        HistoryEncoder::Rect,
+        ContentEncoder::None,
+        fv_dim,
+        &mut rng,
+    );
+    let nets = SslNets::new(&mut store, &cfg, featurizer.feat_dim(), 2, &mut rng);
+
+    let mut inputs = HashMap::new();
+    let mut labeled = Vec::new();
+    for k in 0..128usize {
+        let class = k % 2;
+        let mut fv = vec![0.05f32; fv_dim];
+        fv[class] = 0.9;
+        fv[2 + class] = 0.4;
+        inputs.insert(
+            k,
+            ProfileInput {
+                fv,
+                words: Matrix::zeros(0, 6),
+            },
+        );
+        labeled.push((k, class));
+    }
+
+    let prev_threads = parallel::num_threads();
+    parallel::set_threads(threads);
+    let stats = train_featurizer(
+        &featurizer,
+        &nets,
+        &mut store,
+        &inputs,
+        &labeled,
+        &[],
+        &cfg,
+        false,
+        &mut rng,
+    );
+    parallel::set_threads(prev_threads);
+    black_box(stats);
+}
+
+fn bench_training(h: &mut Harness) {
+    let threads = parallel::num_threads();
+    // Lower the dispatch threshold so the toy model's batch-sized
+    // matmuls actually fan out, then restore the default.
+    tensor::set_par_threshold(1 << 14);
+    h.bench("train_featurizer_serial", || toy_train_featurizer(1));
+    h.bench("train_featurizer_parallel", || {
+        toy_train_featurizer(threads)
+    });
+    tensor::set_par_threshold(tensor::DEFAULT_PAR_THRESHOLD);
+}
+
+fn bench_geo(h: &mut Harness, ds: &twitter_sim::Dataset) {
     let p = ds.profile(ds.test.labeled[0]).geo;
-    c.bench_function("poi_containment_query", |bench| {
-        bench.iter(|| black_box(ds.world.pois.containing(&p)))
-    });
-    c.bench_function("poi_min_distance_query", |bench| {
-        bench.iter(|| black_box(ds.world.pois.min_distance_m(&p)))
-    });
-    c.bench_function("poi_center_distances", |bench| {
-        bench.iter(|| black_box(ds.world.pois.center_distances_m(&p)))
+    h.bench("poi_containment_query", || ds.world.pois.containing(&p));
+    h.bench("poi_min_distance_query", || {
+        ds.world.pois.min_distance_m(&p)
     });
 }
 
-fn bench_features(c: &mut Criterion) {
-    let ds = small_dataset();
-    // A profile with a realistic visit history.
+fn bench_features(h: &mut Harness, ds: &twitter_sim::Dataset) {
     let idx = *ds
         .test
         .labeled
@@ -72,94 +244,72 @@ fn bench_features(c: &mut Criterion) {
         .max_by_key(|&&i| ds.profile(i).visits.len())
         .unwrap();
     let profile = ds.profile(idx);
-    c.bench_function("fv_feature_eq1_eq2", |bench| {
-        bench.iter(|| black_box(fv_feature(profile, &ds.world.pois, 1000.0, 86_400.0)))
+    h.bench("fv_feature_eq1_eq2", || {
+        fv_feature(profile, &ds.world.pois, 1000.0, 86_400.0)
     });
 
-    let model = trained_model(&ds);
-    c.bench_function("featurize_one_profile", |bench| {
-        bench.iter(|| black_box(model.feature(&ds, idx, Ablation::default())))
+    let model = trained_model(ds);
+    h.bench("featurize_one_profile", || {
+        model.feature(ds, idx, Ablation::default())
     });
 
     let pair = ds.test.pos_pairs[0];
-    let fi = model.feature(&ds, pair.i, Ablation::default());
-    let fj = model.feature(&ds, pair.j, Ablation::default());
+    let fi = model.feature(ds, pair.i, Ablation::default());
+    let fj = model.feature(ds, pair.j, Ablation::default());
     // §6.4.4: judgement from features must be well under 1 ms.
-    c.bench_function("judge_pair_cached_features", |bench| {
-        bench.iter(|| black_box(model.judge_features(&fi, &fj)))
+    h.bench("judge_pair_cached_features", || {
+        model.judge_features(&fi, &fj)
     });
-    c.bench_function("judge_pair_end_to_end", |bench| {
-        bench.iter(|| black_box(model.judge_pair(&ds, pair.i, pair.j)))
-    });
-    c.bench_function("poi_inference_one_profile", |bench| {
-        bench.iter(|| black_box(model.poi_probs_from_feature(&fi)))
+    h.bench("judge_pair_end_to_end", || {
+        model.judge_pair(ds, pair.i, pair.j)
     });
 }
 
-fn bench_pipeline_stages(c: &mut Criterion) {
-    c.bench_function("simulate_tiny_dataset", |bench| {
-        bench.iter(|| black_box(generate(&SimConfig::tiny(1))))
-    });
-
-    let ds = small_dataset();
+fn bench_pipeline_stages(h: &mut Harness, ds: &twitter_sim::Dataset) {
+    h.bench("simulate_tiny_dataset", || generate(&SimConfig::tiny(1)));
     let cfg = HisRectConfig::fast();
-    c.bench_function("build_affinity_graph", |bench| {
-        bench.iter(|| black_box(build_affinity(&ds, &cfg)))
-    });
-
-    // One SGNS training pass over a small corpus.
-    let vocab = text::Vocab::build(ds.train_docs.iter().map(|d| d.as_slice()), 10);
-    let docs: Vec<Vec<usize>> = ds
-        .train_docs
-        .iter()
-        .take(300)
-        .map(|d| vocab.encode(d))
-        .collect();
-    c.bench_function("skipgram_epoch_300_docs", |bench| {
-        bench.iter_batched(
-            || {
-                let mut rng = StdRng::seed_from_u64(5);
-                let sg = text::SkipGram::new(
-                    &vocab,
-                    text::SkipGramConfig {
-                        dim: 16,
-                        epochs: 1,
-                        ..text::SkipGramConfig::default()
-                    },
-                    &mut rng,
-                );
-                (sg, rng)
-            },
-            |(mut sg, mut rng)| black_box(sg.train(&docs, &mut rng)),
-            BatchSize::LargeInput,
-        )
-    });
-
-    // Exact t-SNE on 60 points.
-    let points: Vec<Vec<f32>> = (0..60)
-        .map(|i| {
-            let mut rng = StdRng::seed_from_u64(i);
-            randn(&mut rng, 1, 16, 1.0).as_slice().to_vec()
-        })
-        .collect();
-    c.bench_function("tsne_60_points", |bench| {
-        bench.iter(|| {
-            black_box(eval::tsne_2d(
-                &points,
-                &eval::TsneConfig {
-                    iterations: 50,
-                    ..eval::TsneConfig::default()
-                },
-            ))
-        })
-    });
-
-    let _ = Matrix::zeros(1, 1);
+    h.bench("build_affinity_graph", || build_affinity(ds, &cfg));
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_kernels, bench_geo, bench_features, bench_pipeline_stages
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new();
+    let threads = parallel::num_threads();
+    h.report.line(&format!(
+        "threads = {threads}, budget = {} ms/case",
+        h.budget_ms
+    ));
+
+    bench_kernels(&mut h);
+    bench_training(&mut h);
+    let ds = small_dataset();
+    bench_geo(&mut h, &ds);
+    bench_features(&mut h, &ds);
+    bench_pipeline_stages(&mut h, &ds);
+
+    let mut speedups = BTreeMap::new();
+    for root in [
+        "matmul_256x256",
+        "matmul_tn_256x256",
+        "matmul_nt_256x256",
+        "train_featurizer",
+    ] {
+        if let (Some(s), Some(p)) = (
+            h.mean_of(&format!("{root}_serial")),
+            h.mean_of(&format!("{root}_parallel")),
+        ) {
+            let ratio = s / p;
+            h.report.line(&format!(
+                "speedup {root:<28} {ratio:.2}x ({threads} threads)"
+            ));
+            speedups.insert(root.to_string(), ratio);
+        }
+    }
+
+    let payload = Payload {
+        threads,
+        budget_ms: h.budget_ms,
+        cases: h.cases,
+        speedups,
+    };
+    h.report.save(&payload);
+}

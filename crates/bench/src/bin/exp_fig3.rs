@@ -35,7 +35,9 @@ fn main() {
     // Top-5 POIs by test-profile count.
     let mut counts: HashMap<u32, usize> = HashMap::new();
     for &i in &ds.test.labeled {
-        *counts.entry(ds.profile(i).pid.expect("labeled")).or_insert(0) += 1;
+        *counts
+            .entry(ds.profile(i).pid.expect("labeled"))
+            .or_insert(0) += 1;
     }
     let mut top: Vec<(u32, usize)> = counts.into_iter().collect();
     top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -79,7 +81,9 @@ fn main() {
     let purity_random = cluster_purity(&random_coords, &labels, 10);
 
     report.line(&format!("k-NN purity of HisRect features: {purity:.4}"));
-    report.line(&format!("k-NN purity of random control:   {purity_random:.4}"));
+    report.line(&format!(
+        "k-NN purity of random control:   {purity_random:.4}"
+    ));
     report.line("(paper: same-POI profiles form visible clusters, a small mixed center)");
 
     let out = Out {

@@ -49,10 +49,7 @@ fn main() {
         for approach in approaches() {
             let trained = TrainedApproach::train(&ds, &approach, seed);
             let ctx = trained.prepare_for(&ds, &idxs, Default::default());
-            let rankings: Vec<Vec<u32>> = idxs
-                .iter()
-                .map(|&i| ctx.poi_ranking(&ds, i))
-                .collect();
+            let rankings: Vec<Vec<u32>> = idxs.iter().map(|&i| ctx.poi_ranking(&ds, i)).collect();
             let accs: Vec<f64> = ks.iter().map(|&k| acc_at_k(&rankings, &truth, k)).collect();
             let mut row = vec![trained.name.clone()];
             row.extend(accs.iter().map(|&a| m4(a)));

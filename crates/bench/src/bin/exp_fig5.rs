@@ -34,8 +34,7 @@ struct Ratios {
 fn subsample_train(ds: &Dataset, frac: f64) -> Dataset {
     let mut out = ds.clone();
     let keep_n = ((ds.train.uids.len() as f64) * frac).round().max(1.0) as usize;
-    let kept: std::collections::HashSet<u32> =
-        ds.train.uids.iter().copied().take(keep_n).collect();
+    let kept: std::collections::HashSet<u32> = ds.train.uids.iter().copied().take(keep_n).collect();
     let keep_profile = |i: &usize| kept.contains(&ds.profiles[*i].uid);
     out.train.uids.retain(|u| kept.contains(u));
     out.train.labeled.retain(keep_profile);

@@ -49,7 +49,13 @@ fn main() {
     for (name, spec) in variants {
         let trained = TrainedApproach::train(&ds, &Approach::Learned(spec), seed);
         let m = evaluate_judgement(&trained, &ds);
-        rows.push(vec![name.to_string(), m4(m.acc), m4(m.rec), m4(m.pre), m4(m.f1)]);
+        rows.push(vec![
+            name.to_string(),
+            m4(m.acc),
+            m4(m.rec),
+            m4(m.pre),
+            m4(m.f1),
+        ]);
         out.push(Row {
             variant: name.into(),
             acc: m.acc,

@@ -26,18 +26,25 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut out = Vec::new();
-    let run = |name: String, spec: ApproachSpec, rows: &mut Vec<Vec<String>>, out: &mut Vec<Row>| {
-        let trained = TrainedApproach::train(&ds, &Approach::Learned(spec), seed);
-        let m = evaluate_judgement(&trained, &ds);
-        rows.push(vec![name.clone(), m4(m.acc), m4(m.rec), m4(m.pre), m4(m.f1)]);
-        out.push(Row {
-            variant: name,
-            acc: m.acc,
-            rec: m.rec,
-            pre: m.pre,
-            f1: m.f1,
-        });
-    };
+    let run =
+        |name: String, spec: ApproachSpec, rows: &mut Vec<Vec<String>>, out: &mut Vec<Row>| {
+            let trained = TrainedApproach::train(&ds, &Approach::Learned(spec), seed);
+            let m = evaluate_judgement(&trained, &ds);
+            rows.push(vec![
+                name.clone(),
+                m4(m.acc),
+                m4(m.rec),
+                m4(m.pre),
+                m4(m.f1),
+            ]);
+            out.push(Row {
+                variant: name,
+                acc: m.acc,
+                rec: m.rec,
+                pre: m.pre,
+                f1: m.f1,
+            });
+        };
 
     // Unsupervised-loss flavors.
     for (name, unsup) in [

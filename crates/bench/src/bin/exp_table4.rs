@@ -31,7 +31,10 @@ fn main() {
     report.line(&format!("seeds: {seeds:?}"));
     let mut rows_out: Vec<Row> = Vec::new();
 
-    for mk in [SimConfig::nyc_like as fn(u64) -> SimConfig, SimConfig::lv_like] {
+    for mk in [
+        SimConfig::nyc_like as fn(u64) -> SimConfig,
+        SimConfig::lv_like,
+    ] {
         let mut per_approach: Vec<(String, Vec<eval::BinaryMetrics>, f64)> = Approach::all()
             .iter()
             .map(|a| (a.name(), Vec::new(), 0.0))

@@ -37,16 +37,17 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut out = Vec::new();
-    let push = |name: &str, m: eval::BinaryMetrics, rows: &mut Vec<Vec<String>>, out: &mut Vec<Row>| {
-        rows.push(vec![name.into(), m4(m.acc), m4(m.rec), m4(m.pre), m4(m.f1)]);
-        out.push(Row {
-            approach: name.into(),
-            acc: m.acc,
-            rec: m.rec,
-            pre: m.pre,
-            f1: m.f1,
-        });
-    };
+    let push =
+        |name: &str, m: eval::BinaryMetrics, rows: &mut Vec<Vec<String>>, out: &mut Vec<Row>| {
+            rows.push(vec![name.into(), m4(m.acc), m4(m.rec), m4(m.pre), m4(m.f1)]);
+            out.push(Row {
+                approach: name.into(),
+                acc: m.acc,
+                rec: m.rec,
+                pre: m.pre,
+                f1: m.f1,
+            });
+        };
 
     // The well-trained full model, evaluated on ablated test inputs.
     let hisrect = TrainedApproach::train(&ds, &Approach::Learned(ApproachSpec::hisrect()), seed);

@@ -47,7 +47,11 @@ fn main() {
         for k in 0..idxs.len() {
             let single_source_right = hist[k] == truth[k] || tweet[k] == truth[k];
             let hisrect_right = hisrect[k] == truth[k];
-            let bucket = if single_source_right { &mut tr } else { &mut fr };
+            let bucket = if single_source_right {
+                &mut tr
+            } else {
+                &mut fr
+            };
             bucket.1 += 1;
             if hisrect_right {
                 bucket.0 += 1;

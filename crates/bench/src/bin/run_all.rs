@@ -35,7 +35,10 @@ fn main() {
         }
     }
     if failures.is_empty() {
-        println!("\nall {} experiments completed; see results/", EXPERIMENTS.len());
+        println!(
+            "\nall {} experiments completed; see results/",
+            EXPERIMENTS.len()
+        );
     } else {
         eprintln!("\nfailed: {failures:?}");
         std::process::exit(1);

@@ -68,7 +68,10 @@ pub fn simulate(flags: &Flags) -> Result<(), String> {
 pub fn stats(flags: &Flags) -> Result<(), String> {
     let ds = load_dataset(flags)?;
     let s = ds.stats();
-    println!("{}", serde_json::to_string_pretty(&s).expect("serializable"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&s).expect("serializable")
+    );
     Ok(())
 }
 

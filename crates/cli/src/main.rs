@@ -32,6 +32,10 @@ COMMANDS:
     cluster    Cluster concurrent test profiles       (--corpus FILE --model FILE [--group-size N] [--seed N])
     help       Show this message
 
+GLOBAL FLAGS:
+    --threads N   Worker threads for parallel kernels (default: all cores,
+                  or the HISRECT_THREADS environment variable)
+
 APPROACHES (for train --approach):
     hisrect (default), hisrect-sl, one-phase, history-only, tweet-only,
     one-hot, blstm, convlstm
@@ -50,6 +54,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    match flags.parse_or("threads", 0usize) {
+        Ok(0) => {} // keep HISRECT_THREADS / core-count default
+        Ok(n) => parallel::set_threads(n),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match command.as_str() {
         "simulate" => commands::simulate(&flags),
         "stats" => commands::stats(&flags),

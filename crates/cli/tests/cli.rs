@@ -57,7 +57,9 @@ fn full_pipeline_simulate_train_judge_infer_cluster() {
     let model_s = model.to_str().unwrap();
 
     // simulate
-    let out = run(&["simulate", "--preset", "tiny", "--seed", "3", "--out", corpus_s]);
+    let out = run(&[
+        "simulate", "--preset", "tiny", "--seed", "3", "--out", corpus_s,
+    ]);
     assert!(out.status.success(), "simulate: {}", stderr(&out));
     assert!(corpus.exists());
 
@@ -68,14 +70,25 @@ fn full_pipeline_simulate_train_judge_infer_cluster() {
 
     // train (budget trimmed to keep the test fast)
     let out = run(&[
-        "train", "--corpus", corpus_s, "--out", model_s, "--seed", "3", "--iters", "200",
-        "--judge-iters", "200",
+        "train",
+        "--corpus",
+        corpus_s,
+        "--out",
+        model_s,
+        "--seed",
+        "3",
+        "--iters",
+        "200",
+        "--judge-iters",
+        "200",
     ]);
     assert!(out.status.success(), "train: {}", stderr(&out));
     assert!(model.exists());
 
     // judge
-    let out = run(&["judge", "--corpus", corpus_s, "--model", model_s, "--seed", "3"]);
+    let out = run(&[
+        "judge", "--corpus", corpus_s, "--model", model_s, "--seed", "3",
+    ]);
     assert!(out.status.success(), "judge: {}", stderr(&out));
     let text = stdout(&out);
     assert!(text.contains("Acc") && text.contains("F1"), "got: {text}");
@@ -89,7 +102,15 @@ fn full_pipeline_simulate_train_judge_infer_cluster() {
 
     // cluster
     let out = run(&[
-        "cluster", "--corpus", corpus_s, "--model", model_s, "--group-size", "3", "--seed", "3",
+        "cluster",
+        "--corpus",
+        corpus_s,
+        "--model",
+        model_s,
+        "--group-size",
+        "3",
+        "--seed",
+        "3",
     ]);
     assert!(out.status.success(), "cluster: {}", stderr(&out));
     assert!(stdout(&out).contains("pattern:"));
@@ -102,10 +123,18 @@ fn train_rejects_unknown_approach() {
     let dir = tmpdir("badapproach");
     let corpus = dir.join("corpus.json");
     let corpus_s = corpus.to_str().unwrap();
-    let out = run(&["simulate", "--preset", "tiny", "--seed", "1", "--out", corpus_s]);
+    let out = run(&[
+        "simulate", "--preset", "tiny", "--seed", "1", "--out", corpus_s,
+    ]);
     assert!(out.status.success());
     let out = run(&[
-        "train", "--corpus", corpus_s, "--out", "/dev/null", "--approach", "nonsense",
+        "train",
+        "--corpus",
+        corpus_s,
+        "--out",
+        "/dev/null",
+        "--approach",
+        "nonsense",
     ]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("unknown approach"));
@@ -117,9 +146,17 @@ fn judge_with_missing_model_file_fails_cleanly() {
     let dir = tmpdir("nomodel");
     let corpus = dir.join("corpus.json");
     let corpus_s = corpus.to_str().unwrap();
-    let out = run(&["simulate", "--preset", "tiny", "--seed", "1", "--out", corpus_s]);
+    let out = run(&[
+        "simulate", "--preset", "tiny", "--seed", "1", "--out", corpus_s,
+    ]);
     assert!(out.status.success());
-    let out = run(&["judge", "--corpus", corpus_s, "--model", "/nonexistent.json"]);
+    let out = run(&[
+        "judge",
+        "--corpus",
+        corpus_s,
+        "--model",
+        "/nonexistent.json",
+    ]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("nonexistent"));
     std::fs::remove_dir_all(&dir).ok();

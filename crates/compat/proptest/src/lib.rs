@@ -1,0 +1,402 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset this workspace's property tests use: the
+//! `proptest!` macro (with optional `#![proptest_config(..)]` header),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, range and tuple
+//! strategies, `collection::vec`, `bool::weighted`, `any`, and
+//! `prop_map`. No shrinking: cases are generated from seeds derived
+//! deterministically from the test name, so a failure reproduces
+//! exactly on re-run. `PROPTEST_CASES` overrides the case count.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// The generator handed to strategies; re-exported so user code can
+/// name it if needed.
+pub type TestRng = StdRng;
+
+/// A recipe for producing random values of one type.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T: rand::SampleUniform + PartialOrd + Clone> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform + PartialOrd + Clone> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical full-domain strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+arbitrary_via_standard!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Output of [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`'s full domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification accepted by [`vec`].
+    #[derive(Clone)]
+    pub enum SizeRange {
+        Exact(usize),
+        /// `[lo, hi)`.
+        HalfOpen(usize, usize),
+        /// `[lo, hi]`.
+        Inclusive(usize, usize),
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange::Exact(n)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange::HalfOpen(r.start, r.end)
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            SizeRange::Inclusive(lo, hi)
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            match *self {
+                SizeRange::Exact(n) => n,
+                SizeRange::HalfOpen(lo, hi) => rng.gen_range(lo..hi),
+                SizeRange::Inclusive(lo, hi) => rng.gen_range(lo..=hi),
+            }
+        }
+    }
+
+    /// Output of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for vectors whose elements come from `element` and
+    /// whose length comes from `size` (an exact `usize` or a range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Output of [`weighted`].
+    pub struct Weighted(f64);
+
+    /// `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted(p)
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(self.0)
+        }
+    }
+}
+
+/// Namespace mirror of the real crate's `prop` re-exports.
+pub mod prop {
+    pub use crate::bool;
+    pub use crate::collection;
+}
+
+/// Per-block runner configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// FNV-1a, used to turn a test name into a base seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives one property: `cfg.cases` deterministic cases seeded from the
+/// test name. Assertion failures panic (normal test failure); an `Err`
+/// return means a `prop_assume!` rejected the case.
+pub fn run_cases<F>(cfg: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), ()>,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(cfg.cases);
+    let base = fnv1a(name);
+    for case in 0..cases {
+        let mut rng = StdRng::seed_from_u64(rand::derive_seed(base, case as u64));
+        let _ = f(&mut rng);
+    }
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { .. }`
+/// becomes a test that runs the body over generated inputs; an optional
+/// `#![proptest_config(..)]` header sets the case count for the block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident ($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(&($cfg), stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Rejects the current case (counted as passing; no retry).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(());
+        }
+    };
+}
+
+/// What `use proptest::prelude::*` brings into scope.
+pub mod prelude {
+    pub use crate::{any, prop, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u8..5, -1.0f64..1.0), n in 1usize..=4) {
+            prop_assert!(a < 5);
+            prop_assert!((-1.0..1.0).contains(&b));
+            prop_assert!((1..=4).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(
+            xs in prop::collection::vec(any::<u64>(), 3..7),
+            ys in prop::collection::vec(0i32..10, 4usize),
+        ) {
+            prop_assert!((3..7).contains(&xs.len()));
+            prop_assert_eq!(ys.len(), 4);
+        }
+
+        #[test]
+        fn prop_map_applies(sq in (1u32..100).prop_map(|x| x * x)) {
+            let root = (sq as f64).sqrt().round() as u32;
+            prop_assert_eq!(root * root, sq);
+        }
+
+        #[test]
+        fn assume_rejects_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn weighted_bool_tracks_probability() {
+        let cfg = ProptestConfig::with_cases(1);
+        let mut trues = 0u32;
+        crate::run_cases(&cfg, "weighted", |rng| {
+            let s = prop::bool::weighted(0.7);
+            for _ in 0..1000 {
+                if crate::Strategy::generate(&s, rng) {
+                    trues += 1;
+                }
+            }
+            Ok(())
+        });
+        assert!((550..850).contains(&trues), "trues = {trues}");
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let cfg = ProptestConfig::with_cases(5);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        crate::run_cases(&cfg, "det", |rng| {
+            a.push(crate::Strategy::generate(&(0u64..1000), rng));
+            Ok(())
+        });
+        crate::run_cases(&cfg, "det", |rng| {
+            b.push(crate::Strategy::generate(&(0u64..1000), rng));
+            Ok(())
+        });
+        assert_eq!(a, b);
+    }
+}

@@ -62,14 +62,22 @@ pub fn affinity(dataset: &Dataset, cfg: &HisRectConfig, pair: &Pair) -> Option<W
 }
 
 /// Builds the sparse affinity list over `Γ_L ∪ Γ_U` of the training split.
+///
+/// Each candidate pair is independent, so the O(|Γ|) weight evaluations
+/// (each with its own POI distance queries) fan out across
+/// [`parallel::num_threads`] workers; output order matches the serial
+/// `pos → neg → unlabeled` chain exactly.
 pub fn build_affinity(dataset: &Dataset, cfg: &HisRectConfig) -> Vec<WeightedPair> {
-    dataset
-        .train
+    let train = &dataset.train;
+    let candidates: Vec<&Pair> = train
         .pos_pairs
         .iter()
-        .chain(&dataset.train.neg_pairs)
-        .chain(&dataset.train.unlabeled_pairs)
-        .filter_map(|p| affinity(dataset, cfg, p))
+        .chain(&train.neg_pairs)
+        .chain(&train.unlabeled_pairs)
+        .collect();
+    parallel::parallel_map(&candidates, |p| affinity(dataset, cfg, p))
+        .into_iter()
+        .flatten()
         .collect()
 }
 
@@ -192,14 +200,7 @@ mod tests {
     fn tight_rho_drops_more_unlabeled_pairs() {
         let (ds, cfg) = setup();
         let loose = build_affinity(&ds, &cfg).len();
-        let tight = build_affinity(
-            &ds,
-            &HisRectConfig {
-                rho_m: 50.0,
-                ..cfg
-            },
-        )
-        .len();
+        let tight = build_affinity(&ds, &HisRectConfig { rho_m: 50.0, ..cfg }).len();
         assert!(tight <= loose);
     }
 }

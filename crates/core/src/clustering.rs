@@ -9,7 +9,11 @@ use tensor::Matrix;
 /// Computes connected-component cluster labels for a symmetric `N x N`
 /// probability matrix. Labels are dense, in order of first appearance.
 pub fn cluster_by_threshold(probs: &Matrix, threshold: f32) -> Vec<usize> {
-    assert_eq!(probs.rows(), probs.cols(), "probability matrix must be square");
+    assert_eq!(
+        probs.rows(),
+        probs.cols(),
+        "probability matrix must be square"
+    );
     let n = probs.rows();
     let mut labels = vec![usize::MAX; n];
     let mut next = 0usize;

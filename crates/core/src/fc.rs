@@ -53,7 +53,15 @@ impl ContentNet {
                 }
                 let (conv, out_dim) = if kind == ContentEncoder::BiLstmC {
                     (
-                        Some(Conv1d::new(store, "fc/conv", 3, 2 * n, n, cfg.init_std, rng)),
+                        Some(Conv1d::new(
+                            store,
+                            "fc/conv",
+                            3,
+                            2 * n,
+                            n,
+                            cfg.init_std,
+                            rng,
+                        )),
                         n,
                     )
                 } else {
@@ -88,7 +96,15 @@ impl ContentNet {
                     kind,
                     bilstms: Vec::new(),
                     bigrus,
-                    conv: Some(Conv1d::new(store, "fc/conv", 3, 2 * n, n, cfg.init_std, rng)),
+                    conv: Some(Conv1d::new(
+                        store,
+                        "fc/conv",
+                        3,
+                        2 * n,
+                        n,
+                        cfg.init_std,
+                        rng,
+                    )),
                     convlstm: None,
                     out_dim: n,
                     word_dim: m,
@@ -100,7 +116,13 @@ impl ContentNet {
                 bilstms: Vec::new(),
                 bigrus: Vec::new(),
                 conv: None,
-                convlstm: Some(ConvLstmCell::new(store, "fc/convlstm", n, cfg.init_std, rng)),
+                convlstm: Some(ConvLstmCell::new(
+                    store,
+                    "fc/convlstm",
+                    n,
+                    cfg.init_std,
+                    rng,
+                )),
                 out_dim: n,
                 word_dim: m,
                 keep_prob: cfg.keep_prob,
@@ -115,11 +137,7 @@ impl ContentNet {
 
     /// All trainable parameter ids.
     pub fn param_ids(&self) -> Vec<ParamId> {
-        let mut ids: Vec<ParamId> = self
-            .bilstms
-            .iter()
-            .flat_map(BiLstm::param_ids)
-            .collect();
+        let mut ids: Vec<ParamId> = self.bilstms.iter().flat_map(BiLstm::param_ids).collect();
         ids.extend(self.bigrus.iter().flat_map(BiGru::param_ids));
         if let Some(conv) = &self.conv {
             ids.extend(conv.param_ids());
@@ -142,12 +160,11 @@ impl ContentNet {
     ) -> Var {
         assert_eq!(words.cols(), self.word_dim, "word-vector width mismatch");
         match self.kind {
-            ContentEncoder::ConvLstm => {
-                self.convlstm
-                    .as_ref()
-                    .expect("convlstm allocated")
-                    .forward(tape, store, words)
-            }
+            ContentEncoder::ConvLstm => self
+                .convlstm
+                .as_ref()
+                .expect("convlstm allocated")
+                .forward(tape, store, words),
             _ => self.forward_blstm(tape, store, words, train, rng),
         }
     }
@@ -210,7 +227,13 @@ pub struct ConvLstmCell {
 }
 
 impl ConvLstmCell {
-    fn new<R: Rng>(store: &mut ParamStore, prefix: &str, channels: usize, std: f32, rng: &mut R) -> Self {
+    fn new<R: Rng>(
+        store: &mut ParamStore,
+        prefix: &str,
+        channels: usize,
+        std: f32,
+        rng: &mut R,
+    ) -> Self {
         Self {
             conv_x: Conv1d::new(store, &format!("{prefix}/cx"), 3, 1, 4 * channels, std, rng),
             conv_h: Conv1d::new(
@@ -367,10 +390,7 @@ mod tests {
     fn stacked_bilstm_layers() {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(0);
-        let c = HisRectConfig {
-            ql: 3,
-            ..cfg()
-        };
+        let c = HisRectConfig { ql: 3, ..cfg() };
         let net = ContentNet::new(&mut store, &c, ContentEncoder::BiLstmC, &mut rng).unwrap();
         assert_eq!(net.bilstms.len(), 3);
         let mut tape = Tape::new();

@@ -142,7 +142,8 @@ impl Featurizer {
         }
         let x = tape.stack_rows(&rows); // B x (fv_dim + fc_dim)
         if train && self.keep_prob < 1.0 {
-            self.head.forward_dropout(tape, store, x, self.keep_prob, rng)
+            self.head
+                .forward_dropout(tape, store, x, self.keep_prob, rng)
         } else {
             self.head.forward(tape, store, x)
         }
@@ -295,7 +296,7 @@ mod tests {
     }
 
     #[test]
-    fn batch_matches_single(){
+    fn batch_matches_single() {
         let mut store = ParamStore::new();
         let mut rng = StdRng::seed_from_u64(0);
         let f = Featurizer::new(

@@ -123,7 +123,10 @@ mod tests {
     #[test]
     fn output_is_unit_norm() {
         let visits = vec![
-            Visit { ts: 0, point: base() },
+            Visit {
+                ts: 0,
+                point: base(),
+            },
             Visit {
                 ts: 50,
                 point: base().offset_m(2000.0, 0.0),
@@ -157,7 +160,10 @@ mod tests {
 
     #[test]
     fn visits_near_poi_raise_its_weight() {
-        let visits = vec![Visit { ts: 0, point: base() }];
+        let visits = vec![Visit {
+            ts: 0,
+            point: base(),
+        }];
         let f = fv_feature(&profile(100, visits), &pois(), 1000.0, 86_400.0);
         assert!(f[0] > f[1] && f[0] > f[2], "{f:?}");
     }
@@ -181,7 +187,10 @@ mod tests {
     #[test]
     fn one_hot_marks_contained_visits() {
         let visits = vec![
-            Visit { ts: 0, point: base() },
+            Visit {
+                ts: 0,
+                point: base(),
+            },
             Visit {
                 ts: 1,
                 point: base().offset_m(2000.0, 0.0),

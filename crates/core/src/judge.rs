@@ -22,12 +22,20 @@ pub struct Judge {
 
 impl Judge {
     /// Allocates `E′` and `C` for features of width `feat_dim`.
-    pub fn new(store: &mut ParamStore, cfg: &HisRectConfig, feat_dim: usize, rng: &mut StdRng) -> Self {
+    pub fn new(
+        store: &mut ParamStore,
+        cfg: &HisRectConfig,
+        feat_dim: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let mut edims = vec![feat_dim];
         edims.extend(std::iter::repeat_n(cfg.embed_dim, cfg.qe2.max(1)));
         let e2 = FeedForward::new(store, "judge/e2", &edims, false, cfg.init_std, rng);
         let mut cdims = vec![cfg.embed_dim];
-        cdims.extend(std::iter::repeat_n(cfg.embed_dim, cfg.qc.max(1).saturating_sub(1)));
+        cdims.extend(std::iter::repeat_n(
+            cfg.embed_dim,
+            cfg.qc.max(1).saturating_sub(1),
+        ));
         cdims.push(1);
         let c = FeedForward::new(store, "judge/c", &cdims, false, cfg.init_std, rng);
         Self { e2, c }
@@ -42,13 +50,7 @@ impl Judge {
 
     /// Builds the logit node for batched feature pairs (`B x feat_dim`
     /// each) → `B x 1`.
-    pub fn forward_logits(
-        &self,
-        tape: &mut Tape,
-        store: &ParamStore,
-        fi: Var,
-        fj: Var,
-    ) -> Var {
+    pub fn forward_logits(&self, tape: &mut Tape, store: &ParamStore, fi: Var, fj: Var) -> Var {
         let ei = self.e2.forward(tape, store, fi);
         let ej = self.e2.forward(tape, store, fj);
         let diff = tape.abs_diff(ei, ej);
@@ -70,11 +72,7 @@ impl Judge {
 
     /// Single-pair convenience over row-vector features.
     pub fn predict(&self, store: &ParamStore, fi: &[f32], fj: &[f32]) -> f32 {
-        self.predict_batch(
-            store,
-            &Matrix::row_vector(fi),
-            &Matrix::row_vector(fj),
-        )[0]
+        self.predict_batch(store, &Matrix::row_vector(fi), &Matrix::row_vector(fj))[0]
     }
 }
 
@@ -209,7 +207,11 @@ mod tests {
         let positives: Vec<_> = pairs.iter().filter(|p| p.2).map(mk).collect();
         let negatives: Vec<_> = pairs.iter().filter(|p| !p.2).map(mk).collect();
         let losses = train_judge(&judge, &mut store, &positives, &negatives, &cfg, &mut rng);
-        assert!(losses.last().unwrap() < &0.2, "final loss {:?}", losses.last());
+        assert!(
+            losses.last().unwrap() < &0.2,
+            "final loss {:?}",
+            losses.last()
+        );
 
         let mut correct = 0usize;
         for (a, b, label) in &pairs {

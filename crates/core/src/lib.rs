@@ -38,15 +38,15 @@
 //! println!("co-location probability: {p:.3}");
 //! ```
 
+pub mod affinity;
+pub mod clustering;
 pub mod config;
-pub mod fv;
 pub mod fc;
 pub mod featurizer;
-pub mod affinity;
-pub mod ssl;
+pub mod fv;
 pub mod judge;
-pub mod clustering;
 pub mod model;
+pub mod ssl;
 
-pub use config::{ApproachSpec, ContentEncoder, HistoryEncoder, HisRectConfig, UnsupLoss};
+pub use config::{ApproachSpec, ContentEncoder, HisRectConfig, HistoryEncoder, UnsupLoss};
 pub use model::HisRectModel;

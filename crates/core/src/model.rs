@@ -9,9 +9,9 @@ use crate::judge::{comp2loc, train_judge, FeaturePair, Judge};
 use crate::ssl::{train_featurizer_with_validation, SslNets, SslStats};
 use nn::params::ParamSnapshot;
 use nn::{Adam, AdamConfig, ParamStore, Tape};
-use serde::{Deserialize, Serialize};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use tensor::Matrix;
 use text::{SkipGram, SkipGramConfig, Vocab};
@@ -79,11 +79,7 @@ impl HisRectModel {
             },
             &mut rng,
         );
-        let encoded: Vec<Vec<usize>> = dataset
-            .train_docs
-            .iter()
-            .map(|d| vocab.encode(d))
-            .collect();
+        let encoded: Vec<Vec<usize>> = dataset.train_docs.iter().map(|d| vocab.encode(d)).collect();
         skipgram.train(&encoded, &mut rng);
 
         // 2. Allocate all networks in one store; optimizer groups keep the
@@ -197,7 +193,6 @@ impl HisRectModel {
         inputs: &HashMap<ProfileIdx, ProfileInput>,
         rng: &mut StdRng,
     ) {
-        let mut cache: HashMap<ProfileIdx, Vec<f32>> = HashMap::new();
         let mut pair_profiles: Vec<ProfileIdx> = dataset
             .train
             .pos_pairs
@@ -207,31 +202,50 @@ impl HisRectModel {
             .collect();
         pair_profiles.sort_unstable();
         pair_profiles.dedup();
-        for chunk in pair_profiles.chunks(64) {
+        // Θ_F is frozen here, so the eval-mode chunks are independent and
+        // fan out across workers; chunking (and thus every feature value)
+        // is identical to the serial order.
+        let this = &*self;
+        let chunks: Vec<&[ProfileIdx]> = pair_profiles.chunks(64).collect();
+        let parts = parallel::parallel_map(&chunks, |chunk| {
             let owned: Vec<ProfileInput> = chunk
                 .iter()
                 .map(|idx| match inputs.get(idx) {
                     Some(input) => input.clone(),
                     None => {
-                        self.profile_input_for(dataset, dataset.profile(*idx), Ablation::default())
+                        this.profile_input_for(dataset, dataset.profile(*idx), Ablation::default())
                     }
                 })
                 .collect();
             let refs: Vec<&ProfileInput> = owned.iter().collect();
-            let feats = self.featurizer.features(&self.store, &refs);
-            for (k, idx) in chunk.iter().enumerate() {
-                cache.insert(*idx, feats.row(k).to_vec());
-            }
+            let feats = this.featurizer.features(&this.store, &refs);
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(k, idx)| (*idx, feats.row(k).to_vec()))
+                .collect::<Vec<_>>()
+        });
+        let mut cache: HashMap<ProfileIdx, Vec<f32>> = HashMap::new();
+        for part in parts {
+            cache.extend(part);
         }
         let mk = |p: &twitter_sim::Pair, label: bool| FeaturePair {
             fi: &cache[&p.i],
             fj: &cache[&p.j],
             label,
         };
-        let positives: Vec<FeaturePair<'_>> =
-            dataset.train.pos_pairs.iter().map(|p| mk(p, true)).collect();
-        let negatives: Vec<FeaturePair<'_>> =
-            dataset.train.neg_pairs.iter().map(|p| mk(p, false)).collect();
+        let positives: Vec<FeaturePair<'_>> = dataset
+            .train
+            .pos_pairs
+            .iter()
+            .map(|p| mk(p, true))
+            .collect();
+        let negatives: Vec<FeaturePair<'_>> = dataset
+            .train
+            .neg_pairs
+            .iter()
+            .map(|p| mk(p, false))
+            .collect();
         self.judge_losses = train_judge(
             &self.judge,
             &mut self.store,
@@ -340,17 +354,26 @@ impl HisRectModel {
         idxs: &[ProfileIdx],
         ablation: Ablation,
     ) -> HashMap<ProfileIdx, Vec<f32>> {
-        let mut out = HashMap::with_capacity(idxs.len());
-        for chunk in idxs.chunks(64) {
+        // Eval-mode featurization is pure per chunk, so chunks fan out
+        // across workers; the fixed chunk width keeps every feature value
+        // identical to the serial path.
+        let chunks: Vec<&[ProfileIdx]> = idxs.chunks(64).collect();
+        let parts = parallel::parallel_map(&chunks, |chunk| {
             let owned: Vec<ProfileInput> = chunk
                 .iter()
                 .map(|&i| self.profile_input_for(dataset, dataset.profile(i), ablation))
                 .collect();
             let refs: Vec<&ProfileInput> = owned.iter().collect();
             let feats = self.featurizer.features(&self.store, &refs);
-            for (k, &i) in chunk.iter().enumerate() {
-                out.insert(i, feats.row(k).to_vec());
-            }
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(k, &i)| (i, feats.row(k).to_vec()))
+                .collect::<Vec<_>>()
+        });
+        let mut out = HashMap::with_capacity(idxs.len());
+        for part in parts {
+            out.extend(part);
         }
         out
     }
@@ -423,7 +446,13 @@ impl HisRectModel {
             snap.n_pois,
             &mut rng,
         );
-        let nets = SslNets::new(&mut store, cfg, featurizer.feat_dim(), snap.n_pois, &mut rng);
+        let nets = SslNets::new(
+            &mut store,
+            cfg,
+            featurizer.feat_dim(),
+            snap.n_pois,
+            &mut rng,
+        );
         let judge = Judge::new(&mut store, cfg, featurizer.feat_dim(), &mut rng);
         let restored = store.load_snapshot(&snap.params);
         assert_eq!(
@@ -455,8 +484,7 @@ impl HisRectModel {
     /// Loads a model previously written by [`HisRectModel::save_json`].
     pub fn load_json(path: &std::path::Path) -> std::io::Result<Self> {
         let json = std::fs::read_to_string(path)?;
-        let snap: ModelSnapshot =
-            serde_json::from_str(&json).map_err(std::io::Error::other)?;
+        let snap: ModelSnapshot = serde_json::from_str(&json).map_err(std::io::Error::other)?;
         Ok(Self::from_snapshot(snap))
     }
 

@@ -38,7 +38,8 @@ impl SslNets {
         let mut pdims = vec![feat_dim];
         pdims.extend(std::iter::repeat_n(feat_dim, cfg.qp));
         pdims.push(n_pois);
-        let classifier = FeedForward::new(store, "ssl/classifier", &pdims, false, cfg.init_std, rng);
+        let classifier =
+            FeedForward::new(store, "ssl/classifier", &pdims, false, cfg.init_std, rng);
         // E: qe layers narrowing to embed_dim, linear last (normalized
         // in-graph per the definition of E in §4.4).
         let mut edims = vec![feat_dim];
@@ -100,13 +101,7 @@ fn embed_features(
 }
 
 /// Builds the unsupervised loss `L_u` over a batch of embedded pairs.
-fn unsup_loss(
-    tape: &mut Tape,
-    ei: Var,
-    ej: Var,
-    weights: tensor::Matrix,
-    unsup: UnsupLoss,
-) -> Var {
+fn unsup_loss(tape: &mut Tape, ei: Var, ej: Var, weights: tensor::Matrix, unsup: UnsupLoss) -> Var {
     match unsup {
         UnsupLoss::Cosine => {
             // a_ij (1 − ⟨e_i, e_j⟩): embeddings are unit rows, so the
@@ -138,8 +133,7 @@ struct PairSampler<'a> {
 
 impl<'a> PairSampler<'a> {
     fn new(pairs: &'a [WeightedPair], neg_subsample: f64) -> Option<Self> {
-        let (positives, others): (Vec<_>, Vec<_>) =
-            pairs.iter().partition(|w| w.labeled_positive);
+        let (positives, others): (Vec<_>, Vec<_>) = pairs.iter().partition(|w| w.labeled_positive);
         let eff_pos = positives.len() as f64;
         let eff_other = others.len() as f64 * neg_subsample;
         let total = eff_pos + eff_other;
@@ -184,7 +178,16 @@ pub fn train_featurizer(
     rng: &mut StdRng,
 ) -> SslStats {
     train_featurizer_with_validation(
-        featurizer, nets, store, inputs, labeled, pairs, &[], cfg, semi, rng,
+        featurizer,
+        nets,
+        store,
+        inputs,
+        labeled,
+        pairs,
+        &[],
+        cfg,
+        semi,
+        rng,
     )
 }
 
@@ -283,9 +286,7 @@ pub fn train_featurizer_with_validation(
     }
     if monitor {
         let final_loss = validation_loss(featurizer, nets, store, inputs, valid);
-        stats
-            .valid_losses
-            .push((cfg.featurizer_iters, final_loss));
+        stats.valid_losses.push((cfg.featurizer_iters, final_loss));
         if let Some((best_loss, iter, snap)) = best {
             if best_loss < final_loss {
                 store.load_snapshot(&snap);
@@ -306,19 +307,22 @@ fn validation_loss(
     valid: &[(ProfileIdx, usize)],
 ) -> f32 {
     let sample = &valid[..valid.len().min(256)];
-    let mut total = 0.0f64;
-    let mut n = 0usize;
-    let mut rng = rand::rngs::mock::StepRng::new(0, 1);
-    for chunk in sample.chunks(64) {
+    // Θ is frozen and dropout is off, so each eval chunk is an independent
+    // pure forward; fan them out and reduce in chunk order (bit-identical
+    // to the serial accumulation).
+    let chunks: Vec<&[(ProfileIdx, usize)]> = sample.chunks(64).collect();
+    let losses = parallel::parallel_map(&chunks, |chunk| {
         let ins: Vec<&ProfileInput> = chunk.iter().map(|(idx, _)| &inputs[idx]).collect();
         let targets: Vec<usize> = chunk.iter().map(|&(_, pid)| pid).collect();
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
         let mut tape = Tape::new();
         let feats = featurizer.forward_batch(&mut tape, store, &ins, false, &mut rng);
         let logits = nets.classifier.forward(&mut tape, store, feats);
         let loss = tape.softmax_cross_entropy(logits, &targets);
-        total += tape.scalar(loss) as f64 * chunk.len() as f64;
-        n += chunk.len();
-    }
+        tape.scalar(loss) as f64 * chunk.len() as f64
+    });
+    let total: f64 = losses.into_iter().sum();
+    let n: usize = sample.len();
     (total / n.max(1) as f64) as f32
 }
 
@@ -433,8 +437,7 @@ mod tests {
         let b = mk(1);
         let mut tape = Tape::new();
         let mut rng = StdRng::seed_from_u64(1);
-        let feats =
-            featurizer.forward_batch(&mut tape, &store, &[&a, &b], false, &mut rng);
+        let feats = featurizer.forward_batch(&mut tape, &store, &[&a, &b], false, &mut rng);
         let logits = nets.classifier.forward(&mut tape, &store, feats);
         let probs = tape.softmax_probs(logits);
         assert!(probs.get(0, 0) > 0.7, "class-0 prob = {}", probs.get(0, 0));
@@ -457,8 +460,7 @@ mod tests {
             let (a, b, c) = (mk(0, 0.0), mk(0, 0.02), mk(1, 0.0));
             let mut tape = Tape::new();
             let mut rng = StdRng::seed_from_u64(2);
-            let feats =
-                featurizer.forward_batch(&mut tape, &store, &[&a, &b, &c], false, &mut rng);
+            let feats = featurizer.forward_batch(&mut tape, &store, &[&a, &b, &c], false, &mut rng);
             let emb = embed_features(&mut tape, &store, &nets, feats, cfg.unsup);
             let e = tape.value(emb).clone();
             let cos = |r1: usize, r2: usize| -> f32 {

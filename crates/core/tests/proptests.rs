@@ -37,11 +37,9 @@ fn profile_with(visits: Vec<Visit>, ts: i64) -> Profile {
 }
 
 fn visit_strategy() -> impl Strategy<Value = Visit> {
-    (0i64..1_000_000, -5_000.0f64..10_000.0, -5_000.0f64..5_000.0).prop_map(|(ts, dx, dy)| {
-        Visit {
-            ts,
-            point: GeoPoint::new(40.75, -73.99).offset_m(dx, dy),
-        }
+    (0i64..1_000_000, -5_000.0f64..10_000.0, -5_000.0f64..5_000.0).prop_map(|(ts, dx, dy)| Visit {
+        ts,
+        point: GeoPoint::new(40.75, -73.99).offset_m(dx, dy),
     })
 }
 

@@ -11,11 +11,11 @@
 //!   into 10 folds, merge each with the positives, average the metrics.
 
 pub mod metrics;
+pub mod protocol;
 pub mod roc;
 pub mod tsne;
-pub mod protocol;
 
 pub use metrics::{acc_at_k, BinaryMetrics, ConfusionCounts};
-pub use protocol::{negative_folds, averaged_metrics};
+pub use protocol::{averaged_metrics, negative_folds};
 pub use roc::{auc, roc_curve, RocPoint};
 pub use tsne::{cluster_purity, tsne_2d, TsneConfig};

@@ -42,8 +42,16 @@ pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<RocPoint> {
             k += 1;
         }
         points.push(RocPoint {
-            fpr: if neg == 0 { 0.0 } else { fp as f64 / neg as f64 },
-            tpr: if pos == 0 { 0.0 } else { tp as f64 / pos as f64 },
+            fpr: if neg == 0 {
+                0.0
+            } else {
+                fp as f64 / neg as f64
+            },
+            tpr: if pos == 0 {
+                0.0
+            } else {
+                tp as f64 / pos as f64
+            },
             threshold,
         });
     }

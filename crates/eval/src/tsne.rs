@@ -56,7 +56,11 @@ pub fn tsne_2d(points: &[Vec<f32>], cfg: &TsneConfig) -> Vec<(f64, f64)> {
     let exag_until = cfg.iterations / 4;
 
     for iter in 0..cfg.iterations {
-        let exag = if iter < exag_until { cfg.exaggeration } else { 1.0 };
+        let exag = if iter < exag_until {
+            cfg.exaggeration
+        } else {
+            1.0
+        };
         let momentum = if iter < exag_until { 0.5 } else { 0.8 };
 
         // Student-t affinities in the embedding.

@@ -13,12 +13,12 @@
 //! - [`Poi`] / [`PoiSet`] — the POI universe `P` with a uniform-grid spatial
 //!   index supporting `d(r, P)` lower-bound queries and containment lookups.
 
+pub mod grid;
+pub mod poi;
 pub mod point;
 pub mod polygon;
-pub mod poi;
-pub mod grid;
 
+pub use grid::GridIndex;
+pub use poi::{Poi, PoiId, PoiSet};
 pub use point::{GeoPoint, EARTH_RADIUS_M};
 pub use polygon::Polygon;
-pub use poi::{Poi, PoiId, PoiSet};
-pub use grid::GridIndex;

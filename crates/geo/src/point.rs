@@ -61,8 +61,8 @@ impl GeoPoint {
     /// Projects this point to local planar meters `(x, y)` relative to
     /// `origin`, using an equirectangular projection at the origin latitude.
     pub fn to_local_m(&self, origin: &GeoPoint) -> (f64, f64) {
-        let x = (self.lon - origin.lon).to_radians() * origin.lat.to_radians().cos()
-            * EARTH_RADIUS_M;
+        let x =
+            (self.lon - origin.lon).to_radians() * origin.lat.to_radians().cos() * EARTH_RADIUS_M;
         let y = (self.lat - origin.lat).to_radians() * EARTH_RADIUS_M;
         (x, y)
     }
@@ -71,8 +71,7 @@ impl GeoPoint {
     /// a lat/lon around `origin`.
     pub fn from_local_m(origin: &GeoPoint, x: f64, y: f64) -> GeoPoint {
         let lat = origin.lat + (y / EARTH_RADIUS_M).to_degrees();
-        let lon = origin.lon
-            + (x / (EARTH_RADIUS_M * origin.lat.to_radians().cos())).to_degrees();
+        let lon = origin.lon + (x / (EARTH_RADIUS_M * origin.lat.to_radians().cos())).to_degrees();
         GeoPoint::new(lat, lon)
     }
 

@@ -84,9 +84,7 @@ impl Polygon {
         for i in 0..n {
             let (xi, yi) = self.vertices[i].to_local_m(&self.centroid);
             let (xj, yj) = self.vertices[j].to_local_m(&self.centroid);
-            if ((yi > py) != (yj > py))
-                && (px < (xj - xi) * (py - yi) / (yj - yi) + xi)
-            {
+            if ((yi > py) != (yj > py)) && (px < (xj - xi) * (py - yi) / (yj - yi) + xi) {
                 inside = !inside;
             }
             j = i;

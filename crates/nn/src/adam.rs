@@ -66,7 +66,13 @@ impl Adam {
             })
             .collect::<Vec<_>>();
         let v = m.clone();
-        Self { cfg, ids, m, v, t: 0 }
+        Self {
+            cfg,
+            ids,
+            m,
+            v,
+            t: 0,
+        }
     }
 
     /// The parameter group this optimizer updates.

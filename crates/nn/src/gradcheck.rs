@@ -88,7 +88,6 @@ mod tests {
         // verify the checker reports a large error when we corrupt the
         // parameter gradient after the fact.
         let err_rigged = {
-            
             gradcheck_scalar(&mut store, id, |t, s| {
                 let p = t.param(s, id);
                 let tripled = t.affine(p, 3.0, 0.0); // analytic: 3

@@ -185,8 +185,14 @@ impl Lstm {
     ) -> Self {
         let std_x = resolve_std(std, in_dim + hidden);
         let std_h = std_x;
-        let wx = store.add(format!("{prefix}/wx"), randn(rng, in_dim, 4 * hidden, std_x));
-        let wh = store.add(format!("{prefix}/wh"), randn(rng, hidden, 4 * hidden, std_h));
+        let wx = store.add(
+            format!("{prefix}/wx"),
+            randn(rng, in_dim, 4 * hidden, std_x),
+        );
+        let wh = store.add(
+            format!("{prefix}/wh"),
+            randn(rng, hidden, 4 * hidden, std_h),
+        );
         let mut bias = Matrix::zeros(1, 4 * hidden);
         for c in hidden..2 * hidden {
             bias.set(0, c, 1.0);
@@ -274,7 +280,10 @@ impl Gru {
     ) -> Self {
         let std = resolve_std(std, in_dim + hidden);
         let wx = store.add(format!("{prefix}/wx"), randn(rng, in_dim, 3 * hidden, std));
-        let wh_rz = store.add(format!("{prefix}/wh_rz"), randn(rng, hidden, 2 * hidden, std));
+        let wh_rz = store.add(
+            format!("{prefix}/wh_rz"),
+            randn(rng, hidden, 2 * hidden, std),
+        );
         let wh_c = store.add(format!("{prefix}/wh_c"), randn(rng, hidden, hidden, std));
         let b = store.add(format!("{prefix}/b"), Matrix::zeros(1, 3 * hidden));
         Self {

@@ -16,12 +16,18 @@
 //!   global-norm gradient clipping.
 //! - [`gradcheck`] — finite-difference gradient checking used heavily in
 //!   tests.
+//!
+//! Batch forward and backward passes are matmul-bound, and every tape
+//! matmul — the forward product and the `dA = g·Bᵀ` / `dB = Aᵀ·g`
+//! gradient accumulations — goes through [`tensor::Matrix`]'s
+//! auto-dispatching kernels, so they fan out across `HISRECT_THREADS`
+//! workers above the parallel threshold with bit-identical results.
 
-pub mod tape;
-pub mod params;
-pub mod layers;
 pub mod adam;
 pub mod gradcheck;
+pub mod layers;
+pub mod params;
+pub mod tape;
 
 pub use adam::{Adam, AdamConfig};
 pub use layers::{BiGru, BiLstm, Conv1d, FeedForward, Gru, Linear, Lstm};

@@ -18,33 +18,83 @@ pub struct Var(usize);
 enum Op {
     /// Constant input or bound parameter.
     Leaf,
-    MatMul { a: usize, b: usize },
-    Add { a: usize, b: usize },
-    Sub { a: usize, b: usize },
-    Mul { a: usize, b: usize },
+    MatMul {
+        a: usize,
+        b: usize,
+    },
+    Add {
+        a: usize,
+        b: usize,
+    },
+    Sub {
+        a: usize,
+        b: usize,
+    },
+    Mul {
+        a: usize,
+        b: usize,
+    },
     /// `x + bias` where bias is `1 x C` broadcast across rows.
-    AddBias { x: usize, bias: usize },
+    AddBias {
+        x: usize,
+        bias: usize,
+    },
     /// `alpha * a + beta` elementwise.
-    Affine { a: usize, alpha: f32 },
+    Affine {
+        a: usize,
+        alpha: f32,
+    },
     /// Elementwise multiply by a constant (non-differentiated) matrix.
-    MulConst { a: usize, c: Matrix },
-    Relu { a: usize },
-    Sigmoid { a: usize },
-    Tanh { a: usize },
-    ConcatCols { a: usize, b: usize },
-    SliceCols { a: usize, start: usize },
+    MulConst {
+        a: usize,
+        c: Matrix,
+    },
+    Relu {
+        a: usize,
+    },
+    Sigmoid {
+        a: usize,
+    },
+    Tanh {
+        a: usize,
+    },
+    ConcatCols {
+        a: usize,
+        b: usize,
+    },
+    SliceCols {
+        a: usize,
+        start: usize,
+    },
     /// Vertical stack of row blocks.
-    StackRows { parts: Vec<usize> },
+    StackRows {
+        parts: Vec<usize>,
+    },
     /// Column-wise mean over rows: `(R x C) -> (1 x C)`.
-    MeanOverRows { a: usize },
+    MeanOverRows {
+        a: usize,
+    },
     /// Row-wise sum: `(R x C) -> (R x 1)`.
-    RowSum { a: usize },
+    RowSum {
+        a: usize,
+    },
     /// Sliding windows of `k` rows flattened: `(T x C) -> ((T-k+1) x kC)`.
-    Im2Col { a: usize, k: usize },
+    Im2Col {
+        a: usize,
+        k: usize,
+    },
     /// Rows rescaled to unit ℓ2 norm (rows with norm < eps pass through).
-    L2NormRows { a: usize },
-    AbsDiff { a: usize, b: usize },
-    Dropout { a: usize, mask: Matrix },
+    L2NormRows {
+        a: usize,
+    },
+    AbsDiff {
+        a: usize,
+        b: usize,
+    },
+    Dropout {
+        a: usize,
+        mask: Matrix,
+    },
     /// Mean softmax cross-entropy over rows; `probs` are saved softmaxes.
     SoftmaxCE {
         logits: usize,
@@ -57,8 +107,12 @@ enum Op {
         labels: Matrix,
         sig: Matrix,
     },
-    SumAll { a: usize },
-    MeanAll { a: usize },
+    SumAll {
+        a: usize,
+    },
+    MeanAll {
+        a: usize,
+    },
 }
 
 struct Node {
@@ -148,8 +202,16 @@ impl Tape {
 
     /// `x + bias`, bias broadcast across rows.
     pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
-        let value = self.nodes[x.0].value.add_row_broadcast(&self.nodes[bias.0].value);
-        self.push(value, Op::AddBias { x: x.0, bias: bias.0 })
+        let value = self.nodes[x.0]
+            .value
+            .add_row_broadcast(&self.nodes[bias.0].value);
+        self.push(
+            value,
+            Op::AddBias {
+                x: x.0,
+                bias: bias.0,
+            },
+        )
     }
 
     /// `alpha * a + beta` elementwise.
@@ -421,11 +483,9 @@ impl Tape {
     }
 
     fn backprop_node(&self, i: usize, g: &Matrix, grads: &mut [Option<Matrix>]) {
-        let acc = |grads: &mut [Option<Matrix>], idx: usize, delta: Matrix| {
-            match &mut grads[idx] {
-                Some(existing) => existing.add_assign(&delta),
-                slot @ None => *slot = Some(delta),
-            }
+        let acc = |grads: &mut [Option<Matrix>], idx: usize, delta: Matrix| match &mut grads[idx] {
+            Some(existing) => existing.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
         };
         match &self.nodes[i].op {
             Op::Leaf => {}
@@ -461,7 +521,11 @@ impl Tape {
             Op::MulConst { a, c } => acc(grads, *a, g.hadamard(c)),
             Op::Relu { a } => {
                 let y = &self.nodes[i].value;
-                acc(grads, *a, g.zip_map(y, |gi, yi| if yi > 0.0 { gi } else { 0.0 }));
+                acc(
+                    grads,
+                    *a,
+                    g.zip_map(y, |gi, yi| if yi > 0.0 { gi } else { 0.0 }),
+                );
             }
             Op::Sigmoid { a } => {
                 let y = &self.nodes[i].value;
@@ -474,8 +538,7 @@ impl Tape {
             Op::ConcatCols { a, b } => {
                 let ca = self.nodes[*a].value.cols();
                 let da = Matrix::from_fn(g.rows(), ca, |r, c| g.get(r, c));
-                let db =
-                    Matrix::from_fn(g.rows(), g.cols() - ca, |r, c| g.get(r, ca + c));
+                let db = Matrix::from_fn(g.rows(), g.cols() - ca, |r, c| g.get(r, ca + c));
                 acc(grads, *a, da);
                 acc(grads, *b, db);
             }
@@ -573,7 +636,11 @@ impl Tape {
                 }
                 acc(grads, *logits, dz);
             }
-            Op::BceLogits { logits, labels, sig } => {
+            Op::BceLogits {
+                logits,
+                labels,
+                sig,
+            } => {
                 let scale = g.get(0, 0) / sig.rows().max(1) as f32;
                 let dz = sig.zip_map(labels, |s, y| (s - y) * scale);
                 acc(grads, *logits, dz);
@@ -931,7 +998,10 @@ mod tests {
         let n = t.l2_normalize_rows(p);
         let loss = t.sum_all(n);
         t.backward(loss, &mut store);
-        assert!(store.get(id).grad.approx_eq(&Matrix::filled(1, 3, 1.0), 1e-6));
+        assert!(store
+            .get(id)
+            .grad
+            .approx_eq(&Matrix::filled(1, 3, 1.0), 1e-6));
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Shared parallel execution layer for the HisRect numeric stack.
+//!
+//! Everything here is built on `std::thread::scope`: workers borrow the
+//! caller's data directly, no queue or persistent pool is involved, and
+//! a call returns only when every worker has finished. Spawning a
+//! scoped thread costs tens of microseconds, which is negligible for
+//! the workloads routed here (matmuls above a size threshold, per-user
+//! dataset generation, affinity sweeps over thousands of pairs);
+//! callers with tiny inputs should stay serial.
+//!
+//! The worker count comes from, in priority order: [`set_threads`], the
+//! `HISRECT_THREADS` environment variable, then
+//! `std::thread::available_parallelism`. Helpers run inline on the
+//! calling thread whenever one worker would be used, so a 1-thread
+//! configuration is exactly the serial code path.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = not yet resolved; resolved lazily on first use.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn resolve_threads() -> usize {
+    if let Ok(raw) = std::env::var("HISRECT_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The worker count parallel helpers fan out to.
+pub fn num_threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let n = resolve_threads();
+            THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Overrides the worker count process-wide (clamped to at least 1).
+/// Takes precedence over `HISRECT_THREADS`.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Splits `0..len` into at most `parts` contiguous ranges whose lengths
+/// differ by at most one. Empty ranges are never produced.
+pub fn split_even(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, len.max(1));
+    if len == 0 {
+        return Vec::new();
+    }
+    let base = len / parts;
+    let extra = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Runs `f(range, block)` for each contiguous block of units of `data`,
+/// in parallel. `data.len()` must equal `unit * n_units`; unit `u`
+/// occupies `data[u * unit..(u + 1) * unit]`. Each worker receives the
+/// unit range it owns plus the matching mutable sub-slice, so disjoint
+/// writes need no synchronization. With one worker (or one unit) the
+/// call runs inline on the calling thread.
+pub fn scope_partition_mut<T, F>(data: &mut [T], unit: usize, n_units: usize, f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    scope_partition_mut_with(num_threads(), data, unit, n_units, f)
+}
+
+/// [`scope_partition_mut`] with an explicit worker count instead of the
+/// process-wide setting.
+pub fn scope_partition_mut_with<T, F>(
+    threads: usize,
+    data: &mut [T],
+    unit: usize,
+    n_units: usize,
+    f: F,
+) where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    assert_eq!(data.len(), unit * n_units, "partition: slice/unit mismatch");
+    let ranges = split_even(n_units, threads);
+    if ranges.len() <= 1 {
+        if n_units > 0 {
+            f(0..n_units, data);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        for range in ranges {
+            let (block, tail) = rest.split_at_mut((range.end - range.start) * unit);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || f(range, block));
+        }
+    });
+}
+
+/// Order-preserving parallel map over `0..n`.
+pub fn parallel_map_range<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    parallel_map_range_with(num_threads(), n, f)
+}
+
+/// [`parallel_map_range`] with an explicit worker count.
+pub fn parallel_map_range_with<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let ranges = split_even(n, threads);
+    if ranges.len() <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut parts: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let f = &f;
+                scope.spawn(move || range.map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        for handle in handles {
+            parts.push(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Order-preserving parallel map over a slice.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_range(items.len(), |i| f(&items[i]))
+}
+
+/// Runs two closures concurrently (`b` on a scoped thread, `a` on the
+/// calling thread) and returns both results. Falls back to sequential
+/// execution with one worker.
+pub fn join<RA, RB, A, B>(a: A, b: B) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+{
+    if num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("parallel worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_even_covers_exactly() {
+        for len in [0usize, 1, 5, 16, 17, 1000] {
+            for parts in [1usize, 2, 3, 8, 64] {
+                let ranges = split_even(len, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+                if len > 0 {
+                    let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                    let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_writes_disjoint_blocks() {
+        let unit = 3;
+        let n_units = 17;
+        let mut data = vec![0usize; unit * n_units];
+        scope_partition_mut(&mut data, unit, n_units, |range, block| {
+            for (k, slot) in block.iter_mut().enumerate() {
+                *slot = range.start * unit + k;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let mapped = parallel_map(&items, |x| x * 2 + 1);
+        assert_eq!(mapped, items.iter().map(|x| x * 2 + 1).collect::<Vec<_>>());
+        let ranged = parallel_map_range(100, |i| i * i);
+        assert_eq!(ranged, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        for threads in [1usize, 2, 3, 7] {
+            let mapped = parallel_map_range_with(threads, 37, |i| i as u64 * 3);
+            assert_eq!(mapped, (0..37).map(|i| i as u64 * 3).collect::<Vec<_>>());
+
+            let unit = 2;
+            let mut data = vec![0usize; unit * 11];
+            scope_partition_mut_with(threads, &mut data, unit, 11, |range, block| {
+                for (k, slot) in block.iter_mut().enumerate() {
+                    *slot = range.start * unit + k + 1;
+                }
+            });
+            assert_eq!(data, (1..=unit * 11).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut empty: Vec<f32> = Vec::new();
+        scope_partition_mut(&mut empty, 4, 0, |_, _| panic!("no units"));
+        let out: Vec<u8> = parallel_map_range(0, |_| 0u8);
+        assert!(out.is_empty());
+    }
+}

@@ -8,8 +8,8 @@
 //! algebra, so a single [`Matrix`] type with explicit-transpose matmuls is
 //! all the tensor machinery the reproduction needs.
 
-pub mod matrix;
 pub mod init;
+pub mod matrix;
 
-pub use matrix::Matrix;
 pub use init::{glorot_uniform, randn, uniform};
+pub use matrix::{par_threshold, set_par_threshold, Matrix, DEFAULT_PAR_THRESHOLD};

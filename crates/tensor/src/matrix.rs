@@ -1,7 +1,114 @@
 //! The [`Matrix`] type and its dense-algebra operations.
+//!
+//! The three matmul variants share per-row-range kernels, so the serial
+//! and parallel paths run the exact same floating-point operations in
+//! the exact same order per output element: results are bit-identical
+//! regardless of thread count. Products whose multiply-add count is at
+//! least [`par_threshold`] fan out across [`parallel::num_threads`]
+//! row blocks; smaller products stay on the calling thread.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default minimum multiply-add count before a matmul goes parallel.
+/// Scoped-thread spawn overhead is tens of microseconds; products below
+/// roughly this size finish serially in less time than a fan-out costs.
+pub const DEFAULT_PAR_THRESHOLD: usize = 1 << 19;
+
+/// 0 = unresolved; resolved on first use from `HISRECT_PAR_THRESHOLD`
+/// or [`DEFAULT_PAR_THRESHOLD`].
+static PAR_THRESHOLD: AtomicUsize = AtomicUsize::new(0);
+
+/// The multiply-add count at which matmuls dispatch to the thread pool.
+pub fn par_threshold() -> usize {
+    match PAR_THRESHOLD.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::env::var("HISRECT_PAR_THRESHOLD")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(DEFAULT_PAR_THRESHOLD);
+            PAR_THRESHOLD.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Overrides the parallel-dispatch threshold process-wide (clamped to
+/// at least 1 multiply-add).
+pub fn set_par_threshold(madds: usize) {
+    PAR_THRESHOLD.store(madds.max(1), Ordering::Relaxed);
+}
+
+/// k-block width for the cache-blocked `matmul` kernel: one block of B
+/// rows (64 × cols floats) stays resident while every output row in
+/// the range consumes it. Blocks are visited in ascending order, so
+/// per-element accumulation order matches the unblocked loop.
+const K_BLOCK: usize = 64;
+
+/// `matmul` kernel for output rows `rows` (a block of `a @ b`).
+/// `out` holds exactly those rows, zero-initialized.
+fn mm_block(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+    let n = b.cols;
+    for kb in (0..a.cols).step_by(K_BLOCK) {
+        let k_end = (kb + K_BLOCK).min(a.cols);
+        for i in rows.clone() {
+            let out_row = &mut out[(i - rows.start) * n..(i - rows.start + 1) * n];
+            for k in kb..k_end {
+                let av = a.data[i * a.cols + k];
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b.data[k * n..(k + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `matmul_tn` kernel for output rows `rows` (a block of `aᵀ @ b`;
+/// output rows index `a`'s columns). The k loop stays outermost so both
+/// input rows stream contiguously; every worker reads all of `a` and
+/// `b` but writes only its own block.
+fn mm_tn_block(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+    let n = b.cols;
+    for k in 0..a.rows {
+        let a_row = &a.data[k * a.cols..(k + 1) * a.cols];
+        let b_row = &b.data[k * n..(k + 1) * n];
+        for i in rows.clone() {
+            let av = a_row[i];
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[(i - rows.start) * n..(i - rows.start + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `matmul_nt` kernel for output rows `rows` (a block of `a @ bᵀ`).
+/// Every output element is an independent row-dot-row product.
+fn mm_nt_block(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
+    for i in rows.clone() {
+        let a_row = &a.data[i * a.cols..(i + 1) * a.cols];
+        let out_row = &mut out[(i - rows.start) * b.rows..(i - rows.start + 1) * b.rows];
+        for (j, slot) in out_row.iter_mut().enumerate() {
+            let b_row = &b.data[j * b.cols..(j + 1) * b.cols];
+            let mut acc = 0.0f32;
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *slot = acc;
+        }
+    }
+}
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -130,75 +237,156 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self @ other` — standard matrix product.
-    pub fn matmul(&self, other: &Matrix) -> Matrix {
+    fn assert_mm(&self, other: &Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order: the inner j-loop walks both `other` and `out`
-        // rows contiguously, which matters for the cache-bound LSTM gates.
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
     }
 
-    /// `selfᵀ @ other` without materializing the transpose.
-    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+    fn assert_mm_tn(&self, other: &Matrix) {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn shape mismatch: ({}x{})ᵀ @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = &self.data[k * self.cols..(k + 1) * self.cols];
-            let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
     }
 
-    /// `self @ otherᵀ` without materializing the transpose.
-    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+    fn assert_mm_nt(&self, other: &Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt shape mismatch: {}x{} @ ({}x{})ᵀ",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..other.rows {
-                let b_row = &other.data[j * other.cols..(j + 1) * other.cols];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
+    }
+
+    /// True when a product of `madds` multiply-adds should fan out.
+    fn go_parallel(madds: usize) -> bool {
+        madds >= par_threshold() && parallel::num_threads() > 1
+    }
+
+    /// `self @ other` — standard matrix product.
+    ///
+    /// Dispatches to [`Matrix::matmul_parallel`] when the work is at
+    /// least [`par_threshold`] and more than one worker is configured;
+    /// both paths produce bit-identical results.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.assert_mm(other);
+        if Self::go_parallel(self.rows * self.cols * other.cols) {
+            self.matmul_parallel(other)
+        } else {
+            self.matmul_serial(other)
         }
+    }
+
+    /// `self @ other` on the calling thread only.
+    pub fn matmul_serial(&self, other: &Matrix) -> Matrix {
+        self.assert_mm(other);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        mm_block(self, other, 0..self.rows, &mut out.data);
+        out
+    }
+
+    /// `self @ other` partitioned over [`parallel::num_threads`]
+    /// workers regardless of size.
+    pub fn matmul_parallel(&self, other: &Matrix) -> Matrix {
+        self.matmul_parallel_with(other, parallel::num_threads())
+    }
+
+    /// `self @ other` partitioned over an explicit worker count.
+    pub fn matmul_parallel_with(&self, other: &Matrix, threads: usize) -> Matrix {
+        self.assert_mm(other);
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        parallel::scope_partition_mut_with(
+            threads,
+            &mut out.data,
+            other.cols,
+            self.rows,
+            |rows, block| mm_block(self, other, rows, block),
+        );
+        out
+    }
+
+    /// `selfᵀ @ other` without materializing the transpose.
+    ///
+    /// Same dispatch rule as [`Matrix::matmul`]; bit-identical across
+    /// thread counts.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        self.assert_mm_tn(other);
+        if Self::go_parallel(self.rows * self.cols * other.cols) {
+            self.matmul_tn_parallel(other)
+        } else {
+            self.matmul_tn_serial(other)
+        }
+    }
+
+    /// `selfᵀ @ other` on the calling thread only.
+    pub fn matmul_tn_serial(&self, other: &Matrix) -> Matrix {
+        self.assert_mm_tn(other);
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        mm_tn_block(self, other, 0..self.cols, &mut out.data);
+        out
+    }
+
+    /// `selfᵀ @ other` partitioned over [`parallel::num_threads`]
+    /// workers regardless of size.
+    pub fn matmul_tn_parallel(&self, other: &Matrix) -> Matrix {
+        self.matmul_tn_parallel_with(other, parallel::num_threads())
+    }
+
+    /// `selfᵀ @ other` partitioned over an explicit worker count.
+    pub fn matmul_tn_parallel_with(&self, other: &Matrix, threads: usize) -> Matrix {
+        self.assert_mm_tn(other);
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        parallel::scope_partition_mut_with(
+            threads,
+            &mut out.data,
+            other.cols,
+            self.cols,
+            |rows, block| mm_tn_block(self, other, rows, block),
+        );
+        out
+    }
+
+    /// `self @ otherᵀ` without materializing the transpose.
+    ///
+    /// Same dispatch rule as [`Matrix::matmul`]; bit-identical across
+    /// thread counts.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        self.assert_mm_nt(other);
+        if Self::go_parallel(self.rows * self.cols * other.rows) {
+            self.matmul_nt_parallel(other)
+        } else {
+            self.matmul_nt_serial(other)
+        }
+    }
+
+    /// `self @ otherᵀ` on the calling thread only.
+    pub fn matmul_nt_serial(&self, other: &Matrix) -> Matrix {
+        self.assert_mm_nt(other);
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        mm_nt_block(self, other, 0..self.rows, &mut out.data);
+        out
+    }
+
+    /// `self @ otherᵀ` partitioned over [`parallel::num_threads`]
+    /// workers regardless of size.
+    pub fn matmul_nt_parallel(&self, other: &Matrix) -> Matrix {
+        self.matmul_nt_parallel_with(other, parallel::num_threads())
+    }
+
+    /// `self @ otherᵀ` partitioned over an explicit worker count.
+    pub fn matmul_nt_parallel_with(&self, other: &Matrix, threads: usize) -> Matrix {
+        self.assert_mm_nt(other);
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        parallel::scope_partition_mut_with(
+            threads,
+            &mut out.data,
+            other.rows,
+            self.rows,
+            |rows, block| mm_nt_block(self, other, rows, block),
+        );
         out
     }
 

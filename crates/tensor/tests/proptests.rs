@@ -1,7 +1,12 @@
-//! Algebraic laws of [`tensor::Matrix`] under proptest.
+//! Algebraic laws of [`tensor::Matrix`] under proptest, plus the
+//! bit-identity contract of the parallel kernels: for every shape and
+//! thread count, the row-partitioned cache-blocked matmuls must return
+//! *exactly* the same bits as their serial counterparts.
 
 use proptest::prelude::*;
-use tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tensor::{randn, Matrix};
 
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-10.0f32..10.0, rows * cols)
@@ -70,4 +75,88 @@ proptest! {
     fn dot_cauchy_schwarz(a in matrix(1, 8), b in matrix(1, 8)) {
         prop_assert!(a.dot(&b).abs() <= a.l2_norm() * b.l2_norm() + 1e-3);
     }
+}
+
+// Shapes range past K_BLOCK = 64 so the k-blocked accumulation path is
+// exercised, and `threads` includes 1 (degenerate pool) so the inline
+// serial fallback inside `scope_partition_mut_with` is covered too.
+proptest! {
+    #[test]
+    fn matmul_parallel_bitwise_equals_serial(
+        m in 1usize..80, k in 1usize..80, n in 1usize..24,
+        threads in 1usize..5, seed in 0u64..1 << 32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = randn(&mut rng, m, k, 1.0);
+        let b = randn(&mut rng, k, n, 1.0);
+        let serial = a.matmul_serial(&b);
+        let par = a.matmul_parallel_with(&b, threads);
+        prop_assert_eq!(serial.as_slice(), par.as_slice());
+    }
+
+    #[test]
+    fn matmul_tn_parallel_bitwise_equals_serial(
+        m in 1usize..24, k in 1usize..80, n in 1usize..24,
+        threads in 1usize..5, seed in 0u64..1 << 32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // matmul_tn: self is (k × m), other (k × n) → (m × n).
+        let a = randn(&mut rng, k, m, 1.0);
+        let b = randn(&mut rng, k, n, 1.0);
+        let serial = a.matmul_tn_serial(&b);
+        let par = a.matmul_tn_parallel_with(&b, threads);
+        prop_assert_eq!(serial.as_slice(), par.as_slice());
+    }
+
+    #[test]
+    fn matmul_nt_parallel_bitwise_equals_serial(
+        m in 1usize..24, k in 1usize..80, n in 1usize..24,
+        threads in 1usize..5, seed in 0u64..1 << 32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // matmul_nt: self is (m × k), other (n × k) → (m × n).
+        let a = randn(&mut rng, m, k, 1.0);
+        let b = randn(&mut rng, n, k, 1.0);
+        let serial = a.matmul_nt_serial(&b);
+        let par = a.matmul_nt_parallel_with(&b, threads);
+        prop_assert_eq!(serial.as_slice(), par.as_slice());
+    }
+
+    /// Below the dispatch threshold the auto entry points must take the
+    /// serial path bit-for-bit (they share kernels, so equality holds
+    /// either way — this pins the no-surprise default for small work).
+    #[test]
+    fn auto_dispatch_matches_serial_below_threshold(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in 0u64..1 << 32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = randn(&mut rng, m, k, 1.0);
+        let b = randn(&mut rng, k, n, 1.0);
+        prop_assert!(m * k * n < tensor::par_threshold());
+        prop_assert_eq!(a.matmul(&b).as_slice(), a.matmul_serial(&b).as_slice());
+    }
+}
+
+/// Forcing the auto entry points onto the parallel path (threshold = 1)
+/// still reproduces the serial bits exactly. Threshold is process-global
+/// state; results stay bit-identical for every other concurrently running
+/// test, so the temporary override is observationally safe.
+#[test]
+fn auto_dispatch_matches_serial_above_threshold() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = randn(&mut rng, 33, 65, 1.0);
+    let b = randn(&mut rng, 65, 17, 1.0);
+    let (serial, tn, nt) = (
+        a.matmul_serial(&b),
+        b.matmul_tn_serial(&a.transpose()),
+        a.matmul_nt_serial(&b.transpose()),
+    );
+    tensor::set_par_threshold(1);
+    let out = a.matmul(&b);
+    let out_tn = b.matmul_tn(&a.transpose());
+    let out_nt = a.matmul_nt(&b.transpose());
+    tensor::set_par_threshold(tensor::DEFAULT_PAR_THRESHOLD);
+    assert_eq!(serial.as_slice(), out.as_slice());
+    assert_eq!(tn.as_slice(), out_tn.as_slice());
+    assert_eq!(nt.as_slice(), out_nt.as_slice());
 }

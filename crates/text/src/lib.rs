@@ -14,11 +14,11 @@
 //! - [`ngrams`] — n-gram extraction for the Gaussian baseline.
 //! - [`TfIdf`] — document vectors and cosine similarity for TG-TI-C.
 
+pub mod ngram;
+pub mod skipgram;
+pub mod tfidf;
 pub mod tokenizer;
 pub mod vocab;
-pub mod skipgram;
-pub mod ngram;
-pub mod tfidf;
 
 pub use ngram::ngrams;
 pub use skipgram::{SkipGram, SkipGramConfig};

@@ -78,8 +78,8 @@ impl SkipGram {
     /// mean SGNS loss of the final epoch.
     #[allow(clippy::needless_range_loop)] // window scan over positions, not elements
     pub fn train<R: Rng>(&mut self, docs: &[Vec<usize>], rng: &mut R) -> f32 {
-        let total_steps: usize = docs.iter().map(|d| d.len()).sum::<usize>().max(1)
-            * self.cfg.epochs.max(1);
+        let total_steps: usize =
+            docs.iter().map(|d| d.len()).sum::<usize>().max(1) * self.cfg.epochs.max(1);
         let mut step = 0usize;
         let mut last_epoch_loss = 0.0f64;
         for _epoch in 0..self.cfg.epochs {
@@ -91,8 +91,7 @@ impl SkipGram {
                     let w = rng.gen_range(1..=self.cfg.window);
                     let lo = center_pos.saturating_sub(w);
                     let hi = (center_pos + w).min(doc.len().saturating_sub(1));
-                    let lr = self.cfg.lr
-                        * (1.0 - step as f32 / total_steps as f32).max(0.05);
+                    let lr = self.cfg.lr * (1.0 - step as f32 / total_steps as f32).max(0.05);
                     for ctx_pos in lo..=hi {
                         if ctx_pos == center_pos {
                             continue;
@@ -151,7 +150,9 @@ impl SkipGram {
     fn sample_negative<R: Rng>(&self, rng: &mut R) -> usize {
         let total = *self.cdf.last().expect("non-empty vocab");
         let x = rng.gen_range(0.0..total);
-        self.cdf.partition_point(|&c| c <= x).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= x)
+            .min(self.cdf.len() - 1)
     }
 
     /// Embedding dimensionality.
@@ -270,7 +271,11 @@ mod tests {
             seen[sg.sample_negative(&mut rng)] = true;
         }
         let covered = seen.iter().filter(|&&s| s).count();
-        assert!(covered >= vocab.len() - 1, "covered {covered}/{}", vocab.len());
+        assert!(
+            covered >= vocab.len() - 1,
+            "covered {covered}/{}",
+            vocab.len()
+        );
     }
 
     #[test]

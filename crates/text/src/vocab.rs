@@ -26,10 +26,7 @@ impl Vocab {
             }
         }
         let unk_count = freq.remove(UNK_SYMBOL).unwrap_or(0);
-        let mut kept: Vec<(&str, u64)> = freq
-            .into_iter()
-            .filter(|&(_, c)| c > min_count)
-            .collect();
+        let mut kept: Vec<(&str, u64)> = freq.into_iter().filter(|&(_, c)| c > min_count).collect();
         // Deterministic id assignment: by descending count, ties by word.
         kept.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
 
@@ -140,7 +137,9 @@ mod tests {
 
     #[test]
     fn unigram_weights_are_subunit_power() {
-        let a = doc(&["w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w"]);
+        let a = doc(&[
+            "w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w", "w",
+        ]);
         let v = Vocab::build([a.as_slice()], 1);
         let w = v.unigram_weights();
         assert_eq!(w.len(), v.len());

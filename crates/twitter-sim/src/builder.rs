@@ -195,7 +195,9 @@ mod tests {
         assert_eq!(ds.profiles[0].pid, Some(0));
         assert_eq!(ds.profiles[1].pid, Some(1));
         // Preprocessing happened: stopword "the" became `</s>`.
-        assert!(ds.profiles[0].tokens.contains(&text::UNK_SYMBOL.to_string()));
+        assert!(ds.profiles[0]
+            .tokens
+            .contains(&text::UNK_SYMBOL.to_string()));
         assert!(ds.profiles[0].tokens.contains(&"espresso".to_string()));
         // Visit history carried forward.
         assert_eq!(ds.profiles[1].visits.len(), 1);
@@ -207,7 +209,10 @@ mod tests {
         let mut b = CorpusBuilder::new("test", cafe_pois());
         b.push_timeline(
             1,
-            vec![raw(500, "later", Some(base)), raw(100, "earlier", Some(base))],
+            vec![
+                raw(500, "later", Some(base)),
+                raw(100, "earlier", Some(base)),
+            ],
         );
         let ds = b.build();
         assert!(ds.timelines[0].tweets[0].ts < ds.timelines[0].tweets[1].ts);
@@ -236,7 +241,9 @@ mod tests {
     #[test]
     fn pairs_form_across_users_within_delta_t() {
         let base = GeoPoint::new(40.75, -73.99);
-        let mut b = CorpusBuilder::new("test", cafe_pois()).delta_t(3600).seed(3);
+        let mut b = CorpusBuilder::new("test", cafe_pois())
+            .delta_t(3600)
+            .seed(3);
         // Many users to survive the 1/5 test split, co-located in pairs.
         for uid in 0..20u32 {
             b.push_timeline(
@@ -248,7 +255,8 @@ mod tests {
             );
         }
         let ds = b.build();
-        let total_pos = ds.train.pos_pairs.len() + ds.valid.pos_pairs.len() + ds.test.pos_pairs.len();
+        let total_pos =
+            ds.train.pos_pairs.len() + ds.valid.pos_pairs.len() + ds.test.pos_pairs.len();
         assert!(total_pos > 0, "co-located posts must form positive pairs");
         for p in &ds.train.pos_pairs {
             assert_ne!(ds.profiles[p.i].uid, ds.profiles[p.j].uid);

@@ -223,7 +223,11 @@ mod tests {
 
     #[test]
     fn presets_are_sane() {
-        for cfg in [SimConfig::nyc_like(1), SimConfig::lv_like(1), SimConfig::tiny(1)] {
+        for cfg in [
+            SimConfig::nyc_like(1),
+            SimConfig::lv_like(1),
+            SimConfig::tiny(1),
+        ] {
             assert!(cfg.n_pois >= cfg.n_clusters);
             assert!(cfg.poi_radius_m.0 < cfg.poi_radius_m.1);
             assert!(cfg.tweet_len.0 <= cfg.tweet_len.1);

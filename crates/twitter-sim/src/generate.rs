@@ -39,21 +39,24 @@ pub fn generate(cfg: &SimConfig) -> Dataset {
     let forced = sample_co_visits(cfg, &traits, &friendships, &mut rng);
 
     // --- raw timelines ----------------------------------------------------
-    let mut timelines = Vec::with_capacity(cfg.n_users);
-    for uid in 0..cfg.n_users as u32 {
-        let tl = sample_timeline(
+    // Each user gets an independent generator seeded from (cfg.seed, uid),
+    // so timelines can be sampled on parallel workers while the dataset
+    // stays a pure function of the seed, whatever the thread count.
+    let timelines: Vec<Timeline> = parallel::parallel_map_range(cfg.n_users, |uid| {
+        let mut user_rng = StdRng::seed_from_u64(rand::derive_seed(cfg.seed, uid as u64));
+        sample_timeline(
             cfg,
             &world,
-            &traits[uid as usize],
-            uid,
-            &forced[uid as usize],
-            &mut rng,
-        );
-        if tl.has_poi_tweet() {
-            // §6.1.1: timelines with no POI tweet are filtered out.
-            timelines.push(tl);
-        }
-    }
+            &traits[uid],
+            uid as u32,
+            &forced[uid],
+            &mut user_rng,
+        )
+    })
+    .into_iter()
+    // §6.1.1: timelines with no POI tweet are filtered out.
+    .filter(Timeline::has_poi_tweet)
+    .collect();
 
     assemble(
         world,

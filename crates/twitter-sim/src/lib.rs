@@ -24,20 +24,20 @@
 //! profiles, pairs) and the §6.1.1 protocol (timeline filtering, top-POI
 //! selection, 1/5 test split, 9:1 train:valid, pair construction under Δt).
 
-pub mod config;
-pub mod types;
-pub mod world;
-pub mod generate;
 pub mod assemble;
 pub mod builder;
-pub mod io;
+pub mod config;
 pub mod dataset;
+pub mod generate;
+pub mod io;
+pub mod types;
+pub mod world;
 
 pub use assemble::{assemble, AssembleParams};
 pub use builder::{CorpusBuilder, RawTweet};
-pub use io::CorpusFile;
 pub use config::SimConfig;
 pub use dataset::{Dataset, Split};
 pub use generate::generate;
+pub use io::CorpusFile;
 pub use types::{Pair, Profile, ProfileIdx, Timeline, Tweet, Visit};
 pub use world::World;

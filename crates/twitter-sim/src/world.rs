@@ -40,10 +40,8 @@ impl World {
     /// geometric parts of the world are meaningful for imported corpora.
     pub fn from_pois(pois: geo::PoiSet) -> Self {
         let n = pois.len();
-        let centroid_lat =
-            pois.pois().iter().map(|p| p.center().lat).sum::<f64>() / n as f64;
-        let centroid_lon =
-            pois.pois().iter().map(|p| p.center().lon).sum::<f64>() / n as f64;
+        let centroid_lat = pois.pois().iter().map(|p| p.center().lat).sum::<f64>() / n as f64;
+        let centroid_lon = pois.pois().iter().map(|p| p.center().lon).sum::<f64>() / n as f64;
         Self {
             cluster_of: vec![0; n],
             cluster_centers: vec![GeoPoint::new(centroid_lat, centroid_lon)],
@@ -121,10 +119,8 @@ impl World {
                     .collect()
             })
             .collect();
-        let global_words: Vec<String> =
-            (0..cfg.n_global_words).map(|w| format!("g{w}")).collect();
-        let noise_words: Vec<String> =
-            (0..cfg.n_noise_words).map(|w| format!("z{w}")).collect();
+        let global_words: Vec<String> = (0..cfg.n_global_words).map(|w| format!("g{w}")).collect();
+        let noise_words: Vec<String> = (0..cfg.n_noise_words).map(|w| format!("z{w}")).collect();
 
         // Zipf popularity: weight 1/(rank+1)^0.8 over a random permutation.
         let mut ranks: Vec<usize> = (0..cfg.n_pois).collect();

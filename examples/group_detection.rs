@@ -31,10 +31,7 @@ fn main() {
             if p.ts - t0 >= dataset.delta_t {
                 break;
             }
-            if candidate
-                .iter()
-                .all(|&g| dataset.profile(g).uid != p.uid)
-            {
+            if candidate.iter().all(|&g| dataset.profile(g).uid != p.uid) {
                 candidate.push(cand);
                 if candidate.len() == 6 {
                     group = candidate;

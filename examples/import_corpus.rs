@@ -37,8 +37,10 @@ fn main() {
     for uid in 0..60u32 {
         let mut tweets = Vec::new();
         for day in 0..20i64 {
-            rng_like = rng_like.wrapping_mul(6364136223846793005).wrapping_add(uid as u64 + 1);
-            let at_cafe = (rng_like >> 32) % 2 == 0;
+            rng_like = rng_like
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(uid as u64 + 1);
+            let at_cafe = (rng_like >> 32).is_multiple_of(2);
             let (spot, text) = if at_cafe {
                 (cafe, "grabbing the usual espresso and a croissant")
             } else {
@@ -66,10 +68,7 @@ fn main() {
     let stats = dataset.stats();
     println!(
         "imported {} timelines -> {} labeled training profiles, {}+ / {}- test pairs",
-        stats.n_timelines,
-        stats.train_labeled_profiles,
-        stats.test_pos_pairs,
-        stats.test_neg_pairs
+        stats.n_timelines, stats.train_labeled_profiles, stats.test_pos_pairs, stats.test_neg_pairs
     );
 
     // 4. Train and judge exactly as with simulated data.
@@ -83,7 +82,10 @@ fn main() {
     let model = HisRectModel::train(&dataset, &spec, 1);
     let mut correct = 0usize;
     let mut total = 0usize;
-    for (pairs, label) in [(&dataset.test.pos_pairs, true), (&dataset.test.neg_pairs, false)] {
+    for (pairs, label) in [
+        (&dataset.test.pos_pairs, true),
+        (&dataset.test.neg_pairs, false),
+    ] {
         for pair in pairs.iter().take(50) {
             total += 1;
             if (model.judge_pair(&dataset, pair.i, pair.j) > 0.5) == label {

@@ -23,7 +23,10 @@ fn affinity_graph_only_references_training_profiles() {
         .copied()
         .collect();
     for w in &ws {
-        assert!(train_profiles.contains(&w.i), "pair references non-train profile");
+        assert!(
+            train_profiles.contains(&w.i),
+            "pair references non-train profile"
+        );
         assert!(train_profiles.contains(&w.j));
         assert!(w.a >= -1.0 && w.a <= 1.0);
     }
@@ -86,11 +89,9 @@ fn folds_partition_test_negatives() {
 #[test]
 fn auc_of_oracle_scores_is_one() {
     let ds = generate(&SimConfig::tiny(55));
-    let (scores, labels) = eval::protocol::score_set(
-        &ds.test.pos_pairs,
-        &ds.test.neg_pairs,
-        |p| p.co_label.unwrap() as u8 as f64,
-    );
+    let (scores, labels) = eval::protocol::score_set(&ds.test.pos_pairs, &ds.test.neg_pairs, |p| {
+        p.co_label.unwrap() as u8 as f64
+    });
     assert!((auc(&scores, &labels) - 1.0).abs() < 1e-12);
 }
 
