@@ -41,6 +41,9 @@ struct Payload {
     cases: Vec<Case>,
     /// serial-time / parallel-time per paired case name.
     speedups: BTreeMap<String, f64>,
+    /// metrics-on / metrics-off time ratio of the instrumented
+    /// `train_featurizer` loop (1.0 = free).
+    metrics_overhead_ratio: f64,
 }
 
 struct Harness {
@@ -225,7 +228,26 @@ fn bench_training(h: &mut Harness) {
     h.bench("train_featurizer_parallel", || {
         toy_train_featurizer(threads)
     });
+    // Same loop with obs collection on: the gap vs the serial case is the
+    // full cost of metrics, the serial case itself carries only the
+    // disabled-path check (one relaxed atomic load per recording site).
+    let was = obs::enabled();
+    obs::set_enabled(true);
+    h.bench("train_featurizer_metrics_on", || toy_train_featurizer(1));
+    obs::set_enabled(was);
     tensor::set_par_threshold(tensor::DEFAULT_PAR_THRESHOLD);
+}
+
+/// The raw per-call cost of the obs entry points, disabled and enabled.
+fn bench_obs(h: &mut Harness) {
+    let was = obs::enabled();
+    obs::set_enabled(false);
+    h.bench("obs_span_disabled", || obs::span("bench/obs_span"));
+    h.bench("obs_counter_disabled", || obs::incr("bench/obs_counter"));
+    obs::set_enabled(true);
+    h.bench("obs_span_enabled", || obs::span("bench/obs_span"));
+    h.bench("obs_counter_enabled", || obs::incr("bench/obs_counter"));
+    obs::set_enabled(was);
 }
 
 fn bench_geo(h: &mut Harness, ds: &twitter_sim::Dataset) {
@@ -280,6 +302,7 @@ fn main() {
     ));
 
     bench_kernels(&mut h);
+    bench_obs(&mut h);
     bench_training(&mut h);
     let ds = small_dataset();
     bench_geo(&mut h, &ds);
@@ -305,11 +328,24 @@ fn main() {
         }
     }
 
+    let mut metrics_overhead_ratio = 1.0;
+    if let (Some(off), Some(on)) = (
+        h.mean_of("train_featurizer_serial"),
+        h.mean_of("train_featurizer_metrics_on"),
+    ) {
+        metrics_overhead_ratio = on / off;
+        h.report.line(&format!(
+            "metrics overhead on train_featurizer: {:.2}% (on/off = {metrics_overhead_ratio:.4})",
+            (metrics_overhead_ratio - 1.0) * 100.0
+        ));
+    }
+
     let payload = Payload {
         threads,
         budget_ms: h.budget_ms,
         cases: h.cases,
         speedups,
+        metrics_overhead_ratio,
     };
     h.report.save(&payload);
 }

@@ -12,8 +12,13 @@ pub struct Report {
 }
 
 impl Report {
-    /// Starts a report for `experiment` (e.g. `"table4"`).
+    /// Starts a report for `experiment` (e.g. `"table4"`). Setting
+    /// `HISRECT_METRICS=1` turns on obs collection for the run; the
+    /// snapshot lands next to the report on [`Report::save`].
     pub fn new(experiment: &str) -> Self {
+        if metrics_requested() {
+            obs::set_enabled(true);
+        }
         let mut r = Self {
             experiment: experiment.to_string(),
             lines: Vec::new(),
@@ -73,7 +78,22 @@ impl Report {
             eprintln!("warning: cannot write {}: {e}", tpath.display());
         }
         println!("[saved {} and {}]", jpath.display(), tpath.display());
+        if obs::enabled() {
+            let mpath = dir.join(format!("{}_metrics.json", self.experiment));
+            match obs::report::write_snapshot(&mpath) {
+                Ok(()) => println!("[saved {}]", mpath.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", mpath.display()),
+            }
+        }
     }
+}
+
+/// True when the `HISRECT_METRICS` environment variable asks for obs
+/// collection (any value except `0`, `false`, `off` or empty).
+pub fn metrics_requested() -> bool {
+    std::env::var("HISRECT_METRICS")
+        .map(|v| !matches!(v.as_str(), "" | "0" | "false" | "off"))
+        .unwrap_or(false)
 }
 
 /// `results/` at the workspace root (falls back to CWD).

@@ -33,8 +33,12 @@ COMMANDS:
     help       Show this message
 
 GLOBAL FLAGS:
-    --threads N   Worker threads for parallel kernels (default: all cores,
-                  or the HISRECT_THREADS environment variable)
+    --threads N          Worker threads for parallel kernels (default: all
+                         cores, or the HISRECT_THREADS environment variable)
+    --metrics-out FILE   Collect spans/counters/histograms during the run
+                         and write them as JSON (e.g. results/metrics.json)
+    --log-level LEVEL    Diagnostic verbosity on stderr: off|info|debug|trace
+                         (default: off)
 
 APPROACHES (for train --approach):
     hisrect (default), hisrect-sl, one-phase, history-only, tweet-only,
@@ -62,6 +66,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if let Some(spec) = flags.get("log-level") {
+        match spec.parse::<obs::Level>() {
+            Ok(level) => obs::set_level(level),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let metrics_out = flags.get("metrics-out").map(std::path::PathBuf::from);
+    if metrics_out.is_some() {
+        obs::set_enabled(true);
+    }
     let result = match command.as_str() {
         "simulate" => commands::simulate(&flags),
         "stats" => commands::stats(&flags),
@@ -75,6 +92,15 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`; run `hisrect help`")),
     };
+    if result.is_ok() {
+        if let Some(path) = &metrics_out {
+            if let Err(e) = obs::report::write_snapshot(path) {
+                eprintln!("error: {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+            eprintln!("metrics written to {}", path.display());
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

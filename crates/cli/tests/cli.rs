@@ -119,6 +119,110 @@ fn full_pipeline_simulate_train_judge_infer_cluster() {
 }
 
 #[test]
+fn metrics_out_writes_report_and_model_is_byte_identical() {
+    let dir = tmpdir("metrics");
+    let corpus = dir.join("corpus.json");
+    let plain_model = dir.join("model-plain.json");
+    let metered_model = dir.join("model-metered.json");
+    let metrics = dir.join("results").join("metrics.json");
+    let corpus_s = corpus.to_str().unwrap();
+
+    let out = run(&[
+        "simulate", "--preset", "tiny", "--seed", "9", "--out", corpus_s,
+    ]);
+    assert!(out.status.success(), "simulate: {}", stderr(&out));
+
+    let train = |model: &str, extra: &[&str]| {
+        let mut args = vec![
+            "train",
+            "--corpus",
+            corpus_s,
+            "--out",
+            model,
+            "--seed",
+            "9",
+            "--iters",
+            "40",
+            "--judge-iters",
+            "40",
+        ];
+        args.extend_from_slice(extra);
+        run(&args)
+    };
+    let out = train(plain_model.to_str().unwrap(), &[]);
+    assert!(out.status.success(), "plain train: {}", stderr(&out));
+    let out = train(
+        metered_model.to_str().unwrap(),
+        &["--metrics-out", metrics.to_str().unwrap()],
+    );
+    assert!(out.status.success(), "metered train: {}", stderr(&out));
+    assert!(stderr(&out).contains("metrics written to"));
+
+    // Instrumentation must never touch the RNG or the numerics: the model
+    // written with metrics on is byte-for-byte the plain one.
+    let plain = std::fs::read(&plain_model).unwrap();
+    let metered = std::fs::read(&metered_model).unwrap();
+    assert_eq!(plain, metered, "metrics changed the trained model bytes");
+
+    // The report carries phase wall times, the loss series and the
+    // judge-latency histogram.
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    for key in [
+        "\"train/featurizer_phase\"",
+        "\"train/judge_phase\"",
+        "\"ssl/l_poi\"",
+        "\"judge/l_co\"",
+        "\"judge/pair_latency_ns\"",
+        "\"tensor/matmul_serial\"",
+    ] {
+        assert!(text.contains(key), "metrics.json missing {key}:\n{text}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn log_level_emits_phase_messages() {
+    let dir = tmpdir("loglevel");
+    let corpus = dir.join("corpus.json");
+    let model = dir.join("model.json");
+    let corpus_s = corpus.to_str().unwrap();
+
+    let out = run(&[
+        "simulate", "--preset", "tiny", "--seed", "4", "--out", corpus_s,
+    ]);
+    assert!(out.status.success(), "simulate: {}", stderr(&out));
+    let out = run(&[
+        "train",
+        "--corpus",
+        corpus_s,
+        "--out",
+        model.to_str().unwrap(),
+        "--seed",
+        "4",
+        "--iters",
+        "20",
+        "--judge-iters",
+        "20",
+        "--log-level",
+        "info",
+    ]);
+    assert!(out.status.success(), "train: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("[info]"), "expected [info] lines, got: {err}");
+    assert!(err.contains("skip-gram"), "got: {err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_log_level_is_rejected() {
+    let out = run(&["stats", "--corpus", "/dev/null", "--log-level", "loud"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown log level"));
+}
+
+#[test]
 fn train_rejects_unknown_approach() {
     let dir = tmpdir("badapproach");
     let corpus = dir.join("corpus.json");

@@ -68,6 +68,7 @@ pub fn affinity(dataset: &Dataset, cfg: &HisRectConfig, pair: &Pair) -> Option<W
 /// [`parallel::num_threads`] workers; output order matches the serial
 /// `pos → neg → unlabeled` chain exactly.
 pub fn build_affinity(dataset: &Dataset, cfg: &HisRectConfig) -> Vec<WeightedPair> {
+    let _span = obs::span("affinity/build");
     let train = &dataset.train;
     let candidates: Vec<&Pair> = train
         .pos_pairs
@@ -75,10 +76,14 @@ pub fn build_affinity(dataset: &Dataset, cfg: &HisRectConfig) -> Vec<WeightedPai
         .chain(&train.neg_pairs)
         .chain(&train.unlabeled_pairs)
         .collect();
-    parallel::parallel_map(&candidates, |p| affinity(dataset, cfg, p))
-        .into_iter()
-        .flatten()
-        .collect()
+    obs::add("affinity/pairs_considered", candidates.len() as u64);
+    let kept: Vec<WeightedPair> =
+        parallel::parallel_map(&candidates, |p| affinity(dataset, cfg, p))
+            .into_iter()
+            .flatten()
+            .collect();
+    obs::add("affinity/pairs_kept", kept.len() as u64);
+    kept
 }
 
 #[cfg(test)]

@@ -124,6 +124,8 @@ impl Featurizer {
         rng: &mut R,
     ) -> Var {
         assert!(!inputs.is_empty(), "empty featurizer batch");
+        let _span = obs::span("featurizer/forward");
+        obs::add("featurizer/profiles", inputs.len() as u64);
         let mut rows: Vec<Var> = Vec::with_capacity(inputs.len());
         for input in inputs {
             let mut parts: Vec<Var> = Vec::with_capacity(2);

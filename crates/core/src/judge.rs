@@ -58,16 +58,28 @@ impl Judge {
     }
 
     /// Co-location probabilities for batched cached features.
+    ///
+    /// When metrics are enabled the per-pair wall time lands in the
+    /// `judge/pair_latency_ns` histogram (the paper claims < 1 ms/pair).
     pub fn predict_batch(&self, store: &ParamStore, fi: &Matrix, fj: &Matrix) -> Vec<f32> {
+        let t0 = obs::enabled().then(std::time::Instant::now);
         let mut tape = Tape::new();
         let a = tape.input(fi.clone());
         let b = tape.input(fj.clone());
         let logits = self.forward_logits(&mut tape, store, a, b);
-        tape.value(logits)
+        let probs: Vec<f32> = tape
+            .value(logits)
             .as_slice()
             .iter()
             .map(|&z| 1.0 / (1.0 + (-z).exp()))
-            .collect()
+            .collect();
+        if let Some(t0) = t0 {
+            if !probs.is_empty() {
+                let per_pair_ns = t0.elapsed().as_nanos() as f64 / probs.len() as f64;
+                obs::observe_n("judge/pair_latency_ns", per_pair_ns, probs.len() as u64);
+            }
+        }
+        probs
     }
 
     /// Single-pair convenience over row-vector features.
@@ -114,6 +126,7 @@ pub fn train_judge(
     let eff_neg = negatives.len() as f64 * cfg.neg_subsample;
     let p_pos = eff_pos / (eff_pos + eff_neg);
 
+    let _span = obs::span("judge/train");
     let feat_dim = positives[0].fi.len();
     let mut losses = Vec::with_capacity(cfg.judge_iters);
     for _ in 0..cfg.judge_iters {
@@ -134,8 +147,12 @@ pub fn train_judge(
         let b = tape.input(fj);
         let logits = judge.forward_logits(&mut tape, store, a, b);
         let loss = tape.bce_with_logits(logits, labels);
-        losses.push(tape.backward(loss, store));
-        adam.step(store);
+        let loss = tape.backward(loss, store);
+        obs::push("judge/l_co", loss);
+        losses.push(loss);
+        let grad_norm = adam.step(store);
+        obs::push("judge/grad_norm", grad_norm);
+        obs::add("judge/examples", batch.len() as u64);
     }
     losses
 }

@@ -70,6 +70,8 @@ impl HisRectModel {
 
         // 1. Word vectors over C_train (§4.2). The skip-gram corpus and the
         //    vocabulary are shared by every content encoder.
+        obs::logln(obs::Level::Info, "train: skip-gram pretraining");
+        let skipgram_span = obs::span("train/skipgram");
         let vocab = Vocab::build(dataset.train_docs.iter().map(|d| d.as_slice()), 10);
         let mut skipgram = SkipGram::new(
             &vocab,
@@ -81,6 +83,7 @@ impl HisRectModel {
         );
         let encoded: Vec<Vec<usize>> = dataset.train_docs.iter().map(|d| vocab.encode(d)).collect();
         skipgram.train(&encoded, &mut rng);
+        drop(skipgram_span);
 
         // 2. Allocate all networks in one store; optimizer groups keep the
         //    paper's Θ_F / Θ_P / Θ_E / Θ_E' / Θ_C separation.
@@ -117,6 +120,7 @@ impl HisRectModel {
         };
 
         // 3. Precompute model inputs for every training profile we touch.
+        let prepare_span = obs::span("train/prepare_inputs");
         let affinity = if spec.mode == TrainMode::SemiSupervised {
             build_affinity(dataset, cfg)
         } else {
@@ -147,10 +151,13 @@ impl HisRectModel {
                 (idx, input)
             })
             .collect();
+        drop(prepare_span);
 
         // 4. Train.
         match spec.mode {
             TrainMode::SemiSupervised | TrainMode::SupervisedOnly => {
+                obs::logln(obs::Level::Info, "train: featurizer phase (Algorithm 1)");
+                let phase_span = obs::span("train/featurizer_phase");
                 let labeled: Vec<(ProfileIdx, usize)> = dataset
                     .train
                     .labeled
@@ -179,9 +186,16 @@ impl HisRectModel {
                     spec.mode == TrainMode::SemiSupervised,
                     &mut rng,
                 );
+                drop(phase_span);
+                obs::logln(obs::Level::Info, "train: judge phase (E' + C)");
+                let _judge_span = obs::span("train/judge_phase");
                 model.train_judge_phase(dataset, &inputs, &mut rng);
             }
-            TrainMode::OnePhase => model.train_one_phase(dataset, &inputs, &mut rng),
+            TrainMode::OnePhase => {
+                obs::logln(obs::Level::Info, "train: one-phase joint training");
+                let _span = obs::span("train/one_phase");
+                model.train_one_phase(dataset, &inputs, &mut rng);
+            }
         }
         model
     }
@@ -354,6 +368,7 @@ impl HisRectModel {
         idxs: &[ProfileIdx],
         ablation: Ablation,
     ) -> HashMap<ProfileIdx, Vec<f32>> {
+        let _span = obs::span("model/featurize_many");
         // Eval-mode featurization is pure per chunk, so chunks fan out
         // across workers; the fixed chunk width keeps every feature value
         // identical to the serial path.

@@ -245,16 +245,19 @@ pub fn train_featurizer_with_validation(
     let monitor = cfg.early_stop && !valid.is_empty();
     let mut best: Option<(f32, usize, nn::params::ParamSnapshot)> = None;
 
+    let _span = obs::span("ssl/train_featurizer");
     let mut stats = SslStats::default();
     for iter in 0..cfg.featurizer_iters {
         if monitor && iter % cfg.eval_every.max(1) == 0 {
             let loss = validation_loss(featurizer, nets, store, inputs, valid);
+            obs::push("ssl/valid_loss", loss);
             stats.valid_losses.push((iter, loss));
             if best.as_ref().is_none_or(|(b, _, _)| loss < *b) {
                 best = Some((loss, iter, store.to_snapshot()));
             }
         }
         {
+            let _step = obs::span("ssl/poi_step");
             let batch: Vec<&(ProfileIdx, usize)> = (0..cfg.batch)
                 .map(|_| &labeled[rng.gen_range(0..labeled.len())])
                 .collect();
@@ -264,11 +267,16 @@ pub fn train_featurizer_with_validation(
             let feats = featurizer.forward_batch(&mut tape, store, &ins, true, rng);
             let logits = nets.classifier.forward(&mut tape, store, feats);
             let loss = tape.softmax_cross_entropy(logits, &targets);
-            stats.poi_losses.push(tape.backward(loss, store));
-            adam_poi.step(store);
+            let loss = tape.backward(loss, store);
+            obs::push("ssl/l_poi", loss);
+            stats.poi_losses.push(loss);
+            let grad_norm = adam_poi.step(store);
+            obs::push("ssl/grad_norm_poi", grad_norm);
+            obs::add("ssl/poi_examples", batch.len() as u64);
         }
         if let Some(s) = &sampler {
             if rng.gen::<f64>() < p_unsup {
+                let _step = obs::span("ssl/unsup_step");
                 let batch: Vec<&WeightedPair> = (0..cfg.batch).map(|_| s.sample(rng)).collect();
                 let left: Vec<&ProfileInput> = batch.iter().map(|w| &inputs[&w.i]).collect();
                 let right: Vec<&ProfileInput> = batch.iter().map(|w| &inputs[&w.j]).collect();
@@ -279,13 +287,28 @@ pub fn train_featurizer_with_validation(
                 let ei = embed_features(&mut tape, store, nets, fi, cfg.unsup);
                 let ej = embed_features(&mut tape, store, nets, fj, cfg.unsup);
                 let loss = unsup_loss(&mut tape, ei, ej, weights, cfg.unsup);
-                stats.unsup_losses.push(tape.backward(loss, store));
-                adam_unsup.step(store);
+                let loss = tape.backward(loss, store);
+                obs::push("ssl/l_u", loss);
+                stats.unsup_losses.push(loss);
+                let grad_norm = adam_unsup.step(store);
+                obs::push("ssl/grad_norm_unsup", grad_norm);
+                obs::add("ssl/unsup_examples", batch.len() as u64);
             }
+        }
+        if obs::log_on(obs::Level::Trace) {
+            obs::logln(
+                obs::Level::Trace,
+                &format!(
+                    "ssl iter {iter}: L_poi = {:.4}, L_u = {:?}",
+                    stats.poi_losses.last().copied().unwrap_or(f32::NAN),
+                    stats.unsup_losses.last()
+                ),
+            );
         }
     }
     if monitor {
         let final_loss = validation_loss(featurizer, nets, store, inputs, valid);
+        obs::push("ssl/valid_loss", final_loss);
         stats.valid_losses.push((cfg.featurizer_iters, final_loss));
         if let Some((best_loss, iter, snap)) = best {
             if best_loss < final_loss {

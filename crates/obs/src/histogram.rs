@@ -1,0 +1,305 @@
+//! Log-linear histograms (HDR-style) for latency and loss distributions.
+//!
+//! Values are bucketed by power-of-two octave with [`SUB_BUCKETS`]
+//! linear sub-buckets per octave, computed straight from the `f64` bit
+//! pattern — no `log2` calls, so bucket boundaries are exact and
+//! platform-independent. Octaves span `2^MIN_EXP ..= 2^MAX_EXP`; one
+//! underflow bucket (index 0) absorbs zero, negative, subnormal and
+//! non-finite observations, and values at or above the top octave clamp
+//! into the last bucket.
+
+use serde::Serialize;
+
+/// Linear sub-buckets per power-of-two octave (relative resolution 25%).
+pub const SUB_BUCKETS: usize = 4;
+/// Smallest bucketed exponent: values below `2^MIN_EXP` underflow.
+pub const MIN_EXP: i32 = -32;
+/// One past the largest bucketed exponent: values in `[2^(MAX_EXP-1),
+/// 2^MAX_EXP)` land in the final bucket, larger values clamp into it.
+pub const MAX_EXP: i32 = 64;
+/// Total bucket count, including the underflow bucket at index 0.
+pub const N_BUCKETS: usize = (MAX_EXP - MIN_EXP) as usize * SUB_BUCKETS + 1;
+
+/// Maps a value to its bucket index in `0..N_BUCKETS`.
+///
+/// Index 0 is the underflow bucket; bucket `i >= 1` covers
+/// `[bucket_lower(i), bucket_lower(i + 1))`.
+pub fn bucket_index(v: f64) -> usize {
+    if !v.is_finite() || v < f64::MIN_POSITIVE {
+        return 0; // zero, negative, subnormal, NaN, ±inf
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    if exp < MIN_EXP {
+        return 0;
+    }
+    // Top bits of the mantissa select the linear sub-bucket.
+    let sub = (bits >> (52 - SUB_BUCKETS.trailing_zeros())) as usize & (SUB_BUCKETS - 1);
+    let idx = 1 + (exp - MIN_EXP) as usize * SUB_BUCKETS + sub;
+    idx.min(N_BUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `idx` (0.0 for the underflow bucket).
+pub fn bucket_lower(idx: usize) -> f64 {
+    if idx == 0 {
+        return 0.0;
+    }
+    let octave = (idx - 1) / SUB_BUCKETS;
+    let sub = (idx - 1) % SUB_BUCKETS;
+    let base = (MIN_EXP + octave as i32) as f64;
+    base.exp2() * (1.0 + sub as f64 / SUB_BUCKETS as f64)
+}
+
+/// A fixed-layout log-linear histogram with exact count/sum/min/max.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` observations of the same value (e.g. a per-item mean
+    /// measured over a batch).
+    pub fn record_n(&mut self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)] += n;
+        self.count += n;
+        if v.is_finite() {
+            self.sum += v * n as f64;
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of all finite observations (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest finite observation (infinity when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest finite observation (-infinity when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Raw count of bucket `idx`.
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx]
+    }
+
+    /// Lower bound of the bucket holding the `q`-quantile observation
+    /// (`q` in `[0, 1]`); NaN when empty. Resolution is the bucket width
+    /// (25% relative), which is plenty for latency reporting.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower(idx);
+            }
+        }
+        bucket_lower(N_BUCKETS - 1)
+    }
+
+    /// Serializable summary of this histogram.
+    pub fn report(&self) -> HistogramReport {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| BucketReport {
+                lo: bucket_lower(idx),
+                count: c,
+            })
+            .collect();
+        HistogramReport {
+            count: self.count,
+            sum: self.sum,
+            mean: self.mean(),
+            min: if self.min.is_finite() { self.min } else { 0.0 },
+            max: if self.max.is_finite() { self.max } else { 0.0 },
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            buckets,
+        }
+    }
+}
+
+/// One non-empty bucket in a [`HistogramReport`].
+#[derive(Debug, Clone, Serialize)]
+pub struct BucketReport {
+    /// Inclusive lower bound of the bucket.
+    pub lo: f64,
+    /// Number of observations in the bucket.
+    pub count: u64,
+}
+
+/// Serializable histogram summary (what lands in `metrics.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramReport {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+    /// Mean of finite observations.
+    pub mean: f64,
+    /// Smallest finite observation.
+    pub min: f64,
+    /// Largest finite observation.
+    pub max: f64,
+    /// Median estimate (bucket lower bound).
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// Non-empty buckets in ascending order.
+    pub buckets: Vec<BucketReport>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_hand_fixtures() {
+        // Underflow: zero, negatives, subnormals, non-finite.
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(1e-320), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), 0);
+        assert_eq!(bucket_index(2.0f64.powi(MIN_EXP - 1)), 0);
+
+        // The first real bucket starts exactly at 2^MIN_EXP.
+        let first = bucket_index(2.0f64.powi(MIN_EXP));
+        assert_eq!(first, 1);
+
+        // 1.0 = 2^0: octave (0 - MIN_EXP) = 32, sub-bucket 0.
+        let base = 1 + 32 * SUB_BUCKETS;
+        assert_eq!(bucket_index(1.0), base);
+        // Linear sub-buckets at 1.25 / 1.5 / 1.75.
+        assert_eq!(bucket_index(1.1), base);
+        assert_eq!(bucket_index(1.25), base + 1);
+        assert_eq!(bucket_index(1.5), base + 2);
+        assert_eq!(bucket_index(1.75), base + 3);
+        // Next octave.
+        assert_eq!(bucket_index(2.0), base + 4);
+        assert_eq!(bucket_index(3.0), base + 6);
+        // Overflow clamps to the last bucket.
+        assert_eq!(bucket_index(f64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_lower_round_trips_boundaries() {
+        for idx in 1..N_BUCKETS {
+            let lo = bucket_lower(idx);
+            assert_eq!(bucket_index(lo), idx, "boundary of bucket {idx} = {lo}");
+        }
+        assert_eq!(bucket_lower(0), 0.0);
+        assert_eq!(bucket_lower(1 + 32 * SUB_BUCKETS), 1.0);
+        assert_eq!(bucket_lower(1 + 32 * SUB_BUCKETS + 2), 1.5);
+    }
+
+    #[test]
+    fn record_tracks_exact_stats() {
+        let mut h = Histogram::new();
+        for v in [1.0, 1.5, 2.0, 1000.0] {
+            h.record(v);
+        }
+        h.record_n(4.0, 6);
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 1.0 + 1.5 + 2.0 + 1000.0 + 24.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 1000.0);
+        assert_eq!(h.bucket_count(bucket_index(4.0)), 6);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets_in_order() {
+        let mut h = Histogram::new();
+        h.record_n(1.0, 50);
+        h.record_n(8.0, 40);
+        h.record_n(64.0, 10);
+        // p50 falls in the 1.0 bucket, p90 in the 8.0 bucket, p99 in 64.0.
+        assert_eq!(h.quantile(0.5), 1.0);
+        assert_eq!(h.quantile(0.9), 8.0);
+        assert_eq!(h.quantile(0.99), 64.0);
+        assert!(h.quantile(f64::NAN).is_nan() || h.quantile(0.0) == 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.mean().is_nan());
+        assert!(h.quantile(0.5).is_nan());
+        let r = h.report();
+        assert!(r.buckets.is_empty());
+        assert_eq!(r.min, 0.0);
+    }
+
+    #[test]
+    fn report_lists_only_nonempty_buckets() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.record(1.0);
+        h.record(3.0);
+        let r = h.report();
+        assert_eq!(r.buckets.len(), 2);
+        assert_eq!(r.buckets[0].lo, 1.0);
+        assert_eq!(r.buckets[0].count, 2);
+        assert_eq!(r.buckets[1].lo, 3.0);
+    }
+}

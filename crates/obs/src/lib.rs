@@ -1,0 +1,479 @@
+#![warn(missing_docs)]
+
+//! Lightweight observability for the HisRect stack: spans (RAII scope
+//! timers), counters, log-linear histograms, per-iteration series, a log
+//! level, and a structured run report.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Near-zero cost when disabled.** Metrics are off by default; every
+//!    recording entry point starts with one `Relaxed` atomic load and
+//!    returns immediately, so instrumented hot paths (matmul dispatch,
+//!    training iterations) pay a few nanoseconds at most. [`span`]
+//!    doesn't even read the clock when disabled.
+//! 2. **Thread-aware.** All state lives in one process-global registry
+//!    behind a mutex; counters, spans and histogram observations recorded
+//!    on `crates/parallel` scoped workers aggregate exactly like those
+//!    from the main thread. Recording sites are phase- or
+//!    iteration-grained, so the lock is uncontended in practice.
+//! 3. **No dependencies.** Std only, plus the workspace's offline serde
+//!    shims to render [`report::MetricsReport`] as JSON.
+//!
+//! Names are `&'static str` (e.g. `"ssl/l_poi"`) so recording never
+//! allocates; the convention is `component/metric`.
+
+pub mod histogram;
+pub mod report;
+
+pub use histogram::{bucket_index, bucket_lower, Histogram, HistogramReport};
+pub use report::{MetricsReport, SpanReport};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Enable switch
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// True when metrics collection is on. One relaxed atomic load: this is
+/// the entire disabled-path cost of every recording call.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns metrics collection on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Discards every recorded span, counter, histogram and series.
+pub fn reset() {
+    let mut reg = registry().lock().expect("obs registry poisoned");
+    reg.spans.clear();
+    reg.counters.clear();
+    reg.histograms.clear();
+    reg.series.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Log level
+// ---------------------------------------------------------------------------
+
+/// Verbosity of diagnostic logging on stderr. Independent from the
+/// metrics switch: `--log-level debug` works without `--metrics-out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// No diagnostic output (the default).
+    Off = 0,
+    /// High-level phase messages.
+    Info = 1,
+    /// Per-phase detail (sizes, rates).
+    Debug = 2,
+    /// Per-iteration firehose.
+    Trace = 3,
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(Level::Off),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level `{other}` (off|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Level::Off => "off",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        })
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Off as u8);
+
+/// Sets the process-wide log level.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current log level.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        1 => Level::Info,
+        2 => Level::Debug,
+        3 => Level::Trace,
+        _ => Level::Off,
+    }
+}
+
+/// True when messages at `at` should be emitted. Guard expensive
+/// formatting with this.
+#[inline]
+pub fn log_on(at: Level) -> bool {
+    at != Level::Off && LEVEL.load(Ordering::Relaxed) >= at as u8
+}
+
+/// Writes one diagnostic line to stderr when the level allows it.
+pub fn logln(at: Level, msg: &str) {
+    if log_on(at) {
+        eprintln!("[{at}] {msg}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Aggregated timings of one span name.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanStat {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total nanoseconds across all completions.
+    pub total_ns: u64,
+    /// Fastest single completion.
+    pub min_ns: u64,
+    /// Slowest single completion.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    fn merge(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.total_ns += ns;
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    spans: BTreeMap<&'static str, SpanStat>,
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    series: BTreeMap<&'static str, Vec<f32>>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+        spans: BTreeMap::new(),
+        counters: BTreeMap::new(),
+        histograms: BTreeMap::new(),
+        series: BTreeMap::new(),
+    });
+    &REGISTRY
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// RAII scope timer: created by [`span`], records its elapsed wall time
+/// under its name when dropped. Nesting is free-form — each name
+/// aggregates independently, so an enclosing span's total includes its
+/// children's.
+#[must_use = "a span measures the scope it is bound to; bind it to a variable"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// The span's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos() as u64;
+            if let Ok(mut reg) = registry().lock() {
+                reg.spans.entry(self.name).or_default().merge(ns);
+            }
+        }
+    }
+}
+
+/// Starts a scope timer. When metrics are disabled this is a no-op that
+/// never reads the clock.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+/// Aggregated stats of a span name, if it ever completed.
+pub fn span_stat(name: &str) -> Option<SpanStat> {
+    registry()
+        .lock()
+        .expect("obs registry poisoned")
+        .spans
+        .get(name)
+        .copied()
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// Adds `n` to counter `name`.
+#[inline]
+pub fn add(name: &'static str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Ok(mut reg) = registry().lock() {
+        *reg.counters.entry(name).or_insert(0) += n;
+    }
+}
+
+/// Increments counter `name` by one.
+#[inline]
+pub fn incr(name: &'static str) {
+    add(name, 1);
+}
+
+/// Current value of a counter (0 when never written).
+pub fn counter_value(name: &str) -> u64 {
+    registry()
+        .lock()
+        .expect("obs registry poisoned")
+        .counters
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// Records one observation into histogram `name`.
+#[inline]
+pub fn observe(name: &'static str, v: f64) {
+    observe_n(name, v, 1);
+}
+
+/// Records `n` observations of `v` into histogram `name` (e.g. the
+/// per-pair mean latency of a batch, weighted by batch size).
+#[inline]
+pub fn observe_n(name: &'static str, v: f64, n: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Ok(mut reg) = registry().lock() {
+        reg.histograms.entry(name).or_default().record_n(v, n);
+    }
+}
+
+/// A copy of histogram `name`, if it has any observations.
+pub fn histogram(name: &str) -> Option<Histogram> {
+    registry()
+        .lock()
+        .expect("obs registry poisoned")
+        .histograms
+        .get(name)
+        .cloned()
+}
+
+// ---------------------------------------------------------------------------
+// Series
+// ---------------------------------------------------------------------------
+
+/// Appends a value to the iteration series `name` (loss curves,
+/// grad norms, ...).
+#[inline]
+pub fn push(name: &'static str, v: f32) {
+    if !enabled() {
+        return;
+    }
+    if let Ok(mut reg) = registry().lock() {
+        reg.series.entry(name).or_default().push(v);
+    }
+}
+
+/// A copy of series `name` (empty when never written).
+pub fn series_values(name: &str) -> Vec<f32> {
+    registry()
+        .lock()
+        .expect("obs registry poisoned")
+        .series
+        .get(name)
+        .cloned()
+        .unwrap_or_default()
+}
+
+/// Builds the serializable snapshot of everything recorded so far.
+pub fn snapshot() -> MetricsReport {
+    let reg = registry().lock().expect("obs registry poisoned");
+    MetricsReport {
+        spans: reg
+            .spans
+            .iter()
+            .map(|(&k, v)| (k.to_string(), SpanReport::from_stat(v)))
+            .collect(),
+        counters: reg
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k.to_string(), v))
+            .collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(&k, h)| (k.to_string(), h.report()))
+            .collect(),
+        series: reg
+            .series
+            .iter()
+            .map(|(&k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry and the enable flag are process-global and tests run
+    // concurrently in one binary, so every test uses its own metric
+    // names, never resets, and serializes enable-flag flips on a lock.
+    static FLAG_LOCK: Mutex<()> = Mutex::new(());
+
+    fn flag_lock() -> std::sync::MutexGuard<'static, ()> {
+        FLAG_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _guard = flag_lock();
+        set_enabled(false);
+        add("test/disabled_counter", 5);
+        push("test/disabled_series", 1.0);
+        observe("test/disabled_hist", 1.0);
+        let s = span("test/disabled_span");
+        assert!(s.start.is_none(), "disabled span must not read the clock");
+        drop(s);
+        assert_eq!(counter_value("test/disabled_counter"), 0);
+        assert!(series_values("test/disabled_series").is_empty());
+        assert!(histogram("test/disabled_hist").is_none());
+        assert!(span_stat("test/disabled_span").is_none());
+    }
+
+    #[test]
+    fn counters_aggregate_across_parallel_map_workers() {
+        let _guard = flag_lock();
+        set_enabled(true);
+        let per_item = 3u64;
+        let n = 257usize;
+        let out = parallel::parallel_map_range_with(4, n, |i| {
+            add("test/parallel_counter", per_item);
+            i
+        });
+        assert_eq!(out.len(), n);
+        assert_eq!(counter_value("test/parallel_counter"), per_item * n as u64);
+    }
+
+    #[test]
+    fn histograms_aggregate_across_parallel_map_workers() {
+        let _guard = flag_lock();
+        set_enabled(true);
+        parallel::parallel_map_range_with(4, 100, |i| {
+            observe("test/parallel_hist", if i % 2 == 0 { 1.0 } else { 8.0 });
+        });
+        let h = histogram("test/parallel_hist").expect("recorded");
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.bucket_count(bucket_index(1.0)), 50);
+        assert_eq!(h.bucket_count(bucket_index(8.0)), 50);
+    }
+
+    #[test]
+    fn span_nesting_aggregates_each_name_and_nests_totals() {
+        let _guard = flag_lock();
+        set_enabled(true);
+        {
+            let _outer = span("test/span_outer");
+            for _ in 0..3 {
+                let _inner = span("test/span_inner");
+                std::hint::black_box(1 + 1);
+            }
+        }
+        let outer = span_stat("test/span_outer").expect("outer recorded");
+        let inner = span_stat("test/span_inner").expect("inner recorded");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 3);
+        assert!(inner.min_ns <= inner.max_ns);
+        assert!(
+            outer.total_ns >= inner.total_ns,
+            "outer ({}) must contain inner ({})",
+            outer.total_ns,
+            inner.total_ns
+        );
+    }
+
+    #[test]
+    fn series_preserve_push_order() {
+        let _guard = flag_lock();
+        set_enabled(true);
+        for k in 0..10 {
+            push("test/series_order", k as f32);
+        }
+        let xs = series_values("test/series_order");
+        assert_eq!(xs, (0..10).map(|k| k as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn level_parsing_and_threshold() {
+        assert_eq!("debug".parse::<Level>().unwrap(), Level::Debug);
+        assert!("loud".parse::<Level>().is_err());
+        set_level(Level::Debug);
+        assert!(log_on(Level::Info));
+        assert!(log_on(Level::Debug));
+        assert!(!log_on(Level::Trace));
+        set_level(Level::Off);
+        assert!(!log_on(Level::Info));
+        assert!(!log_on(Level::Off), "Off is never emitted");
+    }
+
+    #[test]
+    fn snapshot_contains_recorded_metrics() {
+        let _guard = flag_lock();
+        set_enabled(true);
+        add("test/snap_counter", 7);
+        push("test/snap_series", 0.5);
+        observe("test/snap_hist", 2.0);
+        {
+            let _s = span("test/snap_span");
+        }
+        let snap = snapshot();
+        assert_eq!(snap.counters["test/snap_counter"], 7);
+        assert_eq!(snap.series["test/snap_series"], vec![0.5]);
+        assert_eq!(snap.histograms["test/snap_hist"].count, 1);
+        assert_eq!(snap.spans["test/snap_span"].count, 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! The serializable run report written to `results/metrics.json`.
+
+use crate::histogram::HistogramReport;
+use crate::SpanStat;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Serializable aggregate of one span name.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanReport {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall time in nanoseconds.
+    pub total_ns: u64,
+    /// Total wall time in milliseconds (for human readers).
+    pub total_ms: f64,
+    /// Mean nanoseconds per completion.
+    pub mean_ns: f64,
+    /// Fastest completion in nanoseconds.
+    pub min_ns: u64,
+    /// Slowest completion in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanReport {
+    /// Converts aggregated stats into the serializable form.
+    pub fn from_stat(stat: &SpanStat) -> Self {
+        Self {
+            count: stat.count,
+            total_ns: stat.total_ns,
+            total_ms: stat.total_ns as f64 / 1e6,
+            mean_ns: if stat.count == 0 {
+                0.0
+            } else {
+                stat.total_ns as f64 / stat.count as f64
+            },
+            min_ns: stat.min_ns,
+            max_ns: stat.max_ns,
+        }
+    }
+}
+
+/// Everything recorded in a run: per-phase wall times, counters,
+/// latency/loss histograms and per-iteration series, keyed by metric
+/// name (`component/metric`).
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsReport {
+    /// Aggregated span timings.
+    pub spans: BTreeMap<String, SpanReport>,
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries.
+    pub histograms: BTreeMap<String, HistogramReport>,
+    /// Per-iteration series (loss curves, grad norms, ...).
+    pub series: BTreeMap<String, Vec<f32>>,
+}
+
+impl MetricsReport {
+    /// Renders the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is serializable")
+    }
+
+    /// Writes the report as JSON to `path`, creating parent directories.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Convenience: snapshot the registry and write it to `path`.
+pub fn write_snapshot(path: &Path) -> std::io::Result<()> {
+    crate::snapshot().write_json(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_report_derives_means() {
+        let r = SpanReport::from_stat(&SpanStat {
+            count: 4,
+            total_ns: 4_000_000,
+            min_ns: 500_000,
+            max_ns: 2_000_000,
+        });
+        assert_eq!(r.mean_ns, 1_000_000.0);
+        assert_eq!(r.total_ms, 4.0);
+        let empty = SpanReport::from_stat(&SpanStat::default());
+        assert_eq!(empty.mean_ns, 0.0);
+    }
+
+    #[test]
+    fn report_renders_and_parses_as_json() {
+        let mut spans = BTreeMap::new();
+        spans.insert(
+            "train/featurizer".to_string(),
+            SpanReport::from_stat(&SpanStat {
+                count: 1,
+                total_ns: 1_500_000,
+                min_ns: 1_500_000,
+                max_ns: 1_500_000,
+            }),
+        );
+        let mut counters = BTreeMap::new();
+        counters.insert("tensor/matmul_serial".to_string(), 42u64);
+        let mut series = BTreeMap::new();
+        series.insert("ssl/l_poi".to_string(), vec![0.7f32, 0.4, 0.2]);
+        let report = MetricsReport {
+            spans,
+            counters,
+            histograms: BTreeMap::new(),
+            series,
+        };
+        let json = report.to_json();
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(
+            value
+                .get("counters")
+                .and_then(|c| c.get("tensor/matmul_serial"))
+                .and_then(|v| v.as_u64()),
+            Some(42)
+        );
+        assert!(value
+            .get("spans")
+            .and_then(|s| s.get("train/featurizer"))
+            .is_some());
+    }
+}

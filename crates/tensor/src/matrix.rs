@@ -262,8 +262,18 @@ impl Matrix {
     }
 
     /// True when a product of `madds` multiply-adds should fan out.
+    /// Each decision is counted under `tensor/matmul_parallel` /
+    /// `tensor/matmul_serial` when metrics are on (one relaxed atomic
+    /// load when they are off), so a metrics run shows how often the
+    /// dispatcher actually reached the thread pool.
     fn go_parallel(madds: usize) -> bool {
-        madds >= par_threshold() && parallel::num_threads() > 1
+        let par = madds >= par_threshold() && parallel::num_threads() > 1;
+        obs::incr(if par {
+            "tensor/matmul_parallel"
+        } else {
+            "tensor/matmul_serial"
+        });
+        par
     }
 
     /// `self @ other` — standard matrix product.

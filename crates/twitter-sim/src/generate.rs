@@ -28,8 +28,11 @@ struct UserTraits {
 
 /// Generates a full dataset from a config. Deterministic in `cfg.seed`.
 pub fn generate(cfg: &SimConfig) -> Dataset {
+    let _span = obs::span("sim/generate");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let world_span = obs::span("sim/world");
     let world = World::generate(cfg, &mut rng);
+    drop(world_span);
 
     // --- users, friendships, coordinated co-visits -----------------------
     let traits: Vec<UserTraits> = (0..cfg.n_users)
@@ -42,7 +45,8 @@ pub fn generate(cfg: &SimConfig) -> Dataset {
     // Each user gets an independent generator seeded from (cfg.seed, uid),
     // so timelines can be sampled on parallel workers while the dataset
     // stays a pure function of the seed, whatever the thread count.
-    let timelines: Vec<Timeline> = parallel::parallel_map_range(cfg.n_users, |uid| {
+    let timeline_span = obs::span("sim/timelines");
+    let sampled = parallel::parallel_map_range(cfg.n_users, |uid| {
         let mut user_rng = StdRng::seed_from_u64(rand::derive_seed(cfg.seed, uid as u64));
         sample_timeline(
             cfg,
@@ -52,12 +56,21 @@ pub fn generate(cfg: &SimConfig) -> Dataset {
             &forced[uid],
             &mut user_rng,
         )
-    })
-    .into_iter()
+    });
+    let n_sampled = sampled.len();
     // §6.1.1: timelines with no POI tweet are filtered out.
-    .filter(Timeline::has_poi_tweet)
-    .collect();
+    let timelines: Vec<Timeline> = sampled
+        .into_iter()
+        .filter(Timeline::has_poi_tweet)
+        .collect();
+    obs::add("sim/timelines_kept", timelines.len() as u64);
+    obs::add(
+        "sim/timelines_filtered",
+        (n_sampled - timelines.len()) as u64,
+    );
+    drop(timeline_span);
 
+    let _assemble_span = obs::span("sim/assemble");
     assemble(
         world,
         timelines,
