@@ -3,10 +3,11 @@
 use crate::args::Flags;
 use baselines::ranked_pois;
 use eval::{acc_at_k, averaged_metrics};
+use hisrect::ckpt::CheckpointConfig;
 use hisrect::clustering::{cluster_by_threshold, partition_pattern};
 use hisrect::config::ApproachSpec;
 use hisrect::model::{Ablation, HisRectModel};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use tensor::Matrix;
 use twitter_sim::io::CorpusFile;
 use twitter_sim::{generate, Dataset, ProfileIdx, SimConfig};
@@ -20,7 +21,7 @@ fn load_dataset(flags: &Flags) -> Result<Dataset, String> {
 
 fn load_model(flags: &Flags) -> Result<HisRectModel, String> {
     let path = flags.require("model")?;
-    HisRectModel::load_json(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+    HisRectModel::try_load_json(Path::new(path)).map_err(|e| format!("{path}: {e}"))
 }
 
 fn approach_by_name(name: &str) -> Result<ApproachSpec, String> {
@@ -90,13 +91,27 @@ pub fn train(flags: &Flags) -> Result<(), String> {
         c.early_stop = early_stop;
     });
     let out = flags.require("out")?;
+    let ckpt = match flags.get("checkpoint-dir") {
+        Some(dir) => Some(CheckpointConfig {
+            dir: PathBuf::from(dir),
+            every: flags.parse_or("checkpoint-every", 100usize)?,
+            resume: flags.parse_or("resume", false)?,
+        }),
+        None => {
+            if flags.parse_or("resume", false)? {
+                return Err("--resume needs --checkpoint-dir".into());
+            }
+            None
+        }
+    };
     eprintln!(
         "training `{}` on {} ({} labeled profiles) ...",
         spec.name,
         ds.name,
         ds.train.labeled.len()
     );
-    let model = HisRectModel::train(&ds, &spec, seed);
+    let model =
+        HisRectModel::try_train(&ds, &spec, seed, ckpt.as_ref()).map_err(|e| e.to_string())?;
     model
         .save_json(Path::new(out))
         .map_err(|e| format!("{out}: {e}"))?;

@@ -26,7 +26,8 @@ USAGE:
 COMMANDS:
     simulate   Generate a synthetic corpus            (--preset nyc|lv|tiny --seed N --out FILE [--social RATE])
     stats      Print Table-2-style corpus statistics  (--corpus FILE [--seed N])
-    train      Train an approach on a corpus          (--corpus FILE --out FILE [--approach NAME] [--seed N] [--iters N] [--judge-iters N] [--early-stop true])
+    train      Train an approach on a corpus          (--corpus FILE --out FILE [--approach NAME] [--seed N] [--iters N] [--judge-iters N] [--early-stop true]
+                                                       [--checkpoint-dir DIR] [--checkpoint-every N] [--resume true])
     judge      Evaluate co-location on the test split (--corpus FILE --model FILE [--seed N])
     infer      POI inference Acc@K on the test split  (--corpus FILE --model FILE [--top-k K] [--seed N])
     cluster    Cluster concurrent test profiles       (--corpus FILE --model FILE [--group-size N] [--seed N])
@@ -39,6 +40,18 @@ GLOBAL FLAGS:
                          and write them as JSON (e.g. results/metrics.json)
     --log-level LEVEL    Diagnostic verbosity on stderr: off|info|debug|trace
                          (default: off)
+    --faults SPEC        Deterministic fault injection for chaos testing:
+                         comma-separated `kind@n` entries (kinds: torn-write,
+                         bit-flip, corrupt-json, nan-grad, worker-panic,
+                         crash), firing on the n-th opportunity. Also read
+                         from the HISRECT_FAULTS environment variable.
+
+CHECKPOINTING (train):
+    --checkpoint-dir DIR   Write atomic, checksummed training snapshots into
+                           DIR every --checkpoint-every iterations (default
+                           100). With --resume true, training restores the
+                           latest valid snapshot per phase and continues
+                           bit-identically to an uninterrupted run.
 
 APPROACHES (for train --approach):
     hisrect (default), hisrect-sl, one-phase, history-only, tweet-only,
@@ -78,6 +91,19 @@ fn main() -> ExitCode {
     let metrics_out = flags.get("metrics-out").map(std::path::PathBuf::from);
     if metrics_out.is_some() {
         obs::set_enabled(true);
+    }
+    // Fault injection is opt-in: the --faults flag wins, the HISRECT_FAULTS
+    // environment variable is the fallback (how the CI chaos job drives it).
+    let fault_spec = flags
+        .get("faults")
+        .map(str::to_string)
+        .or_else(|| std::env::var("HISRECT_FAULTS").ok());
+    if let Some(spec) = fault_spec {
+        if let Err(e) = faultsim::configure_str(&spec) {
+            eprintln!("error: bad fault spec `{spec}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("fault injection armed: {spec}");
     }
     let result = match command.as_str() {
         "simulate" => commands::simulate(&flags),

@@ -246,6 +246,207 @@ fn train_rejects_unknown_approach() {
 }
 
 #[test]
+fn corrupt_corpus_files_fail_with_typed_diagnostics() {
+    let dir = tmpdir("badcorpus");
+    let garbled = dir.join("garbled.json");
+    let deschemad = dir.join("deschemad.json");
+    std::fs::write(&garbled, "{\"pois\": [trailing garbage").unwrap();
+    // Valid JSON, wrong shape for a corpus.
+    std::fs::write(&deschemad, "{\"pois\": 42}").unwrap();
+
+    let out = run(&["stats", "--corpus", garbled.to_str().unwrap()]);
+    assert!(!out.status.success(), "garbled corpus must fail");
+    assert!(
+        stderr(&out).contains("not valid JSON"),
+        "got: {}",
+        stderr(&out)
+    );
+
+    let out = run(&["stats", "--corpus", deschemad.to_str().unwrap()]);
+    assert!(!out.status.success(), "de-schemad corpus must fail");
+    assert!(
+        stderr(&out).contains("schema violation"),
+        "got: {}",
+        stderr(&out)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_model_file_fails_with_parse_diagnostic() {
+    let dir = tmpdir("badmodel");
+    let corpus = dir.join("corpus.json");
+    let model = dir.join("model.json");
+    let corpus_s = corpus.to_str().unwrap();
+    let out = run(&[
+        "simulate", "--preset", "tiny", "--seed", "1", "--out", corpus_s,
+    ]);
+    assert!(out.status.success());
+    // A half-written model file: cut a plausible JSON document mid-stream.
+    std::fs::write(&model, "{\"config\": {\"word_dim\": 16}, \"params\": [").unwrap();
+    let out = run(&[
+        "judge",
+        "--corpus",
+        corpus_s,
+        "--model",
+        model.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "truncated model must fail");
+    assert!(
+        stderr(&out).contains("not valid JSON"),
+        "got: {}",
+        stderr(&out)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_fault_spec_is_rejected_before_running() {
+    let out = run(&["stats", "--corpus", "/dev/null", "--faults", "meteor@7"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("bad fault spec"), "{}", stderr(&out));
+}
+
+#[test]
+fn resume_without_checkpoint_dir_is_rejected() {
+    let dir = tmpdir("resumenodir");
+    let corpus = dir.join("corpus.json");
+    let corpus_s = corpus.to_str().unwrap();
+    let out = run(&[
+        "simulate", "--preset", "tiny", "--seed", "1", "--out", corpus_s,
+    ]);
+    assert!(out.status.success());
+    let out = run(&[
+        "train",
+        "--corpus",
+        corpus_s,
+        "--out",
+        "/dev/null",
+        "--resume",
+        "true",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--resume needs --checkpoint-dir"),
+        "got: {}",
+        stderr(&out)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// End-to-end crash/resume through the binary: an injected crash fault
+/// interrupts training with a non-zero exit and a resume hint, and the
+/// resumed run writes a model byte-identical to an uninterrupted one.
+#[test]
+fn injected_crash_then_resume_reproduces_the_uninterrupted_model() {
+    let dir = tmpdir("crashresume");
+    let corpus = dir.join("corpus.json");
+    let clean_model = dir.join("model-clean.json");
+    let resumed_model = dir.join("model-resumed.json");
+    let ckpt_dir = dir.join("ckpts");
+    let corpus_s = corpus.to_str().unwrap();
+
+    let out = run(&[
+        "simulate", "--preset", "tiny", "--seed", "6", "--out", corpus_s,
+    ]);
+    assert!(out.status.success(), "simulate: {}", stderr(&out));
+
+    let train = |model: &str, extra: &[&str]| {
+        let mut args = vec![
+            "train",
+            "--corpus",
+            corpus_s,
+            "--out",
+            model,
+            "--seed",
+            "6",
+            "--iters",
+            "60",
+            "--judge-iters",
+            "60",
+        ];
+        args.extend_from_slice(extra);
+        run(&args)
+    };
+
+    let out = train(clean_model.to_str().unwrap(), &[]);
+    assert!(out.status.success(), "clean train: {}", stderr(&out));
+
+    // Crash at featurizer iteration 37, past the checkpoints at 10..30.
+    let ckpt_s = ckpt_dir.to_str().unwrap();
+    let out = train(
+        resumed_model.to_str().unwrap(),
+        &[
+            "--checkpoint-dir",
+            ckpt_s,
+            "--checkpoint-every",
+            "10",
+            "--faults",
+            "crash@38",
+        ],
+    );
+    assert!(!out.status.success(), "crashed run must exit non-zero");
+    let err = stderr(&out);
+    assert!(
+        err.contains("interrupted") && err.contains("--resume"),
+        "diagnostic must point at --resume, got: {err}"
+    );
+    assert!(!resumed_model.exists(), "no model written on interrupt");
+
+    let out = train(
+        resumed_model.to_str().unwrap(),
+        &[
+            "--checkpoint-dir",
+            ckpt_s,
+            "--checkpoint-every",
+            "10",
+            "--resume",
+            "true",
+        ],
+    );
+    assert!(out.status.success(), "resume: {}", stderr(&out));
+    let clean = std::fs::read(&clean_model).unwrap();
+    let resumed = std::fs::read(&resumed_model).unwrap();
+    assert_eq!(clean, resumed, "resumed model must be byte-identical");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The HISRECT_FAULTS environment variable arms the same registry as
+/// --faults (this is how the CI chaos job drives the binary).
+#[test]
+fn env_var_arms_fault_injection() {
+    let dir = tmpdir("envfaults");
+    let corpus = dir.join("corpus.json");
+    let corpus_s = corpus.to_str().unwrap();
+    let out = run(&[
+        "simulate", "--preset", "tiny", "--seed", "2", "--out", corpus_s,
+    ]);
+    assert!(out.status.success());
+    let out = bin()
+        .args([
+            "train",
+            "--corpus",
+            corpus_s,
+            "--out",
+            "/dev/null",
+            "--iters",
+            "30",
+            "--judge-iters",
+            "30",
+        ])
+        .env("HISRECT_FAULTS", "crash@5")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "env-armed crash must interrupt");
+    let err = stderr(&out);
+    assert!(
+        err.contains("fault injection armed") && err.contains("interrupted"),
+        "got: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn judge_with_missing_model_file_fails_cleanly() {
     let dir = tmpdir("nomodel");
     let corpus = dir.join("corpus.json");

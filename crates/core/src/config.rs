@@ -147,6 +147,48 @@ impl Default for HisRectConfig {
 }
 
 impl HisRectConfig {
+    /// Sanity-checks the hyper-parameters, so a hand-edited or corrupted
+    /// snapshot fails loudly before any tensor is allocated from them.
+    pub fn validate(&self) -> Result<(), String> {
+        fn positive(name: &str, v: usize) -> Result<(), String> {
+            if v == 0 {
+                return Err(format!("{name} must be positive"));
+            }
+            Ok(())
+        }
+        positive("word_dim", self.word_dim)?;
+        positive("hidden_n", self.hidden_n)?;
+        positive("feat_dim", self.feat_dim)?;
+        positive("embed_dim", self.embed_dim)?;
+        positive("batch", self.batch)?;
+        if !(self.keep_prob > 0.0 && self.keep_prob <= 1.0) {
+            return Err(format!(
+                "keep_prob must be in (0, 1], got {}",
+                self.keep_prob
+            ));
+        }
+        if !(self.lr.is_finite() && self.lr > 0.0) {
+            return Err(format!("lr must be finite and positive, got {}", self.lr));
+        }
+        if !(self.neg_subsample > 0.0 && self.neg_subsample <= 1.0) {
+            return Err(format!(
+                "neg_subsample must be in (0, 1], got {}",
+                self.neg_subsample
+            ));
+        }
+        for (name, v) in [
+            ("eps_d_m", self.eps_d_m),
+            ("eps_t_s", self.eps_t_s),
+            ("rho_m", self.rho_m),
+            ("eps_d2_m", self.eps_d2_m),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!("{name} must be finite and positive, got {v}"));
+            }
+        }
+        Ok(())
+    }
+
     /// A faster configuration for tests.
     pub fn fast() -> Self {
         Self {

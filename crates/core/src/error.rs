@@ -1,0 +1,103 @@
+//! Typed errors for model persistence and training.
+//!
+//! Loading a model from disk can fail for four distinct reasons — the file
+//! is unreadable, it is not JSON, it is JSON of the wrong shape, or its
+//! stored tensors disagree with the architecture it claims — and callers
+//! (the CLI in particular) want to report each differently instead of
+//! panicking. Training can additionally fail at runtime: a divergence that
+//! survives every rollback retry, a worker panic, or a checkpoint-layer
+//! fault.
+
+use std::fmt;
+
+/// Why a model snapshot could not be loaded or reconstructed.
+#[derive(Debug)]
+pub enum ModelError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The bytes are not valid JSON.
+    Parse(String),
+    /// The JSON parsed but does not match the snapshot schema.
+    SchemaMismatch(String),
+    /// Stored tensor shapes or sizes disagree with the declared
+    /// architecture (wrong `feat_dim`, `n_pois`, vocabulary size, …).
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "model file i/o error: {e}"),
+            Self::Parse(d) => write!(f, "model file is not valid JSON: {d}"),
+            Self::SchemaMismatch(d) => write!(f, "model file schema mismatch: {d}"),
+            Self::ShapeMismatch(d) => write!(f, "model snapshot shape mismatch: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Why a training run stopped without producing a model.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The loss or gradient norm went non-finite and stayed non-finite
+    /// through every rollback + learning-rate-backoff retry.
+    Diverged {
+        /// Training phase ("featurizer", "judge", "one-phase").
+        phase: String,
+        /// Iteration at which the final retry gave up.
+        iteration: usize,
+        /// Rollback attempts that were made.
+        retries: usize,
+    },
+    /// A parallel worker panicked; the message is the worker's panic
+    /// payload.
+    WorkerPanic(String),
+    /// The checkpoint layer failed (unwritable directory, …).
+    Checkpoint(String),
+    /// Training was interrupted (the `crash` fault in tests, or an
+    /// external stop); a resumable checkpoint may exist.
+    Interrupted {
+        /// Training phase that was interrupted.
+        phase: String,
+        /// Iteration at which the interrupt fired.
+        iteration: usize,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Diverged {
+                phase,
+                iteration,
+                retries,
+            } => write!(
+                f,
+                "{phase} training diverged at iteration {iteration} \
+                 (non-finite loss persisted through {retries} rollback retries)"
+            ),
+            Self::WorkerPanic(msg) => write!(f, "worker panicked during training: {msg}"),
+            Self::Checkpoint(d) => write!(f, "checkpoint error: {d}"),
+            Self::Interrupted { phase, iteration } => write!(
+                f,
+                "{phase} training interrupted at iteration {iteration}; \
+                 re-run with --resume to continue from the last checkpoint"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<parallel::WorkerPanic> for TrainError {
+    fn from(p: parallel::WorkerPanic) -> Self {
+        Self::WorkerPanic(p.message)
+    }
+}

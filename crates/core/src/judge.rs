@@ -5,11 +5,18 @@
 //! co-location probability off a logistic output:
 //! `p_co = σ(C(|E′(F(ri)) − E′(F(rj))|))`.
 
+use crate::ckpt::{self, CheckpointConfig, MemorySnapshot, TrainCheckpoint};
 use crate::config::HisRectConfig;
+use crate::error::TrainError;
+use crate::ssl::{inject_nan_grad, rollback, MAX_RETRIES, RECOVERY_EVERY};
+use faultsim::FaultKind;
 use nn::{Adam, AdamConfig, FeedForward, ParamId, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
 use rand::Rng;
 use tensor::Matrix;
+
+/// Checkpoint-phase name of the judge stage.
+pub const PHASE_JUDGE: &str = "judge";
 
 /// The judge networks `E′` and `C`.
 #[derive(Debug, Clone)]
@@ -111,11 +118,32 @@ pub fn train_judge(
     cfg: &HisRectConfig,
     rng: &mut StdRng,
 ) -> Vec<f32> {
+    try_train_judge(judge, store, positives, negatives, cfg, rng, None)
+        .expect("judge training failed")
+}
+
+/// [`train_judge`] with fault tolerance: periodic checkpoints + resume
+/// when `ckpt` is set, and non-finite-loss rollback with learning-rate
+/// backoff always. Bit-identical to the plain trainer when no checkpoint
+/// is configured and no fault fires.
+pub fn try_train_judge(
+    judge: &Judge,
+    store: &mut ParamStore,
+    positives: &[FeaturePair<'_>],
+    negatives: &[FeaturePair<'_>],
+    cfg: &HisRectConfig,
+    rng: &mut StdRng,
+    ckpt: Option<&CheckpointConfig>,
+) -> Result<Vec<f32>, TrainError> {
     assert!(!positives.is_empty(), "need positive pairs");
     assert!(!negatives.is_empty(), "need negative pairs");
+    let ids = judge.param_ids();
+    // Fault-injection probe: a parameter inside this phase's optimizer
+    // group (the store may also hold frozen featurizer parameters).
+    let probe_id = ids[0];
     let mut adam = Adam::new(
         store,
-        judge.param_ids(),
+        ids,
         AdamConfig {
             lr: cfg.lr,
             ..AdamConfig::default()
@@ -126,10 +154,92 @@ pub fn train_judge(
     let eff_neg = negatives.len() as f64 * cfg.neg_subsample;
     let p_pos = eff_pos / (eff_pos + eff_neg);
 
+    let mut losses = Vec::with_capacity(cfg.judge_iters);
+    let mut start_iter = 0usize;
+    if let Some(c) = ckpt {
+        if c.resume {
+            if let Some((snap, path)) = ckpt::latest_valid(&c.dir, PHASE_JUDGE) {
+                ckpt::restore_training_state(
+                    store,
+                    &mut [&mut adam],
+                    rng,
+                    &snap.params,
+                    &snap.adams,
+                    &snap.rng,
+                )
+                .map_err(TrainError::Checkpoint)?;
+                losses = snap.poi_losses;
+                start_iter = snap.iteration;
+                obs::logln(
+                    obs::Level::Info,
+                    &format!(
+                        "resumed judge phase at iteration {start_iter} from {}",
+                        path.display()
+                    ),
+                );
+                if start_iter >= cfg.judge_iters {
+                    return Ok(losses);
+                }
+            }
+        }
+    }
+
+    let save_checkpoint = |iteration: usize,
+                           store: &ParamStore,
+                           adam: &Adam,
+                           rng: &StdRng,
+                           losses: &Vec<f32>|
+     -> Result<(), TrainError> {
+        let Some(c) = ckpt else {
+            return Ok(());
+        };
+        let snap = TrainCheckpoint {
+            phase: PHASE_JUDGE.into(),
+            iteration,
+            params: store.to_snapshot(),
+            adams: vec![adam.state()],
+            rng: rng.state().to_vec(),
+            // The judge's single loss trace rides in the first slot.
+            poi_losses: losses.clone(),
+            unsup_losses: Vec::new(),
+            valid_losses: Vec::new(),
+            best_iteration: None,
+            best: None,
+        };
+        ckpt::save(&c.dir, &snap).map_err(|e| TrainError::Checkpoint(e.to_string()))?;
+        Ok(())
+    };
+
     let _span = obs::span("judge/train");
     let feat_dim = positives[0].fi.len();
-    let mut losses = Vec::with_capacity(cfg.judge_iters);
-    for _ in 0..cfg.judge_iters {
+    let mut last_good: Option<MemorySnapshot> = None;
+    let mut retries = 0usize;
+    let mut iter = start_iter;
+    while iter < cfg.judge_iters {
+        if let Some(c) = ckpt {
+            if c.every > 0 && iter > start_iter && iter.is_multiple_of(c.every) {
+                save_checkpoint(iter, store, &adam, rng, &losses)?;
+            }
+        }
+        if faultsim::fires(FaultKind::Crash) {
+            return Err(TrainError::Interrupted {
+                phase: PHASE_JUDGE.into(),
+                iteration: iter,
+            });
+        }
+        if last_good
+            .as_ref()
+            .is_none_or(|s| iter >= s.iteration + RECOVERY_EVERY)
+        {
+            last_good = Some(MemorySnapshot {
+                iteration: iter,
+                params: store.to_snapshot(),
+                adams: vec![adam.state()],
+                rng: rng.state(),
+                trace_lens: vec![losses.len()],
+            });
+            retries = 0;
+        }
         let batch: Vec<&FeaturePair<'_>> = (0..cfg.batch)
             .map(|_| {
                 if rng.gen::<f64>() < p_pos {
@@ -148,13 +258,32 @@ pub fn train_judge(
         let logits = judge.forward_logits(&mut tape, store, a, b);
         let loss = tape.bce_with_logits(logits, labels);
         let loss = tape.backward(loss, store);
+        inject_nan_grad(store, probe_id);
         obs::push("judge/l_co", loss);
         losses.push(loss);
         let grad_norm = adam.step(store);
         obs::push("judge/grad_norm", grad_norm);
         obs::add("judge/examples", batch.len() as u64);
+        if !(loss.is_finite() && grad_norm.is_finite()) {
+            let snap = last_good.as_ref().expect("captured at loop entry");
+            retries += 1;
+            obs::incr("train/divergence_detected");
+            if retries > MAX_RETRIES {
+                return Err(TrainError::Diverged {
+                    phase: PHASE_JUDGE.into(),
+                    iteration: iter,
+                    retries: retries - 1,
+                });
+            }
+            rollback(store, &mut [&mut adam], rng, snap, retries);
+            losses.truncate(snap.trace_lens[0]);
+            iter = snap.iteration;
+            continue;
+        }
+        iter += 1;
     }
-    losses
+    save_checkpoint(cfg.judge_iters, store, &adam, rng, &losses)?;
+    Ok(losses)
 }
 
 /// The naive `Comp2Loc` judge (§5): run the POI classifier on both

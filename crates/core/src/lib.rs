@@ -39,8 +39,10 @@
 //! ```
 
 pub mod affinity;
+pub mod ckpt;
 pub mod clustering;
 pub mod config;
+pub mod error;
 pub mod fc;
 pub mod featurizer;
 pub mod fv;
@@ -48,5 +50,7 @@ pub mod judge;
 pub mod model;
 pub mod ssl;
 
+pub use ckpt::CheckpointConfig;
 pub use config::{ApproachSpec, ContentEncoder, HisRectConfig, HistoryEncoder, UnsupLoss};
+pub use error::{ModelError, TrainError};
 pub use model::HisRectModel;

@@ -2,11 +2,14 @@
 //! (Algorithm 1 or its ablations), judge training, and inference APIs.
 
 use crate::affinity::build_affinity;
+use crate::ckpt::CheckpointConfig;
 use crate::config::{ApproachSpec, HistoryEncoder, TrainMode};
+use crate::error::{ModelError, TrainError};
 use crate::featurizer::{Featurizer, ProfileInput};
 use crate::fv::{fv_feature, one_hot_feature};
-use crate::judge::{comp2loc, train_judge, FeaturePair, Judge};
-use crate::ssl::{train_featurizer_with_validation, SslNets, SslStats};
+use crate::judge::{comp2loc, try_train_judge, FeaturePair, Judge};
+use crate::ssl::{try_train_featurizer_with_validation, SslNets, SslStats};
+use faultsim::FaultKind;
 use nn::params::ParamSnapshot;
 use nn::{Adam, AdamConfig, ParamStore, Tape};
 use rand::rngs::StdRng;
@@ -65,6 +68,22 @@ pub struct HisRectModel {
 impl HisRectModel {
     /// Trains the full system for `spec` on the dataset's training split.
     pub fn train(dataset: &Dataset, spec: &ApproachSpec, seed: u64) -> Self {
+        Self::try_train(dataset, spec, seed, None).expect("training failed")
+    }
+
+    /// [`HisRectModel::train`] with fault tolerance: when `ckpt` is set,
+    /// each training phase writes periodic snapshots and (with
+    /// `ckpt.resume`) continues from its latest valid one. The pre-phase
+    /// pipeline (skip-gram, affinity, input precomputation) is
+    /// deterministic per seed, so re-running it on resume reproduces the
+    /// exact RNG stream up to the restore point — an interrupted + resumed
+    /// run is bit-identical to an uninterrupted one.
+    pub fn try_train(
+        dataset: &Dataset,
+        spec: &ApproachSpec,
+        seed: u64,
+        ckpt: Option<&CheckpointConfig>,
+    ) -> Result<Self, TrainError> {
         let cfg = &spec.config;
         let mut rng = StdRng::seed_from_u64(seed);
 
@@ -174,7 +193,7 @@ impl HisRectModel {
                 } else {
                     Vec::new()
                 };
-                model.ssl_stats = train_featurizer_with_validation(
+                model.ssl_stats = try_train_featurizer_with_validation(
                     &model.featurizer,
                     &model.nets,
                     &mut model.store,
@@ -185,11 +204,12 @@ impl HisRectModel {
                     cfg,
                     spec.mode == TrainMode::SemiSupervised,
                     &mut rng,
-                );
+                    ckpt,
+                )?;
                 drop(phase_span);
                 obs::logln(obs::Level::Info, "train: judge phase (E' + C)");
                 let _judge_span = obs::span("train/judge_phase");
-                model.train_judge_phase(dataset, &inputs, &mut rng);
+                model.train_judge_phase(dataset, &inputs, &mut rng, ckpt)?;
             }
             TrainMode::OnePhase => {
                 obs::logln(obs::Level::Info, "train: one-phase joint training");
@@ -197,7 +217,7 @@ impl HisRectModel {
                 model.train_one_phase(dataset, &inputs, &mut rng);
             }
         }
-        model
+        Ok(model)
     }
 
     /// Second phase: cache features with Θ_F frozen, then fit `E'` + `C`.
@@ -206,7 +226,8 @@ impl HisRectModel {
         dataset: &Dataset,
         inputs: &HashMap<ProfileIdx, ProfileInput>,
         rng: &mut StdRng,
-    ) {
+        ckpt: Option<&CheckpointConfig>,
+    ) -> Result<(), TrainError> {
         let mut pair_profiles: Vec<ProfileIdx> = dataset
             .train
             .pos_pairs
@@ -218,10 +239,15 @@ impl HisRectModel {
         pair_profiles.dedup();
         // Θ_F is frozen here, so the eval-mode chunks are independent and
         // fan out across workers; chunking (and thus every feature value)
-        // is identical to the serial order.
+        // is identical to the serial order. A worker panic (including the
+        // injected `worker-panic` fault) drains the pool and surfaces as a
+        // typed error instead of crossing the thread boundary.
         let this = &*self;
         let chunks: Vec<&[ProfileIdx]> = pair_profiles.chunks(64).collect();
-        let parts = parallel::parallel_map(&chunks, |chunk| {
+        let parts = parallel::try_parallel_map(&chunks, |chunk| {
+            if faultsim::fires(FaultKind::WorkerPanic) {
+                panic!("faultsim: injected worker panic");
+            }
             let owned: Vec<ProfileInput> = chunk
                 .iter()
                 .map(|idx| match inputs.get(idx) {
@@ -238,7 +264,7 @@ impl HisRectModel {
                 .enumerate()
                 .map(|(k, idx)| (*idx, feats.row(k).to_vec()))
                 .collect::<Vec<_>>()
-        });
+        })?;
         let mut cache: HashMap<ProfileIdx, Vec<f32>> = HashMap::new();
         for part in parts {
             cache.extend(part);
@@ -260,14 +286,16 @@ impl HisRectModel {
             .iter()
             .map(|p| mk(p, false))
             .collect();
-        self.judge_losses = train_judge(
+        self.judge_losses = try_train_judge(
             &self.judge,
             &mut self.store,
             &positives,
             &negatives,
             &self.spec.config,
             rng,
-        );
+            ckpt,
+        )?;
+        Ok(())
     }
 
     /// The One-phase alternative (§5): featurizer, `E'` and `C` trained
@@ -448,8 +476,40 @@ impl HisRectModel {
     /// Reconstructs a trained model from a snapshot. The network layers are
     /// re-allocated (shapes are fully determined by the spec and `n_pois`)
     /// and their values restored by parameter name.
+    ///
+    /// Panics on an inconsistent snapshot; use
+    /// [`HisRectModel::try_from_snapshot`] to get a typed error instead.
     pub fn from_snapshot(snap: ModelSnapshot) -> Self {
+        Self::try_from_snapshot(snap).expect("valid snapshot")
+    }
+
+    /// [`HisRectModel::from_snapshot`] with full validation: the config is
+    /// sanity-checked and the stored vocabulary, word-vector table and
+    /// every network tensor must agree with the dimensions the spec
+    /// declares (`word_dim`, `feat_dim`, `n_pois`, …) before anything is
+    /// restored.
+    pub fn try_from_snapshot(snap: ModelSnapshot) -> Result<Self, ModelError> {
         let cfg = &snap.spec.config;
+        cfg.validate().map_err(ModelError::SchemaMismatch)?;
+        if snap.n_pois == 0 {
+            return Err(ModelError::ShapeMismatch(
+                "snapshot declares an empty POI universe".into(),
+            ));
+        }
+        if snap.skipgram.vocab_size() != snap.vocab.len() {
+            return Err(ModelError::ShapeMismatch(format!(
+                "word-vector table has {} rows but the vocabulary has {} entries",
+                snap.skipgram.vocab_size(),
+                snap.vocab.len()
+            )));
+        }
+        if snap.skipgram.dim() != cfg.word_dim {
+            return Err(ModelError::ShapeMismatch(format!(
+                "word vectors are {}-dimensional but the spec declares word_dim = {}",
+                snap.skipgram.dim(),
+                cfg.word_dim
+            )));
+        }
         // Seed is irrelevant: every initialized value is overwritten below.
         let mut rng = StdRng::seed_from_u64(0);
         let mut store = ParamStore::new();
@@ -469,13 +529,16 @@ impl HisRectModel {
             &mut rng,
         );
         let judge = Judge::new(&mut store, cfg, featurizer.feat_dim(), &mut rng);
-        let restored = store.load_snapshot(&snap.params);
-        assert_eq!(
-            restored,
-            store.len(),
-            "snapshot does not cover every parameter"
-        );
-        Self {
+        let restored = store
+            .try_load_snapshot(&snap.params)
+            .map_err(ModelError::ShapeMismatch)?;
+        if restored != store.len() {
+            return Err(ModelError::ShapeMismatch(format!(
+                "snapshot covers {restored} of {} parameters (wrong n_pois or architecture?)",
+                store.len()
+            )));
+        }
+        Ok(Self {
             spec: snap.spec,
             n_pois: snap.n_pois,
             store,
@@ -487,7 +550,7 @@ impl HisRectModel {
             ssl_stats: SslStats::default(),
             judge_losses: Vec::new(),
             one_phase_losses: Vec::new(),
-        }
+        })
     }
 
     /// Writes the snapshot as JSON.
@@ -498,9 +561,32 @@ impl HisRectModel {
 
     /// Loads a model previously written by [`HisRectModel::save_json`].
     pub fn load_json(path: &std::path::Path) -> std::io::Result<Self> {
+        Self::try_load_json(path).map_err(|e| match e {
+            ModelError::Io(io) => io,
+            other => std::io::Error::other(other.to_string()),
+        })
+    }
+
+    /// [`HisRectModel::load_json`] with typed errors: unreadable files,
+    /// non-JSON bytes, de-schema'd JSON and shape mismatches are reported
+    /// as distinct [`ModelError`] variants.
+    pub fn try_load_json(path: &std::path::Path) -> Result<Self, ModelError> {
         let json = std::fs::read_to_string(path)?;
-        let snap: ModelSnapshot = serde_json::from_str(&json).map_err(std::io::Error::other)?;
-        Ok(Self::from_snapshot(snap))
+        let snap: ModelSnapshot = match serde_json::from_str(&json) {
+            Ok(snap) => snap,
+            Err(e) => {
+                // Distinguish "not JSON at all" from "JSON of the wrong
+                // shape": the latter still parses as a generic value.
+                return Err(
+                    if serde_json::from_str::<serde_json::Value>(&json).is_ok() {
+                        ModelError::SchemaMismatch(e.to_string())
+                    } else {
+                        ModelError::Parse(e.to_string())
+                    },
+                );
+            }
+        };
+        Self::try_from_snapshot(snap)
     }
 
     /// The trained vocabulary (for inspection / experiments).

@@ -6,13 +6,28 @@
 //! proportional to `|R_L| : |Γ_L ∪ Γ_U|` as in the listing.
 
 use crate::affinity::WeightedPair;
+use crate::ckpt::{self, BestState, CheckpointConfig, MemorySnapshot, TrainCheckpoint};
 use crate::config::{HisRectConfig, UnsupLoss};
+use crate::error::TrainError;
 use crate::featurizer::{Featurizer, ProfileInput};
+use faultsim::FaultKind;
 use nn::{Adam, AdamConfig, FeedForward, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::HashMap;
 use twitter_sim::ProfileIdx;
+
+/// Checkpoint-phase name of the featurizer stage.
+pub const PHASE_FEATURIZER: &str = "featurizer";
+
+/// Iterations between in-memory last-known-good snapshots (divergence
+/// rollback granularity). Always on: capturing reads no RNG and costs one
+/// parameter copy, so the default training path is numerically unchanged.
+pub(crate) const RECOVERY_EVERY: usize = 25;
+
+/// Rollback + learning-rate-backoff attempts before giving up on a
+/// divergence.
+pub(crate) const MAX_RETRIES: usize = 3;
 
 /// The two networks trained jointly with the featurizer: the POI classifier
 /// `P` and the SSL embedding `E`.
@@ -209,6 +224,32 @@ pub fn train_featurizer_with_validation(
     semi: bool,
     rng: &mut StdRng,
 ) -> SslStats {
+    try_train_featurizer_with_validation(
+        featurizer, nets, store, inputs, labeled, pairs, valid, cfg, semi, rng, None,
+    )
+    .expect("featurizer training failed")
+}
+
+/// [`train_featurizer_with_validation`] with fault tolerance: periodic
+/// checkpoints + resume when `ckpt` is set, and non-finite-loss recovery
+/// (rollback to the last in-memory snapshot with learning-rate backoff)
+/// always. With `ckpt = None` and no injected faults the iteration
+/// stream — every batch draw, every update — is bit-identical to the
+/// plain trainer.
+#[allow(clippy::too_many_arguments)]
+pub fn try_train_featurizer_with_validation(
+    featurizer: &Featurizer,
+    nets: &SslNets,
+    store: &mut ParamStore,
+    inputs: &HashMap<ProfileIdx, ProfileInput>,
+    labeled: &[(ProfileIdx, usize)],
+    pairs: &[WeightedPair],
+    valid: &[(ProfileIdx, usize)],
+    cfg: &HisRectConfig,
+    semi: bool,
+    rng: &mut StdRng,
+    ckpt: Option<&CheckpointConfig>,
+) -> Result<SslStats, TrainError> {
     assert!(!labeled.is_empty(), "need labeled profiles for L_poi");
     let adam_cfg = AdamConfig {
         lr: cfg.lr,
@@ -216,6 +257,8 @@ pub fn train_featurizer_with_validation(
     };
     let mut poi_ids = featurizer.param_ids();
     poi_ids.extend(nets.classifier.param_ids());
+    // Fault-injection probe: a parameter inside both optimizer groups.
+    let probe_id = poi_ids[0];
     let mut adam_poi = Adam::new(store, poi_ids, adam_cfg.clone());
     let mut unsup_ids = featurizer.param_ids();
     unsup_ids.extend(nets.embed.param_ids());
@@ -245,10 +288,106 @@ pub fn train_featurizer_with_validation(
     let monitor = cfg.early_stop && !valid.is_empty();
     let mut best: Option<(f32, usize, nn::params::ParamSnapshot)> = None;
 
-    let _span = obs::span("ssl/train_featurizer");
     let mut stats = SslStats::default();
-    for iter in 0..cfg.featurizer_iters {
-        if monitor && iter % cfg.eval_every.max(1) == 0 {
+    let mut start_iter = 0usize;
+    if let Some(c) = ckpt {
+        if c.resume {
+            if let Some((snap, path)) = ckpt::latest_valid(&c.dir, PHASE_FEATURIZER) {
+                ckpt::restore_training_state(
+                    store,
+                    &mut [&mut adam_poi, &mut adam_unsup],
+                    rng,
+                    &snap.params,
+                    &snap.adams,
+                    &snap.rng,
+                )
+                .map_err(TrainError::Checkpoint)?;
+                stats.poi_losses = snap.poi_losses;
+                stats.unsup_losses = snap.unsup_losses;
+                stats.valid_losses = snap.valid_losses;
+                stats.best_iteration = snap.best_iteration;
+                best = snap.best.map(|b| (b.loss, b.iteration, b.params));
+                start_iter = snap.iteration;
+                obs::logln(
+                    obs::Level::Info,
+                    &format!(
+                        "resumed featurizer phase at iteration {start_iter} from {}",
+                        path.display()
+                    ),
+                );
+                if start_iter >= cfg.featurizer_iters {
+                    // The phase-complete snapshot: nothing left to run (the
+                    // early-stop restore, if any, is already baked in).
+                    return Ok(stats);
+                }
+            }
+        }
+    }
+
+    let save_checkpoint = |iteration: usize,
+                           store: &ParamStore,
+                           adam_poi: &Adam,
+                           adam_unsup: &Adam,
+                           rng: &StdRng,
+                           stats: &SslStats,
+                           best: &Option<(f32, usize, nn::params::ParamSnapshot)>|
+     -> Result<(), TrainError> {
+        let Some(c) = ckpt else { return Ok(()) };
+        let snap = TrainCheckpoint {
+            phase: PHASE_FEATURIZER.into(),
+            iteration,
+            params: store.to_snapshot(),
+            adams: vec![adam_poi.state(), adam_unsup.state()],
+            rng: rng.state().to_vec(),
+            poi_losses: stats.poi_losses.clone(),
+            unsup_losses: stats.unsup_losses.clone(),
+            valid_losses: stats.valid_losses.clone(),
+            best_iteration: stats.best_iteration,
+            best: best.as_ref().map(|(loss, it, params)| BestState {
+                loss: *loss,
+                iteration: *it,
+                params: params.clone(),
+            }),
+        };
+        ckpt::save(&c.dir, &snap).map_err(|e| TrainError::Checkpoint(e.to_string()))?;
+        Ok(())
+    };
+
+    let _span = obs::span("ssl/train_featurizer");
+    let mut last_good: Option<MemorySnapshot> = None;
+    let mut retries = 0usize;
+    let mut iter = start_iter;
+    while iter < cfg.featurizer_iters {
+        if let Some(c) = ckpt {
+            if c.every > 0 && iter > start_iter && iter.is_multiple_of(c.every) {
+                save_checkpoint(iter, store, &adam_poi, &adam_unsup, rng, &stats, &best)?;
+            }
+        }
+        if faultsim::fires(FaultKind::Crash) {
+            return Err(TrainError::Interrupted {
+                phase: PHASE_FEATURIZER.into(),
+                iteration: iter,
+            });
+        }
+        if last_good
+            .as_ref()
+            .is_none_or(|s| iter >= s.iteration + RECOVERY_EVERY)
+        {
+            last_good = Some(MemorySnapshot {
+                iteration: iter,
+                params: store.to_snapshot(),
+                adams: vec![adam_poi.state(), adam_unsup.state()],
+                rng: rng.state(),
+                trace_lens: vec![
+                    stats.poi_losses.len(),
+                    stats.unsup_losses.len(),
+                    stats.valid_losses.len(),
+                ],
+            });
+            retries = 0;
+        }
+        let mut healthy = true;
+        if monitor && iter.is_multiple_of(cfg.eval_every.max(1)) {
             let loss = validation_loss(featurizer, nets, store, inputs, valid);
             obs::push("ssl/valid_loss", loss);
             stats.valid_losses.push((iter, loss));
@@ -268,11 +407,13 @@ pub fn train_featurizer_with_validation(
             let logits = nets.classifier.forward(&mut tape, store, feats);
             let loss = tape.softmax_cross_entropy(logits, &targets);
             let loss = tape.backward(loss, store);
+            inject_nan_grad(store, probe_id);
             obs::push("ssl/l_poi", loss);
             stats.poi_losses.push(loss);
             let grad_norm = adam_poi.step(store);
             obs::push("ssl/grad_norm_poi", grad_norm);
             obs::add("ssl/poi_examples", batch.len() as u64);
+            healthy &= loss.is_finite() && grad_norm.is_finite();
         }
         if let Some(s) = &sampler {
             if rng.gen::<f64>() < p_unsup {
@@ -293,6 +434,7 @@ pub fn train_featurizer_with_validation(
                 let grad_norm = adam_unsup.step(store);
                 obs::push("ssl/grad_norm_unsup", grad_norm);
                 obs::add("ssl/unsup_examples", batch.len() as u64);
+                healthy &= loss.is_finite() && grad_norm.is_finite();
             }
         }
         if obs::log_on(obs::Level::Trace) {
@@ -305,19 +447,93 @@ pub fn train_featurizer_with_validation(
                 ),
             );
         }
+        if !healthy {
+            let snap = last_good.as_ref().expect("captured at loop entry");
+            retries += 1;
+            obs::incr("train/divergence_detected");
+            if retries > MAX_RETRIES {
+                return Err(TrainError::Diverged {
+                    phase: PHASE_FEATURIZER.into(),
+                    iteration: iter,
+                    retries: retries - 1,
+                });
+            }
+            rollback(
+                store,
+                &mut [&mut adam_poi, &mut adam_unsup],
+                rng,
+                snap,
+                retries,
+            );
+            stats.poi_losses.truncate(snap.trace_lens[0]);
+            stats.unsup_losses.truncate(snap.trace_lens[1]);
+            stats.valid_losses.truncate(snap.trace_lens[2]);
+            iter = snap.iteration;
+            continue;
+        }
+        iter += 1;
     }
     if monitor {
         let final_loss = validation_loss(featurizer, nets, store, inputs, valid);
         obs::push("ssl/valid_loss", final_loss);
         stats.valid_losses.push((cfg.featurizer_iters, final_loss));
-        if let Some((best_loss, iter, snap)) = best {
+        if let Some((best_loss, iter, snap)) = best.take() {
             if best_loss < final_loss {
                 store.load_snapshot(&snap);
                 stats.best_iteration = Some(iter);
             }
         }
     }
-    stats
+    // Phase-complete snapshot: lets a later interrupt (e.g. mid-judge)
+    // resume without re-running this phase.
+    save_checkpoint(
+        cfg.featurizer_iters,
+        store,
+        &adam_poi,
+        &adam_unsup,
+        rng,
+        &stats,
+        &None,
+    )?;
+    Ok(stats)
+}
+
+/// The `nan-grad` fault hook: poisons one gradient slot of `id` — a
+/// parameter inside the running phase's optimizer group — after the
+/// backward pass, so the next optimizer step sees a non-finite gradient
+/// norm.
+pub(crate) fn inject_nan_grad(store: &mut ParamStore, id: nn::ParamId) {
+    if faultsim::fires(FaultKind::NanGrad) {
+        store.get_mut(id).grad.set(0, 0, f32::NAN);
+    }
+}
+
+/// Rolls training back to `snap` and backs the learning rates off by
+/// `0.5^retries` relative to the snapshot, so repeated rollbacks to the
+/// same snapshot keep shrinking the step. Surfaced in the
+/// `train/divergence_rollbacks` counter.
+pub(crate) fn rollback(
+    store: &mut ParamStore,
+    adams: &mut [&mut Adam],
+    rng: &mut StdRng,
+    snap: &MemorySnapshot,
+    retries: usize,
+) {
+    ckpt::restore_training_state(store, adams, rng, &snap.params, &snap.adams, &snap.rng)
+        .expect("in-memory snapshot matches the live model");
+    for adam in adams.iter_mut() {
+        for _ in 0..retries {
+            adam.scale_lr(0.5);
+        }
+    }
+    obs::incr("train/divergence_rollbacks");
+    obs::logln(
+        obs::Level::Info,
+        &format!(
+            "divergence: rolled back to iteration {} (retry {retries}, lr halved)",
+            snap.iteration
+        ),
+    );
 }
 
 /// Evaluation-mode POI cross-entropy over (at most 256 of) the validation

@@ -29,7 +29,7 @@ pub mod layers;
 pub mod params;
 pub mod tape;
 
-pub use adam::{Adam, AdamConfig};
+pub use adam::{Adam, AdamConfig, AdamState};
 pub use layers::{BiGru, BiLstm, Conv1d, FeedForward, Gru, Linear, Lstm};
 pub use params::{Param, ParamId, ParamStore};
 pub use tape::{Tape, Var};

@@ -140,20 +140,45 @@ impl ParamStore {
     ///
     /// Returns the number of parameters restored.
     pub fn load_snapshot(&mut self, snap: &ParamSnapshot) -> usize {
+        self.try_load_snapshot(snap).expect("valid snapshot")
+    }
+
+    /// [`ParamStore::load_snapshot`] that reports mismatches instead of
+    /// panicking, so corrupt or de-schema'd snapshot files surface as
+    /// typed errors. No parameter is modified unless every named match
+    /// validates.
+    pub fn try_load_snapshot(&mut self, snap: &ParamSnapshot) -> Result<usize, String> {
+        for p in &self.params {
+            if let Some(sm) = snap.params.get(&p.name) {
+                if (sm.rows, sm.cols) != p.value.shape() {
+                    return Err(format!(
+                        "snapshot shape mismatch for `{}`: stored {}x{}, model expects {}x{}",
+                        p.name,
+                        sm.rows,
+                        sm.cols,
+                        p.value.rows(),
+                        p.value.cols()
+                    ));
+                }
+                if sm.data.len() != sm.rows * sm.cols {
+                    return Err(format!(
+                        "snapshot for `{}` holds {} values for a {}x{} shape",
+                        p.name,
+                        sm.data.len(),
+                        sm.rows,
+                        sm.cols
+                    ));
+                }
+            }
+        }
         let mut n = 0;
         for p in &mut self.params {
             if let Some(sm) = snap.params.get(&p.name) {
-                assert_eq!(
-                    (sm.rows, sm.cols),
-                    p.value.shape(),
-                    "snapshot shape mismatch for {}",
-                    p.name
-                );
                 p.value = Matrix::from_vec(sm.rows, sm.cols, sm.data.clone());
                 n += 1;
             }
         }
-        n
+        Ok(n)
     }
 }
 
@@ -224,6 +249,25 @@ mod tests {
         let restored = store.load_snapshot(&snap);
         assert_eq!(restored, 1);
         assert_eq!(store.value(id).as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn try_load_snapshot_rejects_bad_shapes_without_mutation() {
+        let mut store = ParamStore::new();
+        let id = store.add("w", Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let mut snap = store.to_snapshot();
+        // Shape lies about the payload.
+        snap.params.get_mut("w").unwrap().rows = 3;
+        assert!(store.try_load_snapshot(&snap).is_err());
+        assert_eq!(
+            store.value(id).as_slice(),
+            &[1.0, 2.0, 3.0, 4.0],
+            "failed load must not mutate parameters"
+        );
+        // Payload length disagrees with the declared shape.
+        let mut snap = store.to_snapshot();
+        snap.params.get_mut("w").unwrap().data.pop();
+        assert!(store.try_load_snapshot(&snap).is_err());
     }
 
     #[test]

@@ -15,7 +15,38 @@
 //! configuration is exactly the serial code path.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A worker panic captured by one of the `try_*` helpers: the pool was
+/// drained cleanly (every sibling worker ran to completion or panicked
+/// and was joined) and the *first* panic payload, in worker order, is
+/// reported here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// The panic message (payload downcast to a string where possible).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Renders a `catch_unwind`/`join` payload as a message. Panics carry
+/// `&str` or `String` payloads in practice; anything else is opaque.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// 0 = not yet resolved; resolved lazily on first use.
 static THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -96,23 +127,66 @@ pub fn scope_partition_mut_with<T, F>(
     T: Send,
     F: Fn(Range<usize>, &mut [T]) + Sync,
 {
+    if let Err(p) = try_scope_partition_mut_with(threads, data, unit, n_units, f) {
+        panic!("{p}");
+    }
+}
+
+/// Panic-safe [`scope_partition_mut_with`]: a panicking worker no longer
+/// takes the whole scope down mid-flight — every sibling block still runs
+/// to completion, and the first panic (in block order) comes back as a
+/// [`WorkerPanic`]. On `Err` the panicking worker's block may be only
+/// partially written; the caller owns that data and decides whether to
+/// discard it.
+pub fn try_scope_partition_mut_with<T, F>(
+    threads: usize,
+    data: &mut [T],
+    unit: usize,
+    n_units: usize,
+    f: F,
+) -> Result<(), WorkerPanic>
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
     assert_eq!(data.len(), unit * n_units, "partition: slice/unit mismatch");
     let ranges = split_even(n_units, threads);
     if ranges.len() <= 1 {
         if n_units > 0 {
-            f(0..n_units, data);
+            return catch_unwind(AssertUnwindSafe(|| f(0..n_units, data))).map_err(|p| {
+                WorkerPanic {
+                    message: panic_message(&*p),
+                }
+            });
         }
-        return;
+        return Ok(());
     }
+    let mut first: Option<WorkerPanic> = None;
     std::thread::scope(|scope| {
         let mut rest = data;
+        let mut handles = Vec::with_capacity(ranges.len());
         for range in ranges {
             let (block, tail) = rest.split_at_mut((range.end - range.start) * unit);
             rest = tail;
             let f = &f;
-            scope.spawn(move || f(range, block));
+            handles.push(scope.spawn(move || {
+                catch_unwind(AssertUnwindSafe(|| f(range, block))).map_err(|p| WorkerPanic {
+                    message: panic_message(&*p),
+                })
+            }));
+        }
+        for handle in handles {
+            // The worker body is wrapped in catch_unwind, so join() itself
+            // cannot fail short of a panic *while* panicking.
+            if let Err(p) = handle.join().expect("worker unwound past catch_unwind") {
+                first.get_or_insert(p);
+            }
         }
     });
+    match first {
+        Some(p) => Err(p),
+        None => Ok(()),
+    }
 }
 
 /// Order-preserving parallel map over `0..n`.
@@ -130,28 +204,66 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    match try_parallel_map_range_with(threads, n, f) {
+        Ok(out) => out,
+        Err(p) => panic!("{p}"),
+    }
+}
+
+/// Panic-safe order-preserving parallel map over `0..n`.
+pub fn try_parallel_map_range<R, F>(n: usize, f: F) -> Result<Vec<R>, WorkerPanic>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    try_parallel_map_range_with(num_threads(), n, f)
+}
+
+/// Panic-safe [`parallel_map_range_with`]: if any worker panics, every
+/// other worker still finishes its chunk (the pool drains cleanly), and
+/// the first panic — in index order — is returned as a [`WorkerPanic`]
+/// instead of unwinding through the scope.
+pub fn try_parallel_map_range_with<R, F>(
+    threads: usize,
+    n: usize,
+    f: F,
+) -> Result<Vec<R>, WorkerPanic>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     let ranges = split_even(n, threads);
     if ranges.len() <= 1 {
-        return (0..n).map(f).collect();
+        return catch_unwind(AssertUnwindSafe(|| (0..n).map(&f).collect())).map_err(|p| {
+            WorkerPanic {
+                message: panic_message(&*p),
+            }
+        });
     }
-    let mut parts: Vec<Vec<R>> = Vec::new();
+    let mut parts: Vec<Result<Vec<R>, WorkerPanic>> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = ranges
             .into_iter()
             .map(|range| {
                 let f = &f;
-                scope.spawn(move || range.map(f).collect::<Vec<R>>())
+                scope.spawn(move || {
+                    catch_unwind(AssertUnwindSafe(|| range.map(f).collect::<Vec<R>>())).map_err(
+                        |p| WorkerPanic {
+                            message: panic_message(&*p),
+                        },
+                    )
+                })
             })
             .collect();
         for handle in handles {
-            parts.push(handle.join().expect("parallel worker panicked"));
+            parts.push(handle.join().expect("worker unwound past catch_unwind"));
         }
     });
     let mut out = Vec::with_capacity(n);
     for part in parts {
-        out.extend(part);
+        out.extend(part?);
     }
-    out
+    Ok(out)
 }
 
 /// Order-preserving parallel map over a slice.
@@ -162,6 +274,16 @@ where
     F: Fn(&T) -> R + Sync,
 {
     parallel_map_range(items.len(), |i| f(&items[i]))
+}
+
+/// Panic-safe order-preserving parallel map over a slice.
+pub fn try_parallel_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, WorkerPanic>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_parallel_map_range(items.len(), |i| f(&items[i]))
 }
 
 /// Runs two closures concurrently (`b` on a scoped thread, `a` on the
@@ -178,9 +300,14 @@ where
         return (a(), b());
     }
     std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
+        let hb = scope.spawn(move || catch_unwind(AssertUnwindSafe(b)));
         let ra = a();
-        (ra, hb.join().expect("parallel worker panicked"))
+        match hb.join().expect("worker unwound past catch_unwind") {
+            Ok(rb) => (ra, rb),
+            // `a` already finished on the calling thread, so the scope is
+            // drained; re-raise `b`'s panic with its original message.
+            Err(p) => panic!("{}", panic_message(&*p)),
+        }
     })
 }
 
@@ -255,6 +382,91 @@ mod tests {
         let (a, b) = join(|| 6 * 7, || "ok");
         assert_eq!(a, 42);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn try_map_surfaces_first_panic_after_draining() {
+        use std::sync::atomic::AtomicUsize;
+        // Workers 0..4 each own a 10-item chunk of 0..40; index 13 panics,
+        // aborting its own worker's remaining items, but every sibling
+        // worker's chunk still completes (the pool drains) and the panic
+        // message comes back verbatim.
+        let visited = AtomicUsize::new(0);
+        let err = try_parallel_map_range_with(4, 40, |i| {
+            if i == 13 {
+                panic!("injected worker panic at {i}");
+            }
+            visited.fetch_add(1, Ordering::Relaxed);
+            i
+        })
+        .unwrap_err();
+        assert_eq!(err.message, "injected worker panic at 13");
+        let visited = visited.load(Ordering::Relaxed);
+        assert!(
+            visited >= 30,
+            "sibling workers' chunks must still run; visited {visited}"
+        );
+    }
+
+    #[test]
+    fn try_map_inline_path_catches_too() {
+        let err = try_parallel_map_range_with(1, 5, |i| {
+            if i == 2 {
+                panic!("inline boom");
+            }
+            i
+        })
+        .unwrap_err();
+        assert_eq!(err.message, "inline boom");
+        let ok = try_parallel_map_range_with(1, 5, |i| i).unwrap();
+        assert_eq!(ok, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_map_reports_earliest_worker_in_index_order() {
+        let err = try_parallel_map_range_with(4, 40, |i| {
+            if i == 35 || i == 3 {
+                panic!("boom at {i}");
+            }
+            i
+        })
+        .unwrap_err();
+        assert_eq!(err.message, "boom at 3", "first panic in index order wins");
+    }
+
+    #[test]
+    fn try_partition_surfaces_panic_and_finishes_siblings() {
+        let unit = 2;
+        let n_units = 12;
+        let mut data = vec![0usize; unit * n_units];
+        let err = try_scope_partition_mut_with(3, &mut data, unit, n_units, |range, block| {
+            if range.contains(&5) {
+                panic!("partition boom");
+            }
+            for slot in block.iter_mut() {
+                *slot = 7;
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.message, "partition boom");
+        // Blocks not owned by the panicking worker were fully written.
+        let written = data.iter().filter(|&&v| v == 7).count();
+        assert_eq!(written, 2 * unit * n_units / 3);
+    }
+
+    #[test]
+    fn panicking_wrappers_repanic_with_message() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map_range_with(3, 9, |i| {
+                if i == 4 {
+                    panic!("wrapped boom");
+                }
+                i
+            })
+        })
+        .unwrap_err();
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("wrapped boom"), "got: {msg}");
     }
 
     #[test]

@@ -160,6 +160,12 @@ impl SkipGram {
         self.cfg.dim
     }
 
+    /// Number of word vectors (the vocabulary size the table was trained
+    /// over) — lets loaders validate a snapshot against its vocabulary.
+    pub fn vocab_size(&self) -> usize {
+        self.input.rows()
+    }
+
     /// The vector of word id `id` (a `1 x dim` row).
     pub fn vector(&self, id: usize) -> &[f32] {
         self.input.row(id)

@@ -9,8 +9,39 @@ use crate::builder::{CorpusBuilder, RawTweet};
 use crate::dataset::Dataset;
 use geo::{GeoPoint, Poi, Polygon};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::io;
 use std::path::Path;
+
+/// Why a corpus file could not be loaded or saved.
+#[derive(Debug)]
+pub enum CorpusError {
+    /// The file could not be read or written.
+    Io(io::Error),
+    /// The bytes are not valid JSON.
+    Parse(String),
+    /// The JSON parsed but violates the corpus schema (wrong shape, a POI
+    /// with fewer than three vertices, non-finite coordinates, …).
+    Schema(String),
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "corpus i/o error: {e}"),
+            Self::Parse(d) => write!(f, "corpus is not valid JSON: {d}"),
+            Self::Schema(d) => write!(f, "corpus schema violation: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+impl From<io::Error> for CorpusError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
 
 /// A POI as stored on disk: a name and its polygon vertex ring.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -125,15 +156,71 @@ impl CorpusFile {
     }
 
     /// Writes the corpus as JSON.
-    pub fn save(&self, path: &Path) -> io::Result<()> {
-        let json = serde_json::to_string(self).expect("serializable corpus");
-        std::fs::write(path, json)
+    pub fn save(&self, path: &Path) -> Result<(), CorpusError> {
+        let json = serde_json::to_string(self).map_err(|e| CorpusError::Parse(e.to_string()))?;
+        std::fs::write(path, json)?;
+        Ok(())
     }
 
-    /// Loads a corpus written by [`CorpusFile::save`].
-    pub fn load(path: &Path) -> io::Result<Self> {
+    /// Loads and validates a corpus written by [`CorpusFile::save`].
+    /// Unreadable files, non-JSON bytes, de-schema'd JSON and semantic
+    /// violations come back as distinct [`CorpusError`] variants.
+    pub fn load(path: &Path) -> Result<Self, CorpusError> {
         let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(io::Error::other)
+        let file: Self = match serde_json::from_str(&json) {
+            Ok(file) => file,
+            Err(e) => {
+                // "JSON of the wrong shape" still parses as a generic
+                // value; "not JSON at all" does not.
+                return Err(
+                    if serde_json::from_str::<serde_json::Value>(&json).is_ok() {
+                        CorpusError::Schema(e.to_string())
+                    } else {
+                        CorpusError::Parse(e.to_string())
+                    },
+                );
+            }
+        };
+        file.validate()?;
+        Ok(file)
+    }
+
+    /// Semantic schema checks beyond what deserialization enforces.
+    pub fn validate(&self) -> Result<(), CorpusError> {
+        if self.delta_t <= 0 {
+            return Err(CorpusError::Schema(format!(
+                "delta_t must be positive, got {}",
+                self.delta_t
+            )));
+        }
+        for (k, poi) in self.pois.iter().enumerate() {
+            if poi.vertices.len() < 3 {
+                return Err(CorpusError::Schema(format!(
+                    "poi {k} (`{}`) has {} vertices; a polygon needs at least 3",
+                    poi.name,
+                    poi.vertices.len()
+                )));
+            }
+            for &(lat, lon) in &poi.vertices {
+                if !(lat.is_finite() && lon.is_finite()) {
+                    return Err(CorpusError::Schema(format!(
+                        "poi {k} (`{}`) has a non-finite vertex ({lat}, {lon})",
+                        poi.name
+                    )));
+                }
+            }
+        }
+        for tl in &self.timelines {
+            for t in &tl.tweets {
+                if t.lat.is_some() != t.lon.is_some() {
+                    return Err(CorpusError::Schema(format!(
+                        "uid {}: tweet at ts {} has only one of lat/lon",
+                        tl.uid, t.ts
+                    )));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -160,6 +247,70 @@ mod tests {
             assert_eq!(a.pid, b.pid);
             assert_eq!(a.tokens, b.tokens, "tokenization must round-trip");
         }
+    }
+
+    #[test]
+    fn load_errors_are_typed() {
+        let dir = std::env::temp_dir().join("hisrect-corpus-err-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Missing file → Io.
+        let missing = dir.join("no-such-corpus.json");
+        assert!(matches!(
+            CorpusFile::load(&missing),
+            Err(CorpusError::Io(_))
+        ));
+
+        // Garbage bytes → Parse.
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, "{\"name\": truncated mid tok").unwrap();
+        assert!(matches!(
+            CorpusFile::load(&garbage),
+            Err(CorpusError::Parse(_))
+        ));
+
+        // Valid JSON of the wrong shape → Schema.
+        let wrong = dir.join("wrong-shape.json");
+        std::fs::write(&wrong, "{\"whatever\": [1, 2, 3]}").unwrap();
+        assert!(matches!(
+            CorpusFile::load(&wrong),
+            Err(CorpusError::Schema(_))
+        ));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_corpus_is_a_parse_error() {
+        let ds = generate(&SimConfig::tiny(15));
+        let file = CorpusFile::from_dataset(&ds);
+        let dir = std::env::temp_dir().join("hisrect-corpus-trunc-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.json");
+        file.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            CorpusFile::load(&path),
+            Err(CorpusError::Parse(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn semantic_violations_are_schema_errors() {
+        let ds = generate(&SimConfig::tiny(16));
+        let mut file = CorpusFile::from_dataset(&ds);
+        file.pois[0].vertices.truncate(2);
+        assert!(matches!(file.validate(), Err(CorpusError::Schema(_))));
+
+        let mut file = CorpusFile::from_dataset(&ds);
+        file.delta_t = 0;
+        assert!(matches!(file.validate(), Err(CorpusError::Schema(_))));
+
+        let mut file = CorpusFile::from_dataset(&ds);
+        file.pois[0].vertices[0].0 = f64::NAN;
+        assert!(matches!(file.validate(), Err(CorpusError::Schema(_))));
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub use builder::{CorpusBuilder, RawTweet};
 pub use config::SimConfig;
 pub use dataset::{Dataset, Split};
 pub use generate::generate;
-pub use io::CorpusFile;
+pub use io::{CorpusError, CorpusFile};
 pub use types::{Pair, Profile, ProfileIdx, Timeline, Tweet, Visit};
 pub use world::World;

@@ -1,0 +1,215 @@
+//! Chaos suite: every injected fault class must end in recovery or a
+//! typed error — never a panic escaping the training entry points.
+//!
+//! Faults are driven through the deterministic `faultsim` registry, which
+//! is process-global; every test serializes on [`LOCK`] and starts from a
+//! clean slate.
+
+use faultsim::FaultKind;
+use hisrect::ckpt::CheckpointConfig;
+use hisrect::config::ApproachSpec;
+use hisrect::error::TrainError;
+use hisrect::model::HisRectModel;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use twitter_sim::{generate, Dataset, SimConfig};
+
+static LOCK: Mutex<()> = Mutex::new(());
+static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tmp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hisrect-chaos-{}-{}",
+        std::process::id(),
+        DIR_ID.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fast_spec() -> ApproachSpec {
+    ApproachSpec::hisrect().with_config(|c| {
+        *c = hisrect::config::HisRectConfig {
+            featurizer_iters: 60,
+            judge_iters: 60,
+            ..hisrect::config::HisRectConfig::fast()
+        };
+    })
+}
+
+fn dataset() -> Dataset {
+    generate(&SimConfig::tiny(5))
+}
+
+fn fingerprint(model: &HisRectModel) -> String {
+    serde_json::to_string(&model.snapshot()).expect("serializable snapshot")
+}
+
+#[test]
+fn nan_grad_in_featurizer_recovers() {
+    let _g = lock();
+    faultsim::clear();
+    obs::set_enabled(true);
+    obs::reset();
+    let ds = dataset();
+    // The 10th nan-grad opportunity is featurizer iteration 9.
+    faultsim::arm(FaultKind::NanGrad, 10);
+    let model = HisRectModel::try_train(&ds, &fast_spec(), 5, None).expect("recovers");
+    faultsim::clear();
+    assert!(
+        obs::counter_value("train/divergence_detected") >= 1,
+        "the poisoned gradient must be detected"
+    );
+    assert!(
+        obs::counter_value("train/divergence_rollbacks") >= 1,
+        "recovery must roll back"
+    );
+    // The recovered model is finite and usable.
+    let pair = ds.test.pos_pairs[0];
+    let p = model.judge_pair(&ds, pair.i, pair.j);
+    assert!(p.is_finite() && (0.0..=1.0).contains(&p));
+    obs::set_enabled(false);
+}
+
+#[test]
+fn nan_grad_in_judge_recovers() {
+    let _g = lock();
+    faultsim::clear();
+    obs::set_enabled(true);
+    obs::reset();
+    let ds = dataset();
+    let spec = fast_spec();
+    // nan-grad opportunities: one per featurizer iteration (60), then one
+    // per judge iteration — the 70th lands at judge iteration 9.
+    faultsim::arm(FaultKind::NanGrad, spec.config.featurizer_iters as u64 + 10);
+    let model = HisRectModel::try_train(&ds, &spec, 5, None).expect("recovers");
+    faultsim::clear();
+    assert!(obs::counter_value("train/divergence_rollbacks") >= 1);
+    assert!(model.judge_losses.iter().all(|l| l.is_finite()));
+    obs::set_enabled(false);
+}
+
+#[test]
+fn worker_panic_surfaces_as_typed_error() {
+    let _g = lock();
+    faultsim::clear();
+    let ds = dataset();
+    faultsim::arm(FaultKind::WorkerPanic, 1);
+    let err = HisRectModel::try_train(&ds, &fast_spec(), 5, None)
+        .err()
+        .expect("worker panic must fail training");
+    faultsim::clear();
+    match err {
+        TrainError::WorkerPanic(msg) => {
+            assert!(msg.contains("injected worker panic"), "got: {msg}")
+        }
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+}
+
+#[test]
+fn persistent_divergence_is_a_typed_error() {
+    let _g = lock();
+    faultsim::clear();
+    let ds = dataset();
+    // A NaN learning rate poisons the parameters on the very first update,
+    // so every rollback + backoff retry diverges again.
+    let spec = fast_spec().with_config(|c| c.lr = f32::NAN);
+    let err = HisRectModel::try_train(&ds, &spec, 5, None)
+        .err()
+        .expect("unrecoverable divergence must fail training");
+    match err {
+        TrainError::Diverged { phase, retries, .. } => {
+            assert_eq!(phase, "featurizer");
+            assert!(retries >= 3, "retries = {retries}");
+        }
+        other => panic!("expected Diverged, got {other:?}"),
+    }
+}
+
+/// One corrupted-checkpoint scenario per writer-side fault class: the
+/// newest snapshot on disk is damaged in flight, so resume must detect it
+/// (checksum/format/parse) and fall back to the previous good snapshot —
+/// and still reproduce the uninterrupted run bit-for-bit.
+#[test]
+fn corrupted_checkpoints_fall_back_to_previous_good_snapshot() {
+    let _g = lock();
+    for fault in [
+        FaultKind::TornWrite,
+        FaultKind::BitFlip,
+        FaultKind::CorruptJson,
+    ] {
+        faultsim::clear();
+        obs::set_enabled(true);
+        obs::reset();
+        let ds = dataset();
+        let spec = fast_spec();
+        let clean = fingerprint(&HisRectModel::try_train(&ds, &spec, 5, None).unwrap());
+
+        let dir = tmp_dir();
+        let ckpt = CheckpointConfig {
+            dir: dir.clone(),
+            every: 10,
+            resume: false,
+        };
+        // Featurizer checkpoints land at iterations 10..50 (saves 1..=5)
+        // plus the phase-complete one (save 6). Corrupt save 5 (iteration
+        // 50) and crash right after it, so the rotation window holds one
+        // good (40) and one corrupt (50) snapshot.
+        faultsim::arm(fault, 5);
+        faultsim::arm(FaultKind::Crash, 52);
+        let err = HisRectModel::try_train(&ds, &spec, 5, Some(&ckpt)).err();
+        assert!(
+            matches!(err, Some(TrainError::Interrupted { .. })),
+            "{fault:?}: expected interrupt, got {err:?}"
+        );
+        faultsim::clear();
+
+        let resumed = HisRectModel::try_train(
+            &ds,
+            &spec,
+            5,
+            Some(&CheckpointConfig {
+                dir: dir.clone(),
+                every: 10,
+                resume: true,
+            }),
+        )
+        .expect("resume after corrupt checkpoint");
+        assert!(
+            obs::counter_value("ckpt/corrupt_skipped") >= 1,
+            "{fault:?}: the damaged snapshot must be skipped"
+        );
+        assert_eq!(
+            fingerprint(&resumed),
+            clean,
+            "{fault:?}: fallback resume must reproduce the clean run"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        obs::set_enabled(false);
+    }
+}
+
+#[test]
+fn crash_error_names_phase_and_iteration() {
+    let _g = lock();
+    faultsim::clear();
+    let ds = dataset();
+    faultsim::arm(FaultKind::Crash, 38);
+    let err = HisRectModel::try_train(&ds, &fast_spec(), 5, None)
+        .err()
+        .expect("crash fault must interrupt");
+    faultsim::clear();
+    match err {
+        TrainError::Interrupted { phase, iteration } => {
+            assert_eq!(phase, "featurizer");
+            assert_eq!(iteration, 37);
+        }
+        other => panic!("expected Interrupted, got {other:?}"),
+    }
+}
