@@ -1,0 +1,313 @@
+//! Closed-loop load generator for the online co-location server.
+//!
+//! Two targeting modes, both driven by environment variables like the
+//! other bench binaries:
+//!
+//! * `HISRECT_SERVE_ADDR=host:port` — drive an already-running server
+//!   (the CI serve gate starts one from the release binary).
+//! * `HISRECT_CORPUS=... HISRECT_MODEL=...` — spawn the server
+//!   in-process on an ephemeral port and drive that.
+//!
+//! Tunables: `HISRECT_LOADGEN_CLIENTS` (default 8 closed-loop clients),
+//! `HISRECT_LOADGEN_REQUESTS` (default 50 per client),
+//! `HISRECT_LOADGEN_POOL` (default 12 profiles in the pair pool) and
+//! `HISRECT_SEED` (corpus assembly seed, default 7 to match the CLI).
+//! `HISRECT_METRICS=1` additionally saves an obs snapshot next to the
+//! report.
+//!
+//! The run exits non-zero when the burst observed any 5xx, zero feature
+//! cache hits, a mean micro-batch size of at most one at concurrency of
+//! eight or more, or any handler/batcher panic — the serve-gate
+//! acceptance criteria.
+
+use bench::report::Report;
+use serde::Serialize;
+use serve::{HttpClient, ModelRegistry, ServeConfig, ServerHandle};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+use twitter_sim::io::CorpusFile;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// SplitMix64 — deterministic per-client pair selection.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// q-th percentile of an ascending-sorted latency list (nearest rank).
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Serving counters the gate checks, from either the in-process handle
+/// or a scraped `/metrics` snapshot.
+struct GateCounters {
+    cache_hits: u64,
+    batches: u64,
+    batched_requests: u64,
+    panics: u64,
+}
+
+impl GateCounters {
+    fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+fn scrape_counters(addr: SocketAddr) -> Result<GateCounters, String> {
+    let mut client = HttpClient::new(addr);
+    let resp = client
+        .get("/metrics")
+        .map_err(|e| format!("/metrics: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("/metrics returned {}", resp.status));
+    }
+    let snapshot: serde::Value =
+        serde_json::from_str(&resp.body).map_err(|e| format!("/metrics body: {e}"))?;
+    let counter = |name: &str| -> u64 {
+        snapshot
+            .get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    Ok(GateCounters {
+        cache_hits: counter("serve/cache_hit"),
+        batches: counter("serve/batches"),
+        batched_requests: counter("serve/batched_requests"),
+        panics: counter("serve/handler_panic") + counter("serve/batch_panic"),
+    })
+}
+
+/// Number of profiles the server judges over, from `/healthz`.
+fn probe_profiles(addr: SocketAddr) -> Result<usize, String> {
+    let mut client = HttpClient::new(addr);
+    let resp = client
+        .get("/healthz")
+        .map_err(|e| format!("/healthz: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("/healthz returned {}", resp.status));
+    }
+    let body: serde::Value =
+        serde_json::from_str(&resp.body).map_err(|e| format!("/healthz body: {e}"))?;
+    body.get("profiles")
+        .and_then(|v| v.as_u64())
+        .map(|n| n as usize)
+        .ok_or_else(|| "healthz body lacks `profiles`".to_string())
+}
+
+fn spawn_in_process() -> Result<ServerHandle, String> {
+    let corpus = std::env::var("HISRECT_CORPUS").map_err(|_| {
+        "set HISRECT_SERVE_ADDR to target a running server, or \
+         HISRECT_CORPUS and HISRECT_MODEL to spawn one in-process"
+            .to_string()
+    })?;
+    let model =
+        std::env::var("HISRECT_MODEL").map_err(|_| "HISRECT_MODEL is not set".to_string())?;
+    let seed = env_usize("HISRECT_SEED", 7) as u64;
+    let ds = CorpusFile::load(Path::new(&corpus))
+        .map_err(|e| format!("{corpus}: {e}"))?
+        .to_dataset(seed);
+    let registry = ModelRegistry::load(Path::new(&model), Arc::new(ds))
+        .map_err(|e| format!("{model}: {e}"))?;
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    };
+    serve::serve(config, registry).map_err(|e| format!("serve: {e}"))
+}
+
+#[derive(Serialize)]
+struct LoadgenRow {
+    clients: usize,
+    requests: usize,
+    wall_s: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    status_2xx: u64,
+    status_4xx: u64,
+    status_5xx: u64,
+    cache_hits: u64,
+    mean_batch_size: f64,
+    panics: u64,
+}
+
+fn run() -> Result<LoadgenRow, String> {
+    let clients = env_usize("HISRECT_LOADGEN_CLIENTS", 8);
+    let per_client = env_usize("HISRECT_LOADGEN_REQUESTS", 50);
+
+    // In-process handle doubles as the shutdown guard; external mode has
+    // no handle and scrapes /metrics instead.
+    let handle = match std::env::var("HISRECT_SERVE_ADDR") {
+        Ok(_) => None,
+        Err(_) => Some(spawn_in_process()?),
+    };
+    let addr: SocketAddr = match (&handle, std::env::var("HISRECT_SERVE_ADDR")) {
+        (Some(h), _) => h.addr(),
+        (None, Ok(spec)) => spec.parse().map_err(|e| format!("{spec}: {e}"))?,
+        (None, Err(_)) => unreachable!("spawn_in_process errors before this"),
+    };
+
+    let profiles = probe_profiles(addr)?;
+    if profiles < 2 {
+        return Err(format!(
+            "server judges over {profiles} profile(s); need >= 2"
+        ));
+    }
+    let pool = env_usize("HISRECT_LOADGEN_POOL", 12).clamp(2, profiles);
+
+    let start = Instant::now();
+    let mut threads = Vec::new();
+    for client_id in 0..clients {
+        threads.push(std::thread::spawn(move || -> Vec<(u16, f64)> {
+            let mut rng = Lcg(0x10ad_6e2c ^ (client_id as u64) << 32);
+            let mut http = HttpClient::new(addr);
+            let mut out = Vec::with_capacity(per_client);
+            for _ in 0..per_client {
+                let i = rng.next() as usize % pool;
+                let mut j = rng.next() as usize % pool;
+                if j == i {
+                    j = (j + 1) % pool;
+                }
+                let body = format!("{{\"i\":{i},\"j\":{j}}}");
+                let t0 = Instant::now();
+                match http.post("/judge", &body) {
+                    Ok(resp) => out.push((resp.status, t0.elapsed().as_secs_f64() * 1e3)),
+                    // Transport errors count as server failures.
+                    Err(_) => out.push((599, t0.elapsed().as_secs_f64() * 1e3)),
+                }
+            }
+            out
+        }));
+    }
+    let mut samples: Vec<(u16, f64)> = Vec::new();
+    for t in threads {
+        samples.extend(t.join().expect("client thread panicked"));
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let counters = match &handle {
+        Some(h) => {
+            let (hits, _misses) = h.cache_stats();
+            let (batches, jobs) = h.batch_stats();
+            GateCounters {
+                cache_hits: hits,
+                batches,
+                batched_requests: jobs,
+                panics: scrape_counters(addr)?.panics,
+            }
+        }
+        None => scrape_counters(addr)?,
+    };
+    if let Some(h) = handle {
+        h.shutdown();
+    }
+
+    let mut latencies: Vec<f64> = samples.iter().map(|&(_, ms)| ms).collect();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let count_class = |lo: u16, hi: u16| -> u64 {
+        samples.iter().filter(|&&(s, _)| s >= lo && s <= hi).count() as u64
+    };
+    Ok(LoadgenRow {
+        clients,
+        requests: samples.len(),
+        wall_s,
+        throughput_rps: samples.len() as f64 / wall_s.max(1e-9),
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+        status_2xx: count_class(200, 299),
+        status_4xx: count_class(400, 499),
+        status_5xx: count_class(500, 599),
+        cache_hits: counters.cache_hits,
+        mean_batch_size: counters.mean_batch_size(),
+        panics: counters.panics,
+    })
+}
+
+fn main() -> ExitCode {
+    let mut report = Report::new("loadgen");
+    let row = match run() {
+        Ok(row) => row,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    report.table(
+        &[
+            "clients", "requests", "rps", "p50ms", "p95ms", "p99ms", "2xx", "4xx", "5xx", "hits",
+            "batch", "panics",
+        ],
+        &[vec![
+            row.clients.to_string(),
+            row.requests.to_string(),
+            format!("{:.1}", row.throughput_rps),
+            format!("{:.2}", row.p50_ms),
+            format!("{:.2}", row.p95_ms),
+            format!("{:.2}", row.p99_ms),
+            row.status_2xx.to_string(),
+            row.status_4xx.to_string(),
+            row.status_5xx.to_string(),
+            row.cache_hits.to_string(),
+            format!("{:.2}", row.mean_batch_size),
+            row.panics.to_string(),
+        ]],
+    );
+    report.save(&row);
+
+    // Serve-gate acceptance criteria: a burst must finish without server
+    // errors or panics, hit the feature cache, and actually coalesce
+    // requests when concurrency allows batching.
+    let mut failures = Vec::new();
+    if row.status_5xx > 0 {
+        failures.push(format!("{} responses were 5xx", row.status_5xx));
+    }
+    if row.panics > 0 {
+        failures.push(format!("{} handler/batcher panics", row.panics));
+    }
+    if row.cache_hits == 0 {
+        failures.push("feature cache was never hit".to_string());
+    }
+    if row.clients >= 8 && row.mean_batch_size <= 1.0 {
+        failures.push(format!(
+            "mean batch size {:.2} at concurrency {} (expected > 1)",
+            row.mean_batch_size, row.clients
+        ));
+    }
+    if failures.is_empty() {
+        println!("loadgen gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("loadgen gate: FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -4,8 +4,9 @@ use baselines::{naive_judge, ranked_pois, NGramGauss, NGramGaussConfig, TgTiC, T
 use eval::{averaged_metrics, BinaryMetrics};
 use hisrect::config::ApproachSpec;
 use hisrect::model::{Ablation, HisRectModel};
+use hisrect::JudgeService;
 use std::collections::HashMap;
-use twitter_sim::{Dataset, Pair, ProfileIdx};
+use twitter_sim::{Dataset, Pair, Profile, ProfileIdx};
 
 /// One of the eleven Table-3 co-location approaches.
 // A dozen instances exist per experiment run; the size skew from the
@@ -47,7 +48,10 @@ impl Approach {
 }
 
 enum Inner {
-    Learned(Box<HisRectModel>),
+    // The learned approaches judge through the same `JudgeService` the
+    // CLI `judge` command and the HTTP server use — one code path from
+    // features to verdict everywhere.
+    Learned(Box<JudgeService>),
     Comp2Loc(Box<HisRectModel>),
     TgTiC(TgTiC),
     NGramGauss(NGramGauss),
@@ -65,9 +69,10 @@ impl TrainedApproach {
     pub fn train(dataset: &Dataset, approach: &Approach, seed: u64) -> Self {
         let name = approach.name();
         let inner = match approach {
-            Approach::Learned(spec) => {
-                Inner::Learned(Box::new(HisRectModel::train(dataset, spec, seed)))
-            }
+            Approach::Learned(spec) => Inner::Learned(Box::new(JudgeService::new(
+                HisRectModel::train(dataset, spec, seed),
+                dataset.world.pois.clone(),
+            ))),
             Approach::Comp2Loc => Inner::Comp2Loc(Box::new(HisRectModel::train(
                 dataset,
                 &ApproachSpec::hisrect(),
@@ -84,7 +89,8 @@ impl TrainedApproach {
     /// The underlying learned model, when there is one.
     pub fn model(&self) -> Option<&HisRectModel> {
         match &self.inner {
-            Inner::Learned(m) | Inner::Comp2Loc(m) => Some(m),
+            Inner::Learned(service) => Some(service.model()),
+            Inner::Comp2Loc(m) => Some(m),
             _ => None,
         }
     }
@@ -119,11 +125,18 @@ impl TrainedApproach {
         ablation: Ablation,
     ) -> JudgeContext<'_> {
         match &self.inner {
-            Inner::Learned(model) => JudgeContext {
-                approach: self,
-                features: model.featurize_many(dataset, idxs, ablation),
-                poi_scores: HashMap::new(),
-            },
+            Inner::Learned(service) => {
+                let profiles: Vec<&Profile> = idxs.iter().map(|&i| dataset.profile(i)).collect();
+                JudgeContext {
+                    approach: self,
+                    features: idxs
+                        .iter()
+                        .copied()
+                        .zip(service.features_many(&profiles, ablation))
+                        .collect(),
+                    poi_scores: HashMap::new(),
+                }
+            }
             Inner::Comp2Loc(model) => {
                 let features = model.featurize_many(dataset, idxs, ablation);
                 let poi_scores = features
@@ -170,10 +183,10 @@ impl JudgeContext<'_> {
     /// Continuous co-location score for a pair (learned approaches only).
     pub fn score(&self, pair: &Pair) -> Option<f64> {
         match &self.approach.inner {
-            Inner::Learned(model) => {
+            Inner::Learned(service) => {
                 let fi = &self.features[&pair.i];
                 let fj = &self.features[&pair.j];
-                Some(model.judge_features(fi, fj) as f64)
+                Some(service.judge_features(fi, fj) as f64)
             }
             _ => None,
         }
@@ -192,15 +205,20 @@ impl JudgeContext<'_> {
     /// POI candidate ranking for a profile (Fig. 4). Uses the classifier
     /// for learned approaches and the score vector for naive ones.
     pub fn poi_ranking(&self, dataset: &Dataset, idx: ProfileIdx) -> Vec<u32> {
-        match &self.approach.inner {
-            Inner::Learned(model) | Inner::Comp2Loc(model) => {
+        let model = match &self.approach.inner {
+            Inner::Learned(service) => Some(service.model()),
+            Inner::Comp2Loc(model) => Some(&**model),
+            _ => None,
+        };
+        match model {
+            Some(model) => {
                 let probs = match self.features.get(&idx) {
                     Some(f) => model.poi_probs_from_feature(f),
                     None => model.poi_probs(dataset, idx),
                 };
                 ranked_pois(&probs.iter().map(|&p| p as f64).collect::<Vec<_>>())
             }
-            _ => ranked_pois(&self.poi_scores[&idx]),
+            None => ranked_pois(&self.poi_scores[&idx]),
         }
     }
 

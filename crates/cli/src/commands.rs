@@ -7,10 +7,14 @@ use hisrect::ckpt::CheckpointConfig;
 use hisrect::clustering::{cluster_by_threshold, partition_pattern};
 use hisrect::config::ApproachSpec;
 use hisrect::model::{Ablation, HisRectModel};
+use hisrect::{JudgeService, Judgement};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 use tensor::Matrix;
 use twitter_sim::io::CorpusFile;
-use twitter_sim::{generate, Dataset, ProfileIdx, SimConfig};
+use twitter_sim::{generate, Dataset, Profile, ProfileIdx, SimConfig};
 
 fn load_dataset(flags: &Flags) -> Result<Dataset, String> {
     let path = flags.require("corpus")?;
@@ -132,10 +136,47 @@ pub fn train(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// `hisrect judge` — §6.1.1 co-location metrics on the test split.
+/// Parses `--pair I,J` into profile indices, bounds-checked.
+fn parse_pair(spec: &str, ds: &Dataset) -> Result<(ProfileIdx, ProfileIdx), String> {
+    let (i, j) = spec
+        .split_once(',')
+        .ok_or_else(|| format!("--pair expects `I,J`, got `{spec}`"))?;
+    let parse = |s: &str| -> Result<ProfileIdx, String> {
+        let idx: ProfileIdx = s
+            .trim()
+            .parse()
+            .map_err(|_| format!("--pair: bad profile index `{s}`"))?;
+        if idx >= ds.profiles.len() {
+            return Err(format!(
+                "--pair: profile index {idx} out of range (corpus has {} profiles)",
+                ds.profiles.len()
+            ));
+        }
+        Ok(idx)
+    };
+    Ok((parse(i)?, parse(j)?))
+}
+
+/// `hisrect judge` — §6.1.1 co-location metrics on the test split, or a
+/// single pair's verdict as canonical JSON with `--pair I,J`.
 pub fn judge(flags: &Flags) -> Result<(), String> {
     let ds = load_dataset(flags)?;
     let model = load_model(flags)?;
+    let service = JudgeService::new(model, ds.world.pois.clone());
+
+    // Single-pair mode: print exactly the JSON the serving layer answers
+    // for this pair, so `judge --pair` and `POST /judge` are comparable
+    // byte-for-byte.
+    if let Some(spec) = flags.get("pair") {
+        let (i, j) = parse_pair(spec, &ds)?;
+        let fa = service.features_for(ds.profile(i));
+        let fb = service.features_for(ds.profile(j));
+        let p = service.judge_features(&fa, &fb);
+        let verdict = Judgement::from_probability(i, j, p);
+        println!("{}", serde_json::to_string(&verdict).expect("serializable"));
+        return Ok(());
+    }
+
     let mut idxs: Vec<ProfileIdx> = ds
         .test
         .pos_pairs
@@ -145,9 +186,14 @@ pub fn judge(flags: &Flags) -> Result<(), String> {
         .collect();
     idxs.sort_unstable();
     idxs.dedup();
-    let feats = model.featurize_many(&ds, &idxs, Ablation::default());
+    let profiles: Vec<&Profile> = idxs.iter().map(|&i| ds.profile(i)).collect();
+    let feats: HashMap<ProfileIdx, Vec<f32>> = idxs
+        .iter()
+        .copied()
+        .zip(service.features_many(&profiles, Ablation::default()))
+        .collect();
     let m = averaged_metrics(&ds.test.pos_pairs, &ds.test.neg_pairs, 10, |p| {
-        model.judge_features(&feats[&p.i], &feats[&p.j]) > 0.5
+        service.judge_features(&feats[&p.i], &feats[&p.j]) > 0.5
     });
     println!(
         "test pairs: {} positive, {} negative (10-fold negative protocol)",
@@ -246,5 +292,31 @@ pub fn cluster(flags: &Flags) -> Result<(), String> {
         );
     }
     println!("pattern: {:?}", partition_pattern(&labels));
+    Ok(())
+}
+
+/// `hisrect serve` — run the online co-location inference server.
+pub fn serve_cmd(flags: &Flags) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let model_path = flags.require("model")?;
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let config = serve::ServeConfig {
+        addr: addr.clone(),
+        workers: flags.parse_or("workers", 4usize)?,
+        cache_capacity: flags.parse_or("cache-capacity", 4096usize)?,
+        batch_size: flags.parse_or("batch-size", 16usize)?,
+        batch_deadline: Duration::from_millis(flags.parse_or("batch-deadline-ms", 2u64)?),
+        queue_depth: flags.parse_or("queue-depth", 128usize)?,
+        limits: serve::http::Limits::default(),
+    };
+    let registry = serve::ModelRegistry::load(Path::new(model_path), Arc::new(ds))
+        .map_err(|e| format!("{model_path}: {e}"))?;
+    let handle = serve::serve(config, registry).map_err(|e| format!("{addr}: {e}"))?;
+    // Announce the resolved address (port 0 picks one) and flush: test
+    // harnesses and scripts read this line through a pipe.
+    println!("listening on http://{}", handle.addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    handle.wait();
     Ok(())
 }

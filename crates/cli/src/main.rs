@@ -7,6 +7,7 @@
 //! hisrect judge    --corpus corpus.json --model model.json
 //! hisrect infer    --corpus corpus.json --model model.json --top-k 5
 //! hisrect cluster  --corpus corpus.json --model model.json --group-size 5
+//! hisrect serve    --corpus corpus.json --model model.json --addr 127.0.0.1:7878
 //! ```
 //!
 //! Argument parsing is hand-rolled (`clap` is outside the dependency set);
@@ -28,9 +29,12 @@ COMMANDS:
     stats      Print Table-2-style corpus statistics  (--corpus FILE [--seed N])
     train      Train an approach on a corpus          (--corpus FILE --out FILE [--approach NAME] [--seed N] [--iters N] [--judge-iters N] [--early-stop true]
                                                        [--checkpoint-dir DIR] [--checkpoint-every N] [--resume true])
-    judge      Evaluate co-location on the test split (--corpus FILE --model FILE [--seed N])
+    judge      Evaluate co-location on the test split (--corpus FILE --model FILE [--seed N] [--pair I,J])
     infer      POI inference Acc@K on the test split  (--corpus FILE --model FILE [--top-k K] [--seed N])
     cluster    Cluster concurrent test profiles       (--corpus FILE --model FILE [--group-size N] [--seed N])
+    serve      Online co-location inference server    (--corpus FILE --model FILE [--addr HOST:PORT] [--workers N]
+                                                       [--cache-capacity N] [--batch-size N] [--batch-deadline-ms MS]
+                                                       [--queue-depth N])
     help       Show this message
 
 GLOBAL FLAGS:
@@ -112,6 +116,7 @@ fn main() -> ExitCode {
         "judge" => commands::judge(&flags),
         "infer" => commands::infer(&flags),
         "cluster" => commands::cluster(&flags),
+        "serve" => commands::serve_cmd(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

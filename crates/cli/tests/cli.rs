@@ -466,3 +466,174 @@ fn judge_with_missing_model_file_fails_cleanly() {
     assert!(stderr(&out).contains("nonexistent"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Satellite: `serve` error paths exit non-zero with a one-line
+/// diagnostic — missing model, garbled model, missing corpus.
+#[test]
+fn serve_with_missing_or_garbled_model_exits_cleanly() {
+    let dir = tmpdir("servebadmodel");
+    let corpus = dir.join("corpus.json");
+    let corpus_s = corpus.to_str().unwrap();
+    let out = run(&[
+        "simulate", "--preset", "tiny", "--seed", "1", "--out", corpus_s,
+    ]);
+    assert!(out.status.success());
+
+    // Missing model file.
+    let out = run(&[
+        "serve",
+        "--corpus",
+        corpus_s,
+        "--model",
+        "/nonexistent-model.json",
+        "--addr",
+        "127.0.0.1:0",
+    ]);
+    assert!(!out.status.success(), "missing model must exit non-zero");
+    let err = stderr(&out);
+    assert_eq!(
+        err.lines().count(),
+        1,
+        "diagnostic must be one line, got: {err}"
+    );
+    assert!(err.starts_with("error:"), "got: {err}");
+    assert!(err.contains("nonexistent-model"), "got: {err}");
+
+    // Garbled model file.
+    let model = dir.join("garbled-model.json");
+    std::fs::write(&model, "{\"config\": {\"word_dim\": 16}, \"params\": [").unwrap();
+    let out = run(&[
+        "serve",
+        "--corpus",
+        corpus_s,
+        "--model",
+        model.to_str().unwrap(),
+        "--addr",
+        "127.0.0.1:0",
+    ]);
+    assert!(!out.status.success(), "garbled model must exit non-zero");
+    let err = stderr(&out);
+    assert_eq!(err.lines().count(), 1, "got: {err}");
+    assert!(err.contains("not valid JSON"), "got: {err}");
+
+    // Missing corpus flag.
+    let out = run(&["serve", "--model", model.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--corpus"), "got: {}", stderr(&out));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Acceptance: a served `/judge` response is byte-identical to the
+/// offline `judge --pair` output for the same pair and model — with the
+/// feature cache cold (first query) and warm (repeat query).
+#[test]
+fn served_judgement_is_byte_identical_to_cli_judge_pair() {
+    use std::io::{BufRead, BufReader, Read as _, Write as _};
+
+    let dir = tmpdir("servee2e");
+    let corpus = dir.join("corpus.json");
+    let model = dir.join("model.json");
+    let corpus_s = corpus.to_str().unwrap();
+    let model_s = model.to_str().unwrap();
+
+    let out = run(&[
+        "simulate", "--preset", "tiny", "--seed", "11", "--out", corpus_s,
+    ]);
+    assert!(out.status.success(), "simulate: {}", stderr(&out));
+    let out = run(&[
+        "train",
+        "--corpus",
+        corpus_s,
+        "--out",
+        model_s,
+        "--seed",
+        "11",
+        "--iters",
+        "40",
+        "--judge-iters",
+        "40",
+    ]);
+    assert!(out.status.success(), "train: {}", stderr(&out));
+
+    // Offline references via the CLI's canonical single-pair output.
+    let pairs = [(0usize, 1usize), (2, 3)];
+    let mut offline = Vec::new();
+    for (i, j) in pairs {
+        let out = run(&[
+            "judge",
+            "--corpus",
+            corpus_s,
+            "--model",
+            model_s,
+            "--pair",
+            &format!("{i},{j}"),
+        ]);
+        assert!(out.status.success(), "judge --pair: {}", stderr(&out));
+        let line = stdout(&out).trim_end().to_string();
+        assert!(
+            line.starts_with('{') && line.contains("\"p_co\":"),
+            "{line}"
+        );
+        offline.push(line);
+    }
+
+    // Spawn the server on an ephemeral port and read the announced addr.
+    let mut child = bin()
+        .args([
+            "serve",
+            "--corpus",
+            corpus_s,
+            "--model",
+            model_s,
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut line = String::new();
+    BufReader::new(child.stdout.as_mut().expect("stdout piped"))
+        .read_line(&mut line)
+        .expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected announce line: {line}"))
+        .to_string();
+
+    let request = |i: usize, j: usize| -> String {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect to server");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let body = format!("{{\"i\":{i},\"j\":{j}}}");
+        let raw = format!(
+            "POST /judge HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        assert!(
+            response.starts_with("HTTP/1.1 200 OK\r\n"),
+            "bad response: {response}"
+        );
+        let (_, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a body");
+        body.to_string()
+    };
+
+    for (k, &(i, j)) in pairs.iter().enumerate() {
+        let cold = request(i, j);
+        assert_eq!(cold, offline[k], "cold-cache served bytes differ from CLI");
+        let warm = request(i, j);
+        assert_eq!(warm, offline[k], "warm-cache served bytes differ from CLI");
+    }
+
+    child.kill().ok();
+    child.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -48,9 +48,11 @@ pub mod featurizer;
 pub mod fv;
 pub mod judge;
 pub mod model;
+pub mod service;
 pub mod ssl;
 
 pub use ckpt::CheckpointConfig;
 pub use config::{ApproachSpec, ContentEncoder, HisRectConfig, HistoryEncoder, UnsupLoss};
 pub use error::{ModelError, TrainError};
 pub use model::HisRectModel;
+pub use service::{profile_fingerprint, JudgeService, Judgement};

@@ -368,8 +368,19 @@ impl HisRectModel {
         profile: &Profile,
         ablation: Ablation,
     ) -> ProfileInput {
+        self.profile_input(&dataset.world.pois, profile, ablation)
+    }
+
+    /// Per-profile input construction against an explicit POI universe —
+    /// the entry point serving layers use for profiles that are not part
+    /// of a [`Dataset`].
+    pub fn profile_input(
+        &self,
+        pois: &geo::PoiSet,
+        profile: &Profile,
+        ablation: Ablation,
+    ) -> ProfileInput {
         let cfg = &self.spec.config;
-        let pois = &dataset.world.pois;
         let fv = match self.spec.history {
             HistoryEncoder::None => Vec::new(),
             HistoryEncoder::Rect | HistoryEncoder::OneHot if ablation.drop_history => {
@@ -396,29 +407,43 @@ impl HisRectModel {
         idxs: &[ProfileIdx],
         ablation: Ablation,
     ) -> HashMap<ProfileIdx, Vec<f32>> {
+        let profiles: Vec<&Profile> = idxs.iter().map(|&i| dataset.profile(i)).collect();
+        let feats = self.features_profiles(&dataset.world.pois, &profiles, ablation);
+        idxs.iter().copied().zip(feats).collect()
+    }
+
+    /// Evaluation-mode HisRect features for explicit profiles against an
+    /// explicit POI universe, in input order. This is the one shared
+    /// featurization path under [`HisRectModel::featurize_many`], the CLI
+    /// `judge` command and the serving layer's cache fills.
+    pub fn features_profiles(
+        &self,
+        pois: &geo::PoiSet,
+        profiles: &[&Profile],
+        ablation: Ablation,
+    ) -> Vec<Vec<f32>> {
         let _span = obs::span("model/featurize_many");
         // Eval-mode featurization is pure per chunk, so chunks fan out
         // across workers; the fixed chunk width keeps every feature value
         // identical to the serial path.
-        let chunks: Vec<&[ProfileIdx]> = idxs.chunks(64).collect();
+        let chunks: Vec<&[&Profile]> = profiles.chunks(64).collect();
         let parts = parallel::parallel_map(&chunks, |chunk| {
             let owned: Vec<ProfileInput> = chunk
                 .iter()
-                .map(|&i| self.profile_input_for(dataset, dataset.profile(i), ablation))
+                .map(|p| self.profile_input(pois, p, ablation))
                 .collect();
             let refs: Vec<&ProfileInput> = owned.iter().collect();
             let feats = self.featurizer.features(&self.store, &refs);
-            chunk
-                .iter()
-                .enumerate()
-                .map(|(k, &i)| (i, feats.row(k).to_vec()))
+            (0..chunk.len())
+                .map(|k| feats.row(k).to_vec())
                 .collect::<Vec<_>>()
         });
-        let mut out = HashMap::with_capacity(idxs.len());
-        for part in parts {
-            out.extend(part);
-        }
-        out
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Eval-mode features for precomputed inputs (`B x feat_dim` rows).
+    pub fn featurize_inputs(&self, inputs: &[&ProfileInput]) -> Matrix {
+        self.featurizer.features(&self.store, inputs)
     }
 
     /// `F(r)` for a single profile.
@@ -440,6 +465,21 @@ impl HisRectModel {
     /// Co-location probability from cached features.
     pub fn judge_features(&self, fi: &[f32], fj: &[f32]) -> f32 {
         self.judge.predict(&self.store, fi, fj)
+    }
+
+    /// Co-location probabilities for many cached feature pairs in one
+    /// batched forward pass through `E'` and `C`. Each output row is
+    /// bit-identical to the corresponding single-pair
+    /// [`HisRectModel::judge_features`] call (per-row accumulation order
+    /// does not depend on the batch size).
+    pub fn judge_features_batch(&self, pairs: &[(&[f32], &[f32])]) -> Vec<f32> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let feat_dim = pairs[0].0.len();
+        let fi = Matrix::from_fn(pairs.len(), feat_dim, |r, c| pairs[r].0[c]);
+        let fj = Matrix::from_fn(pairs.len(), feat_dim, |r, c| pairs[r].1[c]);
+        self.judge.predict_batch(&self.store, &fi, &fj)
     }
 
     /// POI class probabilities from a cached feature.

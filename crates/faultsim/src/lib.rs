@@ -37,6 +37,17 @@ pub enum FaultKind {
     /// The training process "dies" (the trainer returns an interrupt
     /// error) — used by kill-and-resume tests without spawning processes.
     Crash,
+    /// Request path: the client stalls mid-request longer than the
+    /// server's read timeout (chaos clients consult this to misbehave).
+    SlowClient,
+    /// Request path: the client disconnects after sending only part of
+    /// the declared body.
+    MidBodyDisconnect,
+    /// Request path: the client declares a body larger than the server's
+    /// configured limit.
+    OversizedBody,
+    /// Request path: the request body is syntactically invalid JSON.
+    MalformedJson,
 }
 
 impl FaultKind {
@@ -49,6 +60,10 @@ impl FaultKind {
             FaultKind::NanGrad => "nan-grad",
             FaultKind::WorkerPanic => "worker-panic",
             FaultKind::Crash => "crash",
+            FaultKind::SlowClient => "slow-client",
+            FaultKind::MidBodyDisconnect => "disconnect",
+            FaultKind::OversizedBody => "oversize-body",
+            FaultKind::MalformedJson => "malformed-json",
         }
     }
 
@@ -60,17 +75,25 @@ impl FaultKind {
             "nan-grad" => FaultKind::NanGrad,
             "worker-panic" => FaultKind::WorkerPanic,
             "crash" => FaultKind::Crash,
+            "slow-client" => FaultKind::SlowClient,
+            "disconnect" => FaultKind::MidBodyDisconnect,
+            "oversize-body" => FaultKind::OversizedBody,
+            "malformed-json" => FaultKind::MalformedJson,
             _ => return None,
         })
     }
 
-    const ALL: [FaultKind; 6] = [
+    const ALL: [FaultKind; 10] = [
         FaultKind::TornWrite,
         FaultKind::BitFlip,
         FaultKind::CorruptJson,
         FaultKind::NanGrad,
         FaultKind::WorkerPanic,
         FaultKind::Crash,
+        FaultKind::SlowClient,
+        FaultKind::MidBodyDisconnect,
+        FaultKind::OversizedBody,
+        FaultKind::MalformedJson,
     ];
 }
 
@@ -268,6 +291,26 @@ mod tests {
         // A failed parse must not leave a partial plan armed.
         assert!(configure_str("nan-grad@5,bogus@1").is_err());
         assert!(!pending(FaultKind::NanGrad));
+        clear();
+    }
+
+    #[test]
+    fn request_path_kinds_parse_and_fire() {
+        let _g = lock();
+        clear();
+        configure_str("slow-client@2,disconnect,oversize-body@1,malformed-json@3").unwrap();
+        assert!(pending(FaultKind::SlowClient));
+        assert!(fires(FaultKind::MidBodyDisconnect));
+        assert!(fires(FaultKind::OversizedBody));
+        assert!(!fires(FaultKind::SlowClient));
+        assert!(fires(FaultKind::SlowClient));
+        assert!(!fires(FaultKind::MalformedJson));
+        assert!(!fires(FaultKind::MalformedJson));
+        assert!(fires(FaultKind::MalformedJson));
+        // Every kind's plan-string name round-trips through the parser.
+        for kind in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(kind.name()), Some(kind));
+        }
         clear();
     }
 

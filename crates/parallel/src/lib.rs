@@ -14,9 +14,12 @@
 //! calling thread whenever one worker would be used, so a 1-thread
 //! configuration is exactly the serial code path.
 
+use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// A worker panic captured by one of the `try_*` helpers: the pool was
 /// drained cleanly (every sibling worker ran to completion or panicked
@@ -311,6 +314,140 @@ where
     })
 }
 
+// ---------------------------------------------------------------------------
+// Bounded MPMC channel
+// ---------------------------------------------------------------------------
+
+/// Why a [`Channel::try_send`] did not enqueue, carrying the item back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity — the natural backpressure signal.
+    Full(T),
+    /// The channel was closed; no further item will ever be accepted.
+    Closed(T),
+}
+
+/// Outcome of a [`Channel::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeout<T> {
+    /// An item arrived within the deadline.
+    Item(T),
+    /// The deadline passed with the queue still empty.
+    TimedOut,
+    /// The channel is closed and drained; no item will ever arrive.
+    Closed,
+}
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue on `Mutex` + `Condvar`.
+///
+/// This is the long-lived counterpart to the scoped helpers above: worker
+/// pools that outlive a single call (the serving layer's connection
+/// dispatch and micro-batcher) block on [`Channel::recv`] while producers
+/// use [`Channel::try_send`] so a full queue surfaces as backpressure
+/// instead of unbounded buffering. Closing wakes every waiter; receivers
+/// drain the remaining items before observing the close.
+pub struct Channel<T> {
+    state: Mutex<ChannelState<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> Channel<T> {
+    /// A channel holding at most `capacity` queued items (min 1).
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(ChannelState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ChannelState<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues without blocking; a full or closed channel hands the item
+    /// back so the caller can shed load.
+    pub fn try_send(&self, item: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.lock();
+        if st.closed {
+            return Err(TrySendError::Closed(item));
+        }
+        if st.queue.len() >= self.capacity {
+            return Err(TrySendError::Full(item));
+        }
+        st.queue.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the channel is closed and
+    /// drained (`None`).
+    pub fn recv(&self) -> Option<T> {
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Like [`Channel::recv`] with a deadline.
+    pub fn recv_timeout(&self, timeout: Duration) -> RecvTimeout<T> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.lock();
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                return RecvTimeout::Item(item);
+            }
+            if st.closed {
+                return RecvTimeout::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return RecvTimeout::TimedOut;
+            }
+            let (guard, _) = self
+                .not_empty
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Closes the channel: senders start failing, receivers drain what is
+    /// left and then observe the close. Idempotent.
+    pub fn close(&self) {
+        let mut st = self.lock();
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,5 +612,73 @@ mod tests {
         scope_partition_mut(&mut empty, 4, 0, |_, _| panic!("no units"));
         let out: Vec<u8> = parallel_map_range(0, |_| 0u8);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn channel_is_fifo_and_bounds_enforced() {
+        let ch = Channel::bounded(2);
+        ch.try_send(1).unwrap();
+        ch.try_send(2).unwrap();
+        assert_eq!(ch.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(ch.len(), 2);
+        assert_eq!(ch.recv(), Some(1));
+        ch.try_send(3).unwrap();
+        assert_eq!(ch.recv(), Some(2));
+        assert_eq!(ch.recv(), Some(3));
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn closed_channel_drains_then_reports_close() {
+        let ch = Channel::bounded(4);
+        ch.try_send("a").unwrap();
+        ch.close();
+        assert_eq!(ch.try_send("b"), Err(TrySendError::Closed("b")));
+        assert_eq!(ch.recv(), Some("a"));
+        assert_eq!(ch.recv(), None);
+        assert_eq!(
+            ch.recv_timeout(Duration::from_millis(5)),
+            RecvTimeout::Closed
+        );
+    }
+
+    #[test]
+    fn recv_timeout_times_out_on_empty() {
+        let ch: Channel<u8> = Channel::bounded(1);
+        assert_eq!(
+            ch.recv_timeout(Duration::from_millis(5)),
+            RecvTimeout::TimedOut
+        );
+    }
+
+    #[test]
+    fn channel_moves_items_across_threads() {
+        let ch: Channel<usize> = Channel::bounded(8);
+        let total: usize = std::thread::scope(|scope| {
+            let consumer = scope.spawn(|| {
+                let mut sum = 0usize;
+                while let Some(v) = ch.recv() {
+                    sum += v;
+                }
+                sum
+            });
+            for i in 0..100 {
+                // Spin on backpressure; the consumer drains continuously.
+                let mut item = i;
+                loop {
+                    match ch.try_send(item) {
+                        Ok(()) => break,
+                        Err(TrySendError::Full(v)) => {
+                            item = v;
+                            std::thread::yield_now();
+                        }
+                        Err(TrySendError::Closed(_)) => unreachable!(),
+                    }
+                }
+            }
+            ch.close();
+            consumer.join().unwrap()
+        });
+        assert_eq!(total, (0..100).sum::<usize>());
     }
 }

@@ -1,0 +1,213 @@
+//! Request micro-batcher.
+//!
+//! Concurrent `/judge` requests are coalesced into one batched forward
+//! pass through the judge MLP: the batcher thread pulls the first queued
+//! job, then keeps collecting until the batch is full or the flush
+//! deadline passes. `tensor`'s blocked matmul accumulates each output row
+//! independently of the batch row count, so a batched row is bit-identical
+//! to the single-pair judgement — batching changes latency, never answers.
+//!
+//! The queue is bounded; a full queue surfaces as backpressure
+//! ([`SubmitError::Overloaded`] → 503 + `Retry-After`) instead of
+//! unbounded memory growth.
+
+use crate::registry::LoadedModel;
+use parallel::{Channel, RecvTimeout, TrySendError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Flush accounting, readable while the batcher runs.
+#[derive(Default)]
+pub struct BatchStats {
+    /// Batched forward passes flushed.
+    pub batches: AtomicU64,
+    /// Judge jobs across all flushed batches.
+    pub jobs: AtomicU64,
+}
+
+impl BatchStats {
+    /// Mean jobs per flushed batch so far (0.0 before the first flush).
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches = self.batches.load(Ordering::Relaxed);
+        if batches == 0 {
+            return 0.0;
+        }
+        self.jobs.load(Ordering::Relaxed) as f64 / batches as f64
+    }
+}
+
+/// One queued judgement: cached features for both profiles plus the
+/// snapshot to judge them with and the channel to answer on.
+pub struct JudgeJob {
+    /// Model snapshot this request resolved its features against.
+    pub model: Arc<LoadedModel>,
+    /// `F(ri)`.
+    pub fa: Arc<Vec<f32>>,
+    /// `F(rj)`.
+    pub fb: Arc<Vec<f32>>,
+    /// Where the probability (or a failure note) is delivered.
+    pub responder: SyncSender<Result<f32, String>>,
+}
+
+/// Why a job could not be enqueued.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// Queue full — the client should back off and retry.
+    Overloaded,
+    /// The batcher has shut down.
+    Closed,
+}
+
+/// The micro-batcher: a bounded queue plus one flusher thread.
+pub struct Batcher {
+    queue: Arc<Channel<JudgeJob>>,
+    stats: Arc<BatchStats>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Batcher {
+    /// Spawns the flusher. `batch_size` is the flush-on-size threshold,
+    /// `deadline` the flush-on-time threshold measured from the first job
+    /// of a batch, `queue_depth` the backpressure bound.
+    pub fn new(batch_size: usize, deadline: Duration, queue_depth: usize) -> Self {
+        let queue = Arc::new(Channel::bounded(queue_depth.max(1)));
+        let stats = Arc::new(BatchStats::default());
+        let batch_size = batch_size.max(1);
+        let worker_queue = Arc::clone(&queue);
+        let worker_stats = Arc::clone(&stats);
+        let thread = std::thread::Builder::new()
+            .name("hisrect-batcher".into())
+            .spawn(move || run(&worker_queue, &worker_stats, batch_size, deadline))
+            .expect("spawn batcher thread");
+        Self {
+            queue,
+            stats,
+            thread: Some(thread),
+        }
+    }
+
+    /// Flush accounting so far.
+    pub fn stats(&self) -> &BatchStats {
+        &self.stats
+    }
+
+    /// Enqueues a job without blocking.
+    pub fn submit(&self, job: JudgeJob) -> Result<(), SubmitError> {
+        match self.queue.try_send(job) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                obs::incr("serve/backpressure_503");
+                Err(SubmitError::Overloaded)
+            }
+            Err(TrySendError::Closed(_)) => Err(SubmitError::Closed),
+        }
+    }
+
+    /// Closes the queue and joins the flusher (drains queued jobs first).
+    pub fn shutdown(&mut self) {
+        self.queue.close();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn run(queue: &Channel<JudgeJob>, stats: &BatchStats, batch_size: usize, deadline: Duration) {
+    loop {
+        // Block for the batch's first job.
+        let Some(first) = queue.recv() else {
+            return; // closed and drained
+        };
+        let flush_at = Instant::now() + deadline;
+        let mut batch = vec![first];
+        let mut closed = false;
+        while batch.len() < batch_size {
+            let left = flush_at.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match queue.recv_timeout(left) {
+                RecvTimeout::Item(job) => batch.push(job),
+                RecvTimeout::TimedOut => break,
+                RecvTimeout::Closed => {
+                    closed = true;
+                    break;
+                }
+            }
+        }
+        flush(batch, stats);
+        if closed {
+            return;
+        }
+    }
+}
+
+/// Judges one collected batch. Jobs are grouped by model generation so a
+/// hot-reload mid-batch never mixes snapshots in one forward pass.
+fn flush(batch: Vec<JudgeJob>, stats: &BatchStats) {
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    stats.jobs.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    obs::incr("serve/batches");
+    obs::add("serve/batched_requests", batch.len() as u64);
+    obs::observe("serve/batch_size", batch.len() as f64);
+
+    let mut groups: Vec<(u64, Vec<JudgeJob>)> = Vec::new();
+    for job in batch {
+        let generation = job.model.generation;
+        match groups.iter_mut().find(|(g, _)| *g == generation) {
+            Some((_, jobs)) => jobs.push(job),
+            None => groups.push((generation, vec![job])),
+        }
+    }
+
+    for (_, jobs) in groups {
+        let service = &jobs[0].model.service;
+        let pairs: Vec<(&[f32], &[f32])> = jobs
+            .iter()
+            .map(|j| (j.fa.as_slice(), j.fb.as_slice()))
+            .collect();
+        let result = catch_unwind(AssertUnwindSafe(|| service.judge_features_batch(&pairs)));
+        match result {
+            Ok(probs) => {
+                for (job, p) in jobs.iter().zip(probs) {
+                    let _ = job.responder.send(Ok(p));
+                }
+            }
+            Err(_) => {
+                obs::incr("serve/batch_panic");
+                for job in &jobs {
+                    let _ = job.responder.send(Err("judge batch panicked".to_string()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Batcher plumbing without a real model is exercised indirectly via
+    // the server integration tests; here we only check the backpressure
+    // contract, which needs no model at all.
+    #[test]
+    fn full_queue_reports_overloaded() {
+        // A batcher whose flusher is effectively stalled: batch_size 1
+        // with a huge queue keeps draining, so instead test the raw
+        // channel bound the submit path relies on.
+        let q: Channel<u32> = Channel::bounded(2);
+        q.try_send(1).unwrap();
+        q.try_send(2).unwrap();
+        assert!(matches!(q.try_send(3), Err(TrySendError::Full(3))));
+    }
+}

@@ -1,0 +1,292 @@
+//! Sharded LRU cache of per-profile HisRect features `F(r)`.
+//!
+//! `Fv`/`Fc` features are a pure function of (model, profile), so repeated
+//! judgements touching the same user skip the expensive featurizer forward
+//! pass. Keys carry the model generation, which makes hot-reload
+//! correctness free: entries from the previous model can never be returned
+//! for the new one and simply age out of the LRU.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: model generation, user id, and the FNV-1a fingerprint of
+/// the full profile content (see `hisrect::profile_fingerprint`).
+pub type FeatureKey = (u64, u32, u64);
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    key: FeatureKey,
+    value: Arc<Vec<f32>>,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: an intrusive doubly-linked LRU list over a slab, plus a
+/// key → slot index. All operations are O(1).
+struct Shard {
+    map: HashMap<FeatureKey, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    /// Most recently used slot.
+    head: usize,
+    /// Least recently used slot.
+    tail: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        match self.head {
+            NIL => self.tail = slot,
+            h => self.slab[h].prev = slot,
+        }
+        self.head = slot;
+    }
+
+    fn get(&mut self, key: &FeatureKey) -> Option<Arc<Vec<f32>>> {
+        let slot = *self.map.get(key)?;
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+        Some(Arc::clone(&self.slab[slot].value))
+    }
+
+    fn insert(&mut self, key: FeatureKey, value: Arc<Vec<f32>>) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slab[slot].value = value;
+            if self.head != slot {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.free.push(victim);
+        }
+        let entry = Entry {
+            key,
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s] = entry;
+                s
+            }
+            None => {
+                self.slab.push(entry);
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+}
+
+/// Concurrent feature cache: keys are spread over independently locked
+/// shards so worker threads rarely contend.
+pub struct FeatureCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+const N_SHARDS: usize = 8;
+
+impl FeatureCache {
+    /// A cache holding at most (roughly) `capacity` features in total.
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(N_SHARDS).max(1);
+        Self {
+            shards: (0..N_SHARDS)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &FeatureKey) -> &Mutex<Shard> {
+        // The fingerprint is already well mixed; fold in uid for users
+        // sharing a fingerprint-free shard distribution.
+        let h = key.2 ^ (key.1 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h % N_SHARDS as u64) as usize]
+    }
+
+    /// Looks up a feature, counting the hit/miss.
+    pub fn get(&self, key: &FeatureKey) -> Option<Arc<Vec<f32>>> {
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            obs::incr("serve/cache_hit");
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            obs::incr("serve/cache_miss");
+        }
+        found
+    }
+
+    /// Inserts (or refreshes) a feature.
+    pub fn insert(&self, key: FeatureKey, value: Arc<Vec<f32>>) {
+        self.shard(&key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+    }
+
+    /// Looks up a feature, computing and inserting it on a miss.
+    pub fn get_or_compute(
+        &self,
+        key: FeatureKey,
+        compute: impl FnOnce() -> Vec<f32>,
+    ) -> Arc<Vec<f32>> {
+        if let Some(v) = self.get(&key) {
+            return v;
+        }
+        let v = Arc::new(compute());
+        self.insert(key, Arc::clone(&v));
+        v
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached features across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> FeatureKey {
+        (1, n as u32, n)
+    }
+
+    fn val(n: u64) -> Arc<Vec<f32>> {
+        Arc::new(vec![n as f32])
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = FeatureCache::new(16);
+        assert!(cache.get(&key(1)).is_none());
+        cache.insert(key(1), val(1));
+        assert_eq!(cache.get(&key(1)).unwrap()[0], 1.0);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_per_shard() {
+        // Capacity 8 over 8 shards → each shard holds exactly one entry,
+        // so two keys landing in the same shard evict one another.
+        let cache = FeatureCache::new(8);
+        let mut same_shard = Vec::new();
+        let probe = FeatureCache::new(8);
+        for n in 0..64u64 {
+            let k = key(n);
+            if std::ptr::eq(probe.shard(&k), &probe.shards[0]) {
+                same_shard.push(k);
+            }
+            if same_shard.len() == 2 {
+                break;
+            }
+        }
+        let (a, b) = (same_shard[0], same_shard[1]);
+        cache.insert(a, val(1));
+        cache.insert(b, val(2));
+        assert!(cache.get(&a).is_none(), "a was evicted by b");
+        assert!(cache.get(&b).is_some());
+    }
+
+    #[test]
+    fn lru_order_follows_access() {
+        // One shard of capacity 2: access a, insert c → b is the victim.
+        let mut shard = Shard::new(2);
+        shard.insert(key(1), val(1));
+        shard.insert(key(2), val(2));
+        assert!(shard.get(&key(1)).is_some());
+        shard.insert(key(3), val(3));
+        assert!(shard.get(&key(2)).is_none(), "lru entry evicted");
+        assert!(shard.get(&key(1)).is_some());
+        assert!(shard.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn get_or_compute_computes_once() {
+        let cache = FeatureCache::new(16);
+        let mut calls = 0;
+        let v1 = cache.get_or_compute(key(5), || {
+            calls += 1;
+            vec![5.0]
+        });
+        let v2 = cache.get_or_compute(key(5), || {
+            calls += 1;
+            vec![5.0]
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn generation_is_part_of_the_key() {
+        let cache = FeatureCache::new(16);
+        cache.insert((1, 9, 42), val(1));
+        assert!(cache.get(&(2, 9, 42)).is_none());
+    }
+}

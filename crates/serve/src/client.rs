@@ -1,0 +1,162 @@
+//! Minimal blocking HTTP/1.1 client with keep-alive — just enough to
+//! drive the server from the load generator and the integration tests
+//! without pulling in an HTTP dependency.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body as text.
+    pub body: String,
+    /// Whether the server will keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// A persistent connection to the server.
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    timeout: Duration,
+}
+
+impl HttpClient {
+    /// Connects lazily on first request.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            stream: None,
+            timeout: Duration::from_secs(10),
+        }
+    }
+
+    fn stream(&mut self) -> std::io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let s = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            s.set_read_timeout(Some(self.timeout))?;
+            self.stream = Some(s);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// Sends one request on the persistent connection; reconnects once if
+    /// the pooled connection went stale.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        let had_pooled = self.stream.is_some();
+        match self.request_once(method, path, body) {
+            Ok(r) => Ok(r),
+            Err(e) if had_pooled => {
+                // Stale keep-alive connection (server restarted or closed
+                // it): retry once on a fresh socket.
+                let _ = e;
+                self.stream = None;
+                self.request_once(method, path, body)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        let body = body.unwrap_or("");
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nhost: hisrect\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let stream = self.stream()?;
+        stream.write_all(raw.as_bytes())?;
+        stream.flush()?;
+        let response = read_response(stream)?;
+        if !response.keep_alive {
+            self.stream = None;
+        }
+        Ok(response)
+    }
+}
+
+/// Reads one response off `stream` (status line, headers,
+/// `Content-Length` body).
+pub fn read_response(stream: &mut TcpStream) -> std::io::Result<ClientResponse> {
+    let mut buf = Vec::new();
+    let head_end = loop {
+        if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before response head",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line `{status_line}`"),
+            )
+        })?;
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().unwrap_or(0);
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(ClientResponse {
+        status,
+        body: String::from_utf8_lossy(&body).into_owned(),
+        keep_alive,
+    })
+}

@@ -1,0 +1,360 @@
+//! Hand-rolled HTTP/1.1 framing: just enough of RFC 9112 for the judge
+//! endpoints — request line, headers, `Content-Length` bodies, keep-alive.
+//!
+//! Every malformed input maps to a *typed* outcome ([`ParseError`]) so the
+//! server can answer with the right status code instead of panicking or
+//! silently dropping the connection.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Caps on inbound requests. Head and body limits are enforced while
+/// reading, so a hostile client cannot make a worker buffer unbounded
+/// memory.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum declared/read body size.
+    pub max_body_bytes: usize,
+    /// Socket read timeout covering each blocking read.
+    pub read_timeout: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path only; query strings are kept verbatim).
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read. Each variant maps to one response
+/// path in the server.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Syntactically invalid request ⇒ 400.
+    BadRequest(String),
+    /// The client stalled past the read timeout ⇒ 408 (or silent close
+    /// when it stalled before sending anything, i.e. an idle keep-alive).
+    Timeout {
+        /// True when at least one byte of this request had arrived.
+        started: bool,
+    },
+    /// Declared or actual body beyond [`Limits::max_body_bytes`] ⇒ 413.
+    TooLarge,
+    /// Clean EOF before any byte of a request ⇒ close silently.
+    Closed,
+    /// The connection died mid-request ⇒ close silently.
+    Io(std::io::Error),
+}
+
+/// A buffered connection: bytes read past the current request head are
+/// kept for the body / the next pipelined request.
+pub struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`.
+    pos: usize,
+}
+
+impl Conn {
+    /// Wraps an accepted stream and applies the read timeout.
+    pub fn new(stream: TcpStream, limits: &Limits) -> std::io::Result<Self> {
+        stream.set_read_timeout(Some(limits.read_timeout))?;
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+            pos: 0,
+        })
+    }
+
+    /// The underlying stream (for writing responses).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    fn buffered(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn fill(&mut self) -> Result<usize, ParseError> {
+        let mut chunk = [0u8; 4096];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Ok(0),
+            Ok(n) => {
+                if self.pos > 0 {
+                    self.buf.drain(..self.pos);
+                    self.pos = 0;
+                }
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(n)
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Err(ParseError::Timeout {
+                    started: !self.buffered().is_empty(),
+                })
+            }
+            Err(e) => Err(ParseError::Io(e)),
+        }
+    }
+
+    /// Reads and parses the next request off the connection.
+    pub fn read_request(&mut self, limits: &Limits) -> Result<Request, ParseError> {
+        // Accumulate until the blank line ending the head.
+        let head_end = loop {
+            if let Some(i) = find_double_crlf(self.buffered()) {
+                break i;
+            }
+            if self.buffered().len() > limits.max_head_bytes {
+                return Err(ParseError::BadRequest(format!(
+                    "request head exceeds {} bytes",
+                    limits.max_head_bytes
+                )));
+            }
+            if self.fill()? == 0 {
+                return if self.buffered().is_empty() {
+                    Err(ParseError::Closed)
+                } else {
+                    Err(ParseError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-head",
+                    )))
+                };
+            }
+        };
+        let head = String::from_utf8_lossy(&self.buffered()[..head_end]).into_owned();
+        self.pos += head_end + 4; // past "\r\n\r\n"
+
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or_default();
+        let mut parts = request_line.split(' ');
+        let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(p), Some(v)) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+            _ => {
+                return Err(ParseError::BadRequest(format!(
+                    "malformed request line `{request_line}`"
+                )))
+            }
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(ParseError::BadRequest(format!(
+                "unsupported protocol `{version}`"
+            )));
+        }
+
+        let mut content_length = 0usize;
+        let mut keep_alive = true; // HTTP/1.1 default
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                return Err(ParseError::BadRequest(format!("malformed header `{line}`")));
+            };
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .parse()
+                    .map_err(|_| ParseError::BadRequest(format!("bad content-length `{value}`")))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.eq_ignore_ascii_case("close");
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                return Err(ParseError::BadRequest(
+                    "transfer-encoding is not supported; send content-length".into(),
+                ));
+            }
+        }
+        if content_length > limits.max_body_bytes {
+            return Err(ParseError::TooLarge);
+        }
+
+        while self.buffered().len() < content_length {
+            if self.fill()? == 0 {
+                return Err(ParseError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                )));
+            }
+        }
+        let body = self.buffered()[..content_length].to_vec();
+        self.pos += content_length;
+
+        Ok(Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body,
+            keep_alive,
+        })
+    }
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An outbound response. Bodies are JSON throughout the server, so the
+/// content type is fixed.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (JSON text; may be empty).
+    pub body: String,
+    /// Extra headers (e.g. `Retry-After`).
+    pub extra_headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A response with a JSON body.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            body: body.into(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// An error response whose body is `{"error": msg}`.
+    pub fn error(status: u16, msg: &str) -> Self {
+        let quoted = serde_json::to_string(msg).expect("strings are serializable");
+        Self::json(status, format!("{{\"error\":{quoted}}}"))
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.extra_headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Serializes the response onto `w`. `keep_alive` picks the
+    /// `Connection` header; the caller closes the socket when false.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let mut out = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        for (name, value) in &self.extra_headers {
+            out.push_str(name);
+            out.push_str(": ");
+            out.push_str(value);
+            out.push_str("\r\n");
+        }
+        out.push_str("\r\n");
+        out.push_str(&self.body);
+        w.write_all(out.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// Reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn round_trip(raw: &[u8]) -> Result<Request, ParseError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let limits = Limits {
+            read_timeout: Duration::from_millis(500),
+            ..Limits::default()
+        };
+        let mut conn = Conn::new(stream, &limits).unwrap();
+        let req = conn.read_request(&limits);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req =
+            round_trip(b"POST /judge HTTP/1.1\r\ncontent-length: 13\r\n\r\n{\"i\":1,\"j\":2}")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/judge");
+        assert_eq!(req.body, b"{\"i\":1,\"j\":2}");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let req = round_trip(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn garbage_is_a_bad_request() {
+        assert!(matches!(
+            round_trip(b"NOT A REQUEST\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_too_large() {
+        let raw = b"POST /judge HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n";
+        assert!(matches!(round_trip(raw), Err(ParseError::TooLarge)));
+    }
+
+    #[test]
+    fn mid_body_disconnect_is_io_error() {
+        let raw = b"POST /judge HTTP/1.1\r\ncontent-length: 50\r\n\r\n{\"partial\":";
+        assert!(matches!(round_trip(raw), Err(ParseError::Io(_))));
+    }
+
+    #[test]
+    fn response_serializes_with_headers() {
+        let mut out = Vec::new();
+        Response::json(503, "{}")
+            .with_header("retry-after", "1")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

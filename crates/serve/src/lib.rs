@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! Online co-location inference server.
+//!
+//! Turns the offline HisRect pipeline into a service: a dependency-free
+//! threaded HTTP/1.1 server answering live "are users ui and uj at the
+//! same POI right now?" queries (the §5 judge over
+//! `|E′(F(ri)) − E′(F(rj))|`) against a trained model snapshot.
+//!
+//! The crate is organized as the request's journey:
+//!
+//! - [`http`] — framing: parse requests under strict limits, write typed
+//!   responses.
+//! - [`server`] — accept loop, worker pool, routing, handlers.
+//! - [`registry`] — the loaded model, with atomic hot-reload
+//!   (`POST /reload`) under a generation counter.
+//! - [`cache`] — sharded LRU of per-profile features `F(r)`: features
+//!   change slowly per user, so they are computed once and reused across
+//!   pairwise judgements.
+//! - [`batcher`] — micro-batching: concurrent judge requests coalesce
+//!   into one batched forward pass (bit-identical to single-pair calls),
+//!   with 503 backpressure when the bounded queue fills.
+//! - [`client`] — a minimal keep-alive client for tests and the load
+//!   generator.
+//!
+//! Endpoints: `POST /judge`, `POST /judge_batch`, `GET /healthz`,
+//! `GET /metrics`, `POST /reload`.
+
+pub mod batcher;
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod registry;
+pub mod server;
+
+pub use client::{ClientResponse, HttpClient};
+pub use registry::{LoadedModel, ModelRegistry};
+pub use server::{serve, ServeConfig, ServerHandle};

@@ -1,0 +1,79 @@
+//! Model registry with atomic hot-reload.
+//!
+//! Handlers grab an `Arc<LoadedModel>` once per request; `POST /reload`
+//! swaps the pointer under a write lock, so in-flight requests finish on
+//! the snapshot they started with and new requests see the new model
+//! immediately. Each load gets a fresh *generation* number, which the
+//! feature cache folds into its keys.
+
+use hisrect::{JudgeService, ModelError};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use twitter_sim::Dataset;
+
+/// One loaded model snapshot.
+pub struct LoadedModel {
+    /// The judgement pipeline over this snapshot.
+    pub service: JudgeService,
+    /// Monotonic load counter; generation 1 is the startup load.
+    pub generation: u64,
+    /// Where the snapshot was read from.
+    pub path: PathBuf,
+}
+
+/// Registry holding the currently served model.
+pub struct ModelRegistry {
+    current: RwLock<Arc<LoadedModel>>,
+    next_generation: AtomicU64,
+    /// The corpus whose profiles requests address by index.
+    corpus: Arc<Dataset>,
+}
+
+impl ModelRegistry {
+    /// Loads the startup snapshot. The corpus provides both the POI
+    /// universe the featurizer needs and the profiles requests reference.
+    pub fn load(model_path: &Path, corpus: Arc<Dataset>) -> Result<Self, ModelError> {
+        let service = JudgeService::load(model_path, corpus.world.pois.clone())?;
+        let loaded = Arc::new(LoadedModel {
+            service,
+            generation: 1,
+            path: model_path.to_path_buf(),
+        });
+        Ok(Self {
+            current: RwLock::new(loaded),
+            next_generation: AtomicU64::new(2),
+            corpus,
+        })
+    }
+
+    /// The currently served snapshot.
+    pub fn current(&self) -> Arc<LoadedModel> {
+        Arc::clone(&self.current.read().expect("registry poisoned"))
+    }
+
+    /// The corpus requests address profiles in.
+    pub fn corpus(&self) -> &Arc<Dataset> {
+        &self.corpus
+    }
+
+    /// Reloads the model — from `path` if given, else from wherever the
+    /// current snapshot came from — and atomically swaps it in. On error
+    /// the current model keeps serving. Returns the new generation.
+    pub fn reload(&self, path: Option<&Path>) -> Result<u64, ModelError> {
+        let source = match path {
+            Some(p) => p.to_path_buf(),
+            None => self.current().path.clone(),
+        };
+        let service = JudgeService::load(&source, self.corpus.world.pois.clone())?;
+        let generation = self.next_generation.fetch_add(1, Ordering::Relaxed);
+        let loaded = Arc::new(LoadedModel {
+            service,
+            generation,
+            path: source,
+        });
+        *self.current.write().expect("registry poisoned") = loaded;
+        obs::incr("serve/model_reloads");
+        Ok(generation)
+    }
+}

@@ -1,0 +1,442 @@
+//! The threaded HTTP server: accept loop, worker pool, routing, and the
+//! judge request handlers.
+//!
+//! Architecture (DESIGN.md §11):
+//!
+//! ```text
+//! accept loop ──try_send──▶ connection queue ──▶ worker pool (keep-alive)
+//!                                                   │ feature cache (F(r))
+//!                                                   ▼
+//!                                            micro-batcher ──▶ judge MLP
+//! ```
+//!
+//! Every handler runs under `catch_unwind`, so a panicking request —
+//! injected by `faultsim` or real — produces a 500 and the worker
+//! survives to serve the next connection.
+
+use crate::batcher::{Batcher, JudgeJob, SubmitError};
+use crate::cache::FeatureCache;
+use crate::http::{Conn, Limits, ParseError, Request, Response};
+use crate::registry::{LoadedModel, ModelRegistry};
+use hisrect::{profile_fingerprint, Judgement};
+use serde::{Deserialize, Serialize};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs; every CLI `serve` flag lands here.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (port 0 picks one).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Total feature-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Micro-batch flush-on-size threshold.
+    pub batch_size: usize,
+    /// Micro-batch flush-on-time threshold.
+    pub batch_deadline: Duration,
+    /// Bound on queued connections and queued judge jobs; beyond it the
+    /// server answers 503 + `Retry-After`.
+    pub queue_depth: usize,
+    /// Inbound framing limits.
+    pub limits: Limits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            workers: 4,
+            cache_capacity: 4096,
+            batch_size: 16,
+            batch_deadline: Duration::from_millis(2),
+            queue_depth: 128,
+            limits: Limits::default(),
+        }
+    }
+}
+
+struct Shared {
+    registry: ModelRegistry,
+    cache: FeatureCache,
+    batcher: Batcher,
+    limits: Limits,
+    stop: AtomicBool,
+}
+
+/// A running server. Dropping the handle shuts it down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Binds `config.addr`, spawns the worker pool and the accept loop, and
+/// returns immediately.
+pub fn serve(config: ServeConfig, registry: ModelRegistry) -> std::io::Result<ServerHandle> {
+    // `/metrics` is part of the serving contract, so the obs registry is
+    // always on while a server runs. (Instrumentation never touches the
+    // judge numerics — the golden-run suite pins that.)
+    obs::set_enabled(true);
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        registry,
+        cache: FeatureCache::new(config.cache_capacity),
+        batcher: Batcher::new(config.batch_size, config.batch_deadline, config.queue_depth),
+        limits: config.limits,
+        stop: AtomicBool::new(false),
+    });
+
+    let conn_queue: Arc<parallel::Channel<TcpStream>> =
+        Arc::new(parallel::Channel::bounded(config.queue_depth.max(1)));
+
+    let workers = (0..config.workers.max(1))
+        .map(|k| {
+            let shared = Arc::clone(&shared);
+            let queue = Arc::clone(&conn_queue);
+            std::thread::Builder::new()
+                .name(format!("hisrect-worker-{k}"))
+                .spawn(move || {
+                    while let Some(stream) = queue.recv() {
+                        handle_connection(&shared, stream);
+                    }
+                })
+                .expect("spawn server worker")
+        })
+        .collect();
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = std::thread::Builder::new()
+        .name("hisrect-accept".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shared.stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                obs::incr("serve/connections");
+                match conn_queue.try_send(stream) {
+                    Ok(()) => {}
+                    Err(parallel::TrySendError::Full(stream)) => {
+                        // Backpressure at the door: answer in the accept
+                        // thread so workers stay dedicated to real work.
+                        obs::incr("serve/backpressure_503");
+                        obs::incr("serve/http_5xx");
+                        let mut stream = stream;
+                        let _ = Response::error(503, "connection queue full")
+                            .with_header("retry-after", "1")
+                            .write_to(&mut stream, false);
+                    }
+                    Err(parallel::TrySendError::Closed(_)) => break,
+                }
+            }
+            conn_queue.close();
+        })
+        .expect("spawn accept loop");
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Feature-cache `(hits, misses)` so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.shared.cache.hits(), self.shared.cache.misses())
+    }
+
+    /// Micro-batch `(batches, jobs)` flushed so far.
+    pub fn batch_stats(&self) -> (u64, u64) {
+        let stats = self.shared.batcher.stats();
+        (
+            stats.batches.load(std::sync::atomic::Ordering::Relaxed),
+            stats.jobs.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+
+    /// Stops accepting, drains workers, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Blocks until the server exits (it only exits via shutdown).
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Serves one connection: keep-alive request loop with panic isolation.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let mut conn = match Conn::new(stream, &shared.limits) {
+        Ok(c) => c,
+        Err(_) => return,
+    };
+    loop {
+        let request = match conn.read_request(&shared.limits) {
+            Ok(r) => r,
+            Err(ParseError::BadRequest(msg)) => {
+                obs::incr("serve/http_4xx");
+                let _ = Response::error(400, &msg).write_to(conn.stream(), false);
+                return;
+            }
+            Err(ParseError::TooLarge) => {
+                obs::incr("serve/http_4xx");
+                let _ =
+                    Response::error(413, "request body too large").write_to(conn.stream(), false);
+                return;
+            }
+            Err(ParseError::Timeout { started: true }) => {
+                obs::incr("serve/http_4xx");
+                let _ = Response::error(408, "timed out reading request")
+                    .write_to(conn.stream(), false);
+                return;
+            }
+            // Idle keep-alive timeout, clean close, or a dead socket:
+            // nothing to answer.
+            Err(ParseError::Timeout { started: false })
+            | Err(ParseError::Closed)
+            | Err(ParseError::Io(_)) => return,
+        };
+        let keep_alive = request.keep_alive;
+        let start = Instant::now();
+        let response = match catch_unwind(AssertUnwindSafe(|| route(shared, &request))) {
+            Ok(r) => r,
+            Err(_) => {
+                obs::incr("serve/handler_panic");
+                Response::error(500, "internal error: handler panicked")
+            }
+        };
+        obs::incr("serve/requests");
+        match response.status {
+            400..=499 => obs::incr("serve/http_4xx"),
+            500..=599 => obs::incr("serve/http_5xx"),
+            _ => {}
+        }
+        obs::observe(
+            "serve/request_latency_ms",
+            start.elapsed().as_secs_f64() * 1e3,
+        );
+        if response.write_to(conn.stream(), keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Routing and handlers
+// --------------------------------------------------------------------------
+
+#[derive(Deserialize)]
+struct JudgeRequest {
+    i: usize,
+    j: usize,
+}
+
+#[derive(Deserialize)]
+struct JudgeBatchRequest {
+    pairs: Vec<(usize, usize)>,
+}
+
+#[derive(Serialize)]
+struct JudgeBatchResponse {
+    judgements: Vec<Judgement>,
+}
+
+#[derive(Deserialize)]
+struct ReloadRequest {
+    model: Option<String>,
+}
+
+#[derive(Serialize)]
+struct HealthResponse {
+    status: &'static str,
+    generation: u64,
+    profiles: usize,
+}
+
+#[derive(Serialize)]
+struct ReloadResponse {
+    generation: u64,
+}
+
+fn route(shared: &Shared, request: &Request) -> Response {
+    // Chaos trigger point: a worker hit by an injected panic must answer
+    // 500 and live on (asserted by tests/chaos_http.rs).
+    if faultsim::fires(faultsim::FaultKind::WorkerPanic) {
+        panic!("injected worker panic");
+    }
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let model = shared.registry.current();
+            ok_json(&HealthResponse {
+                status: "ok",
+                generation: model.generation,
+                profiles: shared.registry.corpus().profiles.len(),
+            })
+        }
+        ("GET", "/metrics") => Response::json(200, obs::snapshot().to_json()),
+        ("POST", "/judge") => handle_judge(shared, &request.body),
+        ("POST", "/judge_batch") => handle_judge_batch(shared, &request.body),
+        ("POST", "/reload") => handle_reload(shared, &request.body),
+        ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+fn ok_json<T: Serialize>(value: &T) -> Response {
+    Response::json(200, serde_json::to_string(value).expect("serializable"))
+}
+
+fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, Response> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| Response::error(400, "request body is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| Response::error(400, &format!("bad request body: {e}")))
+}
+
+/// Resolves `F(r)` for a profile index through the cache.
+fn cached_feature(
+    shared: &Shared,
+    model: &Arc<LoadedModel>,
+    idx: usize,
+) -> Result<Arc<Vec<f32>>, Response> {
+    let corpus = shared.registry.corpus();
+    if idx >= corpus.profiles.len() {
+        return Err(Response::error(
+            400,
+            &format!(
+                "profile index {idx} out of range (corpus has {} profiles)",
+                corpus.profiles.len()
+            ),
+        ));
+    }
+    let profile = corpus.profile(idx);
+    let key = (model.generation, profile.uid, profile_fingerprint(profile));
+    Ok(shared
+        .cache
+        .get_or_compute(key, || model.service.features_for(profile)))
+}
+
+fn handle_judge(shared: &Shared, body: &[u8]) -> Response {
+    let req: JudgeRequest = match parse_body(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let model = shared.registry.current();
+    let (fa, fb) = match (
+        cached_feature(shared, &model, req.i),
+        cached_feature(shared, &model, req.j),
+    ) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(resp), _) | (_, Err(resp)) => return resp,
+    };
+    let (tx, rx) = sync_channel(1);
+    let job = JudgeJob {
+        model,
+        fa,
+        fb,
+        responder: tx,
+    };
+    match shared.batcher.submit(job) {
+        Ok(()) => {}
+        Err(SubmitError::Overloaded) => {
+            return Response::error(503, "judge queue full").with_header("retry-after", "1")
+        }
+        Err(SubmitError::Closed) => {
+            return Response::error(503, "server shutting down").with_header("retry-after", "1")
+        }
+    }
+    match rx.recv_timeout(Duration::from_secs(10)) {
+        Ok(Ok(p)) => ok_json(&Judgement::from_probability(req.i, req.j, p)),
+        Ok(Err(msg)) => Response::error(500, &msg),
+        Err(_) => Response::error(500, "judge batch timed out"),
+    }
+}
+
+/// An explicit batch skips the micro-batcher — it *is* a batch already —
+/// and goes straight through the batched forward pass.
+fn handle_judge_batch(shared: &Shared, body: &[u8]) -> Response {
+    let req: JudgeBatchRequest = match parse_body(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let model = shared.registry.current();
+    let mut features = Vec::with_capacity(req.pairs.len());
+    for &(i, j) in &req.pairs {
+        let fa = match cached_feature(shared, &model, i) {
+            Ok(f) => f,
+            Err(resp) => return resp,
+        };
+        let fb = match cached_feature(shared, &model, j) {
+            Ok(f) => f,
+            Err(resp) => return resp,
+        };
+        features.push((fa, fb));
+    }
+    let pairs: Vec<(&[f32], &[f32])> = features
+        .iter()
+        .map(|(a, b)| (a.as_slice(), b.as_slice()))
+        .collect();
+    let probs = model.service.judge_features_batch(&pairs);
+    let judgements = req
+        .pairs
+        .iter()
+        .zip(probs)
+        .map(|(&(i, j), p)| Judgement::from_probability(i, j, p))
+        .collect();
+    ok_json(&JudgeBatchResponse { judgements })
+}
+
+fn handle_reload(shared: &Shared, body: &[u8]) -> Response {
+    let path = if body.is_empty() {
+        None
+    } else {
+        match parse_body::<ReloadRequest>(body) {
+            Ok(r) => r.model,
+            Err(resp) => return resp,
+        }
+    };
+    match shared.registry.reload(path.as_deref().map(Path::new)) {
+        Ok(generation) => ok_json(&ReloadResponse { generation }),
+        Err(e) => Response::error(500, &format!("reload failed: {e}")),
+    }
+}

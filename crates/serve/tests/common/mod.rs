@@ -1,0 +1,66 @@
+//! Shared fixture for the serving integration tests: one tiny trained
+//! model saved to disk, plus helpers to start in-process servers on
+//! ephemeral ports.
+
+use hisrect::config::{ApproachSpec, HisRectConfig};
+use hisrect::model::HisRectModel;
+use serve::{serve, ModelRegistry, ServeConfig, ServerHandle};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use twitter_sim::{generate, Dataset, SimConfig};
+
+pub struct Fixture {
+    pub corpus: Arc<Dataset>,
+    pub model_path: PathBuf,
+}
+
+/// Trains the fixture model once per test binary.
+pub fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ds = generate(&SimConfig::tiny(5));
+        let spec = ApproachSpec::tweet_only().with_config(|c| {
+            *c = HisRectConfig {
+                featurizer_iters: 40,
+                judge_iters: 40,
+                ..HisRectConfig::fast()
+            };
+        });
+        let model = HisRectModel::train(&ds, &spec, 5);
+        let dir = std::env::temp_dir().join(format!("hisrect-serve-fix-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create fixture dir");
+        let model_path = dir.join("model.json");
+        model.save_json(&model_path).expect("save fixture model");
+        Fixture {
+            corpus: Arc::new(ds),
+            model_path,
+        }
+    })
+}
+
+/// Starts a server over the fixture model on an ephemeral port.
+pub fn start_server(tune: impl FnOnce(&mut ServeConfig)) -> ServerHandle {
+    let fix = fixture();
+    let registry =
+        ModelRegistry::load(&fix.model_path, Arc::clone(&fix.corpus)).expect("load fixture model");
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    };
+    // Keep idle keep-alive connections (and thus shutdown joins) short.
+    config.limits.read_timeout = std::time::Duration::from_millis(300);
+    tune(&mut config);
+    serve(config, registry).expect("bind server")
+}
+
+/// A handful of test pair indices `(i, j)` from the fixture corpus.
+pub fn test_pairs(n: usize) -> Vec<(usize, usize)> {
+    let ds = &fixture().corpus;
+    ds.test
+        .pos_pairs
+        .iter()
+        .chain(&ds.test.neg_pairs)
+        .take(n)
+        .map(|p| (p.i, p.j))
+        .collect()
+}
