@@ -141,6 +141,14 @@ fn spawn_in_process() -> Result<ServerHandle, String> {
     serve::serve(config, registry).map_err(|e| format!("serve: {e}"))
 }
 
+/// Seed-commit latency baselines (ms, CI serve-gate burst) recorded
+/// before the packed-kernel rework. The report carries the deltas so the
+/// archived `results/loadgen.json` shows the serving-path effect of
+/// kernel and allocator changes run over run.
+const SEED_P50_MS: f64 = 2.24905;
+const SEED_P95_MS: f64 = 3.896713;
+const SEED_P99_MS: f64 = 4.534314;
+
 #[derive(Serialize)]
 struct LoadgenRow {
     clients: usize,
@@ -150,6 +158,10 @@ struct LoadgenRow {
     p50_ms: f64,
     p95_ms: f64,
     p99_ms: f64,
+    /// Percent change vs the seed baseline (negative = faster).
+    p50_delta_pct: f64,
+    p95_delta_pct: f64,
+    p99_delta_pct: f64,
     status_2xx: u64,
     status_4xx: u64,
     status_5xx: u64,
@@ -234,14 +246,23 @@ fn run() -> Result<LoadgenRow, String> {
     let count_class = |lo: u16, hi: u16| -> u64 {
         samples.iter().filter(|&&(s, _)| s >= lo && s <= hi).count() as u64
     };
+    let (p50_ms, p95_ms, p99_ms) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.95),
+        percentile(&latencies, 0.99),
+    );
+    let delta_pct = |now: f64, seed: f64| (now - seed) / seed * 100.0;
     Ok(LoadgenRow {
         clients,
         requests: samples.len(),
         wall_s,
         throughput_rps: samples.len() as f64 / wall_s.max(1e-9),
-        p50_ms: percentile(&latencies, 0.50),
-        p95_ms: percentile(&latencies, 0.95),
-        p99_ms: percentile(&latencies, 0.99),
+        p50_ms,
+        p95_ms,
+        p99_ms,
+        p50_delta_pct: delta_pct(p50_ms, SEED_P50_MS),
+        p95_delta_pct: delta_pct(p95_ms, SEED_P95_MS),
+        p99_delta_pct: delta_pct(p99_ms, SEED_P99_MS),
         status_2xx: count_class(200, 299),
         status_4xx: count_class(400, 499),
         status_5xx: count_class(500, 599),
@@ -280,6 +301,10 @@ fn main() -> ExitCode {
             row.panics.to_string(),
         ]],
     );
+    report.line(&format!(
+        "latency vs seed baseline: p50 {:+.1}%, p95 {:+.1}%, p99 {:+.1}%",
+        row.p50_delta_pct, row.p95_delta_pct, row.p99_delta_pct
+    ));
     report.save(&row);
 
     // Serve-gate acceptance criteria: a burst must finish without server

@@ -64,10 +64,14 @@ pub fn affinity(dataset: &Dataset, cfg: &HisRectConfig, pair: &Pair) -> Option<W
 /// Builds the sparse affinity list over `Γ_L ∪ Γ_U` of the training split.
 ///
 /// Each candidate pair is independent, so the O(|Γ|) weight evaluations
-/// (each with its own POI distance queries) fan out across
-/// [`parallel::num_threads`] workers; output order matches the serial
-/// `pos → neg → unlabeled` chain exactly.
+/// (each with its own POI distance queries) fan out across at most
+/// [`parallel::num_threads`] workers — clamped so tiny candidate sets
+/// stay serial rather than paying thread-spawn overhead per few pairs;
+/// output order matches the serial `pos → neg → unlabeled` chain
+/// exactly.
 pub fn build_affinity(dataset: &Dataset, cfg: &HisRectConfig) -> Vec<WeightedPair> {
+    /// Minimum candidate pairs per worker before another worker pays off.
+    const MIN_PAIRS_PER_WORKER: usize = 256;
     let _span = obs::span("affinity/build");
     let train = &dataset.train;
     let candidates: Vec<&Pair> = train
@@ -77,11 +81,14 @@ pub fn build_affinity(dataset: &Dataset, cfg: &HisRectConfig) -> Vec<WeightedPai
         .chain(&train.unlabeled_pairs)
         .collect();
     obs::add("affinity/pairs_considered", candidates.len() as u64);
+    let workers = parallel::clamp_workers(candidates.len(), MIN_PAIRS_PER_WORKER);
     let kept: Vec<WeightedPair> =
-        parallel::parallel_map(&candidates, |p| affinity(dataset, cfg, p))
-            .into_iter()
-            .flatten()
-            .collect();
+        parallel::parallel_map_range_with(workers, candidates.len(), |i| {
+            affinity(dataset, cfg, candidates[i])
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     obs::add("affinity/pairs_kept", kept.len() as u64);
     kept
 }

@@ -211,6 +211,24 @@ pub fn try_train_judge(
     };
 
     let _span = obs::span("judge/train");
+    // As in the featurizer phase, per-iteration samples batch locally
+    // and flush to obs once per phase exit; `obs_base` guards a resumed
+    // loss prefix against double-flushing.
+    let obs_base = losses.len();
+    let mut grad_norms: Vec<f32> = Vec::new();
+    let mut examples = 0u64;
+    let flush_obs = |losses: &[f32], grad_norms: &[f32], examples: u64| {
+        if !obs::enabled() {
+            return;
+        }
+        obs::extend("judge/l_co", &losses[obs_base..]);
+        obs::extend("judge/grad_norm", grad_norms);
+        if examples > 0 {
+            obs::add("judge/examples", examples);
+        }
+        tensor::flush_dispatch_stats();
+        tensor::pool::publish_obs();
+    };
     let feat_dim = positives[0].fi.len();
     let mut last_good: Option<MemorySnapshot> = None;
     let mut retries = 0usize;
@@ -222,6 +240,7 @@ pub fn try_train_judge(
             }
         }
         if faultsim::fires(FaultKind::Crash) {
+            flush_obs(&losses, &grad_norms, examples);
             return Err(TrainError::Interrupted {
                 phase: PHASE_JUDGE.into(),
                 iteration: iter,
@@ -259,16 +278,16 @@ pub fn try_train_judge(
         let loss = tape.bce_with_logits(logits, labels);
         let loss = tape.backward(loss, store);
         inject_nan_grad(store, probe_id);
-        obs::push("judge/l_co", loss);
         losses.push(loss);
         let grad_norm = adam.step(store);
-        obs::push("judge/grad_norm", grad_norm);
-        obs::add("judge/examples", batch.len() as u64);
+        grad_norms.push(grad_norm);
+        examples += batch.len() as u64;
         if !(loss.is_finite() && grad_norm.is_finite()) {
             let snap = last_good.as_ref().expect("captured at loop entry");
             retries += 1;
             obs::incr("train/divergence_detected");
             if retries > MAX_RETRIES {
+                flush_obs(&losses, &grad_norms, examples);
                 return Err(TrainError::Diverged {
                     phase: PHASE_JUDGE.into(),
                     iteration: iter,
@@ -277,12 +296,14 @@ pub fn try_train_judge(
             }
             rollback(store, &mut [&mut adam], rng, snap, retries);
             losses.truncate(snap.trace_lens[0]);
+            grad_norms.truncate(snap.trace_lens[0].saturating_sub(obs_base));
             iter = snap.iteration;
             continue;
         }
         iter += 1;
     }
     save_checkpoint(cfg.judge_iters, store, &adam, rng, &losses)?;
+    flush_obs(&losses, &grad_norms, examples);
     Ok(losses)
 }
 

@@ -354,6 +354,39 @@ pub fn try_train_featurizer_with_validation(
     };
 
     let _span = obs::span("ssl/train_featurizer");
+    // Per-iteration samples are accumulated locally and flushed to obs
+    // in one batch per phase exit: the per-iteration registry lock was
+    // what pushed metrics-on overhead past the <2% budget. Loss series
+    // live in `stats` (so divergence rollback truncates them for free);
+    // grad norms and example counts are tracked alongside. `obs_base`
+    // marks where any checkpoint-restored prefix ends, so resumed
+    // entries are never re-flushed.
+    let obs_base = (stats.poi_losses.len(), stats.unsup_losses.len());
+    let mut grad_poi: Vec<f32> = Vec::new();
+    let mut grad_unsup: Vec<f32> = Vec::new();
+    let mut poi_examples = 0u64;
+    let mut unsup_examples = 0u64;
+    let flush_obs = |stats: &SslStats,
+                     grad_poi: &[f32],
+                     grad_unsup: &[f32],
+                     poi_examples: u64,
+                     unsup_examples: u64| {
+        if !obs::enabled() {
+            return;
+        }
+        obs::extend("ssl/l_poi", &stats.poi_losses[obs_base.0..]);
+        obs::extend("ssl/grad_norm_poi", grad_poi);
+        obs::extend("ssl/l_u", &stats.unsup_losses[obs_base.1..]);
+        obs::extend("ssl/grad_norm_unsup", grad_unsup);
+        if poi_examples > 0 {
+            obs::add("ssl/poi_examples", poi_examples);
+        }
+        if unsup_examples > 0 {
+            obs::add("ssl/unsup_examples", unsup_examples);
+        }
+        tensor::flush_dispatch_stats();
+        tensor::pool::publish_obs();
+    };
     let mut last_good: Option<MemorySnapshot> = None;
     let mut retries = 0usize;
     let mut iter = start_iter;
@@ -364,6 +397,7 @@ pub fn try_train_featurizer_with_validation(
             }
         }
         if faultsim::fires(FaultKind::Crash) {
+            flush_obs(&stats, &grad_poi, &grad_unsup, poi_examples, unsup_examples);
             return Err(TrainError::Interrupted {
                 phase: PHASE_FEATURIZER.into(),
                 iteration: iter,
@@ -396,7 +430,6 @@ pub fn try_train_featurizer_with_validation(
             }
         }
         {
-            let _step = obs::span("ssl/poi_step");
             let batch: Vec<&(ProfileIdx, usize)> = (0..cfg.batch)
                 .map(|_| &labeled[rng.gen_range(0..labeled.len())])
                 .collect();
@@ -408,16 +441,14 @@ pub fn try_train_featurizer_with_validation(
             let loss = tape.softmax_cross_entropy(logits, &targets);
             let loss = tape.backward(loss, store);
             inject_nan_grad(store, probe_id);
-            obs::push("ssl/l_poi", loss);
             stats.poi_losses.push(loss);
             let grad_norm = adam_poi.step(store);
-            obs::push("ssl/grad_norm_poi", grad_norm);
-            obs::add("ssl/poi_examples", batch.len() as u64);
+            grad_poi.push(grad_norm);
+            poi_examples += batch.len() as u64;
             healthy &= loss.is_finite() && grad_norm.is_finite();
         }
         if let Some(s) = &sampler {
             if rng.gen::<f64>() < p_unsup {
-                let _step = obs::span("ssl/unsup_step");
                 let batch: Vec<&WeightedPair> = (0..cfg.batch).map(|_| s.sample(rng)).collect();
                 let left: Vec<&ProfileInput> = batch.iter().map(|w| &inputs[&w.i]).collect();
                 let right: Vec<&ProfileInput> = batch.iter().map(|w| &inputs[&w.j]).collect();
@@ -429,11 +460,10 @@ pub fn try_train_featurizer_with_validation(
                 let ej = embed_features(&mut tape, store, nets, fj, cfg.unsup);
                 let loss = unsup_loss(&mut tape, ei, ej, weights, cfg.unsup);
                 let loss = tape.backward(loss, store);
-                obs::push("ssl/l_u", loss);
                 stats.unsup_losses.push(loss);
                 let grad_norm = adam_unsup.step(store);
-                obs::push("ssl/grad_norm_unsup", grad_norm);
-                obs::add("ssl/unsup_examples", batch.len() as u64);
+                grad_unsup.push(grad_norm);
+                unsup_examples += batch.len() as u64;
                 healthy &= loss.is_finite() && grad_norm.is_finite();
             }
         }
@@ -452,6 +482,7 @@ pub fn try_train_featurizer_with_validation(
             retries += 1;
             obs::incr("train/divergence_detected");
             if retries > MAX_RETRIES {
+                flush_obs(&stats, &grad_poi, &grad_unsup, poi_examples, unsup_examples);
                 return Err(TrainError::Diverged {
                     phase: PHASE_FEATURIZER.into(),
                     iteration: iter,
@@ -468,6 +499,11 @@ pub fn try_train_featurizer_with_validation(
             stats.poi_losses.truncate(snap.trace_lens[0]);
             stats.unsup_losses.truncate(snap.trace_lens[1]);
             stats.valid_losses.truncate(snap.trace_lens[2]);
+            // The local grad-norm batches track the loss series 1:1
+            // past the resumed prefix, so the rollback truncates them
+            // to the matching lengths.
+            grad_poi.truncate(snap.trace_lens[0].saturating_sub(obs_base.0));
+            grad_unsup.truncate(snap.trace_lens[1].saturating_sub(obs_base.1));
             iter = snap.iteration;
             continue;
         }
@@ -495,6 +531,7 @@ pub fn try_train_featurizer_with_validation(
         &stats,
         &None,
     )?;
+    flush_obs(&stats, &grad_poi, &grad_unsup, poi_examples, unsup_examples);
     Ok(stats)
 }
 

@@ -226,21 +226,21 @@ impl Tape {
         self.push(value, Op::MulConst { a: a.0, c })
     }
 
-    /// `max(0, a)`.
+    /// `max(0, a)` via the fused [`Matrix::relu`] kernel.
     pub fn relu(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let value = self.nodes[a.0].value.relu();
         self.push(value, Op::Relu { a: a.0 })
     }
 
-    /// Logistic sigmoid.
+    /// Logistic sigmoid via the fused [`Matrix::sigmoid`] kernel.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let value = self.nodes[a.0].value.sigmoid();
         self.push(value, Op::Sigmoid { a: a.0 })
     }
 
-    /// Hyperbolic tangent.
+    /// Hyperbolic tangent via the fused [`Matrix::tanh`] kernel.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.map(f32::tanh);
+        let value = self.nodes[a.0].value.tanh();
         self.push(value, Op::Tanh { a: a.0 })
     }
 
@@ -365,23 +365,14 @@ impl Tape {
     pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
         let z = &self.nodes[logits.0].value;
         assert_eq!(z.rows(), targets.len(), "target count mismatch");
-        let mut probs = Matrix::zeros(z.rows(), z.cols());
+        // The fused kernel runs the exact per-row operation order the
+        // loss below assumes: max-subtract, exp, ascending-order sum,
+        // divide.
+        let probs = z.softmax_rows();
         let mut loss = 0.0f64;
-        #[allow(clippy::needless_range_loop)] // r indexes z, probs and targets together
-        for r in 0..z.rows() {
-            let row = z.row(r);
-            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-            let mut denom = 0.0f32;
-            for (c, &x) in row.iter().enumerate() {
-                let e = (x - max).exp();
-                probs.set(r, c, e);
-                denom += e;
-            }
-            for c in 0..z.cols() {
-                probs.set(r, c, probs.get(r, c) / denom);
-            }
-            assert!(targets[r] < z.cols(), "target class out of range");
-            loss -= (probs.get(r, targets[r]).max(1e-12) as f64).ln();
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < z.cols(), "target class out of range");
+            loss -= (probs.get(r, t).max(1e-12) as f64).ln();
         }
         let mean = (loss / z.rows().max(1) as f64) as f32;
         self.push(
@@ -397,13 +388,7 @@ impl Tape {
     /// Softmax probabilities of a logits node (forward-only convenience for
     /// inference; participates in the graph as a constant).
     pub fn softmax_probs(&self, logits: Var) -> Matrix {
-        let z = self.value(logits);
-        Matrix::from_fn(z.rows(), z.cols(), |r, c| {
-            let row = z.row(r);
-            let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-            let denom: f32 = row.iter().map(|&x| (x - max).exp()).sum();
-            (z.get(r, c) - max).exp() / denom
-        })
+        self.value(logits).softmax_rows()
     }
 
     /// Mean binary cross-entropy of logits (`B x 1`) against labels in
@@ -413,7 +398,7 @@ impl Tape {
         let z = &self.nodes[logits.0].value;
         assert_eq!(z.shape(), labels.shape(), "label shape mismatch");
         assert_eq!(z.cols(), 1, "bce expects a column of logits");
-        let sig = z.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let sig = z.sigmoid();
         let mut loss = 0.0f64;
         for r in 0..z.rows() {
             let (x, y) = (z.get(r, 0) as f64, labels.get(r, 0) as f64);

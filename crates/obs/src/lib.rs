@@ -318,6 +318,20 @@ pub fn push(name: &'static str, v: f32) {
     }
 }
 
+/// Appends a whole slice to the iteration series `name` under a single
+/// registry lock. Hot training loops accumulate their per-iteration
+/// samples locally and flush them here at phase boundaries, instead of
+/// paying a lock per iteration via [`push`].
+#[inline]
+pub fn extend(name: &'static str, vs: &[f32]) {
+    if !enabled() || vs.is_empty() {
+        return;
+    }
+    if let Ok(mut reg) = registry().lock() {
+        reg.series.entry(name).or_default().extend_from_slice(vs);
+    }
+}
+
 /// A copy of series `name` (empty when never written).
 pub fn series_values(name: &str) -> Vec<f32> {
     registry()

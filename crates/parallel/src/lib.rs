@@ -85,6 +85,16 @@ pub fn set_threads(n: usize) {
     THREADS.store(n.max(1), Ordering::Relaxed);
 }
 
+/// Worker count for a job of `cost` units, capped so every worker gets
+/// at least `min_cost_per_worker` units: scoped-thread spawns cost tens
+/// of microseconds, so fanning a small job across all configured
+/// threads makes it *slower* than serial. Always between 1 and
+/// [`num_threads`].
+pub fn clamp_workers(cost: usize, min_cost_per_worker: usize) -> usize {
+    let ideal = cost / min_cost_per_worker.max(1);
+    num_threads().min(ideal.max(1))
+}
+
 /// Splits `0..len` into at most `parts` contiguous ranges whose lengths
 /// differ by at most one. Empty ranges are never produced.
 pub fn split_even(len: usize, parts: usize) -> Vec<Range<usize>> {

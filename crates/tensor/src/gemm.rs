@@ -1,0 +1,377 @@
+//! Packed, register-blocked GEMM micro-kernels.
+//!
+//! All three matmul variants (`nn`, `tn`, `nt`) are routed through one
+//! packed path: the operands are first repacked into contiguous k-major
+//! panels — an `MR`×`kc` A-panel and a `kc`×`NR` B-panel — and the inner
+//! kernel then streams both linearly, computing an `MR`×`NR` output tile
+//! with one accumulator register per output sub-vector. Repacking is
+//! where the transposed variants pay their strided access exactly once
+//! (O(m·k + k·n) irregular reads) instead of on every one of the
+//! O(m·n·k) multiply-adds, which is what made the old row-dot-row
+//! `matmul_nt` 4× slower than plain `matmul`.
+//!
+//! # Summation order (the determinism contract)
+//!
+//! Every output element is a single accumulation chain over `k` in
+//! strictly ascending order, with the multiply and the add kept as two
+//! separate roundings (**no FMA** — fusing would change results). Lanes
+//! of a SIMD register hold *different output columns*, never partial
+//! sums of one element, so there is no horizontal reduction anywhere and
+//! the portable scalar kernel, the autovectorized build of it, and the
+//! explicit AVX2 kernel are bit-identical by construction. The parallel
+//! path partitions output *rows*, so each element is still produced by
+//! exactly one worker running this same kernel. Proptests in
+//! `crates/tensor/tests/proptests.rs` enforce all of this against a
+//! naive reference.
+//!
+//! # Padding
+//!
+//! Panels are zero-padded in the M and N directions up to the tile
+//! shape; the kernel always computes a full `MR`×`NR` tile into scratch
+//! and only the valid region is copied out. The K direction is *never*
+//! padded: a padded k-step would add `0.0 * x` terms, which is not a
+//! no-op for IEEE specials (`0 * inf = NaN`) and would corrupt rows that
+//! legitimately contain non-finite values.
+//!
+//! `HISRECT_SIMD=0` forces the portable kernel at runtime (useful for
+//! isolating miscompiles or benchmarking the autovectorizer); otherwise
+//! the AVX2 kernel is used whenever the CPU supports it.
+
+use crate::pool;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Rows of one register tile (distinct broadcast A values in flight).
+pub const MR: usize = 4;
+
+/// Columns of one register tile (two 8-lane vectors on AVX2).
+pub const NR: usize = 16;
+
+/// How the logical GEMM operand maps onto the stored buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// `C = A · B` with both operands stored as used.
+    Nn,
+    /// `C = Aᵀ · B`; `a` is stored `k`×`m`.
+    Tn,
+    /// `C = A · Bᵀ`; `b` is stored `n`×`k`.
+    Nt,
+}
+
+// SIMD dispatch state: 0 = unresolved, 1 = AVX2, 2 = portable.
+static SIMD_STATE: AtomicU8 = AtomicU8::new(0);
+
+fn detect_simd() -> u8 {
+    let env_off = std::env::var("HISRECT_SIMD")
+        .map(|v| matches!(v.trim(), "0" | "false" | "off"))
+        .unwrap_or(false);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if !env_off && std::arch::is_x86_feature_detected!("avx2") {
+            return 1;
+        }
+    }
+    let _ = env_off;
+    2
+}
+
+/// True when the explicit AVX2 kernel is in use (CPU supports it and
+/// `HISRECT_SIMD=0` is not set). The portable kernel computes
+/// bit-identical results either way.
+pub fn simd_active() -> bool {
+    let mut s = SIMD_STATE.load(Ordering::Relaxed);
+    if s == 0 {
+        s = detect_simd();
+        SIMD_STATE.store(s, Ordering::Relaxed);
+    }
+    s == 1
+}
+
+/// Overrides SIMD dispatch for the whole process (`Some(false)` forces
+/// the portable kernel, `Some(true)` re-enables detection, `None`
+/// resets to the environment default). Test-only knob; results are
+/// bit-identical on every path, so flipping this never changes output.
+pub fn force_portable(force: Option<bool>) {
+    let state = match force {
+        Some(true) => 2,
+        Some(false) | None => 0,
+    };
+    SIMD_STATE.store(state, Ordering::Relaxed);
+}
+
+/// A B operand repacked into `ceil(n/NR)` k-major panels, each laid out
+/// as `panel[k*NR + j]`. Packed once per GEMM and shared read-only by
+/// every worker in the parallel path.
+pub struct PackedB {
+    data: Vec<f32>,
+    kc: usize,
+    n: usize,
+}
+
+impl Drop for PackedB {
+    fn drop(&mut self) {
+        pool::put(std::mem::take(&mut self.data));
+    }
+}
+
+impl PackedB {
+    fn panels(&self) -> usize {
+        self.n.div_ceil(NR)
+    }
+
+    fn panel(&self, p: usize) -> &[f32] {
+        let stride = self.kc * NR;
+        &self.data[p * stride..(p + 1) * stride]
+    }
+}
+
+/// Packs the B operand of `variant` (`b` with `b_rows`×`b_cols` storage
+/// shape) for a GEMM with depth `kc` and output width `n`. Tail panels
+/// are zero-padded in the N direction only.
+pub fn pack_b(variant: Variant, b: &[f32], b_cols: usize, kc: usize, n: usize) -> PackedB {
+    let panels = n.div_ceil(NR);
+    let mut data = pool::take(panels * kc * NR);
+    data.resize(panels * kc * NR, 0.0);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let jw = NR.min(n - j0);
+        let panel = &mut data[p * kc * NR..(p + 1) * kc * NR];
+        match variant {
+            // b stored kc×n: panel[k][j] = b[k*n + j0+j] — contiguous row copies.
+            Variant::Nn | Variant::Tn => {
+                for k in 0..kc {
+                    let src = &b[k * b_cols + j0..k * b_cols + j0 + jw];
+                    panel[k * NR..k * NR + jw].copy_from_slice(src);
+                }
+            }
+            // b stored n×kc: panel[k][j] = b[(j0+j)*kc + k] — the one-time
+            // transpose that removes the nt strided-access penalty.
+            Variant::Nt => {
+                for j in 0..jw {
+                    let row = &b[(j0 + j) * b_cols..(j0 + j) * b_cols + kc];
+                    for (k, &v) in row.iter().enumerate() {
+                        panel[k * NR + j] = v;
+                    }
+                }
+            }
+        }
+    }
+    PackedB { data, kc, n }
+}
+
+/// Packs `MR` rows of A starting at `i0` into `ap[k*MR + r]`,
+/// zero-padding missing rows.
+fn pack_a(
+    variant: Variant,
+    a: &[f32],
+    a_cols: usize,
+    kc: usize,
+    m: usize,
+    i0: usize,
+    ap: &mut [f32],
+) {
+    let iw = MR.min(m - i0);
+    ap[..kc * MR].fill(0.0);
+    match variant {
+        // a stored m×kc.
+        Variant::Nn | Variant::Nt => {
+            for r in 0..iw {
+                let row = &a[(i0 + r) * a_cols..(i0 + r) * a_cols + kc];
+                for (k, &v) in row.iter().enumerate() {
+                    ap[k * MR + r] = v;
+                }
+            }
+        }
+        // a stored kc×m: ap[k][r] = a[k*m + i0+r].
+        Variant::Tn => {
+            for k in 0..kc {
+                let src = &a[k * a_cols + i0..k * a_cols + i0 + iw];
+                ap[k * MR..k * MR + iw].copy_from_slice(src);
+            }
+        }
+    }
+}
+
+/// Portable micro-kernel: `tile[r][j] += Σ_k ap[k][r] * bp[k][j]`, k
+/// ascending, separate mul and add. The inner `NR`-wide loop
+/// autovectorizes; because lanes map to output columns, lane width does
+/// not affect results and this is bit-identical to the AVX2 kernel.
+fn kernel_portable(kc: usize, ap: &[f32], bp: &[f32], tile: &mut [f32; MR * NR]) {
+    let mut acc = [0.0f32; MR * NR];
+    for k in 0..kc {
+        let avs = &ap[k * MR..k * MR + MR];
+        let bvs = &bp[k * NR..k * NR + NR];
+        for (r, &av) in avs.iter().enumerate() {
+            let row = &mut acc[r * NR..(r + 1) * NR];
+            for (o, &bv) in row.iter_mut().zip(bvs) {
+                *o += av * bv;
+            }
+        }
+    }
+    *tile = acc;
+}
+
+/// AVX2 micro-kernel: 8 YMM accumulators (4 rows × 2 column vectors),
+/// explicit `mul` + `add` — deliberately not FMA, see the module docs.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn kernel_avx2(kc: usize, ap: &[f32], bp: &[f32], tile: &mut [f32; MR * NR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+    let mut c00 = _mm256_setzero_ps();
+    let mut c01 = _mm256_setzero_ps();
+    let mut c10 = _mm256_setzero_ps();
+    let mut c11 = _mm256_setzero_ps();
+    let mut c20 = _mm256_setzero_ps();
+    let mut c21 = _mm256_setzero_ps();
+    let mut c30 = _mm256_setzero_ps();
+    let mut c31 = _mm256_setzero_ps();
+    let mut aptr = ap.as_ptr();
+    let mut bptr = bp.as_ptr();
+    for _ in 0..kc {
+        let b0 = _mm256_loadu_ps(bptr);
+        let b1 = _mm256_loadu_ps(bptr.add(8));
+        let a0 = _mm256_set1_ps(*aptr);
+        c00 = _mm256_add_ps(c00, _mm256_mul_ps(a0, b0));
+        c01 = _mm256_add_ps(c01, _mm256_mul_ps(a0, b1));
+        let a1 = _mm256_set1_ps(*aptr.add(1));
+        c10 = _mm256_add_ps(c10, _mm256_mul_ps(a1, b0));
+        c11 = _mm256_add_ps(c11, _mm256_mul_ps(a1, b1));
+        let a2 = _mm256_set1_ps(*aptr.add(2));
+        c20 = _mm256_add_ps(c20, _mm256_mul_ps(a2, b0));
+        c21 = _mm256_add_ps(c21, _mm256_mul_ps(a2, b1));
+        let a3 = _mm256_set1_ps(*aptr.add(3));
+        c30 = _mm256_add_ps(c30, _mm256_mul_ps(a3, b0));
+        c31 = _mm256_add_ps(c31, _mm256_mul_ps(a3, b1));
+        aptr = aptr.add(MR);
+        bptr = bptr.add(NR);
+    }
+    let out = tile.as_mut_ptr();
+    _mm256_storeu_ps(out, c00);
+    _mm256_storeu_ps(out.add(8), c01);
+    _mm256_storeu_ps(out.add(NR), c10);
+    _mm256_storeu_ps(out.add(NR + 8), c11);
+    _mm256_storeu_ps(out.add(2 * NR), c20);
+    _mm256_storeu_ps(out.add(2 * NR + 8), c21);
+    _mm256_storeu_ps(out.add(3 * NR), c30);
+    _mm256_storeu_ps(out.add(3 * NR + 8), c31);
+}
+
+#[inline]
+fn run_kernel(kc: usize, ap: &[f32], bp: &[f32], tile: &mut [f32; MR * NR]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_active() {
+            // SAFETY: simd_active() returns true only after
+            // is_x86_feature_detected!("avx2") confirmed support, and the
+            // packed panels are at least kc*MR / kc*NR long by construction.
+            unsafe { kernel_avx2(kc, ap, bp, tile) };
+            return;
+        }
+    }
+    kernel_portable(kc, ap, bp, tile);
+}
+
+/// Computes output rows `[row0, row0 + out.len() / n)` of the GEMM into
+/// `out` (a row-major block of width `n`), reading A through `variant`'s
+/// indexing and B through the shared packed panels. Workers of the
+/// parallel path call this on disjoint row blocks; the serial path calls
+/// it once with the full output.
+pub fn gemm_rows(
+    variant: Variant,
+    a: &[f32],
+    a_cols: usize,
+    m: usize,
+    pb: &PackedB,
+    row0: usize,
+    out: &mut [f32],
+) {
+    let (kc, n) = (pb.kc, pb.n);
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    debug_assert_eq!(out.len(), rows * n);
+    if kc == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let mut ap = pool::take(kc * MR);
+    ap.resize(kc * MR, 0.0);
+    let mut tile = [0.0f32; MR * NR];
+    let mut i = row0;
+    while i < row0 + rows {
+        let iw = MR.min(row0 + rows - i);
+        // A panel must cover MR rows of the *global* matrix shape for
+        // padding; rows beyond `m` are zeroed by pack_a.
+        pack_a(variant, a, a_cols, kc, m, i, &mut ap);
+        for p in 0..pb.panels() {
+            let j0 = p * NR;
+            let jw = NR.min(n - j0);
+            run_kernel(kc, &ap, pb.panel(p), &mut tile);
+            for r in 0..iw {
+                let dst = (i - row0 + r) * n + j0;
+                out[dst..dst + jw].copy_from_slice(&tile[r * NR..r * NR + jw]);
+            }
+        }
+        i += iw;
+    }
+    pool::put(ap);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn ramp(len: usize) -> Vec<f32> {
+        (0..len).map(|i| ((i * 37 % 23) as f32) - 11.0).collect()
+    }
+
+    #[test]
+    fn packed_nn_matches_naive_on_odd_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 16, 16), (5, 17, 33), (9, 2, 16)] {
+            let a = ramp(m * k);
+            let b = ramp(k * n);
+            let pb = pack_b(Variant::Nn, &b, n, k, n);
+            let mut out = vec![0.0; m * n];
+            gemm_rows(Variant::Nn, &a, k, m, &pb, 0, &mut out);
+            assert_eq!(out, naive(m, k, n, &a, &b), "shape {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn row_blocks_compose_to_the_full_product() {
+        let (m, k, n) = (11, 13, 19);
+        let a = ramp(m * k);
+        let b = ramp(k * n);
+        let pb = pack_b(Variant::Nn, &b, n, k, n);
+        let mut whole = vec![0.0; m * n];
+        gemm_rows(Variant::Nn, &a, k, m, &pb, 0, &mut whole);
+        let mut split = vec![0.0; m * n];
+        let (top, bottom) = split.split_at_mut(6 * n);
+        gemm_rows(Variant::Nn, &a, k, m, &pb, 0, top);
+        gemm_rows(Variant::Nn, &a, k, m, &pb, 6, bottom);
+        assert_eq!(split, whole);
+    }
+
+    #[test]
+    fn zero_depth_yields_zero_output() {
+        let pb = pack_b(Variant::Nn, &[], 0, 0, 5);
+        let mut out = vec![1.0; 2 * 5];
+        gemm_rows(Variant::Nn, &[], 0, 2, &pb, 0, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+}

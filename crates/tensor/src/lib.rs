@@ -8,8 +8,14 @@
 //! algebra, so a single [`Matrix`] type with explicit-transpose matmuls is
 //! all the tensor machinery the reproduction needs.
 
+pub mod gemm;
 pub mod init;
 pub mod matrix;
+pub mod pool;
 
+pub use gemm::{force_portable, simd_active};
 pub use init::{glorot_uniform, randn, uniform};
-pub use matrix::{par_threshold, set_par_threshold, Matrix, DEFAULT_PAR_THRESHOLD};
+pub use matrix::{
+    flush_dispatch_stats, pack_threshold, par_threshold, set_pack_threshold, set_par_threshold,
+    Matrix, DEFAULT_PACK_THRESHOLD, DEFAULT_PAR_THRESHOLD,
+};

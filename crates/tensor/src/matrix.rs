@@ -1,13 +1,23 @@
 //! The [`Matrix`] type and its dense-algebra operations.
 //!
-//! The three matmul variants share per-row-range kernels, so the serial
-//! and parallel paths run the exact same floating-point operations in
-//! the exact same order per output element: results are bit-identical
-//! regardless of thread count. Products whose multiply-add count is at
-//! least [`par_threshold`] fan out across [`parallel::num_threads`]
-//! row blocks; smaller products stay on the calling thread.
+//! All matmul variants produce every output element as one ascending-k
+//! accumulation chain with separate multiply and add roundings, so the
+//! naive small-product kernels, the packed serial path, the packed
+//! parallel path and the scalar/SIMD builds of the micro-kernel are all
+//! bit-identical (see `crate::gemm` for the full contract). Dispatch is
+//! three-tier by multiply-add count: products below [`pack_threshold`]
+//! use the simple kernels (packing overhead dominates there — think the
+//! `1×H` steps inside an LSTM), products below [`par_threshold`] use the
+//! packed kernels on the calling thread, and larger products fan out
+//! across [`parallel::num_threads`] row blocks over a shared packed B.
+//!
+//! Matrix storage is drawn from the thread-local [`crate::pool`] and
+//! returned on drop, so iteration-steady workloads stop allocating.
 
+use crate::gemm::{self, Variant};
+use crate::pool;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 use std::fmt;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -43,6 +53,66 @@ pub fn set_par_threshold(madds: usize) {
     PAR_THRESHOLD.store(madds.max(1), Ordering::Relaxed);
 }
 
+/// Default minimum multiply-add count before a matmul takes the packed
+/// micro-kernel path. Below this the pack/unpack traffic costs more
+/// than it saves — the `1×input @ input×4·hidden` products inside an
+/// LSTM step are the canonical case that must stay on the naive
+/// kernels.
+pub const DEFAULT_PACK_THRESHOLD: usize = 1 << 14;
+
+/// 0 = unresolved; resolved on first use from `HISRECT_PACK_THRESHOLD`
+/// or [`DEFAULT_PACK_THRESHOLD`].
+static PACK_THRESHOLD: AtomicUsize = AtomicUsize::new(0);
+
+/// The multiply-add count at which matmuls switch to packed kernels.
+pub fn pack_threshold() -> usize {
+    match PACK_THRESHOLD.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::env::var("HISRECT_PACK_THRESHOLD")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(DEFAULT_PACK_THRESHOLD);
+            PACK_THRESHOLD.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Overrides the packed-kernel threshold process-wide (clamped to at
+/// least 1 multiply-add). Both tiers compute bit-identical results, so
+/// moving this boundary never changes output — only speed.
+pub fn set_pack_threshold(madds: usize) {
+    PACK_THRESHOLD.store(madds.max(1), Ordering::Relaxed);
+}
+
+/// Dispatch decisions accumulated per flush batch (see
+/// [`flush_dispatch_stats`]).
+const DISPATCH_FLUSH_EVERY: u64 = 256;
+
+thread_local! {
+    /// `(serial, parallel)` matmul dispatch decisions not yet published
+    /// to the obs counters.
+    static DISPATCH: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// Publishes this thread's batched `tensor/matmul_serial` /
+/// `tensor/matmul_parallel` dispatch counts to obs. Training loops call
+/// this at phase boundaries; between calls, counts are flushed
+/// automatically every [`DISPATCH_FLUSH_EVERY`] decisions.
+pub fn flush_dispatch_stats() {
+    DISPATCH.with(|d| {
+        let (serial, fanned) = d.replace((0, 0));
+        if serial > 0 {
+            obs::add("tensor/matmul_serial", serial);
+        }
+        if fanned > 0 {
+            obs::add("tensor/matmul_parallel", fanned);
+        }
+    });
+}
+
 /// k-block width for the cache-blocked `matmul` kernel: one block of B
 /// rows (64 × cols floats) stays resident while every output row in
 /// the range consumes it. Blocks are visited in ascending order, so
@@ -50,7 +120,8 @@ pub fn set_par_threshold(madds: usize) {
 const K_BLOCK: usize = 64;
 
 /// `matmul` kernel for output rows `rows` (a block of `a @ b`).
-/// `out` holds exactly those rows, zero-initialized.
+/// `out` holds exactly those rows, zero-initialized. No zero-skipping:
+/// every k-step contributes, matching the packed kernels exactly.
 fn mm_block(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
     let n = b.cols;
     for kb in (0..a.cols).step_by(K_BLOCK) {
@@ -59,9 +130,6 @@ fn mm_block(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
             let out_row = &mut out[(i - rows.start) * n..(i - rows.start + 1) * n];
             for k in kb..k_end {
                 let av = a.data[i * a.cols + k];
-                if av == 0.0 {
-                    continue;
-                }
                 let b_row = &b.data[k * n..(k + 1) * n];
                 for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += av * bv;
@@ -82,9 +150,6 @@ fn mm_tn_block(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
         let b_row = &b.data[k * n..(k + 1) * n];
         for i in rows.clone() {
             let av = a_row[i];
-            if av == 0.0 {
-                continue;
-            }
             let out_row = &mut out[(i - rows.start) * n..(i - rows.start + 1) * n];
             for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
                 *o += av * bv;
@@ -115,11 +180,31 @@ fn mm_nt_block(a: &Matrix, b: &Matrix, rows: Range<usize>, out: &mut [f32]) {
 /// Shapes are validated with assertions: shape bugs in a training loop are
 /// programmer errors, not recoverable conditions, and the matrices involved
 /// are created on hot paths where `Result` plumbing would add noise.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+/// Storage comes from and returns to the thread-local [`pool`], so
+/// `clone` is a pooled buffer plus a memcpy, not an allocation.
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        let mut data = pool::take(self.data.len());
+        data.extend_from_slice(&self.data);
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Drop for Matrix {
+    fn drop(&mut self) {
+        pool::put(std::mem::take(&mut self.data));
+    }
 }
 
 impl fmt::Debug for Matrix {
@@ -135,20 +220,14 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// A `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
+        Self::filled(rows, cols, 0.0)
     }
 
     /// A `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![value; rows * cols],
-        }
+        let mut data = pool::take(rows * cols);
+        data.resize(rows * cols, value);
+        Self { rows, cols, data }
     }
 
     /// Builds from a flat row-major buffer.
@@ -162,7 +241,7 @@ impl Matrix {
 
     /// Builds element-wise from `f(row, col)`.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = pool::take(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
                 data.push(f(r, c));
@@ -173,7 +252,9 @@ impl Matrix {
 
     /// A `1 x n` row vector from a slice.
     pub fn row_vector(values: &[f32]) -> Self {
-        Self::from_vec(1, values.len(), values.to_vec())
+        let mut data = pool::take(values.len());
+        data.extend_from_slice(values);
+        Self::from_vec(1, values.len(), data)
     }
 
     /// Number of rows.
@@ -262,40 +343,114 @@ impl Matrix {
     }
 
     /// True when a product of `madds` multiply-adds should fan out.
-    /// Each decision is counted under `tensor/matmul_parallel` /
-    /// `tensor/matmul_serial` when metrics are on (one relaxed atomic
-    /// load when they are off), so a metrics run shows how often the
-    /// dispatcher actually reached the thread pool.
+    /// Decisions are counted under `tensor/matmul_parallel` /
+    /// `tensor/matmul_serial` when metrics are on, batched in a
+    /// thread-local pair and flushed every [`DISPATCH_FLUSH_EVERY`]
+    /// decisions (plus explicitly at phase boundaries via
+    /// [`flush_dispatch_stats`]) so the hot path never takes the obs
+    /// lock per matmul.
     fn go_parallel(madds: usize) -> bool {
         let par = madds >= par_threshold() && parallel::num_threads() > 1;
-        obs::incr(if par {
-            "tensor/matmul_parallel"
-        } else {
-            "tensor/matmul_serial"
-        });
+        if obs::enabled() {
+            DISPATCH.with(|d| {
+                let (mut serial, mut fanned) = d.get();
+                if par {
+                    fanned += 1;
+                } else {
+                    serial += 1;
+                }
+                if serial + fanned >= DISPATCH_FLUSH_EVERY {
+                    obs::add("tensor/matmul_serial", serial);
+                    obs::add("tensor/matmul_parallel", fanned);
+                    d.set((0, 0));
+                } else {
+                    d.set((serial, fanned));
+                }
+            });
+        }
         par
+    }
+
+    /// Output shape and GEMM dimensions `(m, kc, n)` of `self ⋆ other`
+    /// under `variant`.
+    fn mm_dims(&self, variant: Variant, other: &Matrix) -> (usize, usize, usize) {
+        match variant {
+            Variant::Nn => (self.rows, self.cols, other.cols),
+            Variant::Tn => (self.cols, self.rows, other.cols),
+            Variant::Nt => (self.rows, self.cols, other.rows),
+        }
+    }
+
+    fn assert_variant(&self, variant: Variant, other: &Matrix) {
+        match variant {
+            Variant::Nn => self.assert_mm(other),
+            Variant::Tn => self.assert_mm_tn(other),
+            Variant::Nt => self.assert_mm_nt(other),
+        }
+    }
+
+    /// Serial product under `variant`: naive kernels below
+    /// [`pack_threshold`], the packed micro-kernel path above it. Both
+    /// tiers are bit-identical.
+    fn mm_serial(&self, variant: Variant, other: &Matrix) -> Matrix {
+        self.assert_variant(variant, other);
+        let (m, kc, n) = self.mm_dims(variant, other);
+        let mut out = Matrix::zeros(m, n);
+        if m * kc * n < pack_threshold() {
+            match variant {
+                Variant::Nn => mm_block(self, other, 0..m, &mut out.data),
+                Variant::Tn => mm_tn_block(self, other, 0..m, &mut out.data),
+                Variant::Nt => mm_nt_block(self, other, 0..m, &mut out.data),
+            }
+        } else {
+            let pb = gemm::pack_b(variant, &other.data, other.cols, kc, n);
+            gemm::gemm_rows(variant, &self.data, self.cols, m, &pb, 0, &mut out.data);
+        }
+        out
+    }
+
+    /// Parallel product under `variant`: B is packed once on the calling
+    /// thread and shared read-only; each worker packs its own A panels
+    /// and writes a disjoint block of output rows, so every element is
+    /// still one ascending-k chain computed by exactly one worker.
+    fn mm_parallel(&self, variant: Variant, other: &Matrix, threads: usize) -> Matrix {
+        self.assert_variant(variant, other);
+        let (m, kc, n) = self.mm_dims(variant, other);
+        let mut out = Matrix::zeros(m, n);
+        let pb = gemm::pack_b(variant, &other.data, other.cols, kc, n);
+        parallel::scope_partition_mut_with(threads, &mut out.data, n, m, |rows, block| {
+            gemm::gemm_rows(variant, &self.data, self.cols, m, &pb, rows.start, block);
+        });
+        out
+    }
+
+    /// Auto-dispatched product under `variant`: serial below
+    /// [`par_threshold`], otherwise fanned out over a worker count
+    /// clamped so each worker gets at least a threshold's worth of
+    /// multiply-adds.
+    fn mm_auto(&self, variant: Variant, other: &Matrix) -> Matrix {
+        let (m, kc, n) = self.mm_dims(variant, other);
+        let work = m * kc * n;
+        if Self::go_parallel(work) {
+            let threads = parallel::clamp_workers(work, par_threshold());
+            self.mm_parallel(variant, other, threads)
+        } else {
+            self.mm_serial(variant, other)
+        }
     }
 
     /// `self @ other` — standard matrix product.
     ///
-    /// Dispatches to [`Matrix::matmul_parallel`] when the work is at
-    /// least [`par_threshold`] and more than one worker is configured;
-    /// both paths produce bit-identical results.
+    /// Dispatches to the parallel path when the work is at least
+    /// [`par_threshold`] and more than one worker is configured; all
+    /// paths produce bit-identical results.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        self.assert_mm(other);
-        if Self::go_parallel(self.rows * self.cols * other.cols) {
-            self.matmul_parallel(other)
-        } else {
-            self.matmul_serial(other)
-        }
+        self.mm_auto(Variant::Nn, other)
     }
 
     /// `self @ other` on the calling thread only.
     pub fn matmul_serial(&self, other: &Matrix) -> Matrix {
-        self.assert_mm(other);
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        mm_block(self, other, 0..self.rows, &mut out.data);
-        out
+        self.mm_serial(Variant::Nn, other)
     }
 
     /// `self @ other` partitioned over [`parallel::num_threads`]
@@ -306,16 +461,7 @@ impl Matrix {
 
     /// `self @ other` partitioned over an explicit worker count.
     pub fn matmul_parallel_with(&self, other: &Matrix, threads: usize) -> Matrix {
-        self.assert_mm(other);
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        parallel::scope_partition_mut_with(
-            threads,
-            &mut out.data,
-            other.cols,
-            self.rows,
-            |rows, block| mm_block(self, other, rows, block),
-        );
-        out
+        self.mm_parallel(Variant::Nn, other, threads)
     }
 
     /// `selfᵀ @ other` without materializing the transpose.
@@ -323,20 +469,12 @@ impl Matrix {
     /// Same dispatch rule as [`Matrix::matmul`]; bit-identical across
     /// thread counts.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
-        self.assert_mm_tn(other);
-        if Self::go_parallel(self.rows * self.cols * other.cols) {
-            self.matmul_tn_parallel(other)
-        } else {
-            self.matmul_tn_serial(other)
-        }
+        self.mm_auto(Variant::Tn, other)
     }
 
     /// `selfᵀ @ other` on the calling thread only.
     pub fn matmul_tn_serial(&self, other: &Matrix) -> Matrix {
-        self.assert_mm_tn(other);
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        mm_tn_block(self, other, 0..self.cols, &mut out.data);
-        out
+        self.mm_serial(Variant::Tn, other)
     }
 
     /// `selfᵀ @ other` partitioned over [`parallel::num_threads`]
@@ -347,37 +485,22 @@ impl Matrix {
 
     /// `selfᵀ @ other` partitioned over an explicit worker count.
     pub fn matmul_tn_parallel_with(&self, other: &Matrix, threads: usize) -> Matrix {
-        self.assert_mm_tn(other);
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        parallel::scope_partition_mut_with(
-            threads,
-            &mut out.data,
-            other.cols,
-            self.cols,
-            |rows, block| mm_tn_block(self, other, rows, block),
-        );
-        out
+        self.mm_parallel(Variant::Tn, other, threads)
     }
 
-    /// `self @ otherᵀ` without materializing the transpose.
+    /// `self @ otherᵀ` without materializing the transpose — the packed
+    /// path repacks `other` k-major once, so this no longer pays a
+    /// strided-access penalty over plain [`Matrix::matmul`].
     ///
     /// Same dispatch rule as [`Matrix::matmul`]; bit-identical across
     /// thread counts.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
-        self.assert_mm_nt(other);
-        if Self::go_parallel(self.rows * self.cols * other.rows) {
-            self.matmul_nt_parallel(other)
-        } else {
-            self.matmul_nt_serial(other)
-        }
+        self.mm_auto(Variant::Nt, other)
     }
 
     /// `self @ otherᵀ` on the calling thread only.
     pub fn matmul_nt_serial(&self, other: &Matrix) -> Matrix {
-        self.assert_mm_nt(other);
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        mm_nt_block(self, other, 0..self.rows, &mut out.data);
-        out
+        self.mm_serial(Variant::Nt, other)
     }
 
     /// `self @ otherᵀ` partitioned over [`parallel::num_threads`]
@@ -388,16 +511,7 @@ impl Matrix {
 
     /// `self @ otherᵀ` partitioned over an explicit worker count.
     pub fn matmul_nt_parallel_with(&self, other: &Matrix, threads: usize) -> Matrix {
-        self.assert_mm_nt(other);
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        parallel::scope_partition_mut_with(
-            threads,
-            &mut out.data,
-            other.rows,
-            self.rows,
-            |rows, block| mm_nt_block(self, other, rows, block),
-        );
-        out
+        self.mm_parallel(Variant::Nt, other, threads)
     }
 
     /// Materialized transpose.
@@ -474,25 +588,72 @@ impl Matrix {
 
     /// New matrix with `f` applied element-wise.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let mut data = pool::take(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
         }
     }
 
     /// New matrix with `f` applied pairwise (shapes must match).
     pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         self.assert_same_shape(other, "zip_map");
+        let mut data = pool::take(self.data.len());
+        data.extend(
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b)),
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data,
+        }
+    }
+
+    /// Element-wise logistic sigmoid `1 / (1 + e^{-x})` — the single
+    /// fused pass every sigmoid in the tape and the serve path uses.
+    pub fn sigmoid(&self) -> Matrix {
+        self.map(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Element-wise hyperbolic tangent.
+    pub fn tanh(&self) -> Matrix {
+        self.map(f32::tanh)
+    }
+
+    /// Element-wise rectifier `max(x, 0)`.
+    pub fn relu(&self) -> Matrix {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Row-wise numerically-stable softmax: per row, subtract the row
+    /// max, exponentiate, then normalize by the ascending-order sum of
+    /// exponentials — one fused pass, the exact operation order the
+    /// softmax cross-entropy loss uses.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut data = pool::take(self.data.len());
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let base = data.len();
+            let mut denom = 0.0f32;
+            for &v in row {
+                let e = (v - max).exp();
+                denom += e;
+                data.push(e);
+            }
+            for p in &mut data[base..] {
+                *p /= denom;
+            }
+        }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
         }
     }
 
@@ -523,7 +684,7 @@ impl Matrix {
     /// Vertical concatenation (same column count).
     pub fn concat_rows(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "concat_rows col mismatch");
-        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        let mut data = pool::take(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
         Matrix::from_vec(self.rows + other.rows, self.cols, data)

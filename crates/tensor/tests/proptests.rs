@@ -137,6 +137,91 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Packed/SIMD kernels vs a naive reference
+// ---------------------------------------------------------------------------
+
+/// Naive reference product: one ascending-k accumulation chain per
+/// element with separate multiply and add — the documented summation
+/// order every kernel tier must reproduce bit-for-bit.
+fn reference(
+    m: usize,
+    k: usize,
+    n: usize,
+    a_at: impl Fn(usize, usize) -> f32,
+    b_at: impl Fn(usize, usize) -> f32,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a_at(i, kk) * b_at(kk, j);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Serializes tests that override the process-global pack threshold or
+/// SIMD dispatch. Results are bit-identical on every path, so other
+/// concurrently running tests are unaffected — this only guarantees
+/// each toggling test really exercises the tier it names.
+static TOGGLE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+proptest! {
+    /// The packed micro-kernel path (threshold forced to 1) and the
+    /// naive small-product path (threshold forced past everything) must
+    /// both reproduce the reference bits for all three variants, on
+    /// shapes deliberately not multiples of the 4×16 register tile.
+    #[test]
+    fn packed_kernels_bitwise_equal_naive_reference(
+        m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..1 << 32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = randn(&mut rng, m, k, 1.0);
+        let at = randn(&mut rng, k, m, 1.0);
+        let b = randn(&mut rng, k, n, 1.0);
+        let bt = randn(&mut rng, n, k, 1.0);
+        let want_nn = reference(m, k, n, |i, kk| a.get(i, kk), |kk, j| b.get(kk, j));
+        let want_tn = reference(m, k, n, |i, kk| at.get(kk, i), |kk, j| b.get(kk, j));
+        let want_nt = reference(m, k, n, |i, kk| a.get(i, kk), |kk, j| bt.get(j, kk));
+        let guard = TOGGLE.lock().unwrap();
+        for threshold in [1, usize::MAX] {
+            tensor::set_pack_threshold(threshold);
+            prop_assert_eq!(a.matmul_serial(&b).as_slice(), &want_nn[..]);
+            prop_assert_eq!(at.matmul_tn_serial(&b).as_slice(), &want_tn[..]);
+            prop_assert_eq!(a.matmul_nt_serial(&bt).as_slice(), &want_nt[..]);
+        }
+        tensor::set_pack_threshold(tensor::DEFAULT_PACK_THRESHOLD);
+        drop(guard);
+    }
+
+    /// Scalar-vs-SIMD bit-identity: the portable kernel (forced) and
+    /// whatever `simd_active()` dispatch picks must agree exactly, and
+    /// both must match the naive reference.
+    #[test]
+    fn simd_and_portable_kernels_bitwise_equal(
+        m in 1usize..24, k in 1usize..48, n in 1usize..48, seed in 0u64..1 << 32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = randn(&mut rng, m, k, 1.0);
+        let b = randn(&mut rng, k, n, 1.0);
+        let want = reference(m, k, n, |i, kk| a.get(i, kk), |kk, j| b.get(kk, j));
+        let guard = TOGGLE.lock().unwrap();
+        tensor::set_pack_threshold(1); // force the packed path at any size
+        tensor::force_portable(Some(true));
+        let portable = a.matmul_serial(&b);
+        tensor::force_portable(Some(false));
+        let dispatched = a.matmul_serial(&b);
+        tensor::set_pack_threshold(tensor::DEFAULT_PACK_THRESHOLD);
+        drop(guard);
+        prop_assert_eq!(portable.as_slice(), &want[..]);
+        prop_assert_eq!(dispatched.as_slice(), &want[..]);
+    }
+}
+
 /// Forcing the auto entry points onto the parallel path (threshold = 1)
 /// still reproduces the serial bits exactly. Threshold is process-global
 /// state; results stay bit-identical for every other concurrently running

@@ -1,0 +1,54 @@
+//! Acceptance test for the tape buffer pool: training with the pool on
+//! must allocate at most a tenth of what the identical run allocates
+//! with the pool bypassed (the "≥90% fewer allocations per epoch"
+//! criterion). Allocation counts come from the pool's own counters —
+//! with the pool disabled every take is recorded as a miss, so the two
+//! runs are directly comparable.
+
+use hisrect::config::{ApproachSpec, HisRectConfig};
+use hisrect::model::HisRectModel;
+use tensor::pool;
+use twitter_sim::{generate, Dataset, SimConfig};
+
+fn spec() -> ApproachSpec {
+    ApproachSpec::hisrect().with_config(|c| {
+        *c = HisRectConfig {
+            featurizer_iters: 60,
+            judge_iters: 60,
+            ..HisRectConfig::fast()
+        };
+    })
+}
+
+/// Matrix allocations (pool misses) during one full training run. The
+/// tiny config keeps every matmul under the parallel threshold, so all
+/// allocations land on this thread's pool and nothing escapes to
+/// short-lived workers.
+fn misses_during_training(ds: &Dataset, pool_on: bool) -> u64 {
+    pool::clear();
+    pool::set_enabled(pool_on);
+    pool::reset_stats();
+    let model = HisRectModel::train(ds, &spec(), 5);
+    assert!(!model.ssl_stats.poi_losses.is_empty());
+    assert!(!model.judge_losses.is_empty());
+    let stats = pool::stats();
+    eprintln!("pool_on={pool_on}: {stats:?}");
+    pool::set_enabled(true);
+    pool::clear();
+    stats.misses
+}
+
+#[test]
+fn pool_cuts_training_allocations_by_90_percent() {
+    let ds = generate(&SimConfig::tiny(5));
+    let without_pool = misses_during_training(&ds, false);
+    let with_pool = misses_during_training(&ds, true);
+    assert!(
+        without_pool > 1_000,
+        "bypass run should allocate per iteration: {without_pool}"
+    );
+    assert!(
+        with_pool * 10 <= without_pool,
+        "pool saved too little: {with_pool} allocations with pool vs {without_pool} without"
+    );
+}
