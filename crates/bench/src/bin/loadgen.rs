@@ -10,8 +10,11 @@
 //!
 //! Tunables: `HISRECT_LOADGEN_CLIENTS` (default 8 closed-loop clients),
 //! `HISRECT_LOADGEN_REQUESTS` (default 50 per client),
-//! `HISRECT_LOADGEN_POOL` (default 12 profiles in the pair pool) and
-//! `HISRECT_SEED` (corpus assembly seed, default 7 to match the CLI).
+//! `HISRECT_LOADGEN_POOL` (default 12 profiles in the pair pool),
+//! `HISRECT_LOADGEN_PRECISION` (f32|int8 for the in-process server,
+//! default f32) and `HISRECT_SEED` (corpus assembly seed, default 7 to
+//! match the CLI). The report records the precision and kernel tier the
+//! target server advertises plus its batch-size distribution.
 //! `HISRECT_METRICS=1` additionally saves an obs snapshot next to the
 //! report.
 //!
@@ -68,6 +71,32 @@ struct GateCounters {
     panics: u64,
 }
 
+/// Flushes per batch-size bucket, scraped from the `serve/batch_bucket_*`
+/// counters the batcher maintains (the server enables obs, so these are
+/// live in both targeting modes).
+fn scrape_batch_distribution(addr: SocketAddr) -> Result<Vec<(String, u64)>, String> {
+    let mut client = HttpClient::new(addr);
+    let resp = client
+        .get("/metrics")
+        .map_err(|e| format!("/metrics: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("/metrics returned {}", resp.status));
+    }
+    let snapshot: serde::Value =
+        serde_json::from_str(&resp.body).map_err(|e| format!("/metrics body: {e}"))?;
+    Ok(serve::batcher::BATCH_BUCKET_LABELS
+        .iter()
+        .map(|label| {
+            let count = snapshot
+                .get("counters")
+                .and_then(|c| c.get(format!("serve/batch_bucket_{label}").as_str()))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0);
+            (label.to_string(), count)
+        })
+        .collect())
+}
+
 impl GateCounters {
     fn mean_batch_size(&self) -> f64 {
         if self.batches == 0 {
@@ -103,8 +132,15 @@ fn scrape_counters(addr: SocketAddr) -> Result<GateCounters, String> {
     })
 }
 
-/// Number of profiles the server judges over, from `/healthz`.
-fn probe_profiles(addr: SocketAddr) -> Result<usize, String> {
+/// What `/healthz` advertises about the served model: profile count,
+/// inference precision, and the active kernel tier.
+struct Health {
+    profiles: usize,
+    precision: String,
+    kernel: String,
+}
+
+fn probe_health(addr: SocketAddr) -> Result<Health, String> {
     let mut client = HttpClient::new(addr);
     let resp = client
         .get("/healthz")
@@ -114,10 +150,20 @@ fn probe_profiles(addr: SocketAddr) -> Result<usize, String> {
     }
     let body: serde::Value =
         serde_json::from_str(&resp.body).map_err(|e| format!("/healthz body: {e}"))?;
-    body.get("profiles")
-        .and_then(|v| v.as_u64())
-        .map(|n| n as usize)
-        .ok_or_else(|| "healthz body lacks `profiles`".to_string())
+    let string_field = |name: &str| -> String {
+        body.get(name)
+            .and_then(|v| v.as_str().map(str::to_string))
+            .unwrap_or_else(|| "unknown".to_string())
+    };
+    Ok(Health {
+        profiles: body
+            .get("profiles")
+            .and_then(|v| v.as_u64())
+            .map(|n| n as usize)
+            .ok_or_else(|| "healthz body lacks `profiles`".to_string())?,
+        precision: string_field("precision"),
+        kernel: string_field("kernel"),
+    })
 }
 
 fn spawn_in_process() -> Result<ServerHandle, String> {
@@ -129,13 +175,20 @@ fn spawn_in_process() -> Result<ServerHandle, String> {
     let model =
         std::env::var("HISRECT_MODEL").map_err(|_| "HISRECT_MODEL is not set".to_string())?;
     let seed = env_usize("HISRECT_SEED", 7) as u64;
+    let precision: hisrect::Precision = match std::env::var("HISRECT_LOADGEN_PRECISION") {
+        Ok(v) => v
+            .parse()
+            .map_err(|e| format!("HISRECT_LOADGEN_PRECISION: {e}"))?,
+        Err(_) => hisrect::Precision::F32,
+    };
     let ds = CorpusFile::load(Path::new(&corpus))
         .map_err(|e| format!("{corpus}: {e}"))?
         .to_dataset(seed);
-    let registry = ModelRegistry::load(Path::new(&model), Arc::new(ds))
+    let registry = ModelRegistry::load_with_precision(Path::new(&model), Arc::new(ds), precision)
         .map_err(|e| format!("{model}: {e}"))?;
     let config = ServeConfig {
         addr: "127.0.0.1:0".into(),
+        precision,
         ..ServeConfig::default()
     };
     serve::serve(config, registry).map_err(|e| format!("serve: {e}"))
@@ -167,6 +220,13 @@ struct LoadgenRow {
     status_5xx: u64,
     cache_hits: u64,
     mean_batch_size: f64,
+    /// Flushes per batch-size bucket (`[label, count]` pairs, smallest
+    /// bucket first), scraped from the `serve/batch_bucket_*` counters.
+    batch_size_dist: Vec<(String, u64)>,
+    /// Inference precision the target server reported (`f32` / `int8`).
+    precision: String,
+    /// Kernel tier the target server reported (`avx2` / `portable`).
+    kernel: String,
     panics: u64,
 }
 
@@ -186,13 +246,14 @@ fn run() -> Result<LoadgenRow, String> {
         (None, Err(_)) => unreachable!("spawn_in_process errors before this"),
     };
 
-    let profiles = probe_profiles(addr)?;
-    if profiles < 2 {
+    let health = probe_health(addr)?;
+    if health.profiles < 2 {
         return Err(format!(
-            "server judges over {profiles} profile(s); need >= 2"
+            "server judges over {} profile(s); need >= 2",
+            health.profiles
         ));
     }
-    let pool = env_usize("HISRECT_LOADGEN_POOL", 12).clamp(2, profiles);
+    let pool = env_usize("HISRECT_LOADGEN_POOL", 12).clamp(2, health.profiles);
 
     let start = Instant::now();
     let mut threads = Vec::new();
@@ -237,6 +298,7 @@ fn run() -> Result<LoadgenRow, String> {
         }
         None => scrape_counters(addr)?,
     };
+    let batch_size_dist = scrape_batch_distribution(addr)?;
     if let Some(h) = handle {
         h.shutdown();
     }
@@ -268,6 +330,9 @@ fn run() -> Result<LoadgenRow, String> {
         status_5xx: count_class(500, 599),
         cache_hits: counters.cache_hits,
         mean_batch_size: counters.mean_batch_size(),
+        batch_size_dist,
+        precision: health.precision,
+        kernel: health.kernel,
         panics: counters.panics,
     })
 }
@@ -304,6 +369,16 @@ fn main() -> ExitCode {
     report.line(&format!(
         "latency vs seed baseline: p50 {:+.1}%, p95 {:+.1}%, p99 {:+.1}%",
         row.p50_delta_pct, row.p95_delta_pct, row.p99_delta_pct
+    ));
+    report.line(&format!(
+        "precision {}, kernel {}, batch-size dist {}",
+        row.precision,
+        row.kernel,
+        row.batch_size_dist
+            .iter()
+            .map(|(label, n)| format!("{label}:{n}"))
+            .collect::<Vec<_>>()
+            .join(" ")
     ));
     report.save(&row);
 

@@ -7,7 +7,7 @@ use hisrect::ckpt::CheckpointConfig;
 use hisrect::clustering::{cluster_by_threshold, partition_pattern};
 use hisrect::config::ApproachSpec;
 use hisrect::model::{Ablation, HisRectModel};
-use hisrect::{JudgeService, Judgement};
+use hisrect::{JudgeService, Judgement, Precision};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -26,6 +26,15 @@ fn load_dataset(flags: &Flags) -> Result<Dataset, String> {
 fn load_model(flags: &Flags) -> Result<HisRectModel, String> {
     let path = flags.require("model")?;
     HisRectModel::try_load_json(Path::new(path)).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `--precision {f32,int8}`, defaulting to f32. Surfaces the parser's
+/// own message, which names the accepted values.
+fn parse_precision(flags: &Flags) -> Result<Precision, String> {
+    match flags.get("precision") {
+        None => Ok(Precision::F32),
+        Some(v) => v.parse().map_err(|e| format!("--precision: {e}")),
+    }
 }
 
 fn approach_by_name(name: &str) -> Result<ApproachSpec, String> {
@@ -162,7 +171,8 @@ fn parse_pair(spec: &str, ds: &Dataset) -> Result<(ProfileIdx, ProfileIdx), Stri
 pub fn judge(flags: &Flags) -> Result<(), String> {
     let ds = load_dataset(flags)?;
     let model = load_model(flags)?;
-    let service = JudgeService::new(model, ds.world.pois.clone());
+    let precision = parse_precision(flags)?;
+    let service = JudgeService::with_precision(model, ds.world.pois.clone(), precision);
 
     // Single-pair mode: print exactly the JSON the serving layer answers
     // for this pair, so `judge --pair` and `POST /judge` are comparable
@@ -308,9 +318,14 @@ pub fn serve_cmd(flags: &Flags) -> Result<(), String> {
         batch_deadline: Duration::from_millis(flags.parse_or("batch-deadline-ms", 2u64)?),
         queue_depth: flags.parse_or("queue-depth", 128usize)?,
         limits: serve::http::Limits::default(),
+        precision: parse_precision(flags)?,
     };
-    let registry = serve::ModelRegistry::load(Path::new(model_path), Arc::new(ds))
-        .map_err(|e| format!("{model_path}: {e}"))?;
+    let registry = serve::ModelRegistry::load_with_precision(
+        Path::new(model_path),
+        Arc::new(ds),
+        config.precision,
+    )
+    .map_err(|e| format!("{model_path}: {e}"))?;
     let handle = serve::serve(config, registry).map_err(|e| format!("{addr}: {e}"))?;
     // Announce the resolved address (port 0 picks one) and flush: test
     // harnesses and scripts read this line through a pipe.

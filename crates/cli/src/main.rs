@@ -29,12 +29,12 @@ COMMANDS:
     stats      Print Table-2-style corpus statistics  (--corpus FILE [--seed N])
     train      Train an approach on a corpus          (--corpus FILE --out FILE [--approach NAME] [--seed N] [--iters N] [--judge-iters N] [--early-stop true]
                                                        [--checkpoint-dir DIR] [--checkpoint-every N] [--resume true])
-    judge      Evaluate co-location on the test split (--corpus FILE --model FILE [--seed N] [--pair I,J])
+    judge      Evaluate co-location on the test split (--corpus FILE --model FILE [--seed N] [--pair I,J] [--precision f32|int8])
     infer      POI inference Acc@K on the test split  (--corpus FILE --model FILE [--top-k K] [--seed N])
     cluster    Cluster concurrent test profiles       (--corpus FILE --model FILE [--group-size N] [--seed N])
     serve      Online co-location inference server    (--corpus FILE --model FILE [--addr HOST:PORT] [--workers N]
                                                        [--cache-capacity N] [--batch-size N] [--batch-deadline-ms MS]
-                                                       [--queue-depth N])
+                                                       [--queue-depth N] [--precision f32|int8])
     help       Show this message
 
 GLOBAL FLAGS:

@@ -637,3 +637,145 @@ fn served_judgement_is_byte_identical_to_cli_judge_pair() {
     child.wait().ok();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Acceptance: the int8 path is one path — a server started with
+/// `--precision int8` answers `/judge` with exactly the bytes of
+/// `judge --pair --precision int8`, and rejects a garbled precision.
+#[test]
+fn served_int8_judgement_is_byte_identical_to_cli_judge_pair() {
+    use std::io::{BufRead, BufReader, Read as _, Write as _};
+
+    let dir = tmpdir("serveint8");
+    let corpus = dir.join("corpus.json");
+    let model = dir.join("model.json");
+    let corpus_s = corpus.to_str().unwrap();
+    let model_s = model.to_str().unwrap();
+
+    let out = run(&[
+        "simulate", "--preset", "tiny", "--seed", "13", "--out", corpus_s,
+    ]);
+    assert!(out.status.success(), "simulate: {}", stderr(&out));
+    let out = run(&[
+        "train",
+        "--corpus",
+        corpus_s,
+        "--out",
+        model_s,
+        "--seed",
+        "13",
+        "--iters",
+        "40",
+        "--judge-iters",
+        "40",
+    ]);
+    assert!(out.status.success(), "train: {}", stderr(&out));
+
+    // A bad precision fails fast, before any model work.
+    let out = run(&[
+        "judge",
+        "--corpus",
+        corpus_s,
+        "--model",
+        model_s,
+        "--pair",
+        "0,1",
+        "--precision",
+        "fp16",
+    ]);
+    assert!(!out.status.success(), "bad precision must be rejected");
+    assert!(
+        stderr(&out).contains("--precision"),
+        "diagnostic names the flag: {}",
+        stderr(&out)
+    );
+
+    // Offline int8 references via the CLI's canonical single-pair output.
+    let pairs = [(0usize, 1usize), (2, 3)];
+    let mut offline = Vec::new();
+    for (i, j) in pairs {
+        let out = run(&[
+            "judge",
+            "--corpus",
+            corpus_s,
+            "--model",
+            model_s,
+            "--pair",
+            &format!("{i},{j}"),
+            "--precision",
+            "int8",
+        ]);
+        assert!(out.status.success(), "judge --pair int8: {}", stderr(&out));
+        let line = stdout(&out).trim_end().to_string();
+        assert!(
+            line.starts_with('{') && line.contains("\"p_co\":"),
+            "{line}"
+        );
+        offline.push(line);
+    }
+
+    let mut child = bin()
+        .args([
+            "serve",
+            "--corpus",
+            corpus_s,
+            "--model",
+            model_s,
+            "--addr",
+            "127.0.0.1:0",
+            "--precision",
+            "int8",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut line = String::new();
+    BufReader::new(child.stdout.as_mut().expect("stdout piped"))
+        .read_line(&mut line)
+        .expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected announce line: {line}"))
+        .to_string();
+
+    let request = |method: &str, path: &str, body: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect to server");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        assert!(
+            response.starts_with("HTTP/1.1 200 OK\r\n"),
+            "bad response: {response}"
+        );
+        let (_, body) = response
+            .split_once("\r\n\r\n")
+            .expect("response has a body");
+        body.to_string()
+    };
+
+    let health = request("GET", "/healthz", "");
+    assert!(
+        health.contains("\"precision\":\"int8\""),
+        "healthz must advertise int8: {health}"
+    );
+
+    for (k, &(i, j)) in pairs.iter().enumerate() {
+        let body = format!("{{\"i\":{i},\"j\":{j}}}");
+        let cold = request("POST", "/judge", &body);
+        assert_eq!(cold, offline[k], "cold-cache int8 bytes differ from CLI");
+        let warm = request("POST", "/judge", &body);
+        assert_eq!(warm, offline[k], "warm-cache int8 bytes differ from CLI");
+    }
+
+    child.kill().ok();
+    child.wait().ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -3,7 +3,7 @@
 
 use crate::config::{ContentEncoder, HisRectConfig, HistoryEncoder};
 use crate::fc::ContentNet;
-use nn::{FeedForward, ParamId, ParamStore, Tape, Var};
+use nn::{FeedForward, ParamId, ParamStore, QuantFeedForward, Tape, Var};
 use rand::Rng;
 use tensor::Matrix;
 
@@ -157,6 +157,51 @@ impl Featurizer {
         let mut tape = Tape::new();
         let f = self.forward_batch(&mut tape, store, inputs, false, &mut rng);
         tape.value(f).clone()
+    }
+
+    /// Int8 mirror of the `Qf`-layer head, derived from the trained f32
+    /// parameters (which stay in the store).
+    pub fn quantize_head(&self, store: &ParamStore) -> QuantFeedForward {
+        QuantFeedForward::from_feed_forward(store, &self.head)
+    }
+
+    /// The pre-head `[Fv | Fc]` batch matrix in evaluation mode — the
+    /// input the quantized head consumes. The recurrent content encoder
+    /// stays f32 (ragged per-tweet recurrences quantize poorly and are
+    /// off the per-request hot path: serving caches `F(r)` per profile).
+    pub fn eval_inputs(&self, store: &ParamStore, inputs: &[&ProfileInput]) -> Matrix {
+        assert!(!inputs.is_empty(), "empty featurizer batch");
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut tape = Tape::new();
+        let mut rows: Vec<Var> = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let mut parts: Vec<Var> = Vec::with_capacity(2);
+            if self.fv_dim > 0 {
+                assert_eq!(input.fv.len(), self.fv_dim, "Fv width mismatch");
+                parts.push(tape.input(Matrix::row_vector(&input.fv)));
+            }
+            if let Some(content) = &self.content {
+                parts.push(content.forward(&mut tape, store, &input.words, false, &mut rng));
+            }
+            let row = match parts.len() {
+                1 => parts[0],
+                _ => tape.concat_cols(parts[0], parts[1]),
+            };
+            rows.push(row);
+        }
+        let x = tape.stack_rows(&rows);
+        tape.value(x).clone()
+    }
+
+    /// Evaluation-mode features through a quantized head.
+    pub fn features_quant(
+        &self,
+        store: &ParamStore,
+        inputs: &[&ProfileInput],
+        qhead: &QuantFeedForward,
+    ) -> Matrix {
+        let x = self.eval_inputs(store, inputs);
+        qhead.forward(&x)
     }
 }
 

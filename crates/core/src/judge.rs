@@ -10,9 +10,10 @@ use crate::config::HisRectConfig;
 use crate::error::TrainError;
 use crate::ssl::{inject_nan_grad, rollback, MAX_RETRIES, RECOVERY_EVERY};
 use faultsim::FaultKind;
-use nn::{Adam, AdamConfig, FeedForward, ParamId, ParamStore, Tape, Var};
+use nn::{Adam, AdamConfig, FeedForward, ParamId, ParamStore, QuantFeedForward, Tape, Var};
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::cell::RefCell;
 use tensor::Matrix;
 
 /// Checkpoint-phase name of the judge stage.
@@ -92,6 +93,81 @@ impl Judge {
     /// Single-pair convenience over row-vector features.
     pub fn predict(&self, store: &ParamStore, fi: &[f32], fj: &[f32]) -> f32 {
         self.predict_batch(store, &Matrix::row_vector(fi), &Matrix::row_vector(fj))[0]
+    }
+
+    /// Derives the int8 inference mirror of both stacks from the trained
+    /// f32 parameters (which stay in the store untouched).
+    pub fn quantize(&self, store: &ParamStore) -> QuantJudge {
+        QuantJudge {
+            e2: QuantFeedForward::from_feed_forward(store, &self.e2),
+            c: QuantFeedForward::from_feed_forward(store, &self.c),
+        }
+    }
+}
+
+/// Int8-quantized judge for the serving path: the same
+/// `σ(C(|E′(fi) − E′(fj)|))` pipeline, but through
+/// [`nn::QuantFeedForward`] stacks off-tape. Every step — the two `E′`
+/// embeddings, the element-wise absolute difference and the classifier —
+/// treats batch rows independently, so a fused batch is bit-identical to
+/// per-pair calls.
+#[derive(Debug, Clone)]
+pub struct QuantJudge {
+    /// Quantized `E′`.
+    pub e2: QuantFeedForward,
+    /// Quantized `C`.
+    pub c: QuantFeedForward,
+}
+
+impl QuantJudge {
+    /// Co-location probabilities for batched cached features. Feeds the
+    /// same `judge/pair_latency_ns` histogram as the f32 path so latency
+    /// dashboards compare precisions directly.
+    pub fn predict_batch(&self, fi: &Matrix, fj: &Matrix) -> Vec<f32> {
+        let t0 = obs::enabled().then(std::time::Instant::now);
+        let ei = self.e2.forward(fi);
+        let ej = self.e2.forward(fj);
+        let diff = ei.zip_map(&ej, |a, b| (a - b).abs());
+        let logits = self.c.forward(&diff);
+        let probs: Vec<f32> = logits
+            .as_slice()
+            .iter()
+            .map(|&z| 1.0 / (1.0 + (-z).exp()))
+            .collect();
+        if let Some(t0) = t0 {
+            if !probs.is_empty() {
+                let per_pair_ns = t0.elapsed().as_nanos() as f64 / probs.len() as f64;
+                obs::observe_n("judge/pair_latency_ns", per_pair_ns, probs.len() as u64);
+            }
+        }
+        probs
+    }
+
+    /// Single-pair judgement on the heap-free row path: no `Matrix`
+    /// construction at all, activations live in grow-only thread-local
+    /// buffers. Every f32 operation is the same (and in the same order)
+    /// as one row of [`QuantJudge::predict_batch`], so the probability is
+    /// bit-identical to the fused-batch result for this pair.
+    pub fn predict(&self, fi: &[f32], fj: &[f32]) -> f32 {
+        thread_local! {
+            static PAIR_SCRATCH: RefCell<(Vec<f32>, Vec<f32>, Vec<f32>)> =
+                const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+        }
+        let t0 = obs::enabled().then(std::time::Instant::now);
+        let p = PAIR_SCRATCH.with(|s| {
+            let (ei, ej, z) = &mut *s.borrow_mut();
+            self.e2.forward_row(fi, ei);
+            self.e2.forward_row(fj, ej);
+            for (a, &b) in ei.iter_mut().zip(ej.iter()) {
+                *a = (*a - b).abs();
+            }
+            self.c.forward_row(ei, z);
+            1.0 / (1.0 + (-z[0]).exp())
+        });
+        if let Some(t0) = t0 {
+            obs::observe("judge/pair_latency_ns", t0.elapsed().as_nanos() as f64);
+        }
+        p
     }
 }
 

@@ -54,5 +54,5 @@ pub mod ssl;
 pub use ckpt::CheckpointConfig;
 pub use config::{ApproachSpec, ContentEncoder, HisRectConfig, HistoryEncoder, UnsupLoss};
 pub use error::{ModelError, TrainError};
-pub use model::HisRectModel;
+pub use model::{HisRectModel, Precision, QuantModel};
 pub use service::{profile_fingerprint, JudgeService, Judgement};

@@ -7,10 +7,11 @@ use crate::config::{ApproachSpec, HistoryEncoder, TrainMode};
 use crate::error::{ModelError, TrainError};
 use crate::featurizer::{Featurizer, ProfileInput};
 use crate::fv::{fv_feature, one_hot_feature};
-use crate::judge::{comp2loc, try_train_judge, FeaturePair, Judge};
+use crate::judge::{comp2loc, try_train_judge, FeaturePair, Judge, QuantJudge};
 use crate::ssl::{try_train_featurizer_with_validation, SslNets, SslStats};
 use faultsim::FaultKind;
 use nn::params::ParamSnapshot;
+use nn::QuantFeedForward;
 use nn::{Adam, AdamConfig, ParamStore, Tape};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,6 +28,67 @@ pub struct Ablation {
     pub drop_history: bool,
     /// HisRect\T: blank the tweet content.
     pub drop_content: bool,
+}
+
+/// Numeric precision of the inference path. Training is always f32;
+/// `Int8` derives a quantized mirror of the feed-forward stacks at model
+/// load ([`HisRectModel::quantize`]) while the f32 parameters stay
+/// authoritative for checkpoints and hot-reload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Precision {
+    /// Full-precision inference through the training kernels.
+    #[default]
+    F32,
+    /// Post-training int8 inference through the quantized kernels.
+    Int8,
+}
+
+impl Precision {
+    /// Canonical lowercase name (`f32` / `int8`), as accepted by
+    /// `--precision`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "f32" | "fp32" | "float" => Ok(Precision::F32),
+            "int8" | "i8" => Ok(Precision::Int8),
+            other => Err(format!("unknown precision '{other}' (expected f32|int8)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The int8 inference mirror of a trained model: the featurizer head and
+/// both judge stacks, quantized with per-output-channel symmetric scales.
+/// Derived (never persisted) — rebuild it with [`HisRectModel::quantize`]
+/// after any reload.
+#[derive(Debug, Clone)]
+pub struct QuantModel {
+    /// Quantized featurizer head.
+    pub head: QuantFeedForward,
+    /// Quantized judge (`E′` and `C`).
+    pub judge: QuantJudge,
+}
+
+impl QuantModel {
+    /// Total i8 weight bytes across all quantized stacks.
+    pub fn payload_bytes(&self) -> usize {
+        self.head.payload_bytes() + self.judge.e2.payload_bytes() + self.judge.c.payload_bytes()
+    }
 }
 
 /// Everything needed to reconstruct a trained [`HisRectModel`].
@@ -480,6 +542,70 @@ impl HisRectModel {
         let fi = Matrix::from_fn(pairs.len(), feat_dim, |r, c| pairs[r].0[c]);
         let fj = Matrix::from_fn(pairs.len(), feat_dim, |r, c| pairs[r].1[c]);
         self.judge.predict_batch(&self.store, &fi, &fj)
+    }
+
+    /// Derives the int8 inference mirror (featurizer head + judge) from
+    /// the trained f32 parameters. Cheap enough to run at every model
+    /// (re)load: one pass over the feed-forward weights.
+    pub fn quantize(&self) -> QuantModel {
+        let _span = obs::span("model/quantize");
+        QuantModel {
+            head: self.featurizer.quantize_head(&self.store),
+            judge: self.judge.quantize(&self.store),
+        }
+    }
+
+    /// [`HisRectModel::featurize_inputs`] through the quantized head.
+    pub fn featurize_inputs_quant(&self, inputs: &[&ProfileInput], qm: &QuantModel) -> Matrix {
+        self.featurizer
+            .features_quant(&self.store, inputs, &qm.head)
+    }
+
+    /// [`HisRectModel::features_profiles`] through the quantized head,
+    /// with the same chunked fan-out and per-chunk determinism.
+    pub fn features_profiles_quant(
+        &self,
+        pois: &geo::PoiSet,
+        profiles: &[&Profile],
+        ablation: Ablation,
+        qm: &QuantModel,
+    ) -> Vec<Vec<f32>> {
+        let _span = obs::span("model/featurize_many");
+        let chunks: Vec<&[&Profile]> = profiles.chunks(64).collect();
+        let parts = parallel::parallel_map(&chunks, |chunk| {
+            let owned: Vec<ProfileInput> = chunk
+                .iter()
+                .map(|p| self.profile_input(pois, p, ablation))
+                .collect();
+            let refs: Vec<&ProfileInput> = owned.iter().collect();
+            let feats = self.featurize_inputs_quant(&refs, qm);
+            (0..chunk.len())
+                .map(|k| feats.row(k).to_vec())
+                .collect::<Vec<_>>()
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    /// [`HisRectModel::judge_features`] through the quantized judge.
+    pub fn judge_features_quant(&self, fi: &[f32], fj: &[f32], qm: &QuantModel) -> f32 {
+        qm.judge.predict(fi, fj)
+    }
+
+    /// [`HisRectModel::judge_features_batch`] through the quantized
+    /// judge: one fused i8 GEMM per layer across the whole batch, each
+    /// output row bit-identical to the single-pair call.
+    pub fn judge_features_batch_quant(
+        &self,
+        pairs: &[(&[f32], &[f32])],
+        qm: &QuantModel,
+    ) -> Vec<f32> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let feat_dim = pairs[0].0.len();
+        let fi = Matrix::from_fn(pairs.len(), feat_dim, |r, c| pairs[r].0[c]);
+        let fj = Matrix::from_fn(pairs.len(), feat_dim, |r, c| pairs[r].1[c]);
+        qm.judge.predict_batch(&fi, &fj)
     }
 
     /// POI class probabilities from a cached feature.

@@ -10,7 +10,7 @@
 
 use crate::ckpt::fnv1a64;
 use crate::error::ModelError;
-use crate::model::{Ablation, HisRectModel};
+use crate::model::{Ablation, HisRectModel, Precision, QuantModel};
 use geo::PoiSet;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -47,27 +47,67 @@ impl Judgement {
 /// A trained model plus its POI universe, ready to answer co-location
 /// queries. Immutable after construction, so it is freely shared across
 /// server worker threads.
+///
+/// Built at [`Precision::Int8`], the service derives a quantized mirror
+/// of the feed-forward stacks once at construction and routes every
+/// feature/judgement call through it; the offline CLI, the bench harness
+/// and the HTTP server therefore share one quantized path.
 pub struct JudgeService {
     model: HisRectModel,
     pois: PoiSet,
+    precision: Precision,
+    quant: Option<QuantModel>,
 }
 
 impl JudgeService {
     /// Wraps an already-trained model with the POI universe the profiles
-    /// reference.
+    /// reference, at full precision.
     pub fn new(model: HisRectModel, pois: PoiSet) -> Self {
-        Self { model, pois }
+        Self::with_precision(model, pois, Precision::F32)
+    }
+
+    /// [`JudgeService::new`] at an explicit inference precision. `Int8`
+    /// quantizes the feed-forward weights here, once.
+    pub fn with_precision(model: HisRectModel, pois: PoiSet, precision: Precision) -> Self {
+        let quant = match precision {
+            Precision::F32 => None,
+            Precision::Int8 => Some(model.quantize()),
+        };
+        Self {
+            model,
+            pois,
+            precision,
+            quant,
+        }
     }
 
     /// Loads a model snapshot written by
     /// [`HisRectModel::save_json`] and wraps it.
     pub fn load(model_path: &Path, pois: PoiSet) -> Result<Self, ModelError> {
-        Ok(Self::new(HisRectModel::try_load_json(model_path)?, pois))
+        Self::load_with_precision(model_path, pois, Precision::F32)
+    }
+
+    /// [`JudgeService::load`] at an explicit inference precision.
+    pub fn load_with_precision(
+        model_path: &Path,
+        pois: PoiSet,
+        precision: Precision,
+    ) -> Result<Self, ModelError> {
+        Ok(Self::with_precision(
+            HisRectModel::try_load_json(model_path)?,
+            pois,
+            precision,
+        ))
     }
 
     /// The wrapped model.
     pub fn model(&self) -> &HisRectModel {
         &self.model
+    }
+
+    /// The inference precision this service was built at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// The POI universe profiles are judged against.
@@ -85,25 +125,43 @@ impl JudgeService {
         let input = self
             .model
             .profile_input(&self.pois, profile, Ablation::default());
-        self.model.featurize_inputs(&[&input]).row(0).to_vec()
+        match &self.quant {
+            Some(qm) => self
+                .model
+                .featurize_inputs_quant(&[&input], qm)
+                .row(0)
+                .to_vec(),
+            None => self.model.featurize_inputs(&[&input]).row(0).to_vec(),
+        }
     }
 
     /// Eval-mode features for many profiles, in input order, fanned out
     /// across workers (identical values to [`JudgeService::features_for`]
     /// per profile).
     pub fn features_many(&self, profiles: &[&Profile], ablation: Ablation) -> Vec<Vec<f32>> {
-        self.model.features_profiles(&self.pois, profiles, ablation)
+        match &self.quant {
+            Some(qm) => self
+                .model
+                .features_profiles_quant(&self.pois, profiles, ablation, qm),
+            None => self.model.features_profiles(&self.pois, profiles, ablation),
+        }
     }
 
     /// Co-location probability from cached features.
     pub fn judge_features(&self, fa: &[f32], fb: &[f32]) -> f32 {
-        self.model.judge_features(fa, fb)
+        match &self.quant {
+            Some(qm) => self.model.judge_features_quant(fa, fb, qm),
+            None => self.model.judge_features(fa, fb),
+        }
     }
 
     /// Batched co-location probabilities from cached feature pairs; each
-    /// row is bit-identical to the single-pair call.
+    /// row is bit-identical to the single-pair call at either precision.
     pub fn judge_features_batch(&self, pairs: &[(&[f32], &[f32])]) -> Vec<f32> {
-        self.model.judge_features_batch(pairs)
+        match &self.quant {
+            Some(qm) => self.model.judge_features_batch_quant(pairs, qm),
+            None => self.model.judge_features_batch(pairs),
+        }
     }
 
     /// End-to-end probability for two profiles (features are computed
@@ -226,6 +284,70 @@ mod tests {
         let many = service.features_many(&profiles, Ablation::default());
         for (k, p) in profiles.iter().enumerate() {
             assert_eq!(many[k], service.features_for(p));
+        }
+    }
+
+    #[test]
+    fn int8_service_tracks_f32_verdicts() {
+        let ds = generate(&SimConfig::tiny(5));
+        let model = HisRectModel::train(&ds, &fast_spec(), 5);
+        let twin = HisRectModel::try_from_snapshot(model.snapshot()).unwrap();
+        let f32_svc = JudgeService::new(model, ds.world.pois.clone());
+        let int8_svc = JudgeService::with_precision(twin, ds.world.pois.clone(), Precision::Int8);
+        assert_eq!(int8_svc.precision(), Precision::Int8);
+        assert_eq!(f32_svc.precision(), Precision::F32);
+        let pairs: Vec<_> = ds
+            .test
+            .pos_pairs
+            .iter()
+            .chain(&ds.test.neg_pairs)
+            .take(12)
+            .copied()
+            .collect();
+        let mut agree = 0usize;
+        for p in &pairs {
+            let pf = f32_svc.judge_profiles(ds.profile(p.i), ds.profile(p.j));
+            let pq = int8_svc.judge_profiles(ds.profile(p.i), ds.profile(p.j));
+            assert!((pf - pq).abs() < 0.2, "prob drift {pf} vs {pq}");
+            if (pf > 0.5) == (pq > 0.5) {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree >= pairs.len() - 1,
+            "verdict agreement {agree}/{}",
+            pairs.len()
+        );
+    }
+
+    #[test]
+    fn int8_fused_batch_is_verdict_identical_to_per_request() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let ds = generate(&SimConfig::tiny(5));
+        let model = HisRectModel::train(&ds, &fast_spec(), 5);
+        let service = JudgeService::with_precision(model, ds.world.pois.clone(), Precision::Int8);
+        let profiles: Vec<&Profile> = ds.test.labeled.iter().map(|&i| ds.profile(i)).collect();
+        let feats = service.features_many(&profiles, Ablation::default());
+        let mut rng = StdRng::seed_from_u64(99);
+        // Random batch compositions, batch = 1 included: bit-identity,
+        // not just verdict identity.
+        for batch_len in [1usize, 2, 3, 7, 16] {
+            let idx: Vec<(usize, usize)> = (0..batch_len)
+                .map(|_| (rng.gen_range(0..feats.len()), rng.gen_range(0..feats.len())))
+                .collect();
+            let pairs: Vec<(&[f32], &[f32])> = idx
+                .iter()
+                .map(|&(a, b)| (feats[a].as_slice(), feats[b].as_slice()))
+                .collect();
+            let fused = service.judge_features_batch(&pairs);
+            for (k, &(a, b)) in idx.iter().enumerate() {
+                assert_eq!(
+                    fused[k],
+                    service.judge_features(&feats[a], &feats[b]),
+                    "batch {batch_len}, element {k}"
+                );
+            }
         }
     }
 

@@ -27,9 +27,11 @@ pub mod adam;
 pub mod gradcheck;
 pub mod layers;
 pub mod params;
+pub mod quant;
 pub mod tape;
 
 pub use adam::{Adam, AdamConfig, AdamState};
 pub use layers::{BiGru, BiLstm, Conv1d, FeedForward, Gru, Linear, Lstm};
 pub use params::{Param, ParamId, ParamStore};
+pub use quant::{QuantFeedForward, QuantLinear};
 pub use tape::{Tape, Var};

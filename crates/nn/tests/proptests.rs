@@ -113,4 +113,33 @@ proptest! {
             }
         }
     }
+
+    /// The serve micro-batcher's byte-identity contract: pushing a batch
+    /// through a quantized stack fused must return, row for row, the
+    /// exact bits of judging each row alone — for any stack shape, any
+    /// batch, and both the Matrix and the heap-free row entry points.
+    #[test]
+    fn quant_fused_batch_bit_identical_to_single_rows(
+        rows in 1usize..6,
+        dims in proptest::collection::vec(1usize..14, 2..5),
+        relu_last in 0u8..2,
+        seed in 0u64..1 << 32,
+    ) {
+        use nn::{FeedForward, QuantFeedForward};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ff = FeedForward::new(&mut store, "ff", &dims, relu_last == 1, 0.0, &mut rng);
+        let qff = QuantFeedForward::from_feed_forward(&store, &ff);
+        let x = tensor::randn(&mut rng, rows, dims[0], 1.5);
+        let fused = qff.forward(&x);
+        let mut row_out = Vec::new();
+        for i in 0..rows {
+            let alone = qff.forward(&Matrix::row_vector(x.row(i)));
+            prop_assert_eq!(alone.row(0), fused.row(i), "matrix row {}", i);
+            qff.forward_row(x.row(i), &mut row_out);
+            prop_assert_eq!(row_out.as_slice(), fused.row(i), "row kernel {}", i);
+        }
+    }
 }

@@ -20,6 +20,22 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Bucket labels of the batch-size distribution, smallest first. Also
+/// the suffixes of the `serve/batch_bucket_*` obs counters, so external
+/// scrapers (loadgen) recover the same distribution from `/metrics`.
+pub const BATCH_BUCKET_LABELS: [&str; 6] = ["1", "2", "3_4", "5_8", "9_16", "17plus"];
+
+fn bucket_index(batch_len: usize) -> usize {
+    match batch_len {
+        0 | 1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        _ => 5,
+    }
+}
+
 /// Flush accounting, readable while the batcher runs.
 #[derive(Default)]
 pub struct BatchStats {
@@ -27,6 +43,8 @@ pub struct BatchStats {
     pub batches: AtomicU64,
     /// Judge jobs across all flushed batches.
     pub jobs: AtomicU64,
+    /// Flushes per batch-size bucket (see [`BATCH_BUCKET_LABELS`]).
+    pub size_buckets: [AtomicU64; 6],
 }
 
 impl BatchStats {
@@ -37,6 +55,16 @@ impl BatchStats {
             return 0.0;
         }
         self.jobs.load(Ordering::Relaxed) as f64 / batches as f64
+    }
+
+    /// The batch-size distribution as `(bucket label, flush count)`
+    /// pairs, smallest bucket first.
+    pub fn size_distribution(&self) -> Vec<(&'static str, u64)> {
+        BATCH_BUCKET_LABELS
+            .iter()
+            .zip(&self.size_buckets)
+            .map(|(&label, count)| (label, count.load(Ordering::Relaxed)))
+            .collect()
     }
 }
 
@@ -157,9 +185,22 @@ fn run(queue: &Channel<JudgeJob>, stats: &BatchStats, batch_size: usize, deadlin
 fn flush(batch: Vec<JudgeJob>, stats: &BatchStats) {
     stats.batches.fetch_add(1, Ordering::Relaxed);
     stats.jobs.fetch_add(batch.len() as u64, Ordering::Relaxed);
+    let bucket = bucket_index(batch.len());
+    stats.size_buckets[bucket].fetch_add(1, Ordering::Relaxed);
     obs::incr("serve/batches");
     obs::add("serve/batched_requests", batch.len() as u64);
     obs::observe("serve/batch_size", batch.len() as f64);
+    // obs counters want 'static names; one per bucket, aligned with
+    // BATCH_BUCKET_LABELS.
+    const BUCKET_COUNTERS: [&str; 6] = [
+        "serve/batch_bucket_1",
+        "serve/batch_bucket_2",
+        "serve/batch_bucket_3_4",
+        "serve/batch_bucket_5_8",
+        "serve/batch_bucket_9_16",
+        "serve/batch_bucket_17plus",
+    ];
+    obs::incr(BUCKET_COUNTERS[bucket]);
 
     let mut groups: Vec<(u64, Vec<JudgeJob>)> = Vec::new();
     for job in batch {

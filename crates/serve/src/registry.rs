@@ -6,7 +6,7 @@
 //! immediately. Each load gets a fresh *generation* number, which the
 //! feature cache folds into its keys.
 
-use hisrect::{JudgeService, ModelError};
+use hisrect::{JudgeService, ModelError, Precision};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -28,13 +28,28 @@ pub struct ModelRegistry {
     next_generation: AtomicU64,
     /// The corpus whose profiles requests address by index.
     corpus: Arc<Dataset>,
+    /// Inference precision applied to every load, reloads included — the
+    /// snapshot on disk is always f32; quantization happens at load.
+    precision: Precision,
 }
 
 impl ModelRegistry {
-    /// Loads the startup snapshot. The corpus provides both the POI
-    /// universe the featurizer needs and the profiles requests reference.
+    /// Loads the startup snapshot at f32. The corpus provides both the
+    /// POI universe the featurizer needs and the profiles requests
+    /// reference.
     pub fn load(model_path: &Path, corpus: Arc<Dataset>) -> Result<Self, ModelError> {
-        let service = JudgeService::load(model_path, corpus.world.pois.clone())?;
+        Self::load_with_precision(model_path, corpus, Precision::F32)
+    }
+
+    /// [`ModelRegistry::load`] at an explicit inference precision, which
+    /// then sticks across every `/reload`.
+    pub fn load_with_precision(
+        model_path: &Path,
+        corpus: Arc<Dataset>,
+        precision: Precision,
+    ) -> Result<Self, ModelError> {
+        let service =
+            JudgeService::load_with_precision(model_path, corpus.world.pois.clone(), precision)?;
         let loaded = Arc::new(LoadedModel {
             service,
             generation: 1,
@@ -44,7 +59,13 @@ impl ModelRegistry {
             current: RwLock::new(loaded),
             next_generation: AtomicU64::new(2),
             corpus,
+            precision,
         })
+    }
+
+    /// The precision every load of this registry serves at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// The currently served snapshot.
@@ -65,7 +86,11 @@ impl ModelRegistry {
             Some(p) => p.to_path_buf(),
             None => self.current().path.clone(),
         };
-        let service = JudgeService::load(&source, self.corpus.world.pois.clone())?;
+        let service = JudgeService::load_with_precision(
+            &source,
+            self.corpus.world.pois.clone(),
+            self.precision,
+        )?;
         let generation = self.next_generation.fetch_add(1, Ordering::Relaxed);
         let loaded = Arc::new(LoadedModel {
             service,

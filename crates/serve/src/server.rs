@@ -18,7 +18,7 @@ use crate::batcher::{Batcher, JudgeJob, SubmitError};
 use crate::cache::FeatureCache;
 use crate::http::{Conn, Limits, ParseError, Request, Response};
 use crate::registry::{LoadedModel, ModelRegistry};
-use hisrect::{profile_fingerprint, Judgement};
+use hisrect::{profile_fingerprint, Judgement, Precision};
 use serde::{Deserialize, Serialize};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -47,6 +47,8 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Inbound framing limits.
     pub limits: Limits,
+    /// Inference precision the model registry loads at (`--precision`).
+    pub precision: Precision,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +61,7 @@ impl Default for ServeConfig {
             batch_deadline: Duration::from_millis(2),
             queue_depth: 128,
             limits: Limits::default(),
+            precision: Precision::F32,
         }
     }
 }
@@ -292,6 +295,10 @@ struct HealthResponse {
     status: &'static str,
     generation: u64,
     profiles: usize,
+    /// Inference precision of the served model (`f32` / `int8`).
+    precision: &'static str,
+    /// Active kernel tier (`avx2` / `portable`).
+    kernel: &'static str,
 }
 
 #[derive(Serialize)]
@@ -312,6 +319,12 @@ fn route(shared: &Shared, request: &Request) -> Response {
                 status: "ok",
                 generation: model.generation,
                 profiles: shared.registry.corpus().profiles.len(),
+                precision: model.service.precision().as_str(),
+                kernel: if tensor::simd_active() {
+                    "avx2"
+                } else {
+                    "portable"
+                },
             })
         }
         ("GET", "/metrics") => Response::json(200, obs::snapshot().to_json()),

@@ -39,12 +39,24 @@ pub fn fixture() -> &'static Fixture {
 }
 
 /// Starts a server over the fixture model on an ephemeral port.
+#[allow(dead_code)] // each test binary uses its own slice of the helpers
 pub fn start_server(tune: impl FnOnce(&mut ServeConfig)) -> ServerHandle {
+    start_server_with_precision(hisrect::Precision::F32, tune)
+}
+
+/// [`start_server`] at an explicit inference precision.
+#[allow(dead_code)] // each test binary uses its own slice of the helpers
+pub fn start_server_with_precision(
+    precision: hisrect::Precision,
+    tune: impl FnOnce(&mut ServeConfig),
+) -> ServerHandle {
     let fix = fixture();
     let registry =
-        ModelRegistry::load(&fix.model_path, Arc::clone(&fix.corpus)).expect("load fixture model");
+        ModelRegistry::load_with_precision(&fix.model_path, Arc::clone(&fix.corpus), precision)
+            .expect("load fixture model");
     let mut config = ServeConfig {
         addr: "127.0.0.1:0".into(),
+        precision,
         ..ServeConfig::default()
     };
     // Keep idle keep-alive connections (and thus shutdown joins) short.

@@ -318,6 +318,114 @@ pub fn gemm_rows(
     pool::put(ap);
 }
 
+// ---------------------------------------------------------------------------
+// int8 inference kernels
+// ---------------------------------------------------------------------------
+//
+// The quantized serving path (`crate::quant`) reduces every layer to dot
+// products of i8 rows accumulated in i32. Integer accumulation is exact,
+// so unlike the f32 kernels above there is no summation-order contract to
+// defend: the portable loop and the AVX2 maddubs kernel are bit-identical
+// for *any* association of the additions. Inputs must lie in [-127, 127]
+// (the quantizers clamp to that range); -128 would break the abs/sign
+// trick the AVX2 kernel uses to feed `maddubs`, which wants one unsigned
+// operand.
+
+/// i32 dot product of two i8 slices of equal length, values in
+/// [-127, 127]. Dispatches to the AVX2 kernel under the same
+/// [`simd_active`] / `HISRECT_SIMD=0` machinery as the f32 GEMM.
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "dot_i8 length mismatch");
+    debug_assert!(a.iter().chain(b).all(|&v| v != i8::MIN));
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Below one 32-lane step the AVX2 kernel is all setup and
+        // horizontal-sum; the scalar loop wins outright. Same exact
+        // integer result either way, so dispatch stays invisible.
+        if a.len() >= 32 && simd_active() {
+            // SAFETY: simd_active() is true only after AVX2 detection,
+            // and both slices were just checked to be the same length.
+            return unsafe { dot_i8_avx2(a, b) };
+        }
+    }
+    dot_i8_portable(a, b)
+}
+
+fn dot_i8_portable(a: &[i8], b: &[i8]) -> i32 {
+    // Fixed-width inner blocks so the autovectorizer emits packed
+    // widening multiplies; integer accumulation is associative, so any
+    // grouping returns the identical i32.
+    let mut acc = 0i32;
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (pa, pb) in ca.by_ref().zip(cb.by_ref()) {
+        let mut s = 0i32;
+        for k in 0..8 {
+            s += i32::from(pa[k]) * i32::from(pb[k]);
+        }
+        acc += s;
+    }
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        acc += i32::from(x) * i32::from(y);
+    }
+    acc
+}
+
+/// AVX2 kernel: 32 byte-lanes per step. `maddubs` multiplies u8×i8 into
+/// pairwise-summed i16, so the signed `a` operand is split into
+/// `|a| * sign(b, a)` — the product is unchanged and `|a| ≤ 127` keeps
+/// each pair sum at ≤ 2·127·127 = 32258 < i16::MAX, i.e. the saturating
+/// instruction never actually saturates. `madd` with ones then widens to
+/// i32 where all further accumulation is exact.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+    use std::arch::x86_64::*;
+    let n = a.len();
+    let ones = _mm256_set1_epi16(1);
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 32 <= n {
+        let va = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+        let vb = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+        let abs_a = _mm256_abs_epi8(va);
+        let sb = _mm256_sign_epi8(vb, va);
+        let pairs = _mm256_maddubs_epi16(abs_a, sb);
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(pairs, ones));
+        i += 32;
+    }
+    let lo = _mm256_castsi256_si128(acc);
+    let hi = _mm256_extracti128_si256(acc, 1);
+    let s = _mm_add_epi32(lo, hi);
+    let s = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+    let s = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+    let mut sum = _mm_cvtsi128_si32(s);
+    while i < n {
+        sum += i32::from(*a.get_unchecked(i)) * i32::from(*b.get_unchecked(i));
+        i += 1;
+    }
+    sum
+}
+
+/// Row-dot-row i8 GEMM: `out[i*n + j] = dot_i8(a_row_i, b_row_j)` with
+/// `a` stored `m`×`k` and `b` stored `n`×`k` (nt layout — exactly how
+/// [`crate::quant::QuantMatrix`] stores weights, one output channel per
+/// row). No packing stage: quantized operands are already contiguous
+/// k-major on both sides, which is what the f32 nt repack existed to
+/// manufacture.
+pub fn gemm_i8_nt(a: &[i8], b: &[i8], k: usize, m: usize, n: usize, out: &mut [i32]) {
+    assert_eq!(a.len(), m * k, "gemm_i8_nt: a shape mismatch");
+    assert_eq!(b.len(), n * k, "gemm_i8_nt: b shape mismatch");
+    assert_eq!(out.len(), m * n, "gemm_i8_nt: out shape mismatch");
+    for i in 0..m {
+        let ar = &a[i * k..(i + 1) * k];
+        let or = &mut out[i * n..(i + 1) * n];
+        for (j, o) in or.iter_mut().enumerate() {
+            *o = dot_i8(ar, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,5 +481,52 @@ mod tests {
         let mut out = vec![1.0; 2 * 5];
         gemm_rows(Variant::Nn, &[], 0, 2, &pb, 0, &mut out);
         assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    fn ramp_i8(len: usize, salt: usize) -> Vec<i8> {
+        (0..len)
+            .map(|i| ((i * 31 + salt * 17) % 255) as i32 - 127)
+            .map(|v| v as i8)
+            .collect()
+    }
+
+    #[test]
+    fn dot_i8_matches_scalar_reference_across_lengths() {
+        // Lengths straddle the 32-lane AVX2 stride, including the pure
+        // tail (< 32) and stride+tail cases.
+        for &len in &[0usize, 1, 7, 31, 32, 33, 64, 95, 257] {
+            let a = ramp_i8(len, 1);
+            let b = ramp_i8(len, 2);
+            let expect: i32 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| i32::from(x) * i32::from(y))
+                .sum();
+            assert_eq!(dot_i8(&a, &b), expect, "len {len}");
+        }
+    }
+
+    #[test]
+    fn dot_i8_extremes_do_not_saturate() {
+        // All-(-127) × all-127 over a long vector is the worst case for
+        // the maddubs pair sums; the i32 accumulate must carry it exactly.
+        let a = vec![-127i8; 300];
+        let b = vec![127i8; 300];
+        assert_eq!(dot_i8(&a, &b), -127 * 127 * 300);
+    }
+
+    #[test]
+    fn gemm_i8_nt_matches_per_row_dots() {
+        let (m, k, n) = (3, 70, 5);
+        let a = ramp_i8(m * k, 3);
+        let b = ramp_i8(n * k, 4);
+        let mut out = vec![0i32; m * n];
+        gemm_i8_nt(&a, &b, k, m, n, &mut out);
+        for i in 0..m {
+            for j in 0..n {
+                let expect = dot_i8(&a[i * k..(i + 1) * k], &b[j * k..(j + 1) * k]);
+                assert_eq!(out[i * n + j], expect, "({i},{j})");
+            }
+        }
     }
 }

@@ -12,10 +12,14 @@ pub mod gemm;
 pub mod init;
 pub mod matrix;
 pub mod pool;
+pub mod quant;
 
 pub use gemm::{force_portable, simd_active};
 pub use init::{glorot_uniform, randn, uniform};
 pub use matrix::{
     flush_dispatch_stats, pack_threshold, par_threshold, set_pack_threshold, set_par_threshold,
     Matrix, DEFAULT_PACK_THRESHOLD, DEFAULT_PAR_THRESHOLD,
+};
+pub use quant::{
+    qmatmul, qmatmul_bias, qmatvec_bias, qmatvec_bias_scratch, quantize_row, QuantMatrix,
 };

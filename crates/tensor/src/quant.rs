@@ -1,0 +1,474 @@
+//! Post-training int8 quantization for the inference path.
+//!
+//! # Scale scheme
+//!
+//! Weights are quantized **per output channel** with symmetric scales:
+//! column `j` of a trained `in_dim`×`out_dim` weight matrix becomes one
+//! i8 row of a [`QuantMatrix`] (nt layout, contiguous in the reduction
+//! dimension) with `scale_j = max|w_:,j| / 127`. Activations are
+//! quantized **per row, dynamically** at inference: each input row gets
+//! its own `scale_x = max|x| / 127` computed on the spot. Symmetric
+//! ranges mean no zero points, so a layer is just an integer GEMM plus a
+//! two-factor dequantize: `y[i][j] = acc_i32 · (scale_x_i · scale_w_j)`.
+//!
+//! Clamping is to `[-127, 127]` — never -128 — which is what lets the
+//! AVX2 kernel run `maddubs` on `|a|`/`sign(b,a)` without saturating
+//! (see [`crate::gemm::dot_i8`]).
+//!
+//! # Why batching cannot change answers
+//!
+//! Every output row depends only on its own input row: the activation
+//! scale is per row, the integer dot is exact, and the dequantize order
+//! is fixed (`(acc as f32) * (sx * sw)`, one rounding per factor). A row
+//! judged in a fused batch is therefore bit-identical to the same row
+//! judged alone — the property the serve micro-batcher's byte-identity
+//! contract relies on, and which `crates/nn/tests/proptests.rs` checks.
+
+use crate::gemm;
+use crate::matrix::Matrix;
+use std::cell::RefCell;
+
+/// An i8 weight matrix in nt layout: `rows` output channels, each a
+/// contiguous `cols`-long i8 vector, with one symmetric scale per row.
+/// The f32 source weights stay in the `ParamStore` untouched — this is a
+/// derived, inference-only artifact, so checkpointing and `/reload`
+/// hot-swap never see it.
+#[derive(Debug, Clone)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+impl QuantMatrix {
+    /// Quantizes trained weights stored `in_dim`×`out_dim` (the layout
+    /// `nn::Linear` keeps) into `out_dim` i8 rows of `in_dim` values,
+    /// one symmetric scale per output channel.
+    pub fn from_weights(w: &Matrix) -> Self {
+        let (k, n) = (w.rows(), w.cols());
+        let src = w.as_slice();
+        let mut data = vec![0i8; n * k];
+        let mut scales = vec![1.0f32; n];
+        for j in 0..n {
+            let mut max_abs = 0.0f32;
+            for i in 0..k {
+                max_abs = max_abs.max(src[i * n + j].abs());
+            }
+            let scale = symmetric_scale(max_abs);
+            let inv = 1.0 / scale;
+            let row = &mut data[j * k..(j + 1) * k];
+            for (i, q) in row.iter_mut().enumerate() {
+                *q = quantize_value(src[i * n + j], inv);
+            }
+            scales[j] = scale;
+        }
+        Self {
+            rows: n,
+            cols: k,
+            data,
+            scales,
+        }
+    }
+
+    /// Output channels (rows of the i8 storage).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Reduction depth (length of each i8 row).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// One quantized output channel.
+    pub fn row(&self, r: usize) -> &[i8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The symmetric scale of output channel `r`.
+    pub fn scale(&self, r: usize) -> f32 {
+        self.scales[r]
+    }
+
+    /// Reconstructs the f32 weights in the original `in_dim`×`out_dim`
+    /// layout. Round-trip error per element is bounded by `scale_j / 2`
+    /// (half a quantization step); the proptests pin that bound.
+    pub fn dequantize(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| {
+            f32::from(self.data[j * self.cols + i]) * self.scales[j]
+        })
+    }
+
+    /// Bytes of i8 payload (scales excluded) — 4× smaller than the f32
+    /// weights it was derived from.
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// `max_abs / 127`, guarded so all-zero (or non-finite) rows quantize to
+/// zeros with a harmless unit scale instead of dividing by zero.
+fn symmetric_scale(max_abs: f32) -> f32 {
+    if max_abs > 0.0 && max_abs.is_finite() {
+        max_abs / 127.0
+    } else {
+        1.0
+    }
+}
+
+/// Round-to-nearest (ties away from zero, exactly `f32::round`) then
+/// clamp to [-127, 127]. Non-finite inputs collapse to 0 deterministically
+/// (NaN fails both half-step comparisons after a saturating cast).
+///
+/// Spelled as truncate-plus-fraction-compare rather than `f32::round`:
+/// without SSE4.1 in the baseline target, `round()` is a `roundf`
+/// libcall, and on the serving path this function runs once per
+/// activation element. Clamping first keeps the cast exact (`|r| <= 127`
+/// means `r - trunc(r)` is representable), and clamp-then-round equals
+/// round-then-clamp on this range, ties included.
+fn quantize_value(v: f32, inv_scale: f32) -> i8 {
+    let r = (v * inv_scale).clamp(-127.0, 127.0);
+    let t = r as i32;
+    let frac = r - t as f32;
+    // Branchless half-step corrections keep the loop if-convertible.
+    let t = t + i32::from(frac >= 0.5) - i32::from(frac <= -0.5);
+    t as i8
+}
+
+/// Quantizes one activation row into `dst` with a dynamic symmetric
+/// scale, returning that scale. `dst` must match `src` in length.
+/// Dispatches to an AVX2 kernel under the same [`gemm::simd_active`] /
+/// `HISRECT_SIMD=0` machinery as the dot kernels; both tiers compute
+/// bit-identical codes and scale (the vector kernel is a lane-for-lane
+/// transcription of the scalar arithmetic — every op is a single IEEE
+/// operation with the same rounding, see [`quantize_value`]).
+pub fn quantize_row(src: &[f32], dst: &mut [i8]) -> f32 {
+    assert_eq!(src.len(), dst.len(), "quantize_row length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    {
+        // One 8-lane step already amortizes the constant setup, so the
+        // vector kernel wins from a single full block onward.
+        if src.len() >= 8 && gemm::simd_active() {
+            // SAFETY: simd_active() is true only after AVX2 detection,
+            // and src/dst were just checked to be the same length.
+            return unsafe { quantize_row_avx2(src, dst) };
+        }
+    }
+    quantize_row_portable(src, dst)
+}
+
+fn quantize_row_portable(src: &[f32], dst: &mut [i8]) -> f32 {
+    // Compare-select instead of `f32::max` (same result — NaN loses the
+    // comparison either way) and fixed-width blocks in the conversion:
+    // both loops run once per activation element on the serving path, and
+    // this shape is what the autovectorizer turns into packed code.
+    let mut max_abs = 0.0f32;
+    for &v in src {
+        let av = v.abs();
+        max_abs = if av > max_abs { av } else { max_abs };
+    }
+    let scale = symmetric_scale(max_abs);
+    let inv = 1.0 / scale;
+    let mut ds = dst.chunks_exact_mut(8);
+    let mut ss = src.chunks_exact(8);
+    for (d8, s8) in ds.by_ref().zip(ss.by_ref()) {
+        for k in 0..8 {
+            d8[k] = quantize_value(s8[k], inv);
+        }
+    }
+    for (d, &v) in ds.into_remainder().iter_mut().zip(ss.remainder()) {
+        *d = quantize_value(v, inv);
+    }
+    scale
+}
+
+/// AVX2 transcription of [`quantize_row_portable`], 8 f32 lanes per step.
+///
+/// Bit-identity with the scalar path holds lane by lane:
+/// - the max-|x| scan puts the running maximum in the *second* operand of
+///   `maxps`, which is what the instruction returns when the other lane
+///   is NaN — the same "NaN loses" rule as the scalar compare-select;
+/// - `mul`/`min`/`max`/`cvttps2dq`/`cvtdq2ps`/`sub` are each one IEEE
+///   operation with the identical rounding as their scalar spellings in
+///   [`quantize_value`] (the clamp keeps |r| ≤ 127, so the truncating
+///   cast and the back-conversion are exact on both paths);
+/// - the half-step corrections reuse the all-ones compare masks as ±1;
+/// - NaN lanes are zeroed by an ordered-compare mask, matching the
+///   scalar saturating `as i32` cast of NaN;
+/// - the i32→i8 `packs` pair cannot saturate because every code is
+///   already in [-127, 127].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_row_avx2(src: &[f32], dst: &mut [i8]) -> f32 {
+    use std::arch::x86_64::*;
+    let n = src.len();
+    let abs_mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff));
+    let mut vmax = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + 8 <= n {
+        let va = _mm256_and_ps(_mm256_loadu_ps(src.as_ptr().add(i)), abs_mask);
+        vmax = _mm256_max_ps(va, vmax);
+        i += 8;
+    }
+    let mut lanes = [0f32; 8];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), vmax);
+    let mut max_abs = 0.0f32;
+    for v in lanes {
+        max_abs = if v > max_abs { v } else { max_abs };
+    }
+    while i < n {
+        let av = src.get_unchecked(i).abs();
+        max_abs = if av > max_abs { av } else { max_abs };
+        i += 1;
+    }
+    let scale = symmetric_scale(max_abs);
+    let inv = 1.0 / scale;
+    let vinv = _mm256_set1_ps(inv);
+    let vlo = _mm256_set1_ps(-127.0);
+    let vhi = _mm256_set1_ps(127.0);
+    let vhalf = _mm256_set1_ps(0.5);
+    let vnhalf = _mm256_set1_ps(-0.5);
+    let mut i = 0;
+    while i + 8 <= n {
+        let r = _mm256_mul_ps(_mm256_loadu_ps(src.as_ptr().add(i)), vinv);
+        // `r` rides the NaN-propagating operand slot of both clamp ops,
+        // mirroring `f32::clamp`'s NaN-in-NaN-out.
+        let rc = _mm256_min_ps(vhi, _mm256_max_ps(vlo, r));
+        let t = _mm256_cvttps_epi32(rc);
+        let frac = _mm256_sub_ps(rc, _mm256_cvtepi32_ps(t));
+        let ge = _mm256_cmp_ps::<_CMP_GE_OQ>(frac, vhalf);
+        let le = _mm256_cmp_ps::<_CMP_LE_OQ>(frac, vnhalf);
+        let t = _mm256_sub_epi32(t, _mm256_castps_si256(ge));
+        let t = _mm256_add_epi32(t, _mm256_castps_si256(le));
+        let ord = _mm256_cmp_ps::<_CMP_ORD_Q>(rc, rc);
+        let t = _mm256_and_si256(t, _mm256_castps_si256(ord));
+        let p16 = _mm_packs_epi32(_mm256_castsi256_si128(t), _mm256_extracti128_si256(t, 1));
+        let p8 = _mm_packs_epi16(p16, p16);
+        _mm_storel_epi64(dst.as_mut_ptr().add(i).cast(), p8);
+        i += 8;
+    }
+    while i < n {
+        *dst.get_unchecked_mut(i) = quantize_value(*src.get_unchecked(i), inv);
+        i += 1;
+    }
+    scale
+}
+
+thread_local! {
+    // i8 scratch for the quantized activations of one qmatmul call. The
+    // f32 buffer pool shelves `Vec<f32>` only, so the integer side keeps
+    // its own (single, grow-only) thread-local buffer — same effect on
+    // the hot serving path: zero steady-state allocator traffic.
+    static QX: RefCell<Vec<i8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One activation row through the quantized weights: quantizes `x` into
+/// `qx` with a dynamic symmetric scale, then fills `out[j]` for every
+/// output channel. This is THE row kernel — the batched [`qmatmul_bias`]
+/// and the allocation-free [`qmatvec_bias`] both call it, which is what
+/// makes fused and per-row results bit-identical by construction.
+fn qmatvec_bias_into(
+    x: &[f32],
+    qw: &QuantMatrix,
+    bias: Option<&[f32]>,
+    qx: &mut [i8],
+    out: &mut [f32],
+) {
+    let sx = quantize_row(x, qx);
+    for (j, o) in out.iter_mut().enumerate() {
+        let acc = gemm::dot_i8(qx, qw.row(j));
+        // Fixed dequantize order: combined scale first, one multiply,
+        // then the bias add — every caller (single row, fused batch,
+        // bench) rounds identically.
+        let v = (acc as f32) * (sx * qw.scale(j));
+        *o = match bias {
+            Some(b) => v + b[j],
+            None => v,
+        };
+    }
+}
+
+/// A single row `x` (length `k`) through `qw` into `out` (length `n`),
+/// heap-free: the i8 scratch is a grow-only thread-local. The fast path
+/// for single-pair judgement, bit-identical to one row of
+/// [`qmatmul_bias`].
+pub fn qmatvec_bias(x: &[f32], qw: &QuantMatrix, bias: Option<&[f32]>, out: &mut [f32]) {
+    QX.with(|qx| qmatvec_bias_scratch(x, qw, bias, &mut qx.borrow_mut(), out));
+}
+
+/// [`qmatvec_bias`] with a caller-held i8 scratch buffer, for hot loops
+/// that want to pay the thread-local access once instead of per layer.
+pub fn qmatvec_bias_scratch(
+    x: &[f32],
+    qw: &QuantMatrix,
+    bias: Option<&[f32]>,
+    qx: &mut Vec<i8>,
+    out: &mut [f32],
+) {
+    let (k, n) = (qw.cols(), qw.rows());
+    assert_eq!(x.len(), k, "qmatvec: input width {} vs depth {k}", x.len());
+    assert_eq!(out.len(), n, "qmatvec: output width {} vs {n}", out.len());
+    if let Some(b) = bias {
+        assert_eq!(b.len(), n, "qmatvec: bias length mismatch");
+    }
+    qx.resize(k, 0);
+    qmatvec_bias_into(x, qw, bias, qx, out);
+}
+
+/// `x` (`m`×`k`) through quantized weights `qw` (`k` in, `n` out) into an
+/// `m`×`n` f32 output, with optional per-channel bias added inside the
+/// dequantize epilogue. Each input row is quantized independently, so
+/// output rows are bit-identical whether computed fused or one at a time.
+/// The f32 output draws from the tensor buffer pool like every `Matrix`.
+pub fn qmatmul_bias(x: &Matrix, qw: &QuantMatrix, bias: Option<&[f32]>) -> Matrix {
+    let (m, k, n) = (x.rows(), x.cols(), qw.rows());
+    assert_eq!(
+        k,
+        qw.cols(),
+        "qmatmul: input width {k} vs quantized depth {}",
+        qw.cols()
+    );
+    if let Some(b) = bias {
+        assert_eq!(b.len(), n, "qmatmul: bias length mismatch");
+    }
+    let mut out = Matrix::zeros(m, n);
+    QX.with(|qx| {
+        let mut qx = qx.borrow_mut();
+        qx.resize(k, 0);
+        for i in 0..m {
+            qmatvec_bias_into(x.row(i), qw, bias, &mut qx, out.row_mut(i));
+        }
+    });
+    out
+}
+
+/// [`qmatmul_bias`] without a bias term.
+pub fn qmatmul(x: &Matrix, qw: &QuantMatrix) -> Matrix {
+    qmatmul_bias(x, qw, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_weights(k: usize, n: usize) -> Matrix {
+        Matrix::from_fn(k, n, |i, j| {
+            let t = (i * 7 + j * 13) % 29;
+            (t as f32 - 14.0) * 0.173
+        })
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let w = sample_weights(33, 9);
+        let q = QuantMatrix::from_weights(&w);
+        let back = q.dequantize();
+        for j in 0..q.rows() {
+            let half_step = q.scale(j) * 0.5 + 1e-6;
+            for i in 0..q.cols() {
+                let err = (w.get(i, j) - back.get(i, j)).abs();
+                assert!(err <= half_step, "({i},{j}): err {err} > {half_step}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_column_gets_unit_scale_and_zero_codes() {
+        let mut w = sample_weights(8, 3);
+        for i in 0..8 {
+            w.set(i, 1, 0.0);
+        }
+        let q = QuantMatrix::from_weights(&w);
+        assert_eq!(q.scale(1), 1.0);
+        assert!(q.row(1).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn codes_never_reach_neg_128() {
+        let w = Matrix::from_fn(40, 4, |i, j| if (i + j) % 2 == 0 { -3.25 } else { 3.25 });
+        let q = QuantMatrix::from_weights(&w);
+        for r in 0..q.rows() {
+            assert!(q.row(r).iter().all(|&v| v >= -127));
+        }
+    }
+
+    #[test]
+    fn qmatmul_matches_quantized_reference_exactly() {
+        // Reference recomputes the same integer dot in i64 from
+        // explicitly quantized operands — qmatmul must agree to the bit
+        // after the shared dequantize epilogue.
+        let x = Matrix::from_fn(3, 16, |i, j| ((i * 16 + j) % 11) as f32 - 5.0);
+        let w = Matrix::from_fn(16, 5, |i, j| ((i * 5 + j) % 13) as f32 - 6.0);
+        let q = QuantMatrix::from_weights(&w);
+        let got = qmatmul(&x, &q);
+        let mut qx = vec![0i8; 16];
+        for i in 0..3 {
+            let sx = quantize_row(x.row(i), &mut qx);
+            for j in 0..5 {
+                let acc: i64 = qx
+                    .iter()
+                    .zip(q.row(j))
+                    .map(|(&a, &b)| i64::from(a) * i64::from(b))
+                    .sum();
+                let expect = (acc as f32) * (sx * q.scale(j));
+                assert_eq!(got.get(i, j), expect, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_row_kernels_agree_on_edge_values() {
+        // Ties, clamp boundaries, non-finite lanes, and short tails all
+        // in one row: the AVX2 kernel must reproduce the portable codes
+        // exactly, including NaN → 0 and ±inf → ±127 after clamping.
+        let src = [
+            0.5,
+            -0.5,
+            1.5,
+            -1.5,
+            126.5,
+            -126.5,
+            127.0,
+            -127.0, // one full block of ties/edges
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            0.0,
+            -0.0,
+            1e-30,
+            200.0,
+            -3.25, // second block: non-finite + tiny
+            0.1,
+            0.2,
+            0.3, // 3-lane tail
+        ];
+        let mut a = vec![0i8; src.len()];
+        let mut b = vec![0i8; src.len()];
+        let sa = {
+            crate::gemm::force_portable(Some(true));
+            let s = quantize_row(&src, &mut a);
+            crate::gemm::force_portable(Some(false));
+            s
+        };
+        let sb = quantize_row(&src, &mut b);
+        assert_eq!(sa.to_bits(), sb.to_bits());
+        assert_eq!(a, b);
+        // NaN lane quantizes to 0 on both paths.
+        assert_eq!(a[8], 0);
+    }
+
+    #[test]
+    fn batch_rows_equal_single_row_calls() {
+        let x = Matrix::from_fn(7, 21, |i, j| ((i * 31 + j * 7) % 17) as f32 * 0.37 - 2.0);
+        let w = sample_weights(21, 6);
+        let bias: Vec<f32> = (0..6).map(|j| j as f32 * 0.11 - 0.3).collect();
+        let q = QuantMatrix::from_weights(&w);
+        let fused = qmatmul_bias(&x, &q, Some(&bias));
+        for i in 0..7 {
+            let one = Matrix::row_vector(x.row(i));
+            let alone = qmatmul_bias(&one, &q, Some(&bias));
+            assert_eq!(alone.row(0), fused.row(i), "row {i} differs under fusion");
+        }
+    }
+}

@@ -222,6 +222,91 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// int8 quantization kernels
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Portable and AVX2 i8 dot kernels are bit-identical for any length
+    /// (tail handling included) and any in-range values; both match an
+    /// i64 reference, so the i32 accumulate provably never wraps here.
+    #[test]
+    fn dot_i8_portable_and_simd_bitwise_equal(
+        vals in proptest::collection::vec((-127i8..=127, -127i8..=127), 0..200),
+    ) {
+        let a: Vec<i8> = vals.iter().map(|&(x, _)| x).collect();
+        let b: Vec<i8> = vals.iter().map(|&(_, y)| y).collect();
+        let want: i64 = a.iter().zip(&b).map(|(&x, &y)| i64::from(x) * i64::from(y)).sum();
+        let guard = TOGGLE.lock().unwrap();
+        tensor::force_portable(Some(true));
+        let portable = tensor::gemm::dot_i8(&a, &b);
+        tensor::force_portable(Some(false));
+        let dispatched = tensor::gemm::dot_i8(&a, &b);
+        drop(guard);
+        prop_assert_eq!(i64::from(portable), want);
+        prop_assert_eq!(portable, dispatched);
+    }
+
+    /// Portable and AVX2 activation quantizers return bit-identical codes
+    /// and the bit-identical dynamic scale for any length (tail handling
+    /// included): the vector kernel is a lane-for-lane transcription of
+    /// the scalar arithmetic.
+    #[test]
+    fn quantize_row_portable_and_simd_bitwise_equal(
+        vals in proptest::collection::vec(-1e4f32..1e4, 0..100),
+    ) {
+        let mut q_portable = vec![0i8; vals.len()];
+        let mut q_dispatched = vec![0i8; vals.len()];
+        let guard = TOGGLE.lock().unwrap();
+        tensor::force_portable(Some(true));
+        let s_portable = tensor::quantize_row(&vals, &mut q_portable);
+        tensor::force_portable(Some(false));
+        let s_dispatched = tensor::quantize_row(&vals, &mut q_dispatched);
+        drop(guard);
+        prop_assert_eq!(s_portable.to_bits(), s_dispatched.to_bits());
+        prop_assert_eq!(q_portable, q_dispatched);
+    }
+
+    /// Quantize→dequantize round-trip error is bounded per row by half a
+    /// quantization step (`scale_j / 2`) for every weight element.
+    #[test]
+    fn quantize_round_trip_error_bounded(
+        k in 1usize..40, n in 1usize..12, seed in 0u64..1 << 32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = randn(&mut rng, k, n, 3.0);
+        let q = tensor::QuantMatrix::from_weights(&w);
+        let back = q.dequantize();
+        for j in 0..n {
+            let bound = q.scale(j) * 0.5 * (1.0 + 1e-5) + 1e-7;
+            for i in 0..k {
+                let err = (w.get(i, j) - back.get(i, j)).abs();
+                prop_assert!(err <= bound, "({}, {}): err {} > {}", i, j, err, bound);
+            }
+        }
+    }
+
+    /// qmatmul through the portable and SIMD kernels returns the same
+    /// bits: the integer dot is exact on both tiers and the dequantize
+    /// epilogue is shared code.
+    #[test]
+    fn qmatmul_portable_and_simd_bitwise_equal(
+        m in 1usize..8, k in 1usize..70, n in 1usize..10, seed in 0u64..1 << 32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = randn(&mut rng, m, k, 2.0);
+        let w = randn(&mut rng, k, n, 2.0);
+        let q = tensor::QuantMatrix::from_weights(&w);
+        let guard = TOGGLE.lock().unwrap();
+        tensor::force_portable(Some(true));
+        let portable = tensor::qmatmul(&x, &q);
+        tensor::force_portable(Some(false));
+        let dispatched = tensor::qmatmul(&x, &q);
+        drop(guard);
+        prop_assert_eq!(portable.as_slice(), dispatched.as_slice());
+    }
+}
+
 /// Forcing the auto entry points onto the parallel path (threshold = 1)
 /// still reproduces the serial bits exactly. Threshold is process-global
 /// state; results stay bit-identical for every other concurrently running
