@@ -1,0 +1,159 @@
+//! Property tests for the ANN index.
+//!
+//! Three guarantees the rest of the stack builds on:
+//!
+//! 1. With a beam at least as wide as the largest bucket, graph search is
+//!    never worse than the exhaustive oracle's top-1 (backbone connectivity
+//!    makes the beam degrade to an exact scan).
+//! 2. Insertion order does not change the index structure or any answer —
+//!    construction canonicalizes to id order.
+//! 3. A serialized snapshot rebuilds to a bit-identical index.
+
+use ann::{AnnConfig, AnnIndex, AnnItem};
+use geo::GeoPoint;
+use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A reproducible random world: clustered points with embeddings that are a
+/// noisy function of position, ids 0..n.
+fn world(seed: u64, n: usize, dim: usize) -> Vec<AnnItem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_centers = (n / 16).max(1);
+    let centers: Vec<(f64, f64)> = (0..n_centers)
+        .map(|_| {
+            (
+                40.4 + rng.gen_range(0.0..0.4),
+                -74.3 + rng.gen_range(0.0..0.4),
+            )
+        })
+        .collect();
+    (0..n)
+        .map(|i| {
+            let (clat, clon) = centers[rng.gen_range(0..n_centers)];
+            let lat = clat + rng.gen_range(-0.004..0.004);
+            let lon = clon + rng.gen_range(-0.004..0.004);
+            let mut e = vec![(lat - 40.4) as f32 * 50.0, (lon + 74.3) as f32 * 50.0];
+            for _ in 2..dim {
+                e.push(rng.gen_range(-0.25..0.25f32));
+            }
+            AnnItem {
+                id: i as u32,
+                point: GeoPoint::new(lat, lon),
+                ts: rng.gen_range(0..86_400i64),
+                embedding: e,
+            }
+        })
+        .collect()
+}
+
+fn cfg_for(n: usize, exact_threshold: usize, delta_t: Option<i64>) -> AnnConfig {
+    AnnConfig {
+        cell_deg: 0.01,
+        exact_threshold,
+        graph_degree: 4,
+        // Beam ≥ n ≥ any bucket size: search must be exhaustive-equivalent.
+        beam_width: n.max(8),
+        delta_t,
+        seed: 42,
+    }
+}
+
+fn fisher_yates<T>(items: &mut [T], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn beam_top1_never_worse_than_exhaustive(
+        seed in any::<u64>(),
+        n in 2usize..=256,
+        probe in any::<u64>(),
+    ) {
+        let items = world(seed, n, 6);
+        // Tiny exact threshold forces graph buckets almost everywhere.
+        let idx = AnnIndex::build(items.clone(), cfg_for(n, 2, None));
+        let q = &items[(probe % n as u64) as usize];
+        let got = idx.query(&q.point, q.ts, &q.embedding, 1, f64::INFINITY);
+        let oracle = idx.exhaustive(q.ts, &q.embedding, 1);
+        prop_assert_eq!(got.len(), 1);
+        prop_assert_eq!(oracle.len(), 1);
+        // Never worse: distances may tie across distinct ids, but the beam
+        // top-1 cannot be farther than the exhaustive top-1.
+        prop_assert!(
+            got[0].d2 <= oracle[0].d2,
+            "beam d2 {} worse than oracle d2 {}",
+            got[0].d2,
+            oracle[0].d2
+        );
+    }
+
+    #[test]
+    fn beam_with_delta_t_matches_oracle_top1(
+        seed in any::<u64>(),
+        n in 8usize..=192,
+        dt in 600i64..43_200,
+    ) {
+        let items = world(seed, n, 4);
+        let idx = AnnIndex::build(items.clone(), cfg_for(n, 2, Some(dt)));
+        let q = &items[0];
+        let got = idx.query(&q.point, q.ts, &q.embedding, 1, f64::INFINITY);
+        let oracle = idx.exhaustive(q.ts, &q.embedding, 1);
+        prop_assert_eq!(got.len(), oracle.len());
+        if let (Some(g), Some(o)) = (got.first(), oracle.first()) {
+            prop_assert!(g.d2 <= o.d2);
+        }
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_answers(
+        seed in any::<u64>(),
+        shuffle_seed in any::<u64>(),
+        n in 2usize..=128,
+    ) {
+        let items = world(seed, n, 4);
+        let mut shuffled = items.clone();
+        fisher_yates(&mut shuffled, shuffle_seed);
+        let cfg = cfg_for(n, 4, None);
+        let a = AnnIndex::build(items.clone(), cfg.clone());
+        let b = AnnIndex::build(shuffled, cfg);
+        prop_assert_eq!(a.structure_fingerprint(), b.structure_fingerprint());
+        for probe in [0, n / 2, n - 1] {
+            let q = &items[probe];
+            prop_assert_eq!(
+                a.query(&q.point, q.ts, &q.embedding, 5, 10_000.0),
+                b.query(&q.point, q.ts, &q.embedding, 5, 10_000.0)
+            );
+        }
+    }
+
+    #[test]
+    fn serialized_rebuilt_index_answers_identically(
+        seed in any::<u64>(),
+        n in 2usize..=128,
+        k in 1usize..=16,
+    ) {
+        let items = world(seed, n, 4);
+        let idx = AnnIndex::build(items.clone(), cfg_for(n, 4, Some(14_400)));
+        let json = serde_json::to_string(&idx.snapshot()).expect("snapshot serializes");
+        let snap = serde_json::from_str(&json).expect("snapshot parses");
+        let back = AnnIndex::from_snapshot(snap);
+        prop_assert_eq!(idx.structure_fingerprint(), back.structure_fingerprint());
+        for probe in [0, n / 3, 2 * n / 3] {
+            let q = &items[probe];
+            prop_assert_eq!(
+                idx.query(&q.point, q.ts, &q.embedding, k, f64::INFINITY),
+                back.query(&q.point, q.ts, &q.embedding, k, f64::INFINITY)
+            );
+            prop_assert_eq!(
+                idx.exhaustive(q.ts, &q.embedding, k),
+                back.exhaustive(q.ts, &q.embedding, k)
+            );
+        }
+    }
+}

@@ -7,7 +7,7 @@ use hisrect::ckpt::CheckpointConfig;
 use hisrect::clustering::{cluster_by_threshold, partition_pattern};
 use hisrect::config::ApproachSpec;
 use hisrect::model::{Ablation, HisRectModel};
-use hisrect::{JudgeService, Judgement, Precision};
+use hisrect::{CandidateService, JudgeService, Judgement, Precision};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -214,6 +214,41 @@ pub fn judge(flags: &Flags) -> Result<(), String> {
         "Acc {:.4}  Rec {:.4}  Pre {:.4}  F1 {:.4}",
         m.acc, m.rec, m.pre, m.f1
     );
+    Ok(())
+}
+
+/// `hisrect candidates` — top-k candidate co-located users for one
+/// profile's fresh tweet, as canonical JSON. Goes through the same
+/// [`CandidateService`] the HTTP server builds per generation, so the
+/// output is byte-identical to `POST /candidates` for the same model
+/// snapshot, corpus and precision.
+pub fn candidates(flags: &Flags) -> Result<(), String> {
+    let ds = load_dataset(flags)?;
+    let model = load_model(flags)?;
+    let precision = parse_precision(flags)?;
+    let service = JudgeService::with_precision(model, ds.world.pois.clone(), precision);
+    let i: ProfileIdx = flags
+        .require("profile")?
+        .parse()
+        .map_err(|e| format!("--profile: {e}"))?;
+    let k = flags.parse_or("top-k", 10usize)?;
+    if k == 0 {
+        return Err("--top-k must be at least 1".into());
+    }
+    if k > ds.profiles.len() {
+        return Err(format!(
+            "--top-k {k} exceeds population ({} profiles)",
+            ds.profiles.len()
+        ));
+    }
+    let cands = CandidateService::build(&service, &ds);
+    let set = cands.candidates(&service, i, k).ok_or_else(|| {
+        format!(
+            "profile index {i} out of range (corpus has {} profiles)",
+            ds.profiles.len()
+        )
+    })?;
+    println!("{}", serde_json::to_string(&set).expect("serializable"));
     Ok(())
 }
 

@@ -5,6 +5,7 @@
 //! hisrect stats    --corpus corpus.json
 //! hisrect train    --corpus corpus.json --approach hisrect --out model.json
 //! hisrect judge    --corpus corpus.json --model model.json
+//! hisrect candidates --corpus corpus.json --model model.json --profile 0 --top-k 10
 //! hisrect infer    --corpus corpus.json --model model.json --top-k 5
 //! hisrect cluster  --corpus corpus.json --model model.json --group-size 5
 //! hisrect serve    --corpus corpus.json --model model.json --addr 127.0.0.1:7878
@@ -30,6 +31,8 @@ COMMANDS:
     train      Train an approach on a corpus          (--corpus FILE --out FILE [--approach NAME] [--seed N] [--iters N] [--judge-iters N] [--early-stop true]
                                                        [--checkpoint-dir DIR] [--checkpoint-every N] [--resume true])
     judge      Evaluate co-location on the test split (--corpus FILE --model FILE [--seed N] [--pair I,J] [--precision f32|int8])
+    candidates Top-k likely co-located users          (--corpus FILE --model FILE --profile I [--top-k K] [--seed N]
+                                                       [--precision f32|int8])
     infer      POI inference Acc@K on the test split  (--corpus FILE --model FILE [--top-k K] [--seed N])
     cluster    Cluster concurrent test profiles       (--corpus FILE --model FILE [--group-size N] [--seed N])
     serve      Online co-location inference server    (--corpus FILE --model FILE [--addr HOST:PORT] [--workers N]
@@ -114,6 +117,7 @@ fn main() -> ExitCode {
         "stats" => commands::stats(&flags),
         "train" => commands::train(&flags),
         "judge" => commands::judge(&flags),
+        "candidates" => commands::candidates(&flags),
         "infer" => commands::infer(&flags),
         "cluster" => commands::cluster(&flags),
         "serve" => commands::serve_cmd(&flags),

@@ -5,6 +5,7 @@
 //! `Γ_L ∪ Γ_U` ever contribute to `L_u`.
 
 use crate::config::HisRectConfig;
+use ann::SpatialPrefilter;
 use twitter_sim::{Dataset, Pair, ProfileIdx};
 
 /// A pair with its affinity weight `a_ij`.
@@ -61,18 +62,45 @@ pub fn affinity(dataset: &Dataset, cfg: &HisRectConfig, pair: &Pair) -> Option<W
     }
 }
 
+/// Minimum candidate pairs per worker before another worker pays off.
+const MIN_PAIRS_PER_WORKER: usize = 256;
+
+/// Unlabeled-pair count at which [`build_affinity`] switches from the
+/// exhaustive scan to the grid prefilter: below this the bound
+/// computations cost more than the pruned `affinity` calls save.
+const PREFILTER_MIN_PAIRS: usize = 4_096;
+
 /// Builds the sparse affinity list over `Γ_L ∪ Γ_U` of the training split.
 ///
+/// Bit-identical to [`build_affinity_exhaustive`] always: on large corpora
+/// the unlabeled pairs go through [`build_affinity_prefiltered`], which
+/// only ever drops pairs whose spatial lower bound already fails the
+/// `affinity` distance gate — pairs the exhaustive scan would discard
+/// anyway, in the same order.
+///
+/// `HISRECT_AFFINITY_PREFILTER=always|never` overrides the pair-count
+/// dispatch — the golden-run suite uses `always` to pin the prefiltered
+/// path to the committed fingerprint on a corpus small enough to verify.
+pub fn build_affinity(dataset: &Dataset, cfg: &HisRectConfig) -> Vec<WeightedPair> {
+    let prefilter = match std::env::var("HISRECT_AFFINITY_PREFILTER").as_deref() {
+        Ok("always") => true,
+        Ok("never") => false,
+        _ => dataset.train.unlabeled_pairs.len() >= PREFILTER_MIN_PAIRS,
+    };
+    if prefilter {
+        build_affinity_prefiltered(dataset, cfg)
+    } else {
+        build_affinity_exhaustive(dataset, cfg)
+    }
+}
+
 /// Each candidate pair is independent, so the O(|Γ|) weight evaluations
 /// (each with its own POI distance queries) fan out across at most
 /// [`parallel::num_threads`] workers — clamped so tiny candidate sets
 /// stay serial rather than paying thread-spawn overhead per few pairs;
 /// output order matches the serial `pos → neg → unlabeled` chain
 /// exactly.
-pub fn build_affinity(dataset: &Dataset, cfg: &HisRectConfig) -> Vec<WeightedPair> {
-    /// Minimum candidate pairs per worker before another worker pays off.
-    const MIN_PAIRS_PER_WORKER: usize = 256;
-    let _span = obs::span("affinity/build");
+pub fn build_affinity_exhaustive(dataset: &Dataset, cfg: &HisRectConfig) -> Vec<WeightedPair> {
     let train = &dataset.train;
     let candidates: Vec<&Pair> = train
         .pos_pairs
@@ -80,6 +108,54 @@ pub fn build_affinity(dataset: &Dataset, cfg: &HisRectConfig) -> Vec<WeightedPai
         .chain(&train.neg_pairs)
         .chain(&train.unlabeled_pairs)
         .collect();
+    weigh_candidates(dataset, cfg, candidates)
+}
+
+/// [`build_affinity_exhaustive`] with the unlabeled pairs pre-pruned by a
+/// conservative grid lower bound on pair distance: a pair is dropped only
+/// when every point in its cells is already at or beyond the `affinity`
+/// distance gate, i.e. exactly the pairs `affinity` returns `None` for at
+/// its early distance check. Labeled pairs bypass the filter (their
+/// weight ignores distance), and candidate order is preserved, so the
+/// output is bit-identical to the exhaustive build.
+pub fn build_affinity_prefiltered(dataset: &Dataset, cfg: &HisRectConfig) -> Vec<WeightedPair> {
+    // Friendship relaxes the gate to 2ρ, so when the social extension is
+    // live the bound must assume any pair might be friends.
+    let gate = if cfg.social_w > 0.0 {
+        2.0 * cfg.rho_m
+    } else {
+        cfg.rho_m
+    };
+    let points: Vec<geo::GeoPoint> = dataset.profiles.iter().map(|p| p.geo).collect();
+    // One cell ≈ one gate radius: bound resolution matches the prune
+    // distance without exploding the cell count.
+    let cell_deg = (gate / ann::METERS_PER_DEG).max(1e-4);
+    let pf = SpatialPrefilter::new(&points, cell_deg);
+    let train = &dataset.train;
+    let candidates: Vec<&Pair> = train
+        .pos_pairs
+        .iter()
+        .chain(&train.neg_pairs)
+        .chain(
+            train
+                .unlabeled_pairs
+                .iter()
+                .filter(|p| pf.may_be_within(p.i, p.j, gate)),
+        )
+        .collect();
+    obs::add(
+        "affinity/pairs_prefiltered",
+        (train.unlabeled_pairs.len() + train.n_labeled_pairs() - candidates.len()) as u64,
+    );
+    weigh_candidates(dataset, cfg, candidates)
+}
+
+fn weigh_candidates(
+    dataset: &Dataset,
+    cfg: &HisRectConfig,
+    candidates: Vec<&Pair>,
+) -> Vec<WeightedPair> {
+    let _span = obs::span("affinity/build");
     obs::add("affinity/pairs_considered", candidates.len() as u64);
     let workers = parallel::clamp_workers(candidates.len(), MIN_PAIRS_PER_WORKER);
     let kept: Vec<WeightedPair> =
@@ -206,6 +282,39 @@ mod tests {
             }
         }
         assert!(boosted > 0, "some friend pairs should be boosted");
+    }
+
+    #[test]
+    fn prefiltered_build_is_bit_identical_to_exhaustive() {
+        let (ds, cfg) = setup();
+        for cfg in [
+            cfg.clone(),
+            HisRectConfig {
+                rho_m: 120.0,
+                ..cfg.clone()
+            },
+            HisRectConfig {
+                social_w: 0.4,
+                ..cfg
+            },
+        ] {
+            let a = build_affinity_exhaustive(&ds, &cfg);
+            let b = build_affinity_prefiltered(&ds, &cfg);
+            assert_eq!(a, b, "rho={} social_w={}", cfg.rho_m, cfg.social_w);
+        }
+    }
+
+    #[test]
+    fn prefilter_engages_on_social_corpus_too() {
+        let ds = generate(&SimConfig::tiny(21).with_social(3.0));
+        let cfg = HisRectConfig {
+            social_w: 0.4,
+            ..HisRectConfig::fast()
+        };
+        assert_eq!(
+            build_affinity_exhaustive(&ds, &cfg),
+            build_affinity_prefiltered(&ds, &cfg)
+        );
     }
 
     #[test]

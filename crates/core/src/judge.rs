@@ -95,6 +95,28 @@ impl Judge {
         self.predict_batch(store, &Matrix::row_vector(fi), &Matrix::row_vector(fj))[0]
     }
 
+    /// `E′` embeddings for a batch of cached features (`B × feat_dim` →
+    /// `B × embed_dim`). This is the representation the candidate index
+    /// stores and searches over.
+    pub fn embed_batch(&self, store: &ParamStore, feats: &Matrix) -> Matrix {
+        let mut tape = Tape::new();
+        let f = tape.input(feats.clone());
+        let e = self.e2.forward(&mut tape, store, f);
+        tape.value(e).clone()
+    }
+
+    /// Co-location probability from two precomputed `E′` embeddings:
+    /// `σ(C(|ei − ej|))`. Skips the embedding networks entirely, which is
+    /// what makes re-scoring retrieved candidates O(embed_dim) per pair.
+    pub fn predict_from_embeddings(&self, store: &ParamStore, ei: &[f32], ej: &[f32]) -> f32 {
+        let diff: Vec<f32> = ei.iter().zip(ej).map(|(a, b)| (a - b).abs()).collect();
+        let mut tape = Tape::new();
+        let d = tape.input(Matrix::row_vector(&diff));
+        let logit = self.c.forward(&mut tape, store, d);
+        let z = tape.value(logit).as_slice()[0];
+        1.0 / (1.0 + (-z).exp())
+    }
+
     /// Derives the int8 inference mirror of both stacks from the trained
     /// f32 parameters (which stay in the store untouched).
     pub fn quantize(&self, store: &ParamStore) -> QuantJudge {
@@ -168,6 +190,27 @@ impl QuantJudge {
             obs::observe("judge/pair_latency_ns", t0.elapsed().as_nanos() as f64);
         }
         p
+    }
+
+    /// Quantized `E′` embeddings for a batch of cached features.
+    pub fn embed_batch(&self, feats: &Matrix) -> Matrix {
+        self.e2.forward(feats)
+    }
+
+    /// Co-location probability from two precomputed quantized `E′`
+    /// embeddings; the classifier runs on the heap-free row path.
+    pub fn predict_from_embeddings(&self, ei: &[f32], ej: &[f32]) -> f32 {
+        thread_local! {
+            static EMB_SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> =
+                const { RefCell::new((Vec::new(), Vec::new())) };
+        }
+        EMB_SCRATCH.with(|s| {
+            let (diff, z) = &mut *s.borrow_mut();
+            diff.clear();
+            diff.extend(ei.iter().zip(ej).map(|(a, b)| (a - b).abs()));
+            self.c.forward_row(diff, z);
+            1.0 / (1.0 + (-z[0]).exp())
+        })
     }
 }
 

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod affinity;
+pub mod candidates;
 pub mod ckpt;
 pub mod clustering;
 pub mod config;
@@ -51,6 +52,7 @@ pub mod model;
 pub mod service;
 pub mod ssl;
 
+pub use candidates::{Candidate, CandidateConfig, CandidateService, CandidateSet};
 pub use ckpt::CheckpointConfig;
 pub use config::{ApproachSpec, ContentEncoder, HisRectConfig, HistoryEncoder, UnsupLoss};
 pub use error::{ModelError, TrainError};

@@ -544,6 +544,41 @@ impl HisRectModel {
         self.judge.predict_batch(&self.store, &fi, &fj)
     }
 
+    /// `E'` embeddings for many cached features (one row per feature).
+    /// These are what the candidate index stores: retrieval distance and
+    /// re-scoring both run over them without touching the featurizer.
+    pub fn judge_embeddings(&self, feats: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        if feats.is_empty() {
+            return Vec::new();
+        }
+        let dim = feats[0].len();
+        let m = Matrix::from_fn(feats.len(), dim, |r, c| feats[r][c]);
+        let e = self.judge.embed_batch(&self.store, &m);
+        (0..feats.len()).map(|r| e.row(r).to_vec()).collect()
+    }
+
+    /// Co-location probability from two precomputed `E'` embeddings.
+    pub fn judge_from_embeddings(&self, ei: &[f32], ej: &[f32]) -> f32 {
+        self.judge.predict_from_embeddings(&self.store, ei, ej)
+    }
+
+    /// [`HisRectModel::judge_embeddings`] through the quantized judge.
+    pub fn judge_embeddings_quant(&self, feats: &[Vec<f32>], qm: &QuantModel) -> Vec<Vec<f32>> {
+        if feats.is_empty() {
+            return Vec::new();
+        }
+        let dim = feats[0].len();
+        let m = Matrix::from_fn(feats.len(), dim, |r, c| feats[r][c]);
+        let e = qm.judge.embed_batch(&m);
+        (0..feats.len()).map(|r| e.row(r).to_vec()).collect()
+    }
+
+    /// [`HisRectModel::judge_from_embeddings`] through the quantized
+    /// judge.
+    pub fn judge_from_embeddings_quant(&self, ei: &[f32], ej: &[f32], qm: &QuantModel) -> f32 {
+        qm.judge.predict_from_embeddings(ei, ej)
+    }
+
     /// Derives the int8 inference mirror (featurizer head + judge) from
     /// the trained f32 parameters. Cheap enough to run at every model
     /// (re)load: one pass over the feed-forward weights.

@@ -172,6 +172,29 @@ impl JudgeService {
         let fb = self.features_for(b);
         self.judge_features(&fa, &fb)
     }
+
+    /// Width of the `E'` embedding this service produces.
+    pub fn embed_dim(&self) -> usize {
+        self.model.spec.config.embed_dim
+    }
+
+    /// `E'` embeddings for many cached features, at the service's
+    /// precision. Candidate retrieval indexes exactly these vectors.
+    pub fn judge_embeddings(&self, feats: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        match &self.quant {
+            Some(qm) => self.model.judge_embeddings_quant(feats, qm),
+            None => self.model.judge_embeddings(feats),
+        }
+    }
+
+    /// Co-location probability from two precomputed `E'` embeddings, at
+    /// the service's precision.
+    pub fn judge_from_embeddings(&self, ei: &[f32], ej: &[f32]) -> f32 {
+        match &self.quant {
+            Some(qm) => self.model.judge_from_embeddings_quant(ei, ej, qm),
+            None => self.model.judge_from_embeddings(ei, ej),
+        }
+    }
 }
 
 /// Stable 64-bit FNV-1a fingerprint of everything that influences a

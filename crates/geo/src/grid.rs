@@ -43,13 +43,57 @@ impl GridIndex {
         self.cells.len()
     }
 
+    /// Number of cell rows (latitude direction).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of cell columns (longitude direction).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Clamps one axis of the cell math into `0..n`.
+    ///
+    /// A point exactly on the max edge of an integral-span box computes a
+    /// raw cell index of `n` (one past the end), and a degenerate box
+    /// (`max == min`) makes *every* in-box point an edge point, so the
+    /// clamp here is what keeps `cell_of` in range — it must happen before
+    /// any cell arithmetic, not after. Non-finite coordinates land in
+    /// cell 0 (`NaN.max(0.0)` is `0.0`) rather than poisoning the index.
+    fn clamp_axis(offset_deg: f64, cell_deg: f64, n: usize) -> usize {
+        let raw = (offset_deg / cell_deg).floor();
+        // `as usize` saturates, so +inf offsets also end up clamped to
+        // the last cell instead of wrapping.
+        (raw.max(0.0) as usize).min(n - 1)
+    }
+
     fn cell_of(&self, p: &GeoPoint) -> (usize, usize) {
-        let r = ((p.lat - self.min_lat) / self.cell_deg).floor();
-        let c = ((p.lon - self.min_lon) / self.cell_deg).floor();
         (
-            (r.max(0.0) as usize).min(self.rows - 1),
-            (c.max(0.0) as usize).min(self.cols - 1),
+            Self::clamp_axis(p.lat - self.min_lat, self.cell_deg, self.rows),
+            Self::clamp_axis(p.lon - self.min_lon, self.cell_deg, self.cols),
         )
+    }
+
+    /// The clamped `(row, col)` cell coordinates of `p` — out-of-box
+    /// points (including points exactly on the max edge) map to the
+    /// nearest edge cell.
+    pub fn cell_coords(&self, p: &GeoPoint) -> (usize, usize) {
+        self.cell_of(p)
+    }
+
+    /// Items in the cell at `(row, col)`; coordinates are clamped into
+    /// range the same way probe points are.
+    pub fn cell_items(&self, row: usize, col: usize) -> &[u32] {
+        let r = row.min(self.rows - 1);
+        let c = col.min(self.cols - 1);
+        &self.cells[r * self.cols + c]
+    }
+
+    /// Inserts `id` into the single cell containing `p`.
+    pub fn insert_point(&mut self, id: u32, p: &GeoPoint) {
+        let (r, c) = self.cell_of(p);
+        self.cells[r * self.cols + c].push(id);
     }
 
     /// Inserts `id` into every cell overlapped by the bbox
@@ -140,6 +184,66 @@ mod tests {
         // A point beyond the bbox clamps to the nearest edge cell.
         let outside = GeoPoint::new(42.0, -73.0);
         assert!(g.candidates_at(&outside).contains(&9));
+    }
+
+    #[test]
+    fn degenerate_box_accepts_edge_points() {
+        // max == min collapses the grid to a single cell; every probe —
+        // the one in-box point, the max edge itself, and points beyond —
+        // must clamp into that cell instead of indexing out of range.
+        let mut g = GridIndex::new(40.5, -74.5, 40.5, -74.5, 0.1);
+        assert_eq!(g.len_cells(), 1);
+        let p = GeoPoint::new(40.5, -74.5);
+        g.insert_point(4, &p);
+        assert!(g.candidates_at(&p).contains(&4));
+        assert_eq!(g.cell_coords(&p), (0, 0));
+        assert_eq!(g.cell_coords(&GeoPoint::new(40.6, -74.4)), (0, 0));
+        assert_eq!(g.cell_coords(&GeoPoint::new(40.4, -74.6)), (0, 0));
+        assert!(g.candidates_within(&p, 3).any(|id| id == 4));
+    }
+
+    #[test]
+    fn exact_max_edge_point_lands_in_last_cell() {
+        // Integral span: (41.0 - 40.0) / 0.1 = 10 rows exactly, so a point
+        // at lat 41.0 computes raw row 10 — one past the end — and must
+        // clamp to row 9 rather than panic.
+        let mut g = GridIndex::new(40.0, -75.0, 41.0, -74.0, 0.1);
+        assert_eq!((g.rows(), g.cols()), (10, 10));
+        let edge = GeoPoint::new(41.0, -74.0);
+        assert_eq!(g.cell_coords(&edge), (9, 9));
+        g.insert_point(5, &edge);
+        assert!(g.cell_items(9, 9).contains(&5));
+        assert!(g.candidates_at(&edge).contains(&5));
+        // The min corner stays in cell (0, 0).
+        assert_eq!(g.cell_coords(&GeoPoint::new(40.0, -75.0)), (0, 0));
+    }
+
+    #[test]
+    fn non_finite_probes_clamp_instead_of_panicking() {
+        let mut g = GridIndex::new(40.0, -75.0, 41.0, -74.0, 0.1);
+        g.insert_bbox(1, (40.0, -75.0, 41.0, -74.0));
+        assert_eq!(g.cell_coords(&GeoPoint::new(f64::NAN, f64::NAN)), (0, 0));
+        assert_eq!(
+            g.cell_coords(&GeoPoint::new(f64::INFINITY, f64::INFINITY)),
+            (9, 9)
+        );
+        assert_eq!(
+            g.cell_coords(&GeoPoint::new(f64::NEG_INFINITY, -74.55)),
+            (0, 4)
+        );
+        // Probing with them is still answerable.
+        assert!(g
+            .candidates_at(&GeoPoint::new(f64::NAN, -74.55))
+            .contains(&1));
+    }
+
+    #[test]
+    fn cell_items_clamps_out_of_range_coordinates() {
+        let mut g = GridIndex::new(40.0, -75.0, 41.0, -74.0, 0.1);
+        let p = GeoPoint::new(40.99, -74.01);
+        g.insert_point(8, &p);
+        assert_eq!(g.cell_items(9, 9), g.cell_items(100, 100));
+        assert!(g.cell_items(100, 100).contains(&8));
     }
 
     #[test]

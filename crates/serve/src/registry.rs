@@ -6,7 +6,7 @@
 //! immediately. Each load gets a fresh *generation* number, which the
 //! feature cache folds into its keys.
 
-use hisrect::{JudgeService, ModelError, Precision};
+use hisrect::{CandidateService, JudgeService, ModelError, Precision};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -16,6 +16,11 @@ use twitter_sim::Dataset;
 pub struct LoadedModel {
     /// The judgement pipeline over this snapshot.
     pub service: JudgeService,
+    /// The candidate-retrieval index over this snapshot's embeddings.
+    /// Rebuilt on every (re)load and swapped atomically with the service,
+    /// so a query racing `/reload` sees one coherent generation — never a
+    /// new model scoring an old index.
+    pub candidates: CandidateService,
     /// Monotonic load counter; generation 1 is the startup load.
     pub generation: u64,
     /// Where the snapshot was read from.
@@ -50,8 +55,10 @@ impl ModelRegistry {
     ) -> Result<Self, ModelError> {
         let service =
             JudgeService::load_with_precision(model_path, corpus.world.pois.clone(), precision)?;
+        let candidates = CandidateService::build(&service, &corpus);
         let loaded = Arc::new(LoadedModel {
             service,
+            candidates,
             generation: 1,
             path: model_path.to_path_buf(),
         });
@@ -91,9 +98,11 @@ impl ModelRegistry {
             self.corpus.world.pois.clone(),
             self.precision,
         )?;
+        let candidates = CandidateService::build(&service, &self.corpus);
         let generation = self.next_generation.fetch_add(1, Ordering::Relaxed);
         let loaded = Arc::new(LoadedModel {
             service,
+            candidates,
             generation,
             path: source,
         });

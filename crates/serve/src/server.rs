@@ -290,6 +290,12 @@ struct ReloadRequest {
     model: Option<String>,
 }
 
+#[derive(Deserialize)]
+struct CandidatesRequest {
+    i: usize,
+    k: usize,
+}
+
 #[derive(Serialize)]
 struct HealthResponse {
     status: &'static str,
@@ -330,6 +336,7 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("GET", "/metrics") => Response::json(200, obs::snapshot().to_json()),
         ("POST", "/judge") => handle_judge(shared, &request.body),
         ("POST", "/judge_batch") => handle_judge_batch(shared, &request.body),
+        ("POST", "/candidates") => handle_candidates(shared, &request.body),
         ("POST", "/reload") => handle_reload(shared, &request.body),
         ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
         _ => Response::error(405, "method not allowed"),
@@ -437,6 +444,42 @@ fn handle_judge_batch(shared: &Shared, body: &[u8]) -> Response {
         .map(|(&(i, j), p)| Judgement::from_probability(i, j, p))
         .collect();
     ok_json(&JudgeBatchResponse { judgements })
+}
+
+/// Top-k candidate co-located users for one profile's fresh tweet.
+///
+/// Served from the generation's own [`hisrect::CandidateService`]: the
+/// index and the judge that scores its hits always come from the same
+/// `Arc<LoadedModel>` snapshot, so a query racing `/reload` answers
+/// entirely from the old or the new generation, never a torn mix. Scores
+/// come from embeddings stored at index build, so the response is
+/// byte-identical to the offline `hisrect candidates` CLI, cold or warm.
+fn handle_candidates(shared: &Shared, body: &[u8]) -> Response {
+    let req: CandidatesRequest = match parse_body(body) {
+        Ok(r) => r,
+        Err(resp) => return resp,
+    };
+    let model = shared.registry.current();
+    let population = model.candidates.population();
+    if req.k == 0 {
+        return Response::error(400, "k must be at least 1");
+    }
+    if req.k > population {
+        return Response::error(
+            400,
+            &format!("k {} exceeds population ({population} profiles)", req.k),
+        );
+    }
+    match model.candidates.candidates(&model.service, req.i, req.k) {
+        Some(set) => ok_json(&set),
+        None => Response::error(
+            400,
+            &format!(
+                "profile index {} out of range (corpus has {population} profiles)",
+                req.i
+            ),
+        ),
+    }
 }
 
 fn handle_reload(shared: &Shared, body: &[u8]) -> Response {
