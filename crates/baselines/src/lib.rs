@@ -16,10 +16,17 @@
 //!
 //! Both expose a per-POI score vector so the Fig. 4 `Acc@K` experiment can
 //! rank POI candidates.
+//!
+//! [`heuristic`] additionally provides the model-free
+//! [`SpatialHeuristic`] — the affinity gate's distance/Δt case analysis
+//! plus a nearest-POI agreement vote — which the serving tier uses as its
+//! degraded-mode verdict source when the learned judge is unavailable.
 
+pub mod heuristic;
 pub mod ngram_gauss;
 pub mod tgtic;
 
+pub use heuristic::{SpatialHeuristic, SpatialHeuristicConfig};
 pub use ngram_gauss::{NGramGauss, NGramGaussConfig};
 pub use tgtic::{TgTiC, TgTiCConfig};
 

@@ -25,7 +25,7 @@
 
 use bench::report::Report;
 use serde::Serialize;
-use serve::{HttpClient, ModelRegistry, ServeConfig, ServerHandle};
+use serve::{HttpClient, ModelRegistry, RetryPolicy, ServeConfig, ServerHandle};
 use std::net::SocketAddr;
 use std::path::Path;
 use std::process::ExitCode;
@@ -260,7 +260,11 @@ fn run() -> Result<LoadgenRow, String> {
     for client_id in 0..clients {
         threads.push(std::thread::spawn(move || -> Vec<(u16, f64)> {
             let mut rng = Lcg(0x10ad_6e2c ^ (client_id as u64) << 32);
-            let mut http = HttpClient::new(addr);
+            // Seeded retry: transient 503 sheds back off deterministically
+            // (honoring the server's Retry-After) instead of failing the
+            // sample outright.
+            let mut http =
+                HttpClient::with_retry(addr, RetryPolicy::new(2, 0x10ad_6e2c | client_id as u64));
             let mut out = Vec::with_capacity(per_client);
             for _ in 0..per_client {
                 let i = rng.next() as usize % pool;

@@ -354,6 +354,23 @@ pub fn serve_cmd(flags: &Flags) -> Result<(), String> {
         queue_depth: flags.parse_or("queue-depth", 128usize)?,
         limits: serve::http::Limits::default(),
         precision: parse_precision(flags)?,
+        default_deadline: Duration::from_millis(flags.parse_or("default-deadline-ms", 10_000u64)?),
+        admission: serve::AdmissionConfig {
+            rate: flags.parse_or("admission-rate", 0.0f64)?,
+            burst: flags.parse_or("admission-burst", 0.0f64)?,
+            queue_high_watermark: flags.parse_or("admission-watermark", 1.0f64)?,
+        },
+        breaker: serve::BreakerConfig {
+            failure_threshold: flags.parse_or("breaker-failures", 5u32)?,
+            cooldown: Duration::from_millis(flags.parse_or("breaker-cooldown-ms", 1000u64)?),
+            latency_budget: Duration::from_millis(
+                flags.parse_or("breaker-latency-budget-ms", 5000u64)?,
+            ),
+        },
+        watchdog: serve::WatchdogConfig {
+            interval: Duration::from_millis(flags.parse_or("watchdog-interval-ms", 250u64)?),
+            stall_timeout: Duration::from_millis(flags.parse_or("watchdog-stall-ms", 2000u64)?),
+        },
     };
     let registry = serve::ModelRegistry::load_with_precision(
         Path::new(model_path),

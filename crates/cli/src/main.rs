@@ -37,7 +37,12 @@ COMMANDS:
     cluster    Cluster concurrent test profiles       (--corpus FILE --model FILE [--group-size N] [--seed N])
     serve      Online co-location inference server    (--corpus FILE --model FILE [--addr HOST:PORT] [--workers N]
                                                        [--cache-capacity N] [--batch-size N] [--batch-deadline-ms MS]
-                                                       [--queue-depth N] [--precision f32|int8])
+                                                       [--queue-depth N] [--precision f32|int8]
+                                                       [--default-deadline-ms MS] [--admission-rate R]
+                                                       [--admission-burst N] [--admission-watermark F]
+                                                       [--breaker-failures N] [--breaker-cooldown-ms MS]
+                                                       [--breaker-latency-budget-ms MS]
+                                                       [--watchdog-interval-ms MS] [--watchdog-stall-ms MS])
     help       Show this message
 
 GLOBAL FLAGS:

@@ -44,6 +44,7 @@ pub mod ckpt;
 pub mod clustering;
 pub mod config;
 pub mod error;
+pub mod fallback;
 pub mod fc;
 pub mod featurizer;
 pub mod fv;
@@ -56,5 +57,6 @@ pub use candidates::{Candidate, CandidateConfig, CandidateService, CandidateSet}
 pub use ckpt::CheckpointConfig;
 pub use config::{ApproachSpec, ContentEncoder, HisRectConfig, HistoryEncoder, UnsupLoss};
 pub use error::{ModelError, TrainError};
+pub use fallback::FallbackJudge;
 pub use model::{HisRectModel, Precision, QuantModel};
 pub use service::{profile_fingerprint, JudgeService, Judgement};

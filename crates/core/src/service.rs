@@ -10,6 +10,7 @@
 
 use crate::ckpt::fnv1a64;
 use crate::error::ModelError;
+use crate::fallback::FallbackJudge;
 use crate::model::{Ablation, HisRectModel, Precision, QuantModel};
 use geo::PoiSet;
 use serde::{Deserialize, Serialize};
@@ -57,6 +58,7 @@ pub struct JudgeService {
     pois: PoiSet,
     precision: Precision,
     quant: Option<QuantModel>,
+    fallback: FallbackJudge,
 }
 
 impl JudgeService {
@@ -73,11 +75,13 @@ impl JudgeService {
             Precision::F32 => None,
             Precision::Int8 => Some(model.quantize()),
         };
+        let fallback = FallbackJudge::from_config(&model.spec.config, None);
         Self {
             model,
             pois,
             precision,
             quant,
+            fallback,
         }
     }
 
@@ -194,6 +198,20 @@ impl JudgeService {
             Some(qm) => self.model.judge_from_embeddings_quant(ei, ej, qm),
             None => self.model.judge_from_embeddings(ei, ej),
         }
+    }
+
+    /// The degraded-mode judge this service falls back to when the
+    /// learned path is unavailable (built once at construction from the
+    /// model's own `ρ`/`ε` config).
+    pub fn fallback(&self) -> &FallbackJudge {
+        &self.fallback
+    }
+
+    /// Degraded co-location probability from the spatial heuristic alone:
+    /// no tensor work, always available. The serving tier labels any
+    /// response built from this path `x-hisrect-degraded`.
+    pub fn judge_degraded(&self, a: &Profile, b: &Profile) -> f32 {
+        self.fallback.probability(&self.pois, a, b)
     }
 }
 

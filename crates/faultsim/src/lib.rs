@@ -48,6 +48,17 @@ pub enum FaultKind {
     OversizedBody,
     /// Request path: the request body is syntactically invalid JSON.
     MalformedJson,
+    /// Serve path: the micro-batcher's flusher thread wedges before
+    /// pulling the next job (simulates a stuck worker). The stall parks
+    /// the thread until the watchdog supersedes it or the server shuts
+    /// down, leaving every queued job untouched for the replacement.
+    BatcherStall,
+    /// Serve path: the judge forward pass takes far longer than the
+    /// configured latency budget (simulates a degraded model backend).
+    SlowJudge,
+    /// Serve path: a request handler burns CPU in a tight loop before
+    /// answering (simulates a poison request hogging a worker).
+    CpuBurn,
 }
 
 impl FaultKind {
@@ -64,6 +75,9 @@ impl FaultKind {
             FaultKind::MidBodyDisconnect => "disconnect",
             FaultKind::OversizedBody => "oversize-body",
             FaultKind::MalformedJson => "malformed-json",
+            FaultKind::BatcherStall => "stall",
+            FaultKind::SlowJudge => "slow-judge",
+            FaultKind::CpuBurn => "cpu-burn",
         }
     }
 
@@ -79,11 +93,14 @@ impl FaultKind {
             "disconnect" => FaultKind::MidBodyDisconnect,
             "oversize-body" => FaultKind::OversizedBody,
             "malformed-json" => FaultKind::MalformedJson,
+            "stall" => FaultKind::BatcherStall,
+            "slow-judge" => FaultKind::SlowJudge,
+            "cpu-burn" => FaultKind::CpuBurn,
             _ => return None,
         })
     }
 
-    const ALL: [FaultKind; 10] = [
+    const ALL: [FaultKind; 13] = [
         FaultKind::TornWrite,
         FaultKind::BitFlip,
         FaultKind::CorruptJson,
@@ -94,6 +111,9 @@ impl FaultKind {
         FaultKind::MidBodyDisconnect,
         FaultKind::OversizedBody,
         FaultKind::MalformedJson,
+        FaultKind::BatcherStall,
+        FaultKind::SlowJudge,
+        FaultKind::CpuBurn,
     ];
 }
 
@@ -311,6 +331,20 @@ mod tests {
         for kind in FaultKind::ALL {
             assert_eq!(FaultKind::parse(kind.name()), Some(kind));
         }
+        clear();
+    }
+
+    #[test]
+    fn serve_overload_kinds_parse_and_fire() {
+        let _g = lock();
+        clear();
+        configure_str("stall@1,slow-judge@2,cpu-burn").unwrap();
+        assert!(pending(FaultKind::BatcherStall));
+        assert!(fires(FaultKind::BatcherStall));
+        assert!(fires(FaultKind::CpuBurn));
+        assert!(!fires(FaultKind::SlowJudge));
+        assert!(fires(FaultKind::SlowJudge));
+        assert!(!pending(FaultKind::SlowJudge));
         clear();
     }
 

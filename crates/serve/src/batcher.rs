@@ -1,7 +1,7 @@
 //! Request micro-batcher.
 //!
 //! Concurrent `/judge` requests are coalesced into one batched forward
-//! pass through the judge MLP: the batcher thread pulls the first queued
+//! pass through the judge MLP: the flusher thread pulls the first queued
 //! job, then keeps collecting until the batch is full or the flush
 //! deadline passes. `tensor`'s blocked matmul accumulates each output row
 //! independently of the batch row count, so a batched row is bit-identical
@@ -10,13 +10,29 @@
 //! The queue is bounded; a full queue surfaces as backpressure
 //! ([`SubmitError::Overloaded`] → 503 + `Retry-After`) instead of
 //! unbounded memory growth.
+//!
+//! Overload protection hooks:
+//!
+//! - Every job carries its request **deadline**; a collected job whose
+//!   deadline already passed is answered [`JobError::Expired`] *before*
+//!   the forward pass — no GEMM cycles are spent on an answer nobody is
+//!   waiting for. Shutdown drains the queue the same way, so queued
+//!   expired jobs get their typed answer instead of a dropped channel.
+//! - Each flush reports its size to the [`AdmissionGate`] drain-rate
+//!   estimator, which prices the adaptive `Retry-After` hint.
+//! - The flusher bumps a **heartbeat** counter every iteration; the
+//!   watchdog reads it (together with the queue length) to detect a
+//!   stalled flusher and [`Batcher::restart`]s it in place: a replacement
+//!   thread takes over the same queue and the superseded thread exits at
+//!   its next generation check without holding any job.
 
+use crate::admission::AdmissionGate;
 use crate::registry::LoadedModel;
 use parallel::{Channel, RecvTimeout, TrySendError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::SyncSender;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -68,6 +84,26 @@ impl BatchStats {
     }
 }
 
+/// Why a queued job was answered without a probability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobError {
+    /// The request deadline passed while the job was queued: the batcher
+    /// shed it before the forward pass. Maps to 504.
+    Expired,
+    /// The judge forward pass panicked. Maps to 500.
+    Panicked,
+}
+
+impl JobError {
+    /// Human-readable detail for the error response body.
+    pub fn message(self) -> &'static str {
+        match self {
+            JobError::Expired => "deadline expired while queued",
+            JobError::Panicked => "judge batch panicked",
+        }
+    }
+}
+
 /// One queued judgement: cached features for both profiles plus the
 /// snapshot to judge them with and the channel to answer on.
 pub struct JudgeJob {
@@ -77,8 +113,11 @@ pub struct JudgeJob {
     pub fa: Arc<Vec<f32>>,
     /// `F(rj)`.
     pub fb: Arc<Vec<f32>>,
-    /// Where the probability (or a failure note) is delivered.
-    pub responder: SyncSender<Result<f32, String>>,
+    /// Absolute point after which nobody is waiting for the answer; the
+    /// batcher sheds the job instead of judging it. `None` = no deadline.
+    pub deadline: Option<Instant>,
+    /// Where the probability (or a typed failure) is delivered.
+    pub responder: SyncSender<Result<f32, JobError>>,
 }
 
 /// Why a job could not be enqueued.
@@ -90,42 +129,84 @@ pub enum SubmitError {
     Closed,
 }
 
-/// The micro-batcher: a bounded queue plus one flusher thread.
+/// State shared between the [`Batcher`] handle and its flusher threads.
+/// Lives behind one `Arc` so a superseded flusher can keep observing it
+/// after a restart replaced it.
+struct Core {
+    queue: Channel<JudgeJob>,
+    stats: BatchStats,
+    batch_size: usize,
+    flush_deadline: Duration,
+    /// Bumped by the live flusher every loop iteration; the watchdog's
+    /// liveness signal.
+    heartbeat: AtomicU64,
+    /// Flusher generation: a restart bumps it and the superseded thread
+    /// exits at its next check. Starts at 0, so the count of restarts.
+    generation: AtomicU64,
+    /// Set by shutdown so even a fault-stalled flusher wakes and drains.
+    stopping: AtomicBool,
+    /// Drain-rate sink for the adaptive `Retry-After` estimate.
+    admission: Option<Arc<AdmissionGate>>,
+}
+
+/// The micro-batcher: a bounded queue plus one (restartable) flusher
+/// thread.
 pub struct Batcher {
-    queue: Arc<Channel<JudgeJob>>,
-    stats: Arc<BatchStats>,
-    thread: Option<JoinHandle<()>>,
+    core: Arc<Core>,
+    thread: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Batcher {
     /// Spawns the flusher. `batch_size` is the flush-on-size threshold,
     /// `deadline` the flush-on-time threshold measured from the first job
-    /// of a batch, `queue_depth` the backpressure bound.
-    pub fn new(batch_size: usize, deadline: Duration, queue_depth: usize) -> Self {
-        let queue = Arc::new(Channel::bounded(queue_depth.max(1)));
-        let stats = Arc::new(BatchStats::default());
-        let batch_size = batch_size.max(1);
-        let worker_queue = Arc::clone(&queue);
-        let worker_stats = Arc::clone(&stats);
-        let thread = std::thread::Builder::new()
-            .name("hisrect-batcher".into())
-            .spawn(move || run(&worker_queue, &worker_stats, batch_size, deadline))
-            .expect("spawn batcher thread");
+    /// of a batch, `queue_depth` the backpressure bound. Flush sizes are
+    /// reported to `admission` (when given) for drain-rate tracking.
+    pub fn new(
+        batch_size: usize,
+        deadline: Duration,
+        queue_depth: usize,
+        admission: Option<Arc<AdmissionGate>>,
+    ) -> Self {
+        let core = Arc::new(Core {
+            queue: Channel::bounded(queue_depth.max(1)),
+            stats: BatchStats::default(),
+            batch_size: batch_size.max(1),
+            flush_deadline: deadline,
+            heartbeat: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+            stopping: AtomicBool::new(false),
+            admission,
+        });
+        let thread = spawn_flusher(Arc::clone(&core), 0);
         Self {
-            queue,
-            stats,
-            thread: Some(thread),
+            core,
+            thread: Mutex::new(Some(thread)),
         }
     }
 
     /// Flush accounting so far.
     pub fn stats(&self) -> &BatchStats {
-        &self.stats
+        &self.core.stats
+    }
+
+    /// Jobs currently queued.
+    pub fn queue_len(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// The flusher's liveness counter (bumped every loop iteration).
+    pub fn heartbeat(&self) -> u64 {
+        self.core.heartbeat.load(Ordering::Relaxed)
+    }
+
+    /// How many times the flusher has been restarted in place.
+    pub fn restarts(&self) -> u64 {
+        self.core.generation.load(Ordering::Relaxed)
     }
 
     /// Enqueues a job without blocking.
     pub fn submit(&self, job: JudgeJob) -> Result<(), SubmitError> {
-        match self.queue.try_send(job) {
+        match self.core.queue.try_send(job) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => {
                 obs::incr("serve/backpressure_503");
@@ -135,10 +216,37 @@ impl Batcher {
         }
     }
 
-    /// Closes the queue and joins the flusher (drains queued jobs first).
-    pub fn shutdown(&mut self) {
-        self.queue.close();
-        if let Some(t) = self.thread.take() {
+    /// Replaces the flusher thread in place: bumps the generation (the
+    /// superseded thread exits at its next check without holding any
+    /// job) and spawns a fresh flusher on the same queue. Queued jobs
+    /// survive; nothing is dropped. Returns the new generation.
+    ///
+    /// The watchdog calls this when the heartbeat stalls; it is safe to
+    /// call even if the old thread is alive (it simply yields).
+    pub fn restart(&self) -> u64 {
+        let next = self.core.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        let handle = spawn_flusher(Arc::clone(&self.core), next);
+        let old = {
+            let mut slot = self.thread.lock().expect("batcher thread slot poisoned");
+            slot.replace(handle)
+        };
+        // The superseded thread exits on its own; detach rather than
+        // join — it may be mid-sleep and restart must not block on it.
+        drop(old);
+        next
+    }
+
+    /// Closes the queue and joins the current flusher (drains queued
+    /// jobs first — expired ones get their typed `Expired` answer).
+    pub fn shutdown(&self) {
+        self.core.stopping.store(true, Ordering::SeqCst);
+        self.core.queue.close();
+        let handle = self
+            .thread
+            .lock()
+            .expect("batcher thread slot poisoned")
+            .take();
+        if let Some(t) = handle {
             let _ = t.join();
         }
     }
@@ -150,21 +258,46 @@ impl Drop for Batcher {
     }
 }
 
-fn run(queue: &Channel<JudgeJob>, stats: &BatchStats, batch_size: usize, deadline: Duration) {
+fn spawn_flusher(core: Arc<Core>, generation: u64) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("hisrect-batcher-{generation}"))
+        .spawn(move || run(&core, generation))
+        .expect("spawn batcher thread")
+}
+
+fn run(core: &Core, my_generation: u64) {
+    let superseded = || core.generation.load(Ordering::SeqCst) != my_generation;
     loop {
+        if superseded() {
+            return;
+        }
+        // Injected stall (`stall` fault): stop pulling work while holding
+        // no job, so the watchdog sees a growing queue and a frozen
+        // heartbeat. A restart (generation bump) or shutdown releases us.
+        if faultsim::fires(faultsim::FaultKind::BatcherStall) {
+            obs::incr("serve/batcher_stall_injected");
+            while !superseded() && !core.stopping.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if superseded() {
+                return;
+            }
+            // Stopping: fall through and drain the queue normally.
+        }
+        core.heartbeat.fetch_add(1, Ordering::Relaxed);
         // Block for the batch's first job.
-        let Some(first) = queue.recv() else {
+        let Some(first) = core.queue.recv() else {
             return; // closed and drained
         };
-        let flush_at = Instant::now() + deadline;
+        let flush_at = Instant::now() + core.flush_deadline;
         let mut batch = vec![first];
         let mut closed = false;
-        while batch.len() < batch_size {
+        while batch.len() < core.batch_size {
             let left = flush_at.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 break;
             }
-            match queue.recv_timeout(left) {
+            match core.queue.recv_timeout(left) {
                 RecvTimeout::Item(job) => batch.push(job),
                 RecvTimeout::TimedOut => break,
                 RecvTimeout::Closed => {
@@ -173,23 +306,43 @@ fn run(queue: &Channel<JudgeJob>, stats: &BatchStats, batch_size: usize, deadlin
                 }
             }
         }
-        flush(batch, stats);
+        flush(batch, core);
+        core.heartbeat.fetch_add(1, Ordering::Relaxed);
         if closed {
             return;
         }
     }
 }
 
-/// Judges one collected batch. Jobs are grouped by model generation so a
+/// Judges one collected batch. Expired jobs are shed first (no forward
+/// pass for them); the rest are grouped by model generation so a
 /// hot-reload mid-batch never mixes snapshots in one forward pass.
-fn flush(batch: Vec<JudgeJob>, stats: &BatchStats) {
+fn flush(batch: Vec<JudgeJob>, core: &Core) {
+    let now = Instant::now();
+    let (expired, live): (Vec<JudgeJob>, Vec<JudgeJob>) = batch
+        .into_iter()
+        .partition(|job| job.deadline.is_some_and(|d| d <= now));
+    // Shed and expired jobs drain the queue just like judged ones, so
+    // both feed the drain-rate estimate behind `Retry-After`.
+    if let Some(gate) = &core.admission {
+        gate.record_drain(expired.len() + live.len());
+    }
+    for job in &expired {
+        obs::incr("serve/shed_deadline");
+        let _ = job.responder.send(Err(JobError::Expired));
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let stats = &core.stats;
     stats.batches.fetch_add(1, Ordering::Relaxed);
-    stats.jobs.fetch_add(batch.len() as u64, Ordering::Relaxed);
-    let bucket = bucket_index(batch.len());
+    stats.jobs.fetch_add(live.len() as u64, Ordering::Relaxed);
+    let bucket = bucket_index(live.len());
     stats.size_buckets[bucket].fetch_add(1, Ordering::Relaxed);
     obs::incr("serve/batches");
-    obs::add("serve/batched_requests", batch.len() as u64);
-    obs::observe("serve/batch_size", batch.len() as f64);
+    obs::add("serve/batched_requests", live.len() as u64);
+    obs::observe("serve/batch_size", live.len() as f64);
     // obs counters want 'static names; one per bucket, aligned with
     // BATCH_BUCKET_LABELS.
     const BUCKET_COUNTERS: [&str; 6] = [
@@ -202,8 +355,15 @@ fn flush(batch: Vec<JudgeJob>, stats: &BatchStats) {
     ];
     obs::incr(BUCKET_COUNTERS[bucket]);
 
+    // Injected latency (`slow-judge` fault): the whole flush crawls, so
+    // in-budget requests blow their latency budget and trip the breaker.
+    if faultsim::fires(faultsim::FaultKind::SlowJudge) {
+        obs::incr("serve/slow_judge_injected");
+        std::thread::sleep(slow_judge_delay());
+    }
+
     let mut groups: Vec<(u64, Vec<JudgeJob>)> = Vec::new();
-    for job in batch {
+    for job in live {
         let generation = job.model.generation;
         match groups.iter_mut().find(|(g, _)| *g == generation) {
             Some((_, jobs)) => jobs.push(job),
@@ -227,20 +387,29 @@ fn flush(batch: Vec<JudgeJob>, stats: &BatchStats) {
             Err(_) => {
                 obs::incr("serve/batch_panic");
                 for job in &jobs {
-                    let _ = job.responder.send(Err("judge batch panicked".to_string()));
+                    let _ = job.responder.send(Err(JobError::Panicked));
                 }
             }
         }
     }
 }
 
+/// How long an injected `slow-judge` fault sleeps. Overridable for tests
+/// and the brownout harness via `HISRECT_SLOW_JUDGE_MS`.
+fn slow_judge_delay() -> Duration {
+    let ms = std::env::var("HISRECT_SLOW_JUDGE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(100);
+    Duration::from_millis(ms)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // Batcher plumbing without a real model is exercised indirectly via
-    // the server integration tests; here we only check the backpressure
-    // contract, which needs no model at all.
+    // Batcher plumbing with a real model is exercised via the server
+    // integration tests; here we check the contracts that need no model.
     #[test]
     fn full_queue_reports_overloaded() {
         // A batcher whose flusher is effectively stalled: batch_size 1
@@ -250,5 +419,25 @@ mod tests {
         q.try_send(1).unwrap();
         q.try_send(2).unwrap();
         assert!(matches!(q.try_send(3), Err(TrySendError::Full(3))));
+    }
+
+    #[test]
+    fn heartbeat_advances_and_restart_bumps_generation() {
+        let b = Batcher::new(4, Duration::from_millis(1), 8, None);
+        assert_eq!(b.restarts(), 0);
+        let g1 = b.restart();
+        assert_eq!(g1, 1);
+        let g2 = b.restart();
+        assert_eq!(g2, 2);
+        assert_eq!(b.restarts(), 2);
+        // The live flusher (generation 2) is blocked in recv with an
+        // empty queue; shutdown must still join it cleanly.
+        b.shutdown();
+    }
+
+    #[test]
+    fn job_error_messages_are_stable() {
+        assert_eq!(JobError::Expired.message(), "deadline expired while queued");
+        assert_eq!(JobError::Panicked.message(), "judge batch panicked");
     }
 }

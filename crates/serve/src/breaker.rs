@@ -1,0 +1,282 @@
+//! Circuit breaker around the learned-judge path.
+//!
+//! The classic three-state machine:
+//!
+//! ```text
+//!            consecutive failures ≥ threshold
+//!   CLOSED ─────────────────────────────────────▶ OPEN
+//!     ▲                                            │ cooldown elapsed
+//!     │ probe succeeds                             ▼
+//!     └───────────────────────────────────── HALF-OPEN
+//!                 probe fails ──▶ OPEN (fresh cooldown)
+//! ```
+//!
+//! A "failure" is either a hard error from the learned path (worker
+//! panic, batcher timeout) or a success that blew the per-request latency
+//! budget — a judge that answers correctly but far too slowly is just as
+//! broken for the caller. While OPEN every request is told to degrade
+//! (heuristic fallback / stale cache read) instead of queueing behind a
+//! sick model; once the cooldown elapses exactly one request is admitted
+//! as the HALF-OPEN probe, and its outcome alone decides between closing
+//! the circuit and another full cooldown.
+//!
+//! With the default threshold the breaker is effectively invisible on a
+//! healthy server: it only ever observes successes and stays CLOSED.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tunables of the breaker.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive learned-path failures that trip CLOSED → OPEN.
+    pub failure_threshold: u32,
+    /// How long the circuit stays OPEN before a probe is allowed.
+    pub cooldown: Duration,
+    /// Per-request latency budget; a slower success counts as a failure.
+    pub latency_budget: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 5,
+            cooldown: Duration::from_secs(1),
+            latency_budget: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Learned path healthy; all traffic goes through it.
+    Closed,
+    /// Learned path sick; all traffic degrades until the cooldown ends.
+    Open,
+    /// One probe is in flight; everyone else still degrades.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lower-case label used in `/healthz` and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// What the breaker tells a request to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Circuit closed: use the learned path normally.
+    Learned,
+    /// Circuit half-open and this request won the probe slot: use the
+    /// learned path, and its outcome decides the circuit's fate.
+    Probe,
+    /// Circuit open: serve a degraded verdict, do not touch the model.
+    Degraded,
+}
+
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    /// True while the single half-open probe is in flight.
+    probe_inflight: bool,
+}
+
+/// The breaker itself. One per server; shared by every worker thread.
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `cfg`.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probe_inflight: false,
+            }),
+        }
+    }
+
+    /// The configuration the breaker runs under.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.cfg
+    }
+
+    /// The current state (for `/healthz` and tests).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().expect("breaker poisoned").state
+    }
+
+    /// Routes one request: learned path, the half-open probe slot, or
+    /// degraded service. Called before submitting to the batcher.
+    pub fn admit_learned(&self) -> BreakerDecision {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        match inner.state {
+            BreakerState::Closed => BreakerDecision::Learned,
+            BreakerState::HalfOpen => {
+                if inner.probe_inflight {
+                    BreakerDecision::Degraded
+                } else {
+                    inner.probe_inflight = true;
+                    BreakerDecision::Probe
+                }
+            }
+            BreakerState::Open => {
+                let cooled = inner
+                    .opened_at
+                    .is_some_and(|t| t.elapsed() >= self.cfg.cooldown);
+                if cooled {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_inflight = true;
+                    obs::incr("serve/breaker_half_open");
+                    BreakerDecision::Probe
+                } else {
+                    BreakerDecision::Degraded
+                }
+            }
+        }
+    }
+
+    /// Reports a learned-path success that took `latency`. Over-budget
+    /// successes are failures in disguise.
+    pub fn record_success(&self, latency: Duration) {
+        if latency > self.cfg.latency_budget {
+            self.record_failure();
+            return;
+        }
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        inner.consecutive_failures = 0;
+        match inner.state {
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Closed;
+                inner.probe_inflight = false;
+                inner.opened_at = None;
+                obs::incr("serve/breaker_close");
+            }
+            BreakerState::Closed => {}
+            // A straggler success from before the trip: the circuit stays
+            // open until its own probe says otherwise.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Reports a learned-path failure (error, timeout, or blown budget).
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        match inner.state {
+            BreakerState::HalfOpen => {
+                // The probe failed: back to a full cooldown.
+                inner.state = BreakerState::Open;
+                inner.probe_inflight = false;
+                inner.opened_at = Some(Instant::now());
+                inner.consecutive_failures = 0;
+                obs::incr("serve/breaker_open");
+            }
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.cfg.failure_threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(Instant::now());
+                    inner.consecutive_failures = 0;
+                    obs::incr("serve/breaker_open");
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(20),
+            latency_budget: Duration::from_millis(100),
+        })
+    }
+
+    #[test]
+    fn stays_closed_under_success() {
+        let b = quick();
+        for _ in 0..100 {
+            assert_eq!(b.admit_learned(), BreakerDecision::Learned);
+            b.record_success(Duration::from_millis(1));
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let b = quick();
+        b.record_failure();
+        b.record_failure();
+        b.record_success(Duration::from_millis(1)); // resets the streak
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.admit_learned(), BreakerDecision::Degraded);
+    }
+
+    #[test]
+    fn over_budget_success_counts_as_failure() {
+        let b = quick();
+        for _ in 0..3 {
+            b.record_success(Duration::from_millis(500));
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let b = quick();
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit_learned(), BreakerDecision::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Every other request degrades while the probe is in flight.
+        assert_eq!(b.admit_learned(), BreakerDecision::Degraded);
+        assert_eq!(b.admit_learned(), BreakerDecision::Degraded);
+    }
+
+    #[test]
+    fn probe_success_closes_probe_failure_reopens() {
+        let b = quick();
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit_learned(), BreakerDecision::Probe);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(
+            b.admit_learned(),
+            BreakerDecision::Degraded,
+            "cooldown restarted"
+        );
+
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.admit_learned(), BreakerDecision::Probe);
+        b.record_success(Duration::from_millis(1));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit_learned(), BreakerDecision::Learned);
+    }
+}

@@ -208,6 +208,79 @@ impl FeatureCache {
     }
 }
 
+/// Cache key of a finished verdict: model generation plus the pair's
+/// indices in canonical (low, high) order — the judge is symmetric, so
+/// `(i, j)` and `(j, i)` share one slot.
+pub type VerdictKey = (u64, usize, usize);
+
+/// Builds the canonical [`VerdictKey`] for a pair under a generation.
+pub fn verdict_key(generation: u64, i: usize, j: usize) -> VerdictKey {
+    (generation, i.min(j), i.max(j))
+}
+
+/// Small FIFO cache of recently served verdicts, read when the circuit
+/// breaker has the learned path open: a stale-but-exact probability beats
+/// a heuristic one, so degraded reads consult this before falling back.
+///
+/// FIFO rather than LRU on purpose — reads while degraded must not churn
+/// the order, and the window only needs to cover "recently answered"
+/// pairs, not a working set.
+pub struct VerdictCache {
+    inner: Mutex<VerdictInner>,
+    capacity: usize,
+}
+
+struct VerdictInner {
+    map: HashMap<VerdictKey, f32>,
+    order: std::collections::VecDeque<VerdictKey>,
+}
+
+impl VerdictCache {
+    /// A cache remembering the last `capacity` distinct pair verdicts.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(VerdictInner {
+                map: HashMap::new(),
+                order: std::collections::VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Records a verdict served by the learned path.
+    pub fn insert(&self, key: VerdictKey, p: f32) {
+        let mut inner = self.inner.lock().expect("verdict cache poisoned");
+        if inner.map.insert(key, p).is_none() {
+            inner.order.push_back(key);
+            if inner.order.len() > self.capacity {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// The stale verdict for a pair, if one is still in the window.
+    pub fn get(&self, key: &VerdictKey) -> Option<f32> {
+        self.inner
+            .lock()
+            .expect("verdict cache poisoned")
+            .map
+            .get(key)
+            .copied()
+    }
+
+    /// Number of remembered verdicts.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("verdict cache poisoned").map.len()
+    }
+
+    /// True when no verdict is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +361,32 @@ mod tests {
         let cache = FeatureCache::new(16);
         cache.insert((1, 9, 42), val(1));
         assert!(cache.get(&(2, 9, 42)).is_none());
+    }
+
+    #[test]
+    fn verdict_key_is_order_invariant() {
+        assert_eq!(verdict_key(3, 7, 2), verdict_key(3, 2, 7));
+        assert_ne!(verdict_key(3, 2, 7), verdict_key(4, 2, 7));
+    }
+
+    #[test]
+    fn verdict_cache_round_trips_and_evicts_fifo() {
+        let cache = VerdictCache::new(2);
+        cache.insert(verdict_key(1, 0, 1), 0.9);
+        cache.insert(verdict_key(1, 0, 2), 0.8);
+        assert_eq!(cache.get(&verdict_key(1, 1, 0)), Some(0.9));
+        cache.insert(verdict_key(1, 0, 3), 0.7);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&verdict_key(1, 0, 1)), None, "oldest evicted");
+        assert_eq!(cache.get(&verdict_key(1, 0, 3)), Some(0.7));
+    }
+
+    #[test]
+    fn verdict_reinsert_refreshes_value_without_growth() {
+        let cache = VerdictCache::new(4);
+        cache.insert(verdict_key(1, 0, 1), 0.4);
+        cache.insert(verdict_key(1, 1, 0), 0.6);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&verdict_key(1, 0, 1)), Some(0.6));
     }
 }

@@ -1,6 +1,12 @@
 //! Minimal blocking HTTP/1.1 client with keep-alive — just enough to
 //! drive the server from the load generator and the integration tests
 //! without pulling in an HTTP dependency.
+//!
+//! With a [`RetryPolicy`] attached the client also retries transport
+//! errors and `503` rejections with **deterministic** seeded jittered
+//! exponential backoff, honoring the server's `Retry-After` hint when
+//! one is present (capped by the policy). Determinism matters: the load
+//! generator and the CI gates replay identical schedules run to run.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -15,6 +21,44 @@ pub struct ClientResponse {
     pub body: String,
     /// Whether the server will keep the connection open.
     pub keep_alive: bool,
+    /// All response headers, lower-cased names, in wire order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl ClientResponse {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Retry behavior for transport errors and `503` rejections.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt (the retry budget).
+    pub budget: u32,
+    /// Backoff base: attempt `n` waits about `base · 2ⁿ`, jittered.
+    pub base: Duration,
+    /// Cap on any single wait, including `Retry-After` hints.
+    pub cap: Duration,
+    /// Seed of the jitter PRNG — same seed, same waits, every run.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy with `budget` retries and deterministic jitter from
+    /// `seed` (50 ms base, 2 s cap).
+    pub fn new(budget: u32, seed: u64) -> Self {
+        Self {
+            budget,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            seed,
+        }
+    }
 }
 
 /// A persistent connection to the server.
@@ -22,25 +66,30 @@ pub struct HttpClient {
     addr: SocketAddr,
     stream: Option<TcpStream>,
     timeout: Duration,
+    retry: Option<RetryPolicy>,
+    /// Jitter PRNG state (xorshift64*), seeded from the policy.
+    rng: u64,
 }
 
 impl HttpClient {
-    /// Connects lazily on first request.
+    /// Connects lazily on first request. No retry policy: errors and
+    /// 503s surface to the caller immediately (the old behavior).
     pub fn new(addr: SocketAddr) -> Self {
         Self {
             addr,
             stream: None,
             timeout: Duration::from_secs(10),
+            retry: None,
+            rng: 0x9E37_79B9_7F4A_7C15,
         }
     }
 
-    fn stream(&mut self) -> std::io::Result<&mut TcpStream> {
-        if self.stream.is_none() {
-            let s = TcpStream::connect_timeout(&self.addr, self.timeout)?;
-            s.set_read_timeout(Some(self.timeout))?;
-            self.stream = Some(s);
-        }
-        Ok(self.stream.as_mut().expect("just connected"))
+    /// [`HttpClient::new`] with a retry policy attached.
+    pub fn with_retry(addr: SocketAddr, policy: RetryPolicy) -> Self {
+        let mut client = Self::new(addr);
+        client.rng = policy.seed | 1; // xorshift state must be non-zero
+        client.retry = Some(policy);
+        client
     }
 
     /// `GET path`.
@@ -53,23 +102,107 @@ impl HttpClient {
         self.request("POST", path, Some(body))
     }
 
-    /// Sends one request on the persistent connection; reconnects once if
-    /// the pooled connection went stale.
+    /// `POST path` with a JSON body and extra request headers (e.g.
+    /// `("x-deadline-ms", "250")`).
+    pub fn post_with_headers(
+        &mut self,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        self.request_with_headers("POST", path, Some(body), headers)
+    }
+
+    /// Sends one request (retrying per the policy, if any).
     pub fn request(
         &mut self,
         method: &str,
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<ClientResponse> {
+        self.request_with_headers(method, path, body, &[])
+    }
+
+    /// [`HttpClient::request`] with extra request headers.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        let Some(policy) = self.retry else {
+            return self.request_pooled(method, path, body, headers);
+        };
+        let mut attempt = 0u32;
+        loop {
+            match self.request_pooled(method, path, body, headers) {
+                Ok(r) if r.status == 503 && attempt < policy.budget => {
+                    // Honor the server's own hint when present; fall back
+                    // to jittered exponential backoff, both capped.
+                    let wait = r
+                        .header("retry-after")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .map(Duration::from_secs)
+                        .unwrap_or_else(|| self.backoff(policy, attempt))
+                        .min(policy.cap);
+                    std::thread::sleep(wait);
+                    attempt += 1;
+                }
+                Ok(r) => return Ok(r),
+                Err(_) if attempt < policy.budget => {
+                    self.stream = None;
+                    let wait = self.backoff(policy, attempt);
+                    std::thread::sleep(wait);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// `base · 2ⁿ` scaled by a deterministic jitter in `[0.5, 1.0)`,
+    /// capped by the policy.
+    fn backoff(&mut self, policy: RetryPolicy, attempt: u32) -> Duration {
+        // xorshift64*: fast, deterministic, plenty for jitter.
+        self.rng ^= self.rng >> 12;
+        self.rng ^= self.rng << 25;
+        self.rng ^= self.rng >> 27;
+        let r = self.rng.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let jitter = 0.5 + 0.5 * ((r >> 11) as f64 / (1u64 << 53) as f64);
+        let exp = policy
+            .base
+            .saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX));
+        exp.mul_f64(jitter).min(policy.cap)
+    }
+
+    fn stream(&mut self) -> std::io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let s = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            s.set_read_timeout(Some(self.timeout))?;
+            self.stream = Some(s);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    /// One attempt on the persistent connection; reconnects once if the
+    /// pooled connection went stale.
+    fn request_pooled(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
         let had_pooled = self.stream.is_some();
-        match self.request_once(method, path, body) {
+        match self.request_once(method, path, body, headers) {
             Ok(r) => Ok(r),
             Err(e) if had_pooled => {
                 // Stale keep-alive connection (server restarted or closed
                 // it): retry once on a fresh socket.
                 let _ = e;
                 self.stream = None;
-                self.request_once(method, path, body)
+                self.request_once(method, path, body, headers)
             }
             Err(e) => Err(e),
         }
@@ -80,12 +213,21 @@ impl HttpClient {
         method: &str,
         path: &str,
         body: Option<&str>,
+        headers: &[(&str, &str)],
     ) -> std::io::Result<ClientResponse> {
         let body = body.unwrap_or("");
-        let raw = format!(
-            "{method} {path} HTTP/1.1\r\nhost: hisrect\r\ncontent-length: {}\r\n\r\n{body}",
+        let mut raw = format!(
+            "{method} {path} HTTP/1.1\r\nhost: hisrect\r\ncontent-length: {}\r\n",
             body.len()
         );
+        for (name, value) in headers {
+            raw.push_str(name);
+            raw.push_str(": ");
+            raw.push_str(value);
+            raw.push_str("\r\n");
+        }
+        raw.push_str("\r\n");
+        raw.push_str(body);
         let stream = self.stream()?;
         stream.write_all(raw.as_bytes())?;
         stream.flush()?;
@@ -130,6 +272,7 @@ pub fn read_response(stream: &mut TcpStream) -> std::io::Result<ClientResponse> 
         })?;
     let mut content_length = 0usize;
     let mut keep_alive = true;
+    let mut headers = Vec::new();
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -140,6 +283,7 @@ pub fn read_response(stream: &mut TcpStream) -> std::io::Result<ClientResponse> 
         } else if name.eq_ignore_ascii_case("connection") {
             keep_alive = !value.eq_ignore_ascii_case("close");
         }
+        headers.push((name.to_ascii_lowercase(), value.to_string()));
     }
     let mut body = buf[head_end + 4..].to_vec();
     while body.len() < content_length {
@@ -158,5 +302,42 @@ pub fn read_response(stream: &mut TcpStream) -> std::io::Result<ClientResponse> 
         status,
         body: String::from_utf8_lossy(&body).into_owned(),
         keep_alive,
+        headers,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_bounded() {
+        let policy = RetryPolicy::new(5, 42);
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let mut a = HttpClient::with_retry(addr, policy);
+        let mut b = HttpClient::with_retry(addr, policy);
+        for attempt in 0..6 {
+            let wa = a.backoff(policy, attempt);
+            let wb = b.backoff(policy, attempt);
+            assert_eq!(wa, wb, "same seed, same schedule");
+            assert!(wa <= policy.cap);
+            assert!(wa >= policy.base / 2, "jitter floor is half the base");
+        }
+        let mut c = HttpClient::with_retry(addr, RetryPolicy::new(5, 43));
+        let w42: Vec<_> = (0..4).map(|n| a.backoff(policy, n)).collect();
+        let w43: Vec<_> = (0..4).map(|n| c.backoff(policy, n)).collect();
+        assert_ne!(w42, w43, "different seeds diverge");
+    }
+
+    #[test]
+    fn response_header_lookup_is_case_insensitive() {
+        let r = ClientResponse {
+            status: 503,
+            body: String::new(),
+            keep_alive: true,
+            headers: vec![("retry-after".into(), "7".into())],
+        };
+        assert_eq!(r.header("Retry-After"), Some("7"));
+        assert_eq!(r.header("x-missing"), None);
+    }
 }

@@ -43,6 +43,10 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// Per-request deadline from `X-Deadline-Ms`: how long the client is
+    /// willing to wait for the answer. `None` when the header was absent
+    /// (the server substitutes its default).
+    pub deadline_ms: Option<u64>,
 }
 
 /// Why a request could not be read. Each variant maps to one response
@@ -164,6 +168,7 @@ impl Conn {
 
         let mut content_length = 0usize;
         let mut keep_alive = true; // HTTP/1.1 default
+        let mut deadline_ms = None;
         for line in lines {
             let Some((name, value)) = line.split_once(':') else {
                 return Err(ParseError::BadRequest(format!("malformed header `{line}`")));
@@ -179,6 +184,16 @@ impl Conn {
                 return Err(ParseError::BadRequest(
                     "transfer-encoding is not supported; send content-length".into(),
                 ));
+            } else if name.eq_ignore_ascii_case("x-deadline-ms") {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| ParseError::BadRequest(format!("bad x-deadline-ms `{value}`")))?;
+                if ms == 0 {
+                    return Err(ParseError::BadRequest(
+                        "x-deadline-ms must be positive".into(),
+                    ));
+                }
+                deadline_ms = Some(ms);
             }
         }
         if content_length > limits.max_body_bytes {
@@ -201,6 +216,7 @@ impl Conn {
             path: path.to_string(),
             body,
             keep_alive,
+            deadline_ms,
         })
     }
 }
@@ -277,6 +293,7 @@ pub fn reason(status: u16) -> &'static str {
         413 => "Content Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -322,6 +339,29 @@ mod tests {
         let req = round_trip(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n").unwrap();
         assert!(!req.keep_alive);
         assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn deadline_header_is_parsed() {
+        let req = round_trip(
+            b"POST /judge HTTP/1.1\r\nX-Deadline-Ms: 250\r\ncontent-length: 2\r\n\r\n{}",
+        )
+        .unwrap();
+        assert_eq!(req.deadline_ms, Some(250));
+        let none = round_trip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(none.deadline_ms, None);
+    }
+
+    #[test]
+    fn bad_deadline_header_is_rejected() {
+        assert!(matches!(
+            round_trip(b"GET / HTTP/1.1\r\nx-deadline-ms: soon\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+        assert!(matches!(
+            round_trip(b"GET / HTTP/1.1\r\nx-deadline-ms: 0\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
     }
 
     #[test]

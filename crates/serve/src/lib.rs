@@ -19,20 +19,39 @@
 //!   pairwise judgements.
 //! - [`batcher`] — micro-batching: concurrent judge requests coalesce
 //!   into one batched forward pass (bit-identical to single-pair calls),
-//!   with 503 backpressure when the bounded queue fills.
+//!   with 503 backpressure when the bounded queue fills and
+//!   deadline-expired jobs shed before the forward pass.
 //! - [`client`] — a minimal keep-alive client for tests and the load
-//!   generator.
+//!   generator, with optional deterministic retry/backoff.
+//!
+//! Overload protection (DESIGN.md §15):
+//!
+//! - [`admission`] — token-bucket + queue-watermark gate ahead of the
+//!   batcher, pricing its `Retry-After` hints off the observed drain
+//!   rate.
+//! - [`breaker`] — circuit breaker around the learned-judge path; while
+//!   open, `/judge` serves degraded verdicts (stale cache reads or the
+//!   core `FallbackJudge` heuristic) labeled `x-hisrect-degraded`.
+//! - [`watchdog`] — supervision of the batcher flusher: a stalled
+//!   heartbeat with work queued triggers an in-place restart.
 //!
 //! Endpoints: `POST /judge`, `POST /judge_batch`, `GET /healthz`,
 //! `GET /metrics`, `POST /reload`.
 
+pub mod admission;
 pub mod batcher;
+pub mod breaker;
 pub mod cache;
 pub mod client;
 pub mod http;
 pub mod registry;
 pub mod server;
+pub mod watchdog;
 
-pub use client::{ClientResponse, HttpClient};
+pub use admission::{AdmissionConfig, AdmissionGate};
+pub use batcher::Batcher;
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use client::{ClientResponse, HttpClient, RetryPolicy};
 pub use registry::{LoadedModel, ModelRegistry};
 pub use server::{serve, ServeConfig, ServerHandle};
+pub use watchdog::{Watchdog, WatchdogConfig};

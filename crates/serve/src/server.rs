@@ -14,10 +14,13 @@
 //! injected by `faultsim` or real — produces a 500 and the worker
 //! survives to serve the next connection.
 
-use crate::batcher::{Batcher, JudgeJob, SubmitError};
-use crate::cache::FeatureCache;
+use crate::admission::{AdmissionConfig, AdmissionGate};
+use crate::batcher::{Batcher, JobError, JudgeJob, SubmitError};
+use crate::breaker::{BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker};
+use crate::cache::{verdict_key, FeatureCache, VerdictCache};
 use crate::http::{Conn, Limits, ParseError, Request, Response};
 use crate::registry::{LoadedModel, ModelRegistry};
+use crate::watchdog::{Watchdog, WatchdogConfig};
 use hisrect::{profile_fingerprint, Judgement, Precision};
 use serde::{Deserialize, Serialize};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -49,6 +52,15 @@ pub struct ServeConfig {
     pub limits: Limits,
     /// Inference precision the model registry loads at (`--precision`).
     pub precision: Precision,
+    /// Deadline applied to `/judge` requests that carry no
+    /// `X-Deadline-Ms` header.
+    pub default_deadline: Duration,
+    /// Admission-control gate ahead of the batcher (disabled by default).
+    pub admission: AdmissionConfig,
+    /// Circuit breaker around the learned-judge path.
+    pub breaker: BreakerConfig,
+    /// Batcher-stall supervision.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +74,10 @@ impl Default for ServeConfig {
             queue_depth: 128,
             limits: Limits::default(),
             precision: Precision::F32,
+            default_deadline: Duration::from_secs(10),
+            admission: AdmissionConfig::default(),
+            breaker: BreakerConfig::default(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -69,8 +85,13 @@ impl Default for ServeConfig {
 struct Shared {
     registry: ModelRegistry,
     cache: FeatureCache,
-    batcher: Batcher,
+    batcher: Arc<Batcher>,
+    admission: Arc<AdmissionGate>,
+    breaker: CircuitBreaker,
+    /// Recently served learned verdicts, read while the breaker is open.
+    verdicts: VerdictCache,
     limits: Limits,
+    default_deadline: Duration,
     stop: AtomicBool,
 }
 
@@ -80,6 +101,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    watchdog: Watchdog,
 }
 
 /// Binds `config.addr`, spawns the worker pool and the accept loop, and
@@ -91,11 +113,23 @@ pub fn serve(config: ServeConfig, registry: ModelRegistry) -> std::io::Result<Se
     obs::set_enabled(true);
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let admission = Arc::new(AdmissionGate::new(config.admission, config.queue_depth));
+    let batcher = Arc::new(Batcher::new(
+        config.batch_size,
+        config.batch_deadline,
+        config.queue_depth,
+        Some(Arc::clone(&admission)),
+    ));
+    let watchdog = Watchdog::spawn(Arc::clone(&batcher), config.watchdog);
     let shared = Arc::new(Shared {
         registry,
         cache: FeatureCache::new(config.cache_capacity),
-        batcher: Batcher::new(config.batch_size, config.batch_deadline, config.queue_depth),
+        batcher,
+        admission,
+        breaker: CircuitBreaker::new(config.breaker),
+        verdicts: VerdictCache::new(config.cache_capacity),
         limits: config.limits,
+        default_deadline: config.default_deadline,
         stop: AtomicBool::new(false),
     });
 
@@ -132,11 +166,16 @@ pub fn serve(config: ServeConfig, registry: ModelRegistry) -> std::io::Result<Se
                     Err(parallel::TrySendError::Full(stream)) => {
                         // Backpressure at the door: answer in the accept
                         // thread so workers stay dedicated to real work.
+                        // The Retry-After hint adapts to the observed
+                        // drain rate behind the full queue.
                         obs::incr("serve/backpressure_503");
                         obs::incr("serve/http_5xx");
+                        let backlog = conn_queue.len() + accept_shared.batcher.queue_len();
+                        let retry = accept_shared.admission.retry_after_secs(backlog);
                         let mut stream = stream;
                         let _ = Response::error(503, "connection queue full")
-                            .with_header("retry-after", "1")
+                            .with_header("retry-after", &retry.to_string())
+                            .with_header("x-hisrect-shed", "queue")
                             .write_to(&mut stream, false);
                     }
                     Err(parallel::TrySendError::Closed(_)) => break,
@@ -151,6 +190,7 @@ pub fn serve(config: ServeConfig, registry: ModelRegistry) -> std::io::Result<Se
         shared,
         accept_thread: Some(accept_thread),
         workers,
+        watchdog,
     })
 }
 
@@ -189,7 +229,13 @@ impl ServerHandle {
         }
     }
 
+    /// Flusher restarts the watchdog has performed so far.
+    pub fn watchdog_restarts(&self) -> u64 {
+        self.watchdog.restarts()
+    }
+
     fn stop_and_join(&mut self) {
+        self.watchdog.shutdown();
         self.shared.stop.store(true, Ordering::Relaxed);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
@@ -299,6 +345,11 @@ struct CandidatesRequest {
 #[derive(Serialize)]
 struct HealthResponse {
     status: &'static str,
+    /// Degradation summary: `ok`, `degraded` (breaker not closed) or
+    /// `shedding` (admission rejected a request within the last second).
+    state: &'static str,
+    /// Circuit-breaker state: `closed`, `open` or `half-open`.
+    breaker: &'static str,
     generation: u64,
     profiles: usize,
     /// Inference precision of the served model (`f32` / `int8`).
@@ -318,11 +369,30 @@ fn route(shared: &Shared, request: &Request) -> Response {
     if faultsim::fires(faultsim::FaultKind::WorkerPanic) {
         panic!("injected worker panic");
     }
+    // Chaos trigger point: a worker burning CPU instead of serving —
+    // requests behind it see latency, not errors.
+    if faultsim::fires(faultsim::FaultKind::CpuBurn) {
+        obs::incr("serve/cpu_burn_injected");
+        let until = Instant::now() + Duration::from_millis(50);
+        while Instant::now() < until {
+            std::hint::spin_loop();
+        }
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             let model = shared.registry.current();
+            let breaker = shared.breaker.state();
+            let state = if breaker != BreakerState::Closed {
+                "degraded"
+            } else if shared.admission.shedding() {
+                "shedding"
+            } else {
+                "ok"
+            };
             ok_json(&HealthResponse {
                 status: "ok",
+                state,
+                breaker: breaker.name(),
                 generation: model.generation,
                 profiles: shared.registry.corpus().profiles.len(),
                 precision: model.service.precision().as_str(),
@@ -334,7 +404,7 @@ fn route(shared: &Shared, request: &Request) -> Response {
             })
         }
         ("GET", "/metrics") => Response::json(200, obs::snapshot().to_json()),
-        ("POST", "/judge") => handle_judge(shared, &request.body),
+        ("POST", "/judge") => handle_judge(shared, request),
         ("POST", "/judge_batch") => handle_judge_batch(shared, &request.body),
         ("POST", "/candidates") => handle_candidates(shared, &request.body),
         ("POST", "/reload") => handle_reload(shared, &request.body),
@@ -376,40 +446,130 @@ fn cached_feature(
         .get_or_compute(key, || model.service.features_for(profile)))
 }
 
-fn handle_judge(shared: &Shared, body: &[u8]) -> Response {
-    let req: JudgeRequest = match parse_body(body) {
+/// `/judge`: admission gate → breaker routing → batcher, with the
+/// request deadline carried the whole way.
+///
+/// Outcome map: admission or queue rejection → 503 + adaptive
+/// `Retry-After` + `x-hisrect-shed`; deadline expired in queue → 504 +
+/// `x-hisrect-shed: deadline`; breaker open → 200 from the stale verdict
+/// cache or the heuristic fallback, labeled `x-hisrect-degraded`.
+fn handle_judge(shared: &Shared, request: &Request) -> Response {
+    let req: JudgeRequest = match parse_body(&request.body) {
         Ok(r) => r,
         Err(resp) => return resp,
     };
+    if let Err(retry_secs) = shared.admission.admit(shared.batcher.queue_len()) {
+        return Response::error(503, "admission control: server overloaded")
+            .with_header("retry-after", &retry_secs.to_string())
+            .with_header("x-hisrect-shed", "admission");
+    }
     let model = shared.registry.current();
+    let decision = shared.breaker.admit_learned();
+    if decision == BreakerDecision::Degraded {
+        return degraded_judge(shared, &model, req.i, req.j);
+    }
+    let probing = decision == BreakerDecision::Probe;
+    // A probe that bails out before the learned path can answer must
+    // release the probe slot, or half-open would stick forever.
+    let probe_failed = || {
+        if probing {
+            shared.breaker.record_failure();
+        }
+    };
     let (fa, fb) = match (
         cached_feature(shared, &model, req.i),
         cached_feature(shared, &model, req.j),
     ) {
         (Ok(a), Ok(b)) => (a, b),
-        (Err(resp), _) | (_, Err(resp)) => return resp,
+        (Err(resp), _) | (_, Err(resp)) => {
+            probe_failed();
+            return resp;
+        }
     };
+    let budget = match request.deadline_ms {
+        Some(ms) => Duration::from_millis(ms),
+        None => shared.default_deadline,
+    };
+    let deadline = Instant::now() + budget;
     let (tx, rx) = sync_channel(1);
     let job = JudgeJob {
-        model,
+        model: Arc::clone(&model),
         fa,
         fb,
+        deadline: Some(deadline),
         responder: tx,
     };
+    let submitted = Instant::now();
     match shared.batcher.submit(job) {
         Ok(()) => {}
         Err(SubmitError::Overloaded) => {
-            return Response::error(503, "judge queue full").with_header("retry-after", "1")
+            probe_failed();
+            let retry = shared
+                .admission
+                .retry_after_secs(shared.batcher.queue_len());
+            return Response::error(503, "judge queue full")
+                .with_header("retry-after", &retry.to_string())
+                .with_header("x-hisrect-shed", "queue");
         }
         Err(SubmitError::Closed) => {
-            return Response::error(503, "server shutting down").with_header("retry-after", "1")
+            probe_failed();
+            return Response::error(503, "server shutting down").with_header("retry-after", "1");
         }
     }
     match rx.recv_timeout(Duration::from_secs(10)) {
-        Ok(Ok(p)) => ok_json(&Judgement::from_probability(req.i, req.j, p)),
-        Ok(Err(msg)) => Response::error(500, &msg),
-        Err(_) => Response::error(500, "judge batch timed out"),
+        Ok(Ok(p)) => {
+            // An over-budget success is recorded as a failure inside.
+            shared.breaker.record_success(submitted.elapsed());
+            shared
+                .verdicts
+                .insert(verdict_key(model.generation, req.i, req.j), p);
+            ok_json(&Judgement::from_probability(req.i, req.j, p))
+        }
+        Ok(Err(JobError::Expired)) => {
+            // Shed work is a capacity signal, not a model failure — it
+            // does not trip the breaker (except to resolve a probe).
+            probe_failed();
+            Response::error(504, JobError::Expired.message())
+                .with_header("x-hisrect-shed", "deadline")
+        }
+        Ok(Err(JobError::Panicked)) => {
+            shared.breaker.record_failure();
+            Response::error(500, JobError::Panicked.message())
+        }
+        Err(_) => {
+            shared.breaker.record_failure();
+            Response::error(500, "judge batch timed out")
+        }
     }
+}
+
+/// Serves a degraded verdict while the learned path is circuit-broken:
+/// a stale cached probability when one is still in the window, else the
+/// spatial-heuristic fallback. Always labeled `x-hisrect-degraded`.
+fn degraded_judge(shared: &Shared, model: &Arc<LoadedModel>, i: usize, j: usize) -> Response {
+    let corpus = shared.registry.corpus();
+    for idx in [i, j] {
+        if idx >= corpus.profiles.len() {
+            return Response::error(
+                400,
+                &format!(
+                    "profile index {idx} out of range (corpus has {} profiles)",
+                    corpus.profiles.len()
+                ),
+            );
+        }
+    }
+    obs::incr("serve/degraded_responses");
+    if let Some(p) = shared.verdicts.get(&verdict_key(model.generation, i, j)) {
+        obs::incr("serve/degraded_stale");
+        return ok_json(&Judgement::from_probability(i, j, p))
+            .with_header("x-hisrect-degraded", "stale");
+    }
+    obs::incr("serve/degraded_fallback");
+    let p = model
+        .service
+        .judge_degraded(corpus.profile(i), corpus.profile(j));
+    ok_json(&Judgement::from_probability(i, j, p)).with_header("x-hisrect-degraded", "fallback")
 }
 
 /// An explicit batch skips the micro-batcher — it *is* a batch already —

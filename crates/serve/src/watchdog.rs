@@ -1,0 +1,135 @@
+//! Batcher supervision.
+//!
+//! A stalled flusher is the one failure backpressure cannot fix: the
+//! queue fills, every request times out, and nothing recovers on its
+//! own. The watchdog thread samples the batcher's heartbeat counter on
+//! an interval; when the queue is non-empty yet the heartbeat has not
+//! moved for `stall_timeout`, the flusher is declared stalled and
+//! [`crate::Batcher::restart`]ed in place — queued jobs survive and are
+//! drained by the replacement thread. Every restart increments the
+//! `serve/watchdog_restarts` counter surfaced in `/metrics`.
+//!
+//! An idle batcher (empty queue, parked in `recv`) legitimately has a
+//! frozen heartbeat; the queue-length condition keeps the watchdog from
+//! ever restarting a healthy idle flusher.
+
+use crate::batcher::Batcher;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of the watchdog.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogConfig {
+    /// How often the heartbeat is sampled.
+    pub interval: Duration,
+    /// How long the heartbeat may stay frozen (with work queued) before
+    /// the flusher is restarted.
+    pub stall_timeout: Duration,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(250),
+            stall_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The supervisor thread handle.
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    restarts: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Starts supervising `batcher` under `cfg`.
+    pub fn spawn(batcher: Arc<Batcher>, cfg: WatchdogConfig) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let restarts = Arc::new(AtomicU64::new(0));
+        let thread_stop = Arc::clone(&stop);
+        let thread_restarts = Arc::clone(&restarts);
+        let thread = std::thread::Builder::new()
+            .name("hisrect-watchdog".into())
+            .spawn(move || watch(&batcher, cfg, &thread_stop, &thread_restarts))
+            .expect("spawn watchdog thread");
+        Self {
+            stop,
+            restarts: Arc::clone(&restarts),
+            thread: Some(thread),
+        }
+    }
+
+    /// Restarts performed so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Stops the supervisor (does not touch the batcher).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn watch(batcher: &Batcher, cfg: WatchdogConfig, stop: &AtomicBool, restarts: &AtomicU64) {
+    let interval = cfg.interval.max(Duration::from_millis(10));
+    let mut last_beat = batcher.heartbeat();
+    let mut frozen_since: Option<Instant> = None;
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        let beat = batcher.heartbeat();
+        let queued = batcher.queue_len();
+        if beat != last_beat || queued == 0 {
+            // Progress, or legitimately idle: reset the stall clock.
+            last_beat = beat;
+            frozen_since = None;
+            continue;
+        }
+        let since = *frozen_since.get_or_insert_with(Instant::now);
+        if since.elapsed() >= cfg.stall_timeout {
+            let generation = batcher.restart();
+            restarts.fetch_add(1, Ordering::Relaxed);
+            obs::incr("serve/watchdog_restarts");
+            eprintln!(
+                "[serve] watchdog: batcher stalled with {queued} queued jobs; \
+                 restarted flusher (generation {generation})"
+            );
+            frozen_since = None;
+            last_beat = batcher.heartbeat();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_batcher_is_never_restarted() {
+        let batcher = Arc::new(Batcher::new(4, Duration::from_millis(1), 8, None));
+        let mut dog = Watchdog::spawn(
+            Arc::clone(&batcher),
+            WatchdogConfig {
+                interval: Duration::from_millis(10),
+                stall_timeout: Duration::from_millis(30),
+            },
+        );
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(dog.restarts(), 0);
+        assert_eq!(batcher.restarts(), 0);
+        dog.shutdown();
+        batcher.shutdown();
+    }
+}

@@ -162,6 +162,50 @@ fn combined_request_chaos_volley_keeps_the_server_alive() {
 }
 
 #[test]
+fn injected_cpu_burn_only_costs_latency() {
+    let _g = lock();
+    faultsim::clear();
+    let server = start_server(|_| {});
+    let mut client = HttpClient::new(server.addr());
+    faultsim::arm(FaultKind::CpuBurn, 1);
+    let (i, j) = test_pairs(1)[0];
+    let body = format!("{{\"i\":{i},\"j\":{j}}}");
+    let start = std::time::Instant::now();
+    let r = client.post("/judge", &body).unwrap();
+    assert_eq!(r.status, 200, "a burning worker still answers: {}", r.body);
+    assert!(
+        start.elapsed() >= Duration::from_millis(45),
+        "the burn must actually cost latency"
+    );
+    assert_healthy(server.addr());
+    faultsim::clear();
+    server.shutdown();
+}
+
+#[test]
+fn injected_slow_judge_answers_200_and_never_kills_the_flusher() {
+    let _g = lock();
+    faultsim::clear();
+    std::env::set_var("HISRECT_SLOW_JUDGE_MS", "100");
+    let server = start_server(|_| {});
+    let mut client = HttpClient::new(server.addr());
+    faultsim::arm(FaultKind::SlowJudge, 1);
+    let (i, j) = test_pairs(1)[0];
+    let body = format!("{{\"i\":{i},\"j\":{j}}}");
+    let r = client.post("/judge", &body).unwrap();
+    assert_eq!(r.status, 200, "slow flush still answers: {}", r.body);
+    // The default 5s latency budget is untouched by a 100ms crawl, so
+    // the breaker stays closed and the next request is learned.
+    let r = client.post("/judge", &body).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert_eq!(r.header("x-hisrect-degraded"), None);
+    assert_healthy(server.addr());
+    std::env::remove_var("HISRECT_SLOW_JUDGE_MS");
+    faultsim::clear();
+    server.shutdown();
+}
+
+#[test]
 fn injected_worker_panic_answers_500_and_the_worker_survives() {
     let _g = lock();
     faultsim::clear();
