@@ -116,6 +116,12 @@ struct Graph {
     neighbors: Vec<Vec<u32>>,
     /// Query entry positions: node 0 plus a few seeded picks.
     entries: Vec<u32>,
+    /// RNG state *after* every insertion draw so far and *before* the
+    /// entry draws. Extending the graph by one node resumes this stream,
+    /// which is what makes an incrementally-grown graph bit-identical to
+    /// a batch build of the same members (entry draws always come from a
+    /// clone, so they never perturb the insertion stream).
+    rng: StdRng,
 }
 
 /// Serializable form of the index: data only. The grid and graphs are
@@ -139,20 +145,42 @@ pub struct AnnIndex {
     /// One entry per grid cell (row-major); `None` for cells small enough
     /// to scan exactly.
     graphs: Vec<Option<Graph>>,
-    min_lat: f64,
-    max_lat: f64,
+    /// Grid bounding box `(min_lat, min_lon, max_lat, max_lon)`; fixed at
+    /// construction so incremental inserts never reshape the quantizer
+    /// (out-of-box points clamp into edge cells, as in `GridIndex`).
+    bounds: (f64, f64, f64, f64),
+    /// Soft-deleted slots: hidden from every query, reclaimed by
+    /// [`AnnIndex::compact`]. Parallel to `items`.
+    tombstones: Vec<bool>,
+    /// Count of non-tombstoned items.
+    live: usize,
 }
 
 impl AnnIndex {
     /// Builds the index. Items are sorted into canonical id order first, so
     /// insertion order never changes query answers. Panics on duplicate ids.
-    pub fn build(mut items: Vec<AnnItem>, cfg: AnnConfig) -> Self {
+    pub fn build(items: Vec<AnnItem>, cfg: AnnConfig) -> Self {
+        let bounds = bbox(&items);
+        Self::build_bounded(items, cfg, bounds)
+    }
+
+    /// Builds the index over an explicit grid bounding box
+    /// `(min_lat, min_lon, max_lat, max_lon)` instead of the items' own
+    /// bbox. This is the streaming constructor: an incremental index and a
+    /// batch index only agree bit-for-bit when both quantize over the same
+    /// box, and a stream's eventual extent is known up front (the city)
+    /// while its first items are not.
+    pub fn build_bounded(
+        mut items: Vec<AnnItem>,
+        cfg: AnnConfig,
+        bounds: (f64, f64, f64, f64),
+    ) -> Self {
         items.sort_by_key(|it| it.id);
         for w in items.windows(2) {
             assert!(w[0].id != w[1].id, "duplicate item id {}", w[0].id);
         }
 
-        let (min_lat, min_lon, max_lat, max_lon) = bbox(&items);
+        let (min_lat, min_lon, max_lat, max_lon) = bounds;
         let mut grid = GridIndex::new(min_lat, min_lon, max_lat, max_lon, cfg.cell_deg);
         for (slot, it) in items.iter().enumerate() {
             grid.insert_point(slot as u32, &it.point);
@@ -178,14 +206,152 @@ impl AnnIndex {
             graphs[cell] = Some(g);
         }
 
+        let live = items.len();
+        let tombstones = vec![false; items.len()];
         Self {
             cfg,
             items,
             grid,
             graphs,
-            min_lat,
-            max_lat,
+            bounds,
+            tombstones,
+            live,
         }
+    }
+
+    /// An empty index over `bounds`, ready for incremental
+    /// [`AnnIndex::insert`] calls.
+    pub fn new_empty(cfg: AnnConfig, bounds: (f64, f64, f64, f64)) -> Self {
+        Self::build_bounded(Vec::new(), cfg, bounds)
+    }
+
+    /// The grid bounding box this index quantizes over.
+    pub fn bounds(&self) -> (f64, f64, f64, f64) {
+        self.bounds
+    }
+
+    /// Inserts one item incrementally. Returns `false` (and changes
+    /// nothing) when the id is already indexed — duplicate deliveries from
+    /// an at-least-once stream are absorbed here, not just upstream.
+    ///
+    /// Ascending-id inserts — the streaming case, where ids are monotone
+    /// sequence numbers — extend the affected bucket's graph in place by
+    /// resuming its construction RNG, which yields an index bit-identical
+    /// to [`AnnIndex::build_bounded`] over the same items and bounds (the
+    /// property tests pin this). An out-of-order id would renumber every
+    /// later slot, so it falls back to a full deterministic rebuild with
+    /// the same guarantee.
+    pub fn insert(&mut self, item: AnnItem) -> bool {
+        let slot_pos = match self.items.binary_search_by_key(&item.id, |it| it.id) {
+            Ok(_) => return false,
+            Err(p) => p,
+        };
+        if slot_pos < self.items.len() {
+            // Out-of-order id: slots shift, so rebuild from scratch
+            // (deterministic — identical to a batch build of the union).
+            let dead: Vec<u32> = self.tombstoned_ids();
+            let mut items = std::mem::take(&mut self.items);
+            items.insert(slot_pos, item);
+            *self = Self::build_bounded(items, self.cfg.clone(), self.bounds);
+            for id in dead {
+                self.remove(id);
+            }
+            return true;
+        }
+
+        // Ascending append: existing slots keep their numbers, the new
+        // item takes the next one, and only its own bucket changes.
+        let slot = self.items.len() as u32;
+        let point = item.point;
+        self.items.push(item);
+        self.tombstones.push(false);
+        self.live += 1;
+        self.grid.insert_point(slot, &point);
+        let (r, c) = self.grid.cell_coords(&point);
+        let cell = r * self.grid.cols() + c;
+        let members = self.grid.cell_items(r, c).to_vec();
+        if members.len() > self.cfg.exact_threshold {
+            match &mut self.graphs[cell] {
+                Some(g) => extend_graph(g, &members, &self.items, &self.cfg),
+                None => {
+                    // The bucket just crossed the exact-scan threshold:
+                    // build its graph from scratch, exactly as the batch
+                    // path would have.
+                    self.graphs[cell] = Some(build_graph(
+                        &members,
+                        &self.items,
+                        &self.cfg,
+                        derive_seed(self.cfg.seed, cell as u64),
+                    ));
+                }
+            }
+        }
+        true
+    }
+
+    /// Tombstones `id`: the item stays in the graph topology (so beam
+    /// searches still route through it) but is hidden from every query
+    /// until [`AnnIndex::compact`]. Returns `false` when the id is not
+    /// indexed or already tombstoned.
+    pub fn remove(&mut self, id: u32) -> bool {
+        match self.items.binary_search_by_key(&id, |it| it.id) {
+            Ok(slot) if !self.tombstones[slot] => {
+                self.tombstones[slot] = true;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Tombstones every live item with `ts < cutoff_ts` — the ring-buffer
+    /// eviction step of a sliding retention window. Returns the number of
+    /// items evicted.
+    pub fn evict_older_than(&mut self, cutoff_ts: i64) -> usize {
+        let mut evicted = 0;
+        for (slot, it) in self.items.iter().enumerate() {
+            if !self.tombstones[slot] && it.ts < cutoff_ts {
+                self.tombstones[slot] = true;
+                evicted += 1;
+            }
+        }
+        self.live -= evicted;
+        evicted
+    }
+
+    /// Rebuilds the index over only the live items, dropping tombstones
+    /// (same bounds, deterministic).
+    pub fn compact(&mut self) {
+        let items: Vec<AnnItem> = self
+            .items
+            .iter()
+            .zip(&self.tombstones)
+            .filter(|&(_, &dead)| !dead)
+            .map(|(it, _)| it.clone())
+            .collect();
+        *self = Self::build_bounded(items, self.cfg.clone(), self.bounds);
+    }
+
+    /// Number of live (non-tombstoned) items.
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// True when `id` is indexed but tombstoned.
+    pub fn is_removed(&self, id: u32) -> bool {
+        match self.items.binary_search_by_key(&id, |it| it.id) {
+            Ok(slot) => self.tombstones[slot],
+            Err(_) => false,
+        }
+    }
+
+    fn tombstoned_ids(&self) -> Vec<u32> {
+        self.items
+            .iter()
+            .zip(&self.tombstones)
+            .filter(|&(_, &dead)| dead)
+            .map(|(it, _)| it.id)
+            .collect()
     }
 
     /// Rebuilds an index from a snapshot; answers are bit-identical to the
@@ -277,7 +443,7 @@ impl AnnIndex {
                         // items before any distance is computed.
                         for &slot in members {
                             let it = &self.items[slot as usize];
-                            if self.in_window(it.ts, ts) {
+                            if !self.tombstones[slot as usize] && self.in_window(it.ts, ts) {
                                 push_capped(
                                     &mut best,
                                     (OrdF32(d2(embedding, &it.embedding)), slot),
@@ -294,7 +460,7 @@ impl AnnIndex {
                             &self.items,
                             embedding,
                             ef,
-                            |it| self.in_window(it.ts, ts),
+                            |slot, it| !self.tombstones[slot as usize] && self.in_window(it.ts, ts),
                             &mut best,
                         );
                     }
@@ -321,8 +487,9 @@ impl AnnIndex {
         let mut hits: Vec<(f32, u32)> = self
             .items
             .iter()
-            .filter(|it| self.in_window(it.ts, ts))
-            .map(|it| (d2(embedding, &it.embedding), it.id))
+            .enumerate()
+            .filter(|&(slot, it)| !self.tombstones[slot] && self.in_window(it.ts, ts))
+            .map(|(_, it)| (d2(embedding, &it.embedding), it.id))
             .collect();
         hits.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         hits.truncate(k);
@@ -379,9 +546,10 @@ impl AnnIndex {
         // Longitude degrees shrink by cos(lat); bound with the smallest
         // cos over the index's latitude span.
         let cos_min = self
-            .min_lat
+            .bounds
+            .0
             .abs()
-            .max(self.max_lat.abs())
+            .max(self.bounds.2.abs())
             .to_radians()
             .cos();
         let ring_c = if cos_min <= 1e-6 {
@@ -461,7 +629,7 @@ fn beam_search(
     items: &[AnnItem],
     q: &[f32],
     ef: usize,
-    accept: impl Fn(&AnnItem) -> bool,
+    accept: impl Fn(u32, &AnnItem) -> bool,
     best: &mut BinaryHeap<(OrdF32, u32)>,
 ) {
     let m = members.len();
@@ -487,7 +655,7 @@ fn beam_search(
         let d = d2(q, &it.embedding);
         dist[pos as usize] = d;
         frontier.push(Reverse((OrdF32(d), pos)));
-        if accept(it) {
+        if accept(slot, it) {
             push_capped(best, (OrdF32(d), slot), ef);
         }
         d
@@ -551,52 +719,90 @@ fn push_capped(best: &mut BinaryHeap<(OrdF32, u32)>, entry: (OrdF32, u32), cap: 
 fn build_graph(members: &[u32], items: &[AnnItem], cfg: &AnnConfig, seed: u64) -> Graph {
     let m = members.len();
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut neighbors = vec![Vec::new(); m];
+    for pos in 1..m {
+        link_node(&mut neighbors, members, items, cfg, &mut rng, pos);
+    }
     let mut g = Graph {
-        neighbors: vec![Vec::new(); m],
+        neighbors,
         entries: Vec::new(),
+        rng,
     };
+    refresh_entries(&mut g, m);
+    g
+}
+
+/// Links in-bucket position `pos` into the graph — the shared per-node
+/// body of batch construction and incremental extension. Every node
+/// `< pos` must already be linked. Consumes exactly one `gen_range` draw
+/// from `rng`, so resuming a cached RNG replays the batch stream.
+fn link_node(
+    neighbors: &mut [Vec<u32>],
+    members: &[u32],
+    items: &[AnnItem],
+    cfg: &AnnConfig,
+    rng: &mut StdRng,
+    pos: usize,
+) {
     let ef_build = cfg.beam_width.max(2 * cfg.graph_degree);
     let max_deg = 2 * cfg.graph_degree;
+    let q = &items[members[pos] as usize].embedding;
+    // Seed the search from the chain head, the chain tail and one
+    // random inserted node; all are < pos, so only inserted nodes are
+    // reachable.
+    let entries = [0, (pos - 1) as u32, rng.gen_range(0..pos) as u32];
+    let mut found: BinaryHeap<(OrdF32, u32)> = BinaryHeap::with_capacity(ef_build + 1);
+    beam_search(
+        members,
+        neighbors,
+        &entries,
+        items,
+        q,
+        ef_build,
+        |_, _| true,
+        &mut found,
+    );
+    let mut near: Vec<(f32, u32)> = found.into_iter().map(|(OrdF32(d), s)| (d, s)).collect();
+    // `near` holds slots; members are slot-ascending, so map back to
+    // in-bucket positions by binary search.
+    let slot_to_pos = |slot: u32| members.binary_search(&slot).unwrap() as u32;
+    near.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    near.truncate(cfg.graph_degree);
 
-    for pos in 1..m {
-        let q = &items[members[pos] as usize].embedding;
-        // Seed the search from the chain head, the chain tail and one
-        // random inserted node; all are < pos, so only inserted nodes are
-        // reachable.
-        let entries = [0, (pos - 1) as u32, rng.gen_range(0..pos) as u32];
-        let mut found: BinaryHeap<(OrdF32, u32)> = BinaryHeap::with_capacity(ef_build + 1);
-        beam_search(
-            members,
-            &g.neighbors,
-            &entries,
-            items,
-            q,
-            ef_build,
-            |_| true,
-            &mut found,
-        );
-        let mut near: Vec<(f32, u32)> = found.into_iter().map(|(OrdF32(d), s)| (d, s)).collect();
-        // `near` holds slots; members are slot-ascending, so map back to
-        // in-bucket positions by binary search.
-        let slot_to_pos = |slot: u32| members.binary_search(&slot).unwrap() as u32;
-        near.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-        near.truncate(cfg.graph_degree);
-
-        for &(_, slot) in &near {
-            let other = slot_to_pos(slot);
-            connect(&mut g.neighbors, pos as u32, other);
-        }
-        // Backbone edge regardless of distance.
-        connect(&mut g.neighbors, pos as u32, (pos - 1) as u32);
-        // Prune every touched list back to budget.
-        let mut touched: Vec<u32> = near.iter().map(|&(_, s)| slot_to_pos(s)).collect();
-        touched.push(pos as u32);
-        touched.push((pos - 1) as u32);
-        for v in touched {
-            prune(&mut g.neighbors, v, members, items, max_deg);
-        }
+    for &(_, slot) in &near {
+        let other = slot_to_pos(slot);
+        connect(neighbors, pos as u32, other);
     }
+    // Backbone edge regardless of distance.
+    connect(neighbors, pos as u32, (pos - 1) as u32);
+    // Prune every touched list back to budget.
+    let mut touched: Vec<u32> = near.iter().map(|&(_, s)| slot_to_pos(s)).collect();
+    touched.push(pos as u32);
+    touched.push((pos - 1) as u32);
+    for v in touched {
+        prune(neighbors, v, members, items, max_deg);
+    }
+}
 
+/// Extends a graph by the one member just appended to `members`. Resumes
+/// the bucket's cached construction RNG, so the result is bit-identical
+/// to a batch [`build_graph`] over the grown member list.
+fn extend_graph(g: &mut Graph, members: &[u32], items: &[AnnItem], cfg: &AnnConfig) {
+    let m = members.len();
+    debug_assert_eq!(g.neighbors.len(), m - 1, "one appended member expected");
+    g.neighbors.push(Vec::new());
+    let mut rng = g.rng.clone();
+    link_node(&mut g.neighbors, members, items, cfg, &mut rng, m - 1);
+    g.rng = rng;
+    refresh_entries(g, m);
+}
+
+/// Recomputes the query entry points from a clone of the construction
+/// RNG: node 0 plus up to two seeded picks, exactly the draws the batch
+/// build makes after its insertion loop.
+fn refresh_entries(g: &mut Graph, m: usize) {
+    let mut rng = g.rng.clone();
+    g.entries.clear();
     g.entries.push(0);
     for _ in 0..2.min(m.saturating_sub(1)) {
         let e = rng.gen_range(0..m) as u32;
@@ -604,7 +810,6 @@ fn build_graph(members: &[u32], items: &[AnnItem], cfg: &AnnConfig, seed: u64) -
             g.entries.push(e);
         }
     }
-    g
 }
 
 fn connect(neighbors: &mut [Vec<u32>], a: u32, b: u32) {
@@ -938,5 +1143,98 @@ mod tests {
         let mut items = grid_world(4, 2);
         items[1].id = items[0].id;
         AnnIndex::build(items, small_cfg());
+    }
+
+    #[test]
+    fn incremental_ascending_matches_bounded_batch() {
+        let items = grid_world(128, 4);
+        let bounds = bbox(&items);
+        let batch = AnnIndex::build_bounded(items.clone(), small_cfg(), bounds);
+        let mut inc = AnnIndex::new_empty(small_cfg(), bounds);
+        for it in &items {
+            assert!(inc.insert(it.clone()));
+        }
+        assert!(!inc.insert(items[7].clone()), "duplicates are rejected");
+        assert_eq!(inc.len(), items.len());
+        assert_eq!(batch.structure_fingerprint(), inc.structure_fingerprint());
+        for probe in [0usize, 31, 64, 127] {
+            let q = &items[probe];
+            assert_eq!(
+                batch.query(&q.point, q.ts, &q.embedding, 10, f64::INFINITY),
+                inc.query(&q.point, q.ts, &q.embedding, 10, f64::INFINITY),
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_order_insert_rebuilds_identically() {
+        let items = grid_world(48, 4);
+        let bounds = bbox(&items);
+        let batch = AnnIndex::build_bounded(items.clone(), small_cfg(), bounds);
+        let mut inc = AnnIndex::new_empty(small_cfg(), bounds);
+        // Descending ids: every insert takes the rebuild path.
+        for it in items.iter().rev() {
+            assert!(inc.insert(it.clone()));
+        }
+        assert_eq!(batch.structure_fingerprint(), inc.structure_fingerprint());
+    }
+
+    #[test]
+    fn incremental_bucket_stays_connected_through_threshold() {
+        // One big bucket grown item by item across the graph threshold:
+        // a beam as wide as the bucket must still reach every member.
+        let mut cfg = small_cfg();
+        cfg.cell_deg = 10.0; // single cell
+        cfg.exact_threshold = 4;
+        cfg.beam_width = 96;
+        let items = grid_world(96, 4);
+        let mut inc = AnnIndex::new_empty(cfg, bbox(&items));
+        for it in &items {
+            inc.insert(it.clone());
+        }
+        let q = &items[0];
+        let got = inc.query(&q.point, q.ts, &q.embedding, 96, f64::INFINITY);
+        assert_eq!(got.len(), 96);
+    }
+
+    #[test]
+    fn removed_items_vanish_until_compact() {
+        let items = grid_world(64, 4);
+        let mut idx = AnnIndex::build(items.clone(), small_cfg());
+        assert!(idx.remove(10));
+        assert!(!idx.remove(10), "double remove is a no-op");
+        assert!(idx.remove(20));
+        assert!(idx.is_removed(10));
+        assert_eq!(idx.live_len(), 62);
+        let q = &items[10];
+        let got = idx.query(&q.point, q.ts, &q.embedding, 64, f64::INFINITY);
+        assert!(got.iter().all(|n| n.id != 10 && n.id != 20));
+        assert!(idx
+            .exhaustive(q.ts, &q.embedding, 64)
+            .iter()
+            .all(|n| n.id != 10));
+        // Compacting drops the tombstones without changing live answers.
+        let before = idx.exhaustive(q.ts, &q.embedding, 64);
+        idx.compact();
+        assert_eq!(idx.len(), 62);
+        assert_eq!(idx.live_len(), 62);
+        assert_eq!(before, idx.exhaustive(q.ts, &q.embedding, 64));
+    }
+
+    #[test]
+    fn evict_older_than_windows_out_stale_items() {
+        let items = grid_world(64, 4); // ts = i * 60
+        let mut idx = AnnIndex::build(items.clone(), small_cfg());
+        let evicted = idx.evict_older_than(32 * 60);
+        assert_eq!(evicted, 32);
+        assert_eq!(idx.live_len(), 32);
+        assert_eq!(idx.evict_older_than(32 * 60), 0, "eviction is idempotent");
+        let q = &items[40];
+        let got = idx.query(&q.point, q.ts, &q.embedding, 64, f64::INFINITY);
+        assert!(!got.is_empty());
+        for n in &got {
+            assert!(idx.get(n.id).unwrap().ts >= 32 * 60);
+        }
     }
 }

@@ -58,6 +58,22 @@ fn cfg_for(n: usize, exact_threshold: usize, delta_t: Option<i64>) -> AnnConfig 
     }
 }
 
+fn bounds_of(items: &[AnnItem]) -> (f64, f64, f64, f64) {
+    let mut b = (
+        f64::INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NEG_INFINITY,
+    );
+    for it in items {
+        b.0 = b.0.min(it.point.lat);
+        b.1 = b.1.min(it.point.lon);
+        b.2 = b.2.max(it.point.lat);
+        b.3 = b.3.max(it.point.lon);
+    }
+    b
+}
+
 fn fisher_yates<T>(items: &mut [T], seed: u64) {
     let mut rng = StdRng::seed_from_u64(seed);
     for i in (1..items.len()).rev() {
@@ -130,6 +146,79 @@ proptest! {
                 b.query(&q.point, q.ts, &q.embedding, 5, 10_000.0)
             );
         }
+    }
+
+    #[test]
+    fn incremental_index_matches_batch_build(
+        seed in any::<u64>(),
+        shuffle_seed in any::<u64>(),
+        n in 2usize..=96,
+    ) {
+        let items = world(seed, n, 4);
+        let cfg = cfg_for(n, 4, None);
+        let bounds = bounds_of(&items);
+        let batch = AnnIndex::build_bounded(items.clone(), cfg.clone(), bounds);
+
+        // Ascending-id inserts take the in-place extension fast path.
+        let mut asc = AnnIndex::new_empty(cfg.clone(), bounds);
+        for it in &items {
+            prop_assert!(asc.insert(it.clone()));
+        }
+        prop_assert_eq!(batch.structure_fingerprint(), asc.structure_fingerprint());
+
+        // A shuffled order exercises the out-of-order rebuild path; the
+        // end state must be the same index either way.
+        let mut shuffled = items.clone();
+        fisher_yates(&mut shuffled, shuffle_seed);
+        let mut ooo = AnnIndex::new_empty(cfg, bounds);
+        for it in &shuffled {
+            prop_assert!(ooo.insert(it.clone()));
+        }
+        prop_assert_eq!(batch.structure_fingerprint(), ooo.structure_fingerprint());
+
+        for probe in [0, n / 2, n - 1] {
+            let q = &items[probe];
+            let want = batch.query(&q.point, q.ts, &q.embedding, 8, f64::INFINITY);
+            prop_assert_eq!(
+                want.clone(),
+                asc.query(&q.point, q.ts, &q.embedding, 8, f64::INFINITY)
+            );
+            prop_assert_eq!(
+                want,
+                ooo.query(&q.point, q.ts, &q.embedding, 8, f64::INFINITY)
+            );
+        }
+        // Re-delivery of any item is rejected without perturbing the index.
+        let fp = asc.structure_fingerprint();
+        prop_assert!(!asc.insert(items[n / 2].clone()));
+        prop_assert_eq!(fp, asc.structure_fingerprint());
+    }
+
+    #[test]
+    fn tombstoned_items_never_surface(
+        seed in any::<u64>(),
+        n in 4usize..=96,
+        stride in 2usize..=5,
+    ) {
+        let items = world(seed, n, 4);
+        // Beam ≥ n: search is exhaustive-equivalent, so query answers over
+        // live items must be identical before and after compaction.
+        let mut idx = AnnIndex::build(items.clone(), cfg_for(n, 2, None));
+        let removed: Vec<u32> = (0..n as u32).step_by(stride).collect();
+        for &id in &removed {
+            prop_assert!(idx.remove(id));
+        }
+        prop_assert_eq!(idx.live_len(), n - removed.len());
+        let q = &items[1 % n];
+        let before = idx.query(&q.point, q.ts, &q.embedding, n, f64::INFINITY);
+        for hit in &before {
+            prop_assert!(!removed.contains(&hit.id), "tombstoned id {} surfaced", hit.id);
+        }
+        prop_assert_eq!(before.len(), idx.live_len());
+        idx.compact();
+        prop_assert_eq!(idx.len(), idx.live_len());
+        let after = idx.query(&q.point, q.ts, &q.embedding, n, f64::INFINITY);
+        prop_assert_eq!(before, after);
     }
 
     #[test]

@@ -387,3 +387,149 @@ pub fn serve_cmd(flags: &Flags) -> Result<(), String> {
     handle.wait();
     Ok(())
 }
+
+/// `hisrect ingest` — the closed streaming loop: an unbounded simulated
+/// tweet stream feeds the incremental pipeline (profiles, windowed
+/// affinity, ANN mirror); every `--retrain-every` events the retained
+/// window fine-tunes a new model generation, optionally published to a
+/// running `hisrect serve` via `POST /reload`. The loop checkpoints
+/// after every generation and resumes from `--dir` on restart.
+pub fn ingest_cmd(flags: &Flags) -> Result<(), String> {
+    let seed = flags.parse_or("seed", 7u64)?;
+    let preset = flags.get("preset").unwrap_or("tiny");
+    let sim = match preset {
+        "nyc" => SimConfig::nyc_like(seed),
+        "lv" => SimConfig::lv_like(seed),
+        "tiny" => SimConfig::tiny(seed),
+        other => return Err(format!("unknown preset `{other}` (nyc|lv|tiny)")),
+    };
+    let dir = PathBuf::from(flags.require("dir")?);
+    let events: u64 = flags.parse_or("events", 2_000u64)?;
+    let retrain_every: u64 = flags.parse_or("retrain-every", 800u64)?;
+    let drift: u32 = flags.parse_or("drift-every-days", 0u32)?;
+    let icfg = ingest::IngestConfig {
+        window_secs: flags.parse_or("window-secs", 0i64)?,
+        gap_slack: flags.parse_or("gap-slack", 64usize)?,
+        ..ingest::IngestConfig::default()
+    };
+    let serve_addr: Option<std::net::SocketAddr> = match flags.get("serve-addr") {
+        Some(s) => Some(
+            s.parse()
+                .map_err(|_| format!("--serve-addr: cannot parse `{s}`"))?,
+        ),
+        None => None,
+    };
+    let mut dcfg = ingest::DriverConfig::new(dir.clone(), seed);
+    let iters = flags.parse_or("iters", dcfg.spec.config.featurizer_iters)?;
+    let judge_iters = flags.parse_or("judge-iters", dcfg.spec.config.judge_iters)?;
+    dcfg.spec = dcfg.spec.with_config(|c| {
+        c.featurizer_iters = iters;
+        c.judge_iters = judge_iters;
+    });
+
+    // Resume from the latest checkpoint, or open a fresh loop.
+    let (mut stream, mut ing, mut generation, mut ckpt_seq, mut trained_to) =
+        match ingest::latest_valid(&dir) {
+            Some((seq, ck)) => {
+                eprintln!(
+                    "resuming from checkpoint {seq}: stream day {}, seq {}, generation {}",
+                    ck.cursor.day, ck.cursor.seq, ck.generation
+                );
+                let stream = twitter_sim::TweetStream::resume(sim.clone(), drift, ck.cursor);
+                let ing = ingest::Ingestor::resume(
+                    stream.world().clone(),
+                    stream.friendships().to_vec(),
+                    icfg.clone(),
+                    ck.state,
+                );
+                (stream, ing, ck.generation, seq + 1, ck.trained_to)
+            }
+            None => {
+                let stream = twitter_sim::TweetStream::with_drift(sim.clone(), drift);
+                let ing = ingest::Ingestor::new(
+                    stream.world().clone(),
+                    stream.friendships().to_vec(),
+                    sim.n_users,
+                    icfg.clone(),
+                );
+                (stream, ing, 0, 0, 0)
+            }
+        };
+    let bounds = ingest::CandidateMirror::bounds_for(stream.world(), 0.05);
+    let mut mirror = ingest::CandidateMirror::new(ann::AnnConfig::default(), bounds, sim.n_users);
+
+    let mut since_retrain = 0u64;
+    for _ in 0..events {
+        ing.offer(stream.next_event());
+        since_retrain += 1;
+        if since_retrain < retrain_every {
+            continue;
+        }
+        since_retrain = 0;
+        match ingest::fine_tune(&ing, &dcfg, generation) {
+            Err(e) => eprintln!("generation {generation} skipped: {e}"),
+            Ok(out) => {
+                generation += 1;
+                trained_to = out.trained_to;
+                // Every cached ANN embedding is stale under the new
+                // generation: rebuild the candidate mirror with it.
+                let model = HisRectModel::try_load_json(&out.model_path)
+                    .map_err(|e| format!("{}: {e}", out.model_path.display()))?;
+                let judge = hisrect::JudgeService::with_precision(
+                    model,
+                    stream.world().pois.clone(),
+                    Precision::F32,
+                );
+                let cutoff = if icfg.window_secs > 0 {
+                    ing.watermark() - icfg.window_secs
+                } else {
+                    i64::MIN
+                };
+                mirror.invalidate(&ing, cutoff, |p| {
+                    judge
+                        .model()
+                        .judge_embeddings(&[judge.features_for(p)])
+                        .remove(0)
+                });
+                if let Some(addr) = serve_addr {
+                    let g = ingest::publish_reload(addr, &out.model_path)
+                        .map_err(|e| format!("reload: {e}"))?;
+                    eprintln!(
+                        "published {} as server generation {g}",
+                        out.model_path.display()
+                    );
+                }
+                let staleness = ingest::record_staleness(ing.watermark(), trained_to);
+                eprintln!(
+                    "generation {}: {} profiles, {} timelines, staleness {staleness:.0}s, {} ANN items live",
+                    out.generation, out.n_profiles, out.n_timelines, mirror.live_len()
+                );
+                let ck = ingest::IngestCheckpoint {
+                    cursor: stream.cursor(),
+                    state: ing.state().clone(),
+                    generation,
+                    trained_to,
+                };
+                ingest::save_checkpoint(&dir, ckpt_seq, &ck).map_err(|e| e.to_string())?;
+                ckpt_seq += 1;
+            }
+        }
+    }
+    ing.flush();
+    let ck = ingest::IngestCheckpoint {
+        cursor: stream.cursor(),
+        state: ing.state().clone(),
+        generation,
+        trained_to,
+    };
+    ingest::save_checkpoint(&dir, ckpt_seq, &ck).map_err(|e| e.to_string())?;
+    let (applied, dups, gaps) = ing.delivery_stats();
+    println!(
+        "ingested {events} events ({applied} applied, {dups} dups, {gaps} gap-lost): \
+         {} profiles, {} edges, {generation} generations, staleness {:.0}s",
+        ing.n_profiles(),
+        ing.edges().len(),
+        ingest::record_staleness(ing.watermark(), trained_to)
+    );
+    Ok(())
+}

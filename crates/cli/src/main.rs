@@ -9,6 +9,7 @@
 //! hisrect infer    --corpus corpus.json --model model.json --top-k 5
 //! hisrect cluster  --corpus corpus.json --model model.json --group-size 5
 //! hisrect serve    --corpus corpus.json --model model.json --addr 127.0.0.1:7878
+//! hisrect ingest   --dir ingest-run --events 2000 --retrain-every 800 --serve-addr 127.0.0.1:7878
 //! ```
 //!
 //! Argument parsing is hand-rolled (`clap` is outside the dependency set);
@@ -43,6 +44,10 @@ COMMANDS:
                                                        [--breaker-failures N] [--breaker-cooldown-ms MS]
                                                        [--breaker-latency-budget-ms MS]
                                                        [--watchdog-interval-ms MS] [--watchdog-stall-ms MS])
+    ingest     Closed streaming train→serve loop     (--dir DIR [--preset nyc|lv|tiny] [--seed N] [--events N]
+                                                       [--retrain-every N] [--window-secs S] [--gap-slack N]
+                                                       [--drift-every-days D] [--serve-addr HOST:PORT]
+                                                       [--iters N] [--judge-iters N])
     help       Show this message
 
 GLOBAL FLAGS:
@@ -55,7 +60,8 @@ GLOBAL FLAGS:
     --faults SPEC        Deterministic fault injection for chaos testing:
                          comma-separated `kind@n` entries (kinds: torn-write,
                          bit-flip, corrupt-json, nan-grad, worker-panic,
-                         crash), firing on the n-th opportunity. Also read
+                         crash, and the stream faults reorder, gap, dup),
+                         firing on the n-th opportunity. Also read
                          from the HISRECT_FAULTS environment variable.
 
 CHECKPOINTING (train):
@@ -126,6 +132,7 @@ fn main() -> ExitCode {
         "infer" => commands::infer(&flags),
         "cluster" => commands::cluster(&flags),
         "serve" => commands::serve_cmd(&flags),
+        "ingest" => commands::ingest_cmd(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -59,6 +59,15 @@ pub enum FaultKind {
     /// Serve path: a request handler burns CPU in a tight loop before
     /// answering (simulates a poison request hogging a worker).
     CpuBurn,
+    /// Stream path: the generator swaps the armed event with its
+    /// successor, delivering the pair out of timestamp order.
+    StreamReorder,
+    /// Stream path: the generator silently drops the armed event,
+    /// leaving a hole in the sequence numbers.
+    StreamGap,
+    /// Stream path: the generator delivers the armed event twice with
+    /// the same sequence number (at-least-once delivery).
+    StreamDup,
 }
 
 impl FaultKind {
@@ -78,6 +87,9 @@ impl FaultKind {
             FaultKind::BatcherStall => "stall",
             FaultKind::SlowJudge => "slow-judge",
             FaultKind::CpuBurn => "cpu-burn",
+            FaultKind::StreamReorder => "reorder",
+            FaultKind::StreamGap => "gap",
+            FaultKind::StreamDup => "dup",
         }
     }
 
@@ -96,11 +108,14 @@ impl FaultKind {
             "stall" => FaultKind::BatcherStall,
             "slow-judge" => FaultKind::SlowJudge,
             "cpu-burn" => FaultKind::CpuBurn,
+            "reorder" => FaultKind::StreamReorder,
+            "gap" => FaultKind::StreamGap,
+            "dup" => FaultKind::StreamDup,
             _ => return None,
         })
     }
 
-    const ALL: [FaultKind; 13] = [
+    const ALL: [FaultKind; 16] = [
         FaultKind::TornWrite,
         FaultKind::BitFlip,
         FaultKind::CorruptJson,
@@ -114,6 +129,9 @@ impl FaultKind {
         FaultKind::BatcherStall,
         FaultKind::SlowJudge,
         FaultKind::CpuBurn,
+        FaultKind::StreamReorder,
+        FaultKind::StreamGap,
+        FaultKind::StreamDup,
     ];
 }
 
@@ -345,6 +363,22 @@ mod tests {
         assert!(!fires(FaultKind::SlowJudge));
         assert!(fires(FaultKind::SlowJudge));
         assert!(!pending(FaultKind::SlowJudge));
+        clear();
+    }
+
+    #[test]
+    fn stream_kinds_parse_and_fire() {
+        let _g = lock();
+        clear();
+        configure_str("reorder@2,gap,dup@3").unwrap();
+        assert!(pending(FaultKind::StreamReorder));
+        assert!(fires(FaultKind::StreamGap), "bare kind means @1");
+        assert!(!fires(FaultKind::StreamReorder));
+        assert!(fires(FaultKind::StreamReorder));
+        assert!(!fires(FaultKind::StreamDup));
+        assert!(!fires(FaultKind::StreamDup));
+        assert!(fires(FaultKind::StreamDup));
+        assert!(!pending(FaultKind::StreamDup));
         clear();
     }
 

@@ -1,0 +1,231 @@
+//! The continuous-learning driver: window → fine-tune → publish.
+//!
+//! Each cycle assembles the [`Ingestor`]'s retained window into a
+//! [`twitter_sim::Dataset`] through the shared §6.1.1 protocol, trains a
+//! fresh model generation with [`hisrect::HisRectModel::try_train`]
+//! under a per-generation [`hisrect::CheckpointConfig`] (`resume: true`,
+//! so a cycle killed mid-train continues from its latest `ckpt.rs`
+//! snapshot instead of restarting), saves the generation to
+//! `model_gen_{g}.json`, and — when a server address is given —
+//! atomically publishes it to a running `hisrect serve` via
+//! `POST /reload`.
+//!
+//! Staleness is the loop's health signal: `watermark − trained_to`, the
+//! age of the data the serving model has seen, pushed to the
+//! `ingest/staleness_s` series. It grows while the stream runs and drops
+//! after every successful reload; the CI ingest gate asserts exactly
+//! that sawtooth.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+use crate::pipeline::Ingestor;
+use hisrect::{ApproachSpec, CheckpointConfig, HisRectModel, TrainError};
+use rand::rngs::StdRng;
+use rand::{derive_seed, SeedableRng};
+use serde::Deserialize;
+use serve::HttpClient;
+use twitter_sim::types::Timestamp;
+use twitter_sim::{assemble, AssembleParams};
+
+/// Static configuration of the fine-tune driver.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Model/training approach (usually [`ApproachSpec::hisrect`]).
+    pub spec: ApproachSpec,
+    /// Base seed; generation `g` trains with `derive_seed(seed, g)`.
+    pub seed: u64,
+    /// Directory for model generations and per-generation train
+    /// checkpoints.
+    pub dir: PathBuf,
+    /// Iterations between training snapshots (0 = phase-complete only).
+    pub ckpt_every: usize,
+    /// Reservoir cap on negative pairs in the window dataset.
+    pub max_neg_pairs: usize,
+    /// Reservoir cap on unlabeled pairs in the window dataset.
+    pub max_unlabeled_pairs: usize,
+}
+
+impl DriverConfig {
+    /// A driver training the full HisRect approach into `dir`.
+    pub fn new(dir: PathBuf, seed: u64) -> Self {
+        Self {
+            spec: ApproachSpec::hisrect(),
+            seed,
+            dir,
+            ckpt_every: 0,
+            max_neg_pairs: 50_000,
+            max_unlabeled_pairs: 30_000,
+        }
+    }
+}
+
+/// What one fine-tune cycle produced.
+#[derive(Debug, Clone)]
+pub struct FineTuneOutcome {
+    /// Generation number trained.
+    pub generation: u64,
+    /// Where the generation's weights were saved.
+    pub model_path: PathBuf,
+    /// Newest profile timestamp the model has seen (staleness anchor).
+    pub trained_to: Timestamp,
+    /// Profiles in the window dataset.
+    pub n_profiles: usize,
+    /// Timelines that survived the window's §6.1.1 filter.
+    pub n_timelines: usize,
+}
+
+/// Assembles the current window and trains model generation
+/// `generation`, resuming from its own latest training checkpoint if one
+/// exists (crash recovery). The window dataset is a pure function of the
+/// ingestor state and `(seed, generation)`, so an interrupted and
+/// resumed cycle trains the same model as an uninterrupted one.
+pub fn fine_tune(
+    ing: &Ingestor,
+    cfg: &DriverConfig,
+    generation: u64,
+) -> Result<FineTuneOutcome, TrainError> {
+    let _span = obs::span("ingest/fine_tune");
+    let timelines = ing.timelines();
+    let params = AssembleParams {
+        name: format!("window-gen{generation}"),
+        delta_t: ing.config().delta_t,
+        max_neg_pairs: cfg.max_neg_pairs,
+        max_unlabeled_pairs: cfg.max_unlabeled_pairs,
+    };
+    let gen_seed = derive_seed(cfg.seed, generation);
+    let mut rng = StdRng::seed_from_u64(gen_seed);
+    let dataset = assemble(
+        ing.world().clone(),
+        timelines,
+        ing.friendships().to_vec(),
+        &params,
+        &mut rng,
+    );
+    if dataset.profiles.is_empty() || dataset.train.pos_pairs.is_empty() {
+        return Err(TrainError::Checkpoint(format!(
+            "window too thin to fine-tune: {} profiles, {} positive train pairs",
+            dataset.profiles.len(),
+            dataset.train.pos_pairs.len()
+        )));
+    }
+    let trained_to = dataset.profiles.iter().map(|p| p.ts).max().unwrap_or(0);
+    let ckpt = CheckpointConfig {
+        dir: cfg.dir.join(format!("train-gen{generation}")),
+        every: cfg.ckpt_every,
+        resume: true,
+    };
+    let model = HisRectModel::try_train(&dataset, &cfg.spec, gen_seed, Some(&ckpt))?;
+    let model_path = cfg.dir.join(format!("model_gen_{generation}.json"));
+    std::fs::create_dir_all(&cfg.dir)
+        .and_then(|_| model.save_json(&model_path))
+        .map_err(|e| TrainError::Checkpoint(format!("save {}: {e}", model_path.display())))?;
+    obs::incr("ingest/fine_tunes");
+    Ok(FineTuneOutcome {
+        generation,
+        model_path,
+        trained_to,
+        n_profiles: dataset.profiles.len(),
+        n_timelines: dataset.timelines.len(),
+    })
+}
+
+#[derive(Deserialize)]
+struct ReloadReply {
+    generation: u64,
+}
+
+/// Publishes a saved model generation to a running server via
+/// `POST /reload`. Returns the server's new registry generation.
+pub fn publish_reload(addr: SocketAddr, model_path: &std::path::Path) -> std::io::Result<u64> {
+    let mut client = HttpClient::new(addr);
+    let body = serde_json::to_string(&ReloadBody {
+        model: model_path.display().to_string(),
+    })
+    .map_err(|e| std::io::Error::other(format!("encode reload body: {e}")))?;
+    let resp = client.post("/reload", &body)?;
+    if resp.status != 200 {
+        return Err(std::io::Error::other(format!(
+            "reload rejected: {} {}",
+            resp.status, resp.body
+        )));
+    }
+    let reply: ReloadReply = serde_json::from_str(&resp.body)
+        .map_err(|e| std::io::Error::other(format!("parse reload reply: {e}")))?;
+    obs::incr("ingest/reloads");
+    Ok(reply.generation)
+}
+
+#[derive(serde::Serialize)]
+struct ReloadBody {
+    model: String,
+}
+
+/// Records the loop's staleness sample: how far the stream watermark has
+/// run ahead of the data the published model was trained on.
+pub fn record_staleness(watermark: Timestamp, trained_to: Timestamp) -> f32 {
+    let staleness = (watermark - trained_to).max(0) as f32;
+    obs::push("ingest/staleness_s", staleness);
+    staleness
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{IngestConfig, Ingestor};
+    use twitter_sim::{SimConfig, TweetStream};
+
+    #[test]
+    fn fine_tune_trains_and_saves_a_generation() {
+        let mut stream = TweetStream::new(SimConfig::tiny(41));
+        let mut ing = Ingestor::new(
+            stream.world().clone(),
+            stream.friendships().to_vec(),
+            stream.config().n_users,
+            IngestConfig::default(),
+        );
+        // ~6 simulated days of events: enough for a trainable window.
+        for _ in 0..800 {
+            ing.offer(stream.next_event());
+        }
+        ing.flush();
+        let dir = std::env::temp_dir().join(format!("hisrect-ingest-ft-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = DriverConfig::new(dir.clone(), 9);
+        cfg.spec = ApproachSpec::hisrect().with_config(|c| {
+            *c = hisrect::HisRectConfig {
+                featurizer_iters: 30,
+                judge_iters: 30,
+                ..hisrect::HisRectConfig::fast()
+            };
+        });
+        let out = fine_tune(&ing, &cfg, 0).expect("fine-tune");
+        assert!(out.model_path.exists());
+        assert!(out.n_profiles > 0);
+        assert!(out.trained_to <= ing.watermark());
+        // The saved generation loads back as a working model.
+        let model = HisRectModel::load_json(&out.model_path).expect("load");
+        assert!(model.feat_dim() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn thin_window_is_a_typed_error() {
+        let stream = TweetStream::new(SimConfig::tiny(43));
+        let ing = Ingestor::new(
+            stream.world().clone(),
+            stream.friendships().to_vec(),
+            stream.config().n_users,
+            IngestConfig::default(),
+        );
+        let dir = std::env::temp_dir().join("hisrect-ingest-thin");
+        let err = fine_tune(&ing, &DriverConfig::new(dir, 1), 0).unwrap_err();
+        assert!(matches!(err, TrainError::Checkpoint(_)));
+    }
+
+    #[test]
+    fn staleness_is_clamped_and_recorded() {
+        assert_eq!(record_staleness(100, 40), 60.0);
+        assert_eq!(record_staleness(40, 100), 0.0);
+    }
+}

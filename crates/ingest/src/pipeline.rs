@@ -1,0 +1,595 @@
+//! The ingestion pipeline: stream events in, profiles + affinity out.
+//!
+//! [`Ingestor`] consumes [`StreamEvent`]s in any delivery order and
+//! maintains, incrementally and deterministically:
+//!
+//! - **Per-user HisRect profiles** — every geo-tagged tweet materializes a
+//!   [`Profile`] exactly as [`twitter_sim::assemble`] would: the recent
+//!   tweet's tokens, its geo-tag, the visit history strictly before it,
+//!   and a geometric POI label. The §6.1.1 timeline filter (keep only
+//!   users with at least one tweet inside a POI) is applied at snapshot
+//!   time, since a user's kept-status flips monotonically.
+//! - **The windowed affinity graph** — each new profile is paired against
+//!   every retained profile within Δt and weighted by the §4.4 case
+//!   analysis (mirroring [`hisrect::affinity`]); edges older than the
+//!   retention window are ring-buffer evicted from the front.
+//! - **Delivery bookkeeping** — events are applied in sequence-number
+//!   order through a reorder buffer: duplicates (same `seq`) are dropped
+//!   and counted, holes are tolerated up to `gap_slack` buffered events
+//!   before the gap is declared and skipped. This guarantees *no
+//!   duplicate profile updates* under `dup@n` faults and in-order
+//!   application under `reorder@n` faults.
+//!
+//! All mutable state lives in the serializable [`IngestorState`], so a
+//! checkpoint captures the pipeline exactly and a resumed run is
+//! bit-identical to an uninterrupted one.
+
+use serde::{Deserialize, Serialize};
+use twitter_sim::stream::StreamEvent;
+use twitter_sim::types::Timestamp;
+use twitter_sim::{Profile, Timeline, Tweet, Visit, World};
+
+/// Static knobs of the pipeline. The affinity constants default to
+/// [`hisrect::HisRectConfig`]'s values so windowed edges match the batch
+/// graph bit-for-bit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IngestConfig {
+    /// Pairing threshold Δt in seconds (§3.1).
+    pub delta_t: i64,
+    /// Retention window in seconds for visits, tweets, and affinity
+    /// edges; `0` retains everything (needed for batch-replay equality).
+    pub window_secs: i64,
+    /// Out-of-order events buffered before a hole at the next expected
+    /// sequence number is declared a gap and skipped.
+    pub gap_slack: usize,
+    /// Affinity proximity gate ρ in meters (§4.4).
+    pub rho_m: f64,
+    /// Affinity distance-decay constant ε_d2 in meters (§4.4).
+    pub eps_d2_m: f64,
+    /// Friendship bonus on unlabeled edges (§7 extension; 0 disables).
+    pub social_w: f32,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            delta_t: 3600,
+            window_secs: 0,
+            gap_slack: 64,
+            rho_m: 1000.0,
+            eps_d2_m: 50.0,
+            social_w: 0.0,
+        }
+    }
+}
+
+/// Stable identity of a materialized profile: the user and the ordinal of
+/// the profile within that user's history. Survives snapshots, eviction,
+/// and resume (unlike a position in a global vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PKey {
+    /// Owning user.
+    pub uid: u32,
+    /// Ordinal among that user's profiles (0-based, materialization order).
+    pub k: u32,
+}
+
+/// One affinity edge of the windowed graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Earlier profile of the pair.
+    pub i: PKey,
+    /// Later profile of the pair (its timestamp orders the ring buffer).
+    pub j: PKey,
+    /// Timestamp of the later profile; eviction key.
+    pub ts: Timestamp,
+    /// Affinity weight `a_ij` in `[-1, 1]`.
+    pub a: f32,
+    /// True when both profiles are labeled with the same POI (`Γ_L⁺`).
+    pub labeled_positive: bool,
+}
+
+/// Per-user mutable state.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UserState {
+    /// Retained tweets in arrival (= timestamp) order; fine-tune fodder.
+    pub tweets: Vec<Tweet>,
+    /// Retained visit history (geo-tagged tweets), ascending timestamps.
+    pub visits: Vec<Visit>,
+    /// Materialized profiles, ordinal order. Never evicted — the profile
+    /// *list* is the pipeline's output; only pairing/visits are windowed.
+    pub profiles: Vec<Profile>,
+    /// True once any tweet landed inside a POI (§6.1.1 timeline filter).
+    pub kept: bool,
+}
+
+/// The serializable whole of the pipeline's mutable state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestorState {
+    /// Per-user state, indexed by uid.
+    pub users: Vec<UserState>,
+    /// Out-of-order events waiting for their predecessors, ascending seq.
+    pub pending: Vec<StreamEvent>,
+    /// Next sequence number to apply.
+    pub expected_seq: u64,
+    /// Highest applied timestamp.
+    pub watermark: Timestamp,
+    /// Profiles inside the Δt pairing horizon, materialization order.
+    pub recent: Vec<PKey>,
+    /// The windowed affinity graph, ascending `ts` (ring buffer).
+    pub edges: Vec<Edge>,
+    /// Events applied (post-dedup, post-gap).
+    pub applied: u64,
+    /// Duplicate deliveries dropped.
+    pub dups: u64,
+    /// Events lost to declared gaps.
+    pub gaps: u64,
+    /// Edges evicted from the window so far.
+    pub edges_evicted: u64,
+}
+
+impl IngestorState {
+    fn new(n_users: usize) -> Self {
+        Self {
+            users: vec![UserState::default(); n_users],
+            pending: Vec::new(),
+            expected_seq: 0,
+            watermark: 0,
+            recent: Vec::new(),
+            edges: Vec::new(),
+            applied: 0,
+            dups: 0,
+            gaps: 0,
+            edges_evicted: 0,
+        }
+    }
+}
+
+/// The ingestion pipeline. Immutable context (world, friendships, config)
+/// plus the serializable [`IngestorState`].
+pub struct Ingestor {
+    cfg: IngestConfig,
+    world: World,
+    friendships: Vec<(u32, u32)>,
+    state: IngestorState,
+}
+
+impl Ingestor {
+    /// Opens a fresh pipeline over `n_users` users of `world`.
+    /// `friendships` must be sorted `(lo, hi)` pairs (as produced by the
+    /// generator) — they feed the §7 social affinity bonus.
+    pub fn new(
+        world: World,
+        friendships: Vec<(u32, u32)>,
+        n_users: usize,
+        cfg: IngestConfig,
+    ) -> Self {
+        Self {
+            cfg,
+            world,
+            friendships,
+            state: IngestorState::new(n_users),
+        }
+    }
+
+    /// Reopens a pipeline from a checkpointed state.
+    pub fn resume(
+        world: World,
+        friendships: Vec<(u32, u32)>,
+        cfg: IngestConfig,
+        state: IngestorState,
+    ) -> Self {
+        Self {
+            cfg,
+            world,
+            friendships,
+            state,
+        }
+    }
+
+    /// The pipeline's serializable state (checkpoint payload).
+    pub fn state(&self) -> &IngestorState {
+        &self.state
+    }
+
+    /// The simulated world the pipeline labels against.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Sorted friendship pairs.
+    pub fn friendships(&self) -> &[(u32, u32)] {
+        &self.friendships
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &IngestConfig {
+        &self.cfg
+    }
+
+    /// Highest applied event timestamp — the stream watermark.
+    pub fn watermark(&self) -> Timestamp {
+        self.state.watermark
+    }
+
+    /// Offers one delivered event. Applies it (and any unblocked pending
+    /// events) in sequence order; duplicates are dropped.
+    pub fn offer(&mut self, ev: StreamEvent) {
+        obs::incr("ingest/events_offered");
+        if ev.seq < self.state.expected_seq {
+            self.state.dups += 1;
+            obs::incr("ingest/dups_dropped");
+            return;
+        }
+        match self.state.pending.binary_search_by_key(&ev.seq, |p| p.seq) {
+            Ok(_) => {
+                self.state.dups += 1;
+                obs::incr("ingest/dups_dropped");
+                return;
+            }
+            Err(pos) => self.state.pending.insert(pos, ev),
+        }
+        self.drain(false);
+    }
+
+    /// Applies every pending event, skipping unresolved holes. Call at a
+    /// stream boundary (end of a finite replay, or before a checkpoint
+    /// that must not carry a reorder buffer).
+    pub fn flush(&mut self) {
+        self.drain(true);
+    }
+
+    fn drain(&mut self, force: bool) {
+        loop {
+            let Some(first) = self.state.pending.first() else {
+                return;
+            };
+            if first.seq > self.state.expected_seq {
+                // Hole at expected_seq. Tolerate it while the buffer is
+                // small (a reorder in flight); declare a gap beyond slack.
+                if !force && self.state.pending.len() <= self.cfg.gap_slack {
+                    return;
+                }
+                let lost = first.seq - self.state.expected_seq;
+                self.state.gaps += lost;
+                obs::add("ingest/gap_events", lost);
+                self.state.expected_seq = first.seq;
+            }
+            let ev = self.state.pending.remove(0);
+            self.state.expected_seq = ev.seq + 1;
+            self.apply(ev);
+        }
+    }
+
+    /// Applies one in-order event.
+    fn apply(&mut self, ev: StreamEvent) {
+        let uid = ev.uid as usize;
+        assert!(uid < self.state.users.len(), "uid beyond configured users");
+        let tweet = ev.tweet;
+        self.state.applied += 1;
+        if tweet.ts > self.state.watermark {
+            self.state.watermark = tweet.ts;
+        }
+        obs::incr("ingest/events_applied");
+        let cutoff =
+            (self.cfg.window_secs > 0).then(|| self.state.watermark - self.cfg.window_secs);
+
+        let user = &mut self.state.users[uid];
+        if let Some(c) = cutoff {
+            let keep_from = user.tweets.partition_point(|t| t.ts < c);
+            user.tweets.drain(..keep_from);
+            let keep_from = user.visits.partition_point(|v| v.ts < c);
+            user.visits.drain(..keep_from);
+        }
+        user.tweets.push(tweet.clone());
+
+        let Some(geo) = tweet.geo else { return };
+        // Materialize the profile exactly as `assemble` does: visit
+        // history strictly before this tweet, geometric POI label.
+        let pid = self.world.pois.containing(&geo);
+        if pid.is_some() {
+            user.kept = true;
+        }
+        let profile = Profile {
+            uid: ev.uid,
+            ts: tweet.ts,
+            tokens: tweet.tokens.clone(),
+            geo,
+            visits: user.visits.clone(),
+            pid,
+        };
+        user.visits.push(Visit {
+            ts: tweet.ts,
+            point: geo,
+        });
+        let key = PKey {
+            uid: ev.uid,
+            k: user.profiles.len() as u32,
+        };
+        user.profiles.push(profile);
+        obs::incr("ingest/profiles");
+
+        // Pair against every retained profile within Δt (the stream is
+        // timestamp-ordered, so the horizon only moves forward).
+        let horizon = tweet.ts - self.cfg.delta_t;
+        let keep_from = self
+            .state
+            .recent
+            .partition_point(|pk| self.profile(*pk).ts <= horizon);
+        self.state.recent.drain(..keep_from);
+        let mut new_edges = Vec::new();
+        for &pk in &self.state.recent {
+            if pk.uid == key.uid {
+                continue;
+            }
+            if let Some(e) = self.edge_weight(pk, key) {
+                new_edges.push(e);
+            }
+        }
+        obs::add("ingest/edges", new_edges.len() as u64);
+        self.state.edges.extend(new_edges);
+        self.state.recent.push(key);
+
+        // Ring-buffer eviction of expired edges.
+        if let Some(c) = cutoff {
+            let keep_from = self.state.edges.partition_point(|e| e.ts < c);
+            if keep_from > 0 {
+                self.state.edges_evicted += keep_from as u64;
+                obs::add("ingest/edges_evicted", keep_from as u64);
+                self.state.edges.drain(..keep_from);
+            }
+        }
+    }
+
+    /// The profile behind a key.
+    pub fn profile(&self, key: PKey) -> &Profile {
+        &self.state.users[key.uid as usize].profiles[key.k as usize]
+    }
+
+    /// Affinity weight of a profile pair per the §4.4 case analysis —
+    /// the same math as [`hisrect::affinity::affinity`]; the golden
+    /// replay test pins the two implementations to identical outputs.
+    fn edge_weight(&self, i: PKey, j: PKey) -> Option<Edge> {
+        let (pi, pj) = (self.profile(i), self.profile(j));
+        let edge = |a: f32, pos: bool| Edge {
+            i,
+            j,
+            ts: pj.ts.max(pi.ts),
+            a,
+            labeled_positive: pos,
+        };
+        match (pi.pid, pj.pid) {
+            (Some(x), Some(y)) if x == y => Some(edge(1.0, true)),
+            (Some(_), Some(_)) => Some(edge(-1.0, false)),
+            _ => {
+                let friends = self.cfg.social_w > 0.0 && self.are_friends(pi.uid, pj.uid);
+                let d = pi.geo.fast_dist_m(&pj.geo);
+                let gate = if friends {
+                    2.0 * self.cfg.rho_m
+                } else {
+                    self.cfg.rho_m
+                };
+                if d >= gate {
+                    return None;
+                }
+                let pois = &self.world.pois;
+                if pois.min_distance_m(&pi.geo) >= gate || pois.min_distance_m(&pj.geo) >= gate {
+                    return None;
+                }
+                let mut a = if d < self.cfg.rho_m {
+                    (self.cfg.eps_d2_m / (self.cfg.eps_d2_m + d)) as f32
+                } else {
+                    0.0
+                };
+                if friends {
+                    a = (a + self.cfg.social_w).min(1.0);
+                }
+                (a > 0.0).then(|| edge(a, false))
+            }
+        }
+    }
+
+    fn are_friends(&self, a: u32, b: u32) -> bool {
+        let pair = (a.min(b), a.max(b));
+        a != b && self.friendships.binary_search(&pair).is_ok()
+    }
+
+    /// Materialized profiles of kept users, uid-ascending then ordinal —
+    /// the exact order [`twitter_sim::assemble`] produces when timelines
+    /// are pushed in uid order.
+    pub fn profiles(&self) -> Vec<Profile> {
+        self.state
+            .users
+            .iter()
+            .filter(|u| u.kept)
+            .flat_map(|u| u.profiles.iter().cloned())
+            .collect()
+    }
+
+    /// Windowed affinity edges among kept users, ring order.
+    pub fn edges(&self) -> Vec<Edge> {
+        self.state
+            .edges
+            .iter()
+            .filter(|e| {
+                self.state.users[e.i.uid as usize].kept && self.state.users[e.j.uid as usize].kept
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Retained timelines of every user with any tweets, uid order — the
+    /// fine-tune driver feeds these to [`twitter_sim::assemble`] (which
+    /// applies its own timeline filter).
+    pub fn timelines(&self) -> Vec<Timeline> {
+        self.state
+            .users
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| !u.tweets.is_empty())
+            .map(|(uid, u)| Timeline {
+                uid: uid as u32,
+                tweets: u.tweets.clone(),
+            })
+            .collect()
+    }
+
+    /// `(applied, dups_dropped, gap_events)` delivery counters.
+    pub fn delivery_stats(&self) -> (u64, u64, u64) {
+        (self.state.applied, self.state.dups, self.state.gaps)
+    }
+
+    /// Total materialized profiles across all users (kept or not).
+    pub fn n_profiles(&self) -> usize {
+        self.state.users.iter().map(|u| u.profiles.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twitter_sim::{SimConfig, TweetStream};
+
+    fn tiny_ingest(n_events: usize, cfg: IngestConfig) -> (Ingestor, Vec<StreamEvent>) {
+        let mut stream = TweetStream::new(SimConfig::tiny(17));
+        let events: Vec<StreamEvent> = (0..n_events).map(|_| stream.next_event()).collect();
+        let mut ing = Ingestor::new(
+            stream.world().clone(),
+            stream.friendships().to_vec(),
+            stream.config().n_users,
+            cfg,
+        );
+        for ev in &events {
+            ing.offer(ev.clone());
+        }
+        ing.flush();
+        (ing, events)
+    }
+
+    #[test]
+    fn applies_in_order_and_materializes_profiles() {
+        let (ing, events) = tiny_ingest(400, IngestConfig::default());
+        let (applied, dups, gaps) = ing.delivery_stats();
+        assert_eq!(applied, 400);
+        assert_eq!((dups, gaps), (0, 0));
+        assert!(ing.n_profiles() > 0);
+        let geo_events = events.iter().filter(|e| e.tweet.geo.is_some()).count();
+        assert_eq!(ing.n_profiles(), geo_events);
+        for p in ing.profiles() {
+            for v in &p.visits {
+                assert!(v.ts < p.ts, "visits strictly precede the profile");
+            }
+        }
+    }
+
+    #[test]
+    fn shuffled_delivery_converges_to_in_order_state() {
+        let (in_order, events) = tiny_ingest(300, IngestConfig::default());
+        let mut shuffled = events.clone();
+        // Deterministic 3-rotation within blocks of 3.
+        for chunk in shuffled.chunks_mut(3) {
+            chunk.rotate_left(1);
+        }
+        let stream = TweetStream::new(SimConfig::tiny(17));
+        let mut ing = Ingestor::new(
+            stream.world().clone(),
+            stream.friendships().to_vec(),
+            stream.config().n_users,
+            IngestConfig::default(),
+        );
+        for ev in shuffled {
+            ing.offer(ev);
+        }
+        ing.flush();
+        assert_eq!(ing.state(), in_order.state());
+    }
+
+    #[test]
+    fn duplicates_do_not_update_profiles_twice() {
+        let (clean, events) = tiny_ingest(300, IngestConfig::default());
+        let stream = TweetStream::new(SimConfig::tiny(17));
+        let mut ing = Ingestor::new(
+            stream.world().clone(),
+            stream.friendships().to_vec(),
+            stream.config().n_users,
+            IngestConfig::default(),
+        );
+        for ev in &events {
+            ing.offer(ev.clone());
+            ing.offer(ev.clone()); // immediate redelivery
+        }
+        // And a late full replay.
+        for ev in &events {
+            ing.offer(ev.clone());
+        }
+        ing.flush();
+        let (applied, dups, gaps) = ing.delivery_stats();
+        assert_eq!(applied, 300);
+        assert_eq!(dups, 600);
+        assert_eq!(gaps, 0);
+        // Identical data; only the dup counter may differ.
+        let mut got = ing.state().clone();
+        got.dups = clean.state().dups;
+        assert_eq!(&got, clean.state());
+    }
+
+    #[test]
+    fn gaps_are_declared_and_skipped() {
+        let (_, events) = tiny_ingest(200, IngestConfig::default());
+        let cfg = IngestConfig {
+            gap_slack: 4,
+            ..IngestConfig::default()
+        };
+        let stream = TweetStream::new(SimConfig::tiny(17));
+        let mut ing = Ingestor::new(
+            stream.world().clone(),
+            stream.friendships().to_vec(),
+            stream.config().n_users,
+            cfg,
+        );
+        for (i, ev) in events.iter().enumerate() {
+            if i == 50 {
+                continue; // lost forever
+            }
+            ing.offer(ev.clone());
+        }
+        ing.flush();
+        let (applied, dups, gaps) = ing.delivery_stats();
+        assert_eq!(applied, 199);
+        assert_eq!(dups, 0);
+        assert_eq!(gaps, 1);
+    }
+
+    #[test]
+    fn window_evicts_old_edges_and_visits() {
+        let unbounded = tiny_ingest(1200, IngestConfig::default()).0;
+        let windowed = tiny_ingest(
+            1200,
+            IngestConfig {
+                window_secs: 86_400,
+                ..IngestConfig::default()
+            },
+        )
+        .0;
+        assert!(windowed.state().edges_evicted > 0, "window never evicted");
+        assert!(
+            windowed.state().edges.len() < unbounded.state().edges.len(),
+            "windowed graph must be smaller"
+        );
+        // Retained edges all sit inside the window.
+        let cut = windowed.watermark() - 86_400;
+        for e in &windowed.state().edges {
+            assert!(e.ts >= cut);
+        }
+        // Profiles are never evicted; only histories are trimmed.
+        assert_eq!(windowed.n_profiles(), unbounded.n_profiles());
+    }
+
+    #[test]
+    fn state_roundtrips_through_json() {
+        let (ing, _) = tiny_ingest(250, IngestConfig::default());
+        let json = serde_json::to_string(ing.state()).expect("serialize");
+        let back: IngestorState = serde_json::from_str(&json).expect("parse");
+        assert_eq!(&back, ing.state());
+    }
+}

@@ -1,0 +1,161 @@
+//! Ingest chaos: `reorder@n` / `gap@n` / `dup@n` stream faults (armed via
+//! [`faultsim`]) driven straight into the [`Ingestor`]. Required
+//! behavior: zero panics, no duplicate profile updates, typed counters
+//! that account for every lost or re-delivered event, and — since the
+//! reorder buffer re-sequences deliveries — a final state identical to a
+//! clean in-order ingest of exactly the delivered sequence numbers.
+//!
+//! The fault plan is process-global, so every test serializes on [`LOCK`].
+
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+use ingest::{IngestConfig, Ingestor};
+use twitter_sim::stream::StreamEvent;
+use twitter_sim::{SimConfig, TweetStream};
+
+const SEED: u64 = 71;
+const DELIVERIES: usize = 600;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn cfg() -> IngestConfig {
+    IngestConfig {
+        gap_slack: 8,
+        ..IngestConfig::default()
+    }
+}
+
+fn fresh_ingestor(stream: &TweetStream) -> Ingestor {
+    Ingestor::new(
+        stream.world().clone(),
+        stream.friendships().to_vec(),
+        stream.config().n_users,
+        cfg(),
+    )
+}
+
+/// Streams `DELIVERIES` events under `plan` and returns both the faulted
+/// ingestor and the raw delivery log.
+fn faulted_run(plan: &str) -> (Ingestor, Vec<StreamEvent>) {
+    faultsim::clear();
+    faultsim::configure_str(plan).expect("valid fault plan");
+    let mut stream = TweetStream::new(SimConfig::tiny(SEED));
+    let mut ing = fresh_ingestor(&stream);
+    let mut delivered = Vec::with_capacity(DELIVERIES);
+    for _ in 0..DELIVERIES {
+        let ev = stream.next_event();
+        delivered.push(ev.clone());
+        ing.offer(ev);
+    }
+    ing.flush();
+    faultsim::clear();
+    (ing, delivered)
+}
+
+/// Clean comparator: the clean stream's events restricted to `seqs`,
+/// offered strictly in sequence order.
+fn ordered_replay_of(seqs: &BTreeSet<u64>) -> Ingestor {
+    let max = *seqs.iter().next_back().expect("non-empty delivery") as usize;
+    let mut stream = TweetStream::new(SimConfig::tiny(SEED));
+    let clean: Vec<StreamEvent> = (0..=max).map(|_| stream.next_event()).collect();
+    let mut ing = fresh_ingestor(&stream);
+    for ev in clean {
+        if seqs.contains(&ev.seq) {
+            ing.offer(ev);
+        }
+    }
+    ing.flush();
+    ing
+}
+
+/// Asserts the faulted run converged to the clean in-order ingest of the
+/// same sequence numbers — the "no duplicate profile updates, clean
+/// recovery" contract. Only the `dups` counter may differ (the clean
+/// replay never sees the re-delivery).
+fn assert_converged(faulted: &Ingestor, delivered: &[StreamEvent]) {
+    let unique: BTreeSet<u64> = delivered.iter().map(|e| e.seq).collect();
+    let reference = ordered_replay_of(&unique);
+    let mut got = faulted.state().clone();
+    got.dups = reference.state().dups;
+    assert_eq!(
+        &got,
+        reference.state(),
+        "faulted ingest state diverges from clean in-order replay"
+    );
+    let (applied, dups, _) = faulted.delivery_stats();
+    assert_eq!(
+        applied as usize,
+        unique.len(),
+        "applied != unique deliveries"
+    );
+    assert_eq!(
+        dups as usize,
+        delivered.len() - unique.len(),
+        "dup counter misses re-deliveries"
+    );
+}
+
+#[test]
+fn dup_fault_causes_no_duplicate_profile_updates() {
+    let _g = lock();
+    let (ing, delivered) = faulted_run("dup@120");
+    assert_eq!(delivered.len() as u64 - 1, ing.state().applied);
+    assert_converged(&ing, &delivered);
+}
+
+#[test]
+fn reorder_fault_is_resequenced() {
+    let _g = lock();
+    let (ing, delivered) = faulted_run("reorder@260");
+    // The swap really happened at the delivery boundary...
+    assert!(
+        delivered.windows(2).any(|w| w[0].seq > w[1].seq),
+        "reorder fault never fired"
+    );
+    // ...and the buffer absorbed it without counting dups or gaps.
+    let (_, dups, gaps) = ing.delivery_stats();
+    assert_eq!((dups, gaps), (0, 0));
+    assert_converged(&ing, &delivered);
+}
+
+#[test]
+fn gap_fault_is_declared_and_skipped() {
+    let _g = lock();
+    let (ing, delivered) = faulted_run("gap@150");
+    let unique: BTreeSet<u64> = delivered.iter().map(|e| e.seq).collect();
+    let max = *unique.iter().next_back().unwrap();
+    assert_eq!(
+        unique.len() as u64,
+        max, // one seq in 0..=max is missing
+        "gap fault never dropped an event"
+    );
+    let (_, _, gaps) = ing.delivery_stats();
+    assert_eq!(gaps, 1, "exactly one event was lost to the gap");
+    assert_converged(&ing, &delivered);
+}
+
+#[test]
+fn combined_fault_plan_recovers_cleanly() {
+    let _g = lock();
+    let (ing, delivered) = faulted_run("reorder@50,gap@170,dup@300");
+    let (_, dups, gaps) = ing.delivery_stats();
+    assert_eq!((dups, gaps), (1, 1));
+    assert_converged(&ing, &delivered);
+    // Profiles stay internally consistent under chaos.
+    let geo = delivered
+        .iter()
+        .map(|e| e.seq)
+        .collect::<BTreeSet<_>>()
+        .len();
+    assert!(ing.n_profiles() > 0 && ing.n_profiles() <= geo);
+    for p in ing.profiles() {
+        for v in &p.visits {
+            assert!(v.ts < p.ts, "visit history leaked past its profile");
+        }
+    }
+}

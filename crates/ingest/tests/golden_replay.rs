@@ -1,0 +1,166 @@
+//! Golden replay determinism: a finite recorded stream pushed through the
+//! streaming [`Ingestor`] must reproduce the batch pipeline bit-for-bit
+//! on the same events —
+//!
+//! - profiles identical to [`twitter_sim::assemble`] (§6.1.1 protocol);
+//! - every windowed affinity edge identical to [`hisrect::affinity::affinity`]
+//!   (§4.4 case analysis) evaluated on the batch dataset;
+//!
+//! and the whole comparison must hold at `HISRECT_THREADS=1` and `=4`,
+//! since day generation fans out across [`parallel`] workers.
+//!
+//! `parallel::set_threads` is process-global, so the sweep lives in one
+//! `#[test]`.
+
+use std::collections::BTreeMap;
+
+use hisrect::affinity::affinity;
+use hisrect::HisRectConfig;
+use ingest::{IngestConfig, Ingestor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use twitter_sim::stream::StreamEvent;
+use twitter_sim::types::Pair;
+use twitter_sim::{assemble, AssembleParams, Dataset, SimConfig, Timeline, TweetStream};
+
+const N_EVENTS: usize = 900;
+const SEED: u64 = 61;
+
+/// Streams `N_EVENTS`, replays them through the ingestor, and returns the
+/// ingestor plus the batch dataset assembled from the same events.
+fn replay() -> (Ingestor, Dataset) {
+    let mut stream = TweetStream::new(SimConfig::tiny(SEED));
+    let events: Vec<StreamEvent> = (0..N_EVENTS).map(|_| stream.next_event()).collect();
+
+    let mut ing = Ingestor::new(
+        stream.world().clone(),
+        stream.friendships().to_vec(),
+        stream.config().n_users,
+        IngestConfig::default(),
+    );
+    for ev in &events {
+        ing.offer(ev.clone());
+    }
+    ing.flush();
+
+    // Batch comparator: the same events regrouped into uid-ascending
+    // timelines (the per-uid subsequence of a seq-ordered stream is
+    // timestamp-ordered, which is what `assemble` expects).
+    let n_users = stream.config().n_users;
+    let mut timelines: Vec<Timeline> = (0..n_users)
+        .map(|uid| Timeline {
+            uid: uid as u32,
+            tweets: Vec::new(),
+        })
+        .collect();
+    for ev in &events {
+        timelines[ev.uid as usize].tweets.push(ev.tweet.clone());
+    }
+    timelines.retain(|tl| !tl.tweets.is_empty());
+    let params = AssembleParams {
+        name: "golden-replay".into(),
+        delta_t: ing.config().delta_t,
+        ..AssembleParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let ds = assemble(
+        stream.world().clone(),
+        timelines,
+        stream.friendships().to_vec(),
+        &params,
+        &mut rng,
+    );
+    (ing, ds)
+}
+
+/// Batch affinity over every cross-user profile pair within Δt, keyed by
+/// unordered profile index; value is the bit-exact weight.
+fn batch_edges(
+    ds: &Dataset,
+    cfg: &HisRectConfig,
+    delta_t: i64,
+) -> BTreeMap<(usize, usize), (u32, bool)> {
+    let mut out = BTreeMap::new();
+    for x in 0..ds.profiles.len() {
+        for y in (x + 1)..ds.profiles.len() {
+            let (px, py) = (&ds.profiles[x], &ds.profiles[y]);
+            if px.uid == py.uid || (px.ts - py.ts).abs() >= delta_t {
+                continue;
+            }
+            let co_label = match (px.pid, py.pid) {
+                (Some(a), Some(b)) => Some(a == b),
+                _ => None,
+            };
+            if let Some(w) = affinity(
+                ds,
+                cfg,
+                &Pair {
+                    i: x,
+                    j: y,
+                    co_label,
+                },
+            ) {
+                out.insert((x, y), (w.a.to_bits(), w.labeled_positive));
+            }
+        }
+    }
+    out
+}
+
+/// One full stream-vs-batch comparison at the current thread count.
+/// Returns a serialized fingerprint of the streaming outputs.
+fn compare_once() -> String {
+    let (ing, ds) = replay();
+
+    // 1. Profiles: bit-identical, in identical order.
+    let stream_profiles = ing.profiles();
+    assert_eq!(
+        stream_profiles.len(),
+        ds.profiles.len(),
+        "profile counts diverge"
+    );
+    assert_eq!(stream_profiles, ds.profiles, "profiles diverge from batch");
+
+    // 2. Edges: map each streaming PKey to its batch profile index.
+    //    Batch profiles are laid out kept-uid-ascending, ordinal within.
+    let mut base = BTreeMap::new(); // uid -> first batch index
+    for (idx, p) in ds.profiles.iter().enumerate() {
+        base.entry(p.uid).or_insert(idx);
+    }
+    let cfg = HisRectConfig {
+        rho_m: ing.config().rho_m,
+        eps_d2_m: ing.config().eps_d2_m,
+        social_w: ing.config().social_w,
+        ..HisRectConfig::default()
+    };
+    let want = batch_edges(&ds, &cfg, ing.config().delta_t);
+    let mut got = BTreeMap::new();
+    for e in ing.edges() {
+        let xi = base[&e.i.uid] + e.i.k as usize;
+        let yj = base[&e.j.uid] + e.j.k as usize;
+        let key = (xi.min(yj), xi.max(yj));
+        let prev = got.insert(key, (e.a.to_bits(), e.labeled_positive));
+        assert!(prev.is_none(), "duplicate streaming edge for {key:?}");
+    }
+    assert_eq!(
+        got, want,
+        "streaming affinity graph diverges from batch §4.4 weights"
+    );
+    assert!(
+        !got.is_empty(),
+        "replay produced no edges — test is vacuous"
+    );
+
+    serde_json::to_string(&(stream_profiles, ing.edges())).expect("fingerprint")
+}
+
+#[test]
+fn streaming_replay_matches_batch_at_1_and_4_threads() {
+    let prev = parallel::num_threads();
+    parallel::set_threads(1);
+    let fp1 = compare_once();
+    parallel::set_threads(4);
+    let fp4 = compare_once();
+    parallel::set_threads(prev);
+    assert_eq!(fp1, fp4, "streaming outputs depend on HISRECT_THREADS");
+}

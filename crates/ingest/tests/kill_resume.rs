@@ -1,0 +1,137 @@
+//! Kill-and-resume: the ingest loop is crashed mid-stream and restarted
+//! from its latest on-disk checkpoint (stream cursor + pipeline state).
+//! The resumed run's final profiles and affinity graph must be
+//! byte-identical to an uninterrupted run over the same stream — including
+//! when the newest checkpoint is corrupt and the loop falls back to the
+//! previous one, replaying a longer stream suffix.
+
+use ingest::{latest_valid, save_checkpoint, IngestCheckpoint, IngestConfig, Ingestor};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use twitter_sim::{SimConfig, TweetStream};
+
+const SEED: u64 = 67;
+const TOTAL: usize = 700;
+const CKPT_EVERY: usize = 120;
+const CRASH_AT: usize = 505;
+
+static DIR_ID: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hisrect-ingest-resume-{}-{}",
+        std::process::id(),
+        DIR_ID.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fresh_ingestor(stream: &TweetStream) -> Ingestor {
+    Ingestor::new(
+        stream.world().clone(),
+        stream.friendships().to_vec(),
+        stream.config().n_users,
+        IngestConfig::default(),
+    )
+}
+
+/// The uninterrupted reference run: `TOTAL` events, no checkpoints.
+fn uninterrupted() -> Ingestor {
+    let mut stream = TweetStream::new(SimConfig::tiny(SEED));
+    let mut ing = fresh_ingestor(&stream);
+    for _ in 0..TOTAL {
+        ing.offer(stream.next_event());
+    }
+    ing.flush();
+    ing
+}
+
+/// Runs until `CRASH_AT` events with periodic checkpoints, then abandons
+/// everything in memory (the "crash") and returns the checkpoint dir.
+fn run_until_crash(dir: &Path) {
+    let mut stream = TweetStream::new(SimConfig::tiny(SEED));
+    let mut ing = fresh_ingestor(&stream);
+    let mut ckpt_seq = 0u64;
+    for i in 0..CRASH_AT {
+        ing.offer(stream.next_event());
+        if (i + 1) % CKPT_EVERY == 0 {
+            let ck = IngestCheckpoint {
+                cursor: stream.cursor(),
+                state: ing.state().clone(),
+                generation: 0,
+                trained_to: 0,
+            };
+            save_checkpoint(dir, ckpt_seq, &ck).expect("checkpoint write");
+            ckpt_seq += 1;
+        }
+    }
+    // Process dies here: `stream` and `ing` are dropped un-flushed.
+}
+
+/// Restarts from the latest valid checkpoint in `dir` and streams the
+/// remaining events up to `TOTAL`.
+fn resume_and_finish(dir: &Path) -> (u64, Ingestor) {
+    let (seq, ck) = latest_valid(dir).expect("a valid checkpoint survives the crash");
+    let mut stream = TweetStream::resume(SimConfig::tiny(SEED), 0, ck.cursor);
+    let mut ing = Ingestor::resume(
+        stream.world().clone(),
+        stream.friendships().to_vec(),
+        IngestConfig::default(),
+        ck.state,
+    );
+    let already = ing.state().applied as usize;
+    for _ in already..TOTAL {
+        ing.offer(stream.next_event());
+    }
+    ing.flush();
+    (seq, ing)
+}
+
+fn fingerprint(ing: &Ingestor) -> String {
+    serde_json::to_string(&(ing.profiles(), ing.edges(), ing.state())).expect("fingerprint")
+}
+
+#[test]
+fn crash_and_resume_is_byte_identical_to_uninterrupted() {
+    let reference = uninterrupted();
+    let dir = tmp_dir();
+    run_until_crash(&dir);
+    let (_, resumed) = resume_and_finish(&dir);
+    assert_eq!(
+        resumed.state().applied as usize,
+        TOTAL,
+        "resumed run did not reach the full stream length"
+    );
+    assert_eq!(
+        fingerprint(&resumed),
+        fingerprint(&reference),
+        "resumed profiles/edges/state diverge from the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_latest_checkpoint_falls_back_and_still_converges() {
+    let reference = uninterrupted();
+    let dir = tmp_dir();
+    run_until_crash(&dir);
+    // Sabotage the newest checkpoint: the crash tore its tail off.
+    let (newest, _) = latest_valid(&dir).expect("checkpoints exist");
+    let path = dir.join(format!("ingest_{newest:08}.ckpt"));
+    let raw = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &raw[..raw.len() / 3]).unwrap();
+
+    let (picked, resumed) = resume_and_finish(&dir);
+    assert!(
+        picked < newest,
+        "loader must fall back past the corrupt newest checkpoint"
+    );
+    assert_eq!(
+        fingerprint(&resumed),
+        fingerprint(&reference),
+        "fallback resume diverges from the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -10,20 +10,20 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use text::{preprocess, STOPWORDS};
 
-const SECONDS_PER_DAY: i64 = 86_400;
+pub(crate) const SECONDS_PER_DAY: i64 = 86_400;
 /// Tweets are emitted between 08:00 and 24:00 local time.
-const ACTIVE_START: i64 = 8 * 3600;
-const ACTIVE_END: i64 = 24 * 3600;
+pub(crate) const ACTIVE_START: i64 = 8 * 3600;
+pub(crate) const ACTIVE_END: i64 = 24 * 3600;
 /// Momentum only applies when the previous visit is this recent.
 const MOMENTUM_WINDOW: i64 = 2 * 3600;
 
 /// A simulated user's fixed traits.
-struct UserTraits {
-    home: GeoPoint,
+pub(crate) struct UserTraits {
+    pub(crate) home: GeoPoint,
     /// Favorite POIs with sampling weights (normalized).
-    favorites: Vec<(PoiId, f64)>,
+    pub(crate) favorites: Vec<(PoiId, f64)>,
     /// Home cluster, used for en-route vocabulary.
-    home_cluster: usize,
+    pub(crate) home_cluster: usize,
 }
 
 /// Generates a full dataset from a config. Deterministic in `cfg.seed`.
@@ -88,7 +88,7 @@ pub fn generate(cfg: &SimConfig) -> Dataset {
 /// Builds the undirected friendship list: each user befriends its
 /// `n_friends` nearest homes. Pairs are stored sorted `(lo, hi)` and
 /// deduplicated, ready for [`crate::Dataset::are_friends`]'s binary search.
-fn build_friendships(cfg: &SimConfig, traits: &[UserTraits]) -> Vec<(u32, u32)> {
+pub(crate) fn build_friendships(cfg: &SimConfig, traits: &[UserTraits]) -> Vec<(u32, u32)> {
     let mut pairs = Vec::new();
     for (a, ta) in traits.iter().enumerate() {
         let mut dists: Vec<(f64, usize)> = traits
@@ -146,7 +146,7 @@ fn sample_co_visits(
     forced
 }
 
-fn sample_user<R: Rng>(cfg: &SimConfig, world: &World, rng: &mut R) -> UserTraits {
+pub(crate) fn sample_user<R: Rng>(cfg: &SimConfig, world: &World, rng: &mut R) -> UserTraits {
     let home_cluster = rng.gen_range(0..world.cluster_centers.len());
     let cc = world.cluster_centers[home_cluster];
     let spread = cfg.extent_m / 4.0;
@@ -199,7 +199,7 @@ fn sample_user<R: Rng>(cfg: &SimConfig, world: &World, rng: &mut R) -> UserTrait
 }
 
 /// Knuth's Poisson sampler (rand_distr is outside the dependency set).
-fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> usize {
+pub(crate) fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> usize {
     let l = (-lambda).exp();
     let mut k = 0usize;
     let mut p = 1.0;
@@ -239,48 +239,76 @@ fn sample_timeline<R: Rng>(
     let mut tweets = Vec::new();
     let mut prev_poi: Option<(PoiId, Timestamp)> = None;
     for (ts, forced) in events {
-        // `near_poi` models geo-tagged tweets sent just outside a POI
-        // ("heading to the museum"): they stay unlabeled (outside every
-        // polygon) but sit close to the POI and carry weak content hints —
-        // exactly the profiles that make the SSL affinity graph's
-        // unlabeled edges informative (§4.4).
-        let (geo_point, true_poi, near_poi) = if let Some(pid) = forced {
-            prev_poi = Some((pid, ts));
-            (world.point_in_poi(pid, rng), Some(pid), None)
-        } else if rng.gen::<f64>() < cfg.p_at_poi {
-            let pid = choose_poi(cfg, traits, prev_poi, ts, rng);
-            prev_poi = Some((pid, ts));
-            (world.point_in_poi(pid, rng), Some(pid), None)
-        } else if rng.gen::<f64>() < 0.6 {
-            // In transit near a POI the user is drawn to.
-            let pid = choose_poi(cfg, traits, prev_poi, ts, rng);
-            let theta = rng.gen_range(0.0..std::f64::consts::TAU);
-            let dist = cfg.poi_radius_m.1 + rng.gen_range(50.0..400.0);
-            let p = world
-                .pois
-                .get(pid)
-                .center()
-                .offset_m(dist * theta.cos(), dist * theta.sin());
-            (p, None, Some(pid))
-        } else {
-            // Elsewhere: near home, rarely inside any polygon.
-            let p = traits.home.offset_m(
-                rng.gen_range(-1_500.0..1_500.0),
-                rng.gen_range(-1_500.0..1_500.0),
-            );
-            (p, None, None)
-        };
-        let raw = compose_content(cfg, world, traits, true_poi, near_poi, rng);
-        let tokens = preprocess(&raw);
-        let geo = (rng.gen::<f64>() < cfg.geo_tag_prob).then_some(geo_point);
-        tweets.push(Tweet {
+        tweets.push(sample_event(
+            cfg,
+            world,
+            traits,
             ts,
-            tokens,
-            geo,
-            true_poi,
-        });
+            forced,
+            &mut prev_poi,
+            0,
+            rng,
+        ));
     }
     Timeline { uid, tweets }
+}
+
+/// Samples one tweet at `ts`. Shared by the batch generator and the
+/// streaming generator; both paths draw the same RNG sequence so a replayed
+/// stream stays bit-identical to the batch corpus. `vocab_shift` rotates
+/// the POI vocabulary tables (the streaming drift model); the batch path
+/// always passes 0.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sample_event<R: Rng>(
+    cfg: &SimConfig,
+    world: &World,
+    traits: &UserTraits,
+    ts: Timestamp,
+    forced: Option<PoiId>,
+    prev_poi: &mut Option<(PoiId, Timestamp)>,
+    vocab_shift: usize,
+    rng: &mut R,
+) -> Tweet {
+    // `near_poi` models geo-tagged tweets sent just outside a POI
+    // ("heading to the museum"): they stay unlabeled (outside every
+    // polygon) but sit close to the POI and carry weak content hints —
+    // exactly the profiles that make the SSL affinity graph's
+    // unlabeled edges informative (§4.4).
+    let (geo_point, true_poi, near_poi) = if let Some(pid) = forced {
+        *prev_poi = Some((pid, ts));
+        (world.point_in_poi(pid, rng), Some(pid), None)
+    } else if rng.gen::<f64>() < cfg.p_at_poi {
+        let pid = choose_poi(cfg, traits, *prev_poi, ts, rng);
+        *prev_poi = Some((pid, ts));
+        (world.point_in_poi(pid, rng), Some(pid), None)
+    } else if rng.gen::<f64>() < 0.6 {
+        // In transit near a POI the user is drawn to.
+        let pid = choose_poi(cfg, traits, *prev_poi, ts, rng);
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        let dist = cfg.poi_radius_m.1 + rng.gen_range(50.0..400.0);
+        let p = world
+            .pois
+            .get(pid)
+            .center()
+            .offset_m(dist * theta.cos(), dist * theta.sin());
+        (p, None, Some(pid))
+    } else {
+        // Elsewhere: near home, rarely inside any polygon.
+        let p = traits.home.offset_m(
+            rng.gen_range(-1_500.0..1_500.0),
+            rng.gen_range(-1_500.0..1_500.0),
+        );
+        (p, None, None)
+    };
+    let raw = compose_content(cfg, world, traits, true_poi, near_poi, vocab_shift, rng);
+    let tokens = preprocess(&raw);
+    let geo = (rng.gen::<f64>() < cfg.geo_tag_prob).then_some(geo_point);
+    Tweet {
+        ts,
+        tokens,
+        geo,
+        true_poi,
+    }
 }
 
 fn choose_poi<R: Rng>(
@@ -308,14 +336,23 @@ fn choose_poi<R: Rng>(
 
 /// Composes raw tweet text (with real stopwords, later replaced by `</s>`
 /// in preprocessing, as §6.1.2 prescribes).
-fn compose_content<R: Rng>(
+///
+/// `vocab_shift` rotates which vocabulary tables a POI draws from — POI
+/// `p` speaks with the words of POI `(p + shift) % n`. Word-table shapes
+/// are uniform across POIs, so a shifted draw consumes the exact same RNG
+/// sequence as an unshifted one: geometry, timing, and labels stay
+/// bit-identical while the *language* of every location changes. That is
+/// the streaming drift model; the batch pipeline always passes 0.
+pub(crate) fn compose_content<R: Rng>(
     cfg: &SimConfig,
     world: &World,
     traits: &UserTraits,
     at_poi: Option<PoiId>,
     near_poi: Option<PoiId>,
+    vocab_shift: usize,
     rng: &mut R,
 ) -> String {
+    let vid = |pid: PoiId| (pid as usize + vocab_shift) % world.poi_words.len();
     let len = rng.gen_range(cfg.tweet_len.0..=cfg.tweet_len.1);
     let mut words: Vec<&str> = Vec::with_capacity(len + 2);
     let mut i = 0;
@@ -325,7 +362,7 @@ fn compose_content<R: Rng>(
             if roll < cfg.p_exclusive_token {
                 // Rare POI-exclusive emission; 30% of these are the 2-word
                 // landmark phrase (the word-group signal for BiLSTM-C).
-                let topic = &world.poi_words[pid as usize];
+                let topic = &world.poi_words[vid(pid)];
                 if rng.gen::<f64>() < 0.3 {
                     words.push(&topic[0]);
                     words.push(&topic[1]);
@@ -338,12 +375,12 @@ fn compose_content<R: Rng>(
             }
             if roll < cfg.p_exclusive_token + cfg.p_category_token {
                 // Ambiguous: shared by every same-category POI city-wide.
-                let cw = &world.category_words[world.category_of[pid as usize]];
+                let cw = &world.category_words[world.category_of[vid(pid)]];
                 words.push(&cw[rng.gen_range(0..cw.len())]);
                 i += 1;
                 continue;
             }
-            let cluster = world.cluster_of[pid as usize];
+            let cluster = world.cluster_of[vid(pid)];
             if roll < cfg.p_exclusive_token + cfg.p_category_token + 0.10 {
                 let cw = &world.cluster_words[cluster];
                 words.push(&cw[rng.gen_range(0..cw.len())]);
@@ -354,7 +391,7 @@ fn compose_content<R: Rng>(
             // Weak hint about the POI being approached: category words at
             // a reduced rate, never the exclusive vocabulary.
             if roll < 0.15 {
-                let cw = &world.category_words[world.category_of[pid as usize]];
+                let cw = &world.category_words[world.category_of[vid(pid)]];
                 words.push(&cw[rng.gen_range(0..cw.len())]);
                 i += 1;
                 continue;

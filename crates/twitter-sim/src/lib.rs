@@ -30,6 +30,7 @@ pub mod config;
 pub mod dataset;
 pub mod generate;
 pub mod io;
+pub mod stream;
 pub mod types;
 pub mod world;
 
@@ -39,5 +40,6 @@ pub use config::SimConfig;
 pub use dataset::{Dataset, Split};
 pub use generate::generate;
 pub use io::{CorpusError, CorpusFile};
+pub use stream::{StreamCursor, StreamEvent, TweetStream};
 pub use types::{Pair, Profile, ProfileIdx, Timeline, Tweet, Visit};
 pub use world::World;

@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 pub type Timestamp = i64;
 
 /// A tweet (Def. 2): timestamp, content, optional geo-tag.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Tweet {
     /// Posting time.
     pub ts: Timestamp,
@@ -39,7 +39,7 @@ pub struct Visit {
 }
 
 /// One user's complete tweet sequence.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Timeline {
     /// The owning user.
     pub uid: u32,
@@ -70,7 +70,9 @@ pub type ProfileIdx = usize;
 
 /// A user profile (Def. 4): the recent tweet plus the visit history that
 /// precedes it, labeled with a POI id when the recent tweet is a POI tweet.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Compares with `==` so streaming-vs-batch determinism tests can assert
+/// bit-identity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Profile {
     /// The user who sent the recent tweet.
     pub uid: u32,
