@@ -945,6 +945,107 @@ impl SpatialPrefilter {
     pub fn may_be_within(&self, i: usize, j: usize, radius_m: f64) -> bool {
         self.min_dist_m(i, j) < radius_m
     }
+
+    /// Enumerates every unordered pair `(i, j)`, `i < j`, that
+    /// [`SpatialPrefilter::may_be_within`] would keep at `radius_m` —
+    /// *generating* the candidate set from grid-cell neighborhoods in
+    /// `O(n · k)` (k = neighborhood occupancy) instead of testing all
+    /// `O(n²)` pairs. Each emitted pair still passes the exact
+    /// `may_be_within` bound, so the result is precisely the set the
+    /// quadratic scan would keep, in unspecified order.
+    ///
+    /// Non-finite points cannot be bounded, so they pair with
+    /// everything, exactly as `min_dist_m` treats them.
+    pub fn candidate_pairs(&self, radius_m: f64) -> Vec<(usize, usize)> {
+        use std::collections::HashMap;
+        // NaN or non-positive radius: `min_dist < radius` can hold for
+        // no pair, so there is nothing to emit.
+        if radius_m.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return Vec::new();
+        }
+        let mut cells: HashMap<(u32, u32), Vec<usize>> = HashMap::new();
+        let mut nonfinite: Vec<usize> = Vec::new();
+        for (i, &(r, c)) in self.coords.iter().enumerate() {
+            if self.finite[i] {
+                cells.entry((r, c)).or_default().push(i);
+            } else {
+                nonfinite.push(i);
+            }
+        }
+        // Safe cell-span bounds: a kept pair has `(d-1)·cell < radius`,
+        // so `d ≤ floor(radius/cell) + 1`. A zero lon cell (polar box)
+        // disables longitude pruning — every column is a neighbor.
+        let span = |cell_m: f64| -> Option<u32> {
+            (cell_m > 0.0).then(|| (radius_m / cell_m).floor() as u32 + 1)
+        };
+        let dr_max = span(self.lat_cell_m).unwrap_or(u32::MAX);
+        let dc_max = span(self.lon_cell_m).unwrap_or(u32::MAX);
+        // Deterministic traversal: sorted cell list, neighborhoods
+        // visited in lexicographic order ≥ the anchor cell.
+        let mut keys: Vec<(u32, u32)> = cells.keys().copied().collect();
+        keys.sort_unstable();
+        let mut out = Vec::new();
+        for &(r, c) in &keys {
+            let anchor = &cells[&(r, c)];
+            // Within-cell pairs (always within the bound).
+            for a in 0..anchor.len() {
+                for b in (a + 1)..anchor.len() {
+                    let (i, j) = (anchor[a], anchor[b]);
+                    out.push((i.min(j), i.max(j)));
+                }
+            }
+            // Cross pairs with lexicographically greater cells in range.
+            for nr in r..=r.saturating_add(dr_max) {
+                let (c_lo, c_hi) = if nr == r {
+                    (c + 1, c.saturating_add(dc_max))
+                } else {
+                    (c.saturating_sub(dc_max), c.saturating_add(dc_max))
+                };
+                // Polar boxes have unbounded columns: walk the sorted key
+                // list for the row instead of a huge numeric range.
+                if dc_max == u32::MAX {
+                    for &(kr, kc) in &keys {
+                        if kr == nr && (nr != r || kc > c) {
+                            cross_pairs(self, radius_m, anchor, &cells[&(kr, kc)], &mut out);
+                        }
+                    }
+                    continue;
+                }
+                for nc in c_lo..=c_hi {
+                    if let Some(other) = cells.get(&(nr, nc)) {
+                        cross_pairs(self, radius_m, anchor, other, &mut out);
+                    }
+                }
+            }
+        }
+        // Non-finite points pair with everything (min_dist is zero).
+        for (k, &i) in nonfinite.iter().enumerate() {
+            for j in 0..self.coords.len() {
+                if j != i && (self.finite[j] || nonfinite[..k].binary_search(&j).is_err()) {
+                    out.push((i.min(j), i.max(j)));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Pushes every pair across two distinct cells that survives the exact
+/// lower-bound test at `radius_m`.
+fn cross_pairs(
+    pf: &SpatialPrefilter,
+    radius_m: f64,
+    a: &[usize],
+    b: &[usize],
+    out: &mut Vec<(usize, usize)>,
+) {
+    for &i in a {
+        for &j in b {
+            if pf.may_be_within(i, j, radius_m) {
+                out.push((i.min(j), i.max(j)));
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1112,6 +1213,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn candidate_pairs_match_quadratic_scan() {
+        let items = grid_world(200, 2);
+        let mut points: Vec<GeoPoint> = items.iter().map(|it| it.point).collect();
+        // Non-finite points must pair with everything.
+        points.push(GeoPoint::new(f64::NAN, -74.0));
+        for radius in [150.0, 1_000.0, 8_000.0] {
+            let pf = SpatialPrefilter::new(&points, radius / METERS_PER_DEG);
+            let mut want: Vec<(usize, usize)> = Vec::new();
+            for i in 0..points.len() {
+                for j in (i + 1)..points.len() {
+                    if pf.may_be_within(i, j, radius) {
+                        want.push((i, j));
+                    }
+                }
+            }
+            let mut got = pf.candidate_pairs(radius);
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "radius {radius}");
+        }
+        let pf = SpatialPrefilter::new(&points, 0.01);
+        assert!(pf.candidate_pairs(0.0).is_empty());
     }
 
     #[test]

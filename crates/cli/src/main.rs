@@ -9,6 +9,7 @@
 //! hisrect infer    --corpus corpus.json --model model.json --top-k 5
 //! hisrect cluster  --corpus corpus.json --model model.json --group-size 5
 //! hisrect serve    --corpus corpus.json --model model.json --addr 127.0.0.1:7878
+//! hisrect route    --shards 127.0.0.1:7878,127.0.0.1:7879 --addr 127.0.0.1:7900
 //! hisrect ingest   --dir ingest-run --events 2000 --retrain-every 800 --serve-addr 127.0.0.1:7878
 //! ```
 //!
@@ -43,11 +44,17 @@ COMMANDS:
                                                        [--admission-burst N] [--admission-watermark F]
                                                        [--breaker-failures N] [--breaker-cooldown-ms MS]
                                                        [--breaker-latency-budget-ms MS]
-                                                       [--watchdog-interval-ms MS] [--watchdog-stall-ms MS])
+                                                       [--watchdog-interval-ms MS] [--watchdog-stall-ms MS]
+                                                       [--read-timeout-ms MS])
+    route      Consistent-hash router over shards    (--shards HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
+                                                       [--workers N] [--queue-depth N] [--vnodes N]
+                                                       [--health-interval-ms MS] [--fail-threshold N]
+                                                       [--upstream-timeout-ms MS] [--read-timeout-ms MS])
     ingest     Closed streaming train→serve loop     (--dir DIR [--preset nyc|lv|tiny] [--seed N] [--events N]
                                                        [--retrain-every N] [--window-secs S] [--gap-slack N]
                                                        [--drift-every-days D] [--serve-addr HOST:PORT]
-                                                       [--iters N] [--judge-iters N])
+                                                       [--iters N] [--judge-iters N]
+                                                       [--warm-start true|false])
     help       Show this message
 
 GLOBAL FLAGS:
@@ -132,6 +139,7 @@ fn main() -> ExitCode {
         "infer" => commands::infer(&flags),
         "cluster" => commands::cluster(&flags),
         "serve" => commands::serve_cmd(&flags),
+        "route" => commands::route_cmd(&flags),
         "ingest" => commands::ingest_cmd(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

@@ -111,13 +111,18 @@ pub fn build_affinity_exhaustive(dataset: &Dataset, cfg: &HisRectConfig) -> Vec<
     weigh_candidates(dataset, cfg, candidates)
 }
 
-/// [`build_affinity_exhaustive`] with the unlabeled pairs pre-pruned by a
-/// conservative grid lower bound on pair distance: a pair is dropped only
-/// when every point in its cells is already at or beyond the `affinity`
-/// distance gate, i.e. exactly the pairs `affinity` returns `None` for at
-/// its early distance check. Labeled pairs bypass the filter (their
-/// weight ignores distance), and candidate order is preserved, so the
-/// output is bit-identical to the exhaustive build.
+/// [`build_affinity_exhaustive`] with the unlabeled candidates *generated*
+/// from grid-cell neighborhoods rather than tested pair by pair: the
+/// profiles appearing in `Γ_U` are indexed on a gate-sized grid, and
+/// [`SpatialPrefilter::candidate_pairs`] enumerates every pair whose
+/// spatial lower bound could still pass the `affinity` distance gate —
+/// `O(n·k)` neighborhood work instead of an `O(n²)`-shaped sweep. The
+/// enumerated set is intersected with the stored `Γ_U` list by rank, so
+/// surviving pairs come out in stored order; a pair is dropped only when
+/// its bound already fails the gate, i.e. exactly the pairs `affinity`
+/// returns `None` for at its early distance check. Labeled pairs bypass
+/// the filter (their weight ignores distance), so the output is
+/// bit-identical to the exhaustive build.
 pub fn build_affinity_prefiltered(dataset: &Dataset, cfg: &HisRectConfig) -> Vec<WeightedPair> {
     // Friendship relaxes the gate to 2ρ, so when the social extension is
     // live the bound must assume any pair might be friends.
@@ -126,21 +131,49 @@ pub fn build_affinity_prefiltered(dataset: &Dataset, cfg: &HisRectConfig) -> Vec
     } else {
         cfg.rho_m
     };
-    let points: Vec<geo::GeoPoint> = dataset.profiles.iter().map(|p| p.geo).collect();
+    let train = &dataset.train;
+    // Index only the profiles Γ_U actually touches: grid occupancy — and
+    // with it the enumeration cost — tracks the pair universe, not the
+    // corpus size.
+    let mut involved: Vec<ProfileIdx> = train
+        .unlabeled_pairs
+        .iter()
+        .flat_map(|p| [p.i, p.j])
+        .collect();
+    involved.sort_unstable();
+    involved.dedup();
+    let local_of = |profile: ProfileIdx| -> usize {
+        involved
+            .binary_search(&profile)
+            .expect("every pair endpoint was collected")
+    };
+    let points: Vec<geo::GeoPoint> = involved.iter().map(|&i| dataset.profile(i).geo).collect();
     // One cell ≈ one gate radius: bound resolution matches the prune
     // distance without exploding the cell count.
     let cell_deg = (gate / ann::METERS_PER_DEG).max(1e-4);
     let pf = SpatialPrefilter::new(&points, cell_deg);
-    let train = &dataset.train;
+    // Rank of each stored pair under its unordered local key; the Δt
+    // window scan emits each unordered pair at most once.
+    let mut rank: std::collections::HashMap<(u32, u32), u32> =
+        std::collections::HashMap::with_capacity(train.unlabeled_pairs.len());
+    for (k, p) in train.unlabeled_pairs.iter().enumerate() {
+        let (a, b) = (local_of(p.i) as u32, local_of(p.j) as u32);
+        rank.insert((a.min(b), a.max(b)), k as u32);
+    }
+    let mut kept_ranks: Vec<u32> = pf
+        .candidate_pairs(gate)
+        .into_iter()
+        .filter_map(|(a, b)| rank.get(&(a as u32, b as u32)).copied())
+        .collect();
+    kept_ranks.sort_unstable();
     let candidates: Vec<&Pair> = train
         .pos_pairs
         .iter()
         .chain(&train.neg_pairs)
         .chain(
-            train
-                .unlabeled_pairs
+            kept_ranks
                 .iter()
-                .filter(|p| pf.may_be_within(p.i, p.j, gate)),
+                .map(|&k| &train.unlabeled_pairs[k as usize]),
         )
         .collect();
     obs::add(

@@ -259,6 +259,17 @@ pub fn latest_valid(dir: &Path, phase: &str) -> Option<(TrainCheckpoint, PathBuf
     None
 }
 
+/// Params-only view of the newest valid `phase` snapshot in `dir` — the
+/// warm-start extraction path. A phase-complete snapshot fed back through
+/// the resume machinery satisfies `start_iter >= iters` and runs zero
+/// iterations, so "resume" cannot continue training a finished phase;
+/// this helper turns that snapshot's weights into the *starting point* of
+/// a fresh run instead (optimizer state, RNG and losses are deliberately
+/// dropped).
+pub fn warm_start_params(dir: &Path, phase: &str) -> Option<ParamSnapshot> {
+    latest_valid(dir, phase).map(|(snap, _)| snap.params)
+}
+
 /// Restores parameters, optimizer states and the RNG from checkpointed
 /// state, validating everything before touching the model. Shared by
 /// disk-checkpoint resume and in-memory divergence rollback.
@@ -355,6 +366,26 @@ mod tests {
         assert_eq!(loaded.rng, vec![1, 2, 3, 4]);
         assert_eq!(loaded.poi_losses, vec![0.5, 0.25]);
         assert_eq!(loaded.valid_losses, vec![(0, 1.0)]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_start_params_extracts_newest_snapshot() {
+        let dir = tmp_dir();
+        let mut ck = sample(25);
+        ck.params.params.insert(
+            "judge/w".into(),
+            nn::params::SerializedMatrix {
+                rows: 1,
+                cols: 2,
+                data: vec![0.25, -0.5],
+            },
+        );
+        save(&dir, &ck).unwrap();
+        let params = warm_start_params(&dir, "featurizer").expect("params");
+        assert_eq!(params.params["judge/w"].data, vec![0.25, -0.5]);
+        assert!(warm_start_params(&dir, "judge").is_none());
+        assert!(warm_start_params(Path::new("/definitely/not/here"), "judge").is_none());
         fs::remove_dir_all(&dir).ok();
     }
 

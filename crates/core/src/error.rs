@@ -69,6 +69,9 @@ pub enum TrainError {
         /// Iteration at which the interrupt fired.
         iteration: usize,
     },
+    /// A warm-start parameter snapshot could not be applied (missing
+    /// file, shape mismatch against the freshly allocated networks, …).
+    WarmStart(String),
 }
 
 impl fmt::Display for TrainError {
@@ -90,6 +93,7 @@ impl fmt::Display for TrainError {
                 "{phase} training interrupted at iteration {iteration}; \
                  re-run with --resume to continue from the last checkpoint"
             ),
+            Self::WarmStart(d) => write!(f, "warm-start init rejected: {d}"),
         }
     }
 }

@@ -297,6 +297,15 @@ pub fn try_train_judge(
                     ),
                 );
                 if start_iter >= cfg.judge_iters {
+                    // Phase-complete snapshot: weights pass through with zero
+                    // iterations run (see the featurizer twin of this branch;
+                    // warm-start is the way to train further from here).
+                    obs::logln(
+                        obs::Level::Info,
+                        "judge phase already complete; running 0 iterations \
+                         (use warm-start, not resume, to train further from these weights)",
+                    );
+                    obs::incr("ckpt/phase_complete_noop");
                     return Ok(losses);
                 }
             }

@@ -59,4 +59,5 @@ pub use config::{ApproachSpec, ContentEncoder, HisRectConfig, HistoryEncoder, Un
 pub use error::{ModelError, TrainError};
 pub use fallback::FallbackJudge;
 pub use model::{HisRectModel, Precision, QuantModel};
+pub use nn::params::ParamSnapshot;
 pub use service::{profile_fingerprint, JudgeService, Judgement};

@@ -146,6 +146,26 @@ impl HisRectModel {
         seed: u64,
         ckpt: Option<&CheckpointConfig>,
     ) -> Result<Self, TrainError> {
+        Self::try_train_from(dataset, spec, seed, ckpt, None)
+    }
+
+    /// [`HisRectModel::try_train`] with an optional warm-start: when
+    /// `init` is given, the freshly allocated networks load its values by
+    /// name *before* any phase runs, so training continues from a
+    /// previous generation's weights instead of a random init. Optimizer
+    /// state, iteration budget and the RNG stream are untouched — this is
+    /// a starting point, not a resume (a checkpoint resume restores
+    /// *over* the warm-start, keeping crash recovery bit-identical).
+    /// Vocabulary and word vectors are still retrained on this window;
+    /// only [`ParamStore`] tensors carry over, which is safe because
+    /// their shapes depend on the spec and POI universe, not the vocab.
+    pub fn try_train_from(
+        dataset: &Dataset,
+        spec: &ApproachSpec,
+        seed: u64,
+        ckpt: Option<&CheckpointConfig>,
+        init: Option<&ParamSnapshot>,
+    ) -> Result<Self, TrainError> {
         let cfg = &spec.config;
         let mut rng = StdRng::seed_from_u64(seed);
 
@@ -185,6 +205,24 @@ impl HisRectModel {
             &mut rng,
         );
         let judge = Judge::new(&mut store, cfg, featurizer.feat_dim(), &mut rng);
+        if let Some(snap) = init {
+            let restored = store
+                .try_load_snapshot(snap)
+                .map_err(TrainError::WarmStart)?;
+            if restored == 0 {
+                return Err(TrainError::WarmStart(
+                    "snapshot shares no parameter names with this architecture".into(),
+                ));
+            }
+            obs::logln(
+                obs::Level::Info,
+                &format!(
+                    "train: warm-start restored {restored}/{} parameters",
+                    store.len()
+                ),
+            );
+            obs::incr("train/warm_starts");
+        }
 
         let mut model = Self {
             spec: spec.clone(),
@@ -788,6 +826,19 @@ impl HisRectModel {
             }
         };
         Self::try_from_snapshot(snap)
+    }
+
+    /// Extracts just the network parameter values from a model file
+    /// written by [`HisRectModel::save_json`] — the warm-start path
+    /// ([`HisRectModel::try_train_from`]). The full model (vocabulary,
+    /// word vectors) is deliberately *not* reconstructed: the next window
+    /// retrains those, and validation against the new architecture
+    /// happens when the snapshot is loaded into the fresh store.
+    pub fn warm_start_params(path: &std::path::Path) -> Result<ParamSnapshot, ModelError> {
+        let json = std::fs::read_to_string(path)?;
+        let snap: ModelSnapshot =
+            serde_json::from_str(&json).map_err(|e| ModelError::SchemaMismatch(e.to_string()))?;
+        Ok(snap.params)
     }
 
     /// The trained vocabulary (for inspection / experiments).

@@ -317,7 +317,17 @@ pub fn try_train_featurizer_with_validation(
                 );
                 if start_iter >= cfg.featurizer_iters {
                     // The phase-complete snapshot: nothing left to run (the
-                    // early-stop restore, if any, is already baked in).
+                    // early-stop restore, if any, is already baked in). Say
+                    // so loudly — a caller reusing a finished run's dir to
+                    // "continue training" gets zero iterations here; carrying
+                    // weights into a new run is the warm-start path
+                    // (`HisRectModel::try_train_from`), not resume.
+                    obs::logln(
+                        obs::Level::Info,
+                        "featurizer phase already complete; running 0 iterations \
+                         (use warm-start, not resume, to train further from these weights)",
+                    );
+                    obs::incr("ckpt/phase_complete_noop");
                     return Ok(stats);
                 }
             }

@@ -68,6 +68,12 @@ pub enum FaultKind {
     /// Stream path: the generator delivers the armed event twice with
     /// the same sequence number (at-least-once delivery).
     StreamDup,
+    /// Cluster path: the router's next contact with a shard (proxy or
+    /// health probe) behaves as a dead upstream (connection refused).
+    ShardKill,
+    /// Cluster path: a shard answers one proxied request far slower
+    /// than its peers (degraded-upstream simulation).
+    SlowShard,
 }
 
 impl FaultKind {
@@ -90,6 +96,8 @@ impl FaultKind {
             FaultKind::StreamReorder => "reorder",
             FaultKind::StreamGap => "gap",
             FaultKind::StreamDup => "dup",
+            FaultKind::ShardKill => "shard-kill",
+            FaultKind::SlowShard => "slow-shard",
         }
     }
 
@@ -111,11 +119,13 @@ impl FaultKind {
             "reorder" => FaultKind::StreamReorder,
             "gap" => FaultKind::StreamGap,
             "dup" => FaultKind::StreamDup,
+            "shard-kill" => FaultKind::ShardKill,
+            "slow-shard" => FaultKind::SlowShard,
             _ => return None,
         })
     }
 
-    const ALL: [FaultKind; 16] = [
+    const ALL: [FaultKind; 18] = [
         FaultKind::TornWrite,
         FaultKind::BitFlip,
         FaultKind::CorruptJson,
@@ -132,6 +142,8 @@ impl FaultKind {
         FaultKind::StreamReorder,
         FaultKind::StreamGap,
         FaultKind::StreamDup,
+        FaultKind::ShardKill,
+        FaultKind::SlowShard,
     ];
 }
 

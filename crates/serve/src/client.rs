@@ -84,6 +84,12 @@ impl HttpClient {
         }
     }
 
+    /// Overrides the connect/read timeout (default 10 s). Applies to
+    /// connections opened after the call.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
     /// [`HttpClient::new`] with a retry policy attached.
     pub fn with_retry(addr: SocketAddr, policy: RetryPolicy) -> Self {
         let mut client = Self::new(addr);

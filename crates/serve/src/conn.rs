@@ -1,0 +1,289 @@
+//! Per-connection state machine for the epoll event loop.
+//!
+//! A connection is always in exactly one phase:
+//!
+//! ```text
+//!          ┌──────── response flushed, keep-alive ────────┐
+//!          ▼                                              │
+//!   Reading ── full request parsed ──▶ Busy ── done ──▶ Writing
+//!      │                                │                 │
+//!      │ parse error / timeout          │ (worker pool)   │ partial write
+//!      ▼                                ▼                 ▼ (EPOLLOUT)
+//!   Writing(close_after) ─── flushed ──▶ Closed ◀── write error
+//! ```
+//!
+//! - **Reading**: bytes accumulate in `read_buf`; after every read the
+//!   shared incremental parser ([`crate::http::try_parse_request`]) is
+//!   re-offered the buffer. Framing errors turn into a typed 400/413/408
+//!   response with `close_after_write` set.
+//! - **Busy**: a fully framed request has been dispatched to the compute
+//!   pool; the loop stops reading this socket (no pipelining past an
+//!   in-flight request) until the response comes back.
+//! - **Writing**: the serialized response drains from `write_buf`;
+//!   `EPOLLOUT` interest is registered only while bytes remain, so an
+//!   idle keep-alive connection costs one `EPOLLIN` registration and
+//!   nothing else.
+//!
+//! The `(token, seq)` pair guards against slot reuse: a completion from
+//! a worker only lands if both match, so a response for a connection
+//! that died mid-flight is dropped instead of corrupting the slot's new
+//! occupant.
+
+use crate::http::{try_parse_request, Limits, ParseError, ParseStatus, Request, Response};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// What the connection is waiting on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Accumulating request bytes.
+    Reading,
+    /// A request is with the compute pool; `seq` names it.
+    Busy,
+    /// Draining `write_buf`.
+    Writing,
+    /// Finished; the slot can be reclaimed.
+    Closed,
+}
+
+/// What [`Conn::on_readable`] wants the loop to do next.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// Nothing actionable (need more bytes, or mid-write).
+    Continue,
+    /// A full request is framed and ready for dispatch.
+    Dispatch(Request),
+    /// The peer went away (EOF / reset) with nothing owed.
+    Close,
+}
+
+/// One tracked connection.
+pub struct Conn {
+    /// The non-blocking socket.
+    pub stream: TcpStream,
+    /// Monotonic per-slot sequence; bumped on every dispatched request.
+    pub seq: u32,
+    /// Current lifecycle phase.
+    pub phase: Phase,
+    read_buf: Vec<u8>,
+    /// Consumed prefix of `read_buf`.
+    read_pos: usize,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Close once `write_buf` drains (error responses, `Connection:
+    /// close` requests).
+    pub close_after_write: bool,
+    /// Last successful read or write, for the timeout scan.
+    pub last_activity: Instant,
+}
+
+impl Conn {
+    /// Wraps an accepted, already non-blocking stream.
+    pub fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            seq: 0,
+            phase: Phase::Reading,
+            read_buf: Vec::new(),
+            read_pos: 0,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            close_after_write: false,
+            last_activity: Instant::now(),
+        }
+    }
+
+    fn buffered(&self) -> &[u8] {
+        &self.read_buf[self.read_pos..]
+    }
+
+    /// True when at least one byte of the *current* request has arrived
+    /// (decides 408 vs silent close on timeout).
+    pub fn request_started(&self) -> bool {
+        !self.buffered().is_empty()
+    }
+
+    /// Bytes still owed to the peer.
+    pub fn write_pending(&self) -> bool {
+        self.write_pos < self.write_buf.len()
+    }
+
+    /// Drains the socket into `read_buf` until `WouldBlock`, then tries
+    /// to frame a request. Only meaningful in [`Phase::Reading`].
+    pub fn on_readable(&mut self, limits: &Limits) -> ReadOutcome {
+        debug_assert_eq!(self.phase, Phase::Reading);
+        let mut saw_eof = false;
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    saw_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.last_activity = Instant::now();
+                    if self.read_pos > 0 {
+                        self.read_buf.drain(..self.read_pos);
+                        self.read_pos = 0;
+                    }
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    // A hostile head/body grows past its limit inside the
+                    // parse attempt below, never unboundedly here: the
+                    // parser rejects oversized heads and declared bodies,
+                    // and an undeclared flood is bounded by the parse
+                    // error it triggers.
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return ReadOutcome::Close,
+            }
+        }
+        match self.try_frame(limits) {
+            Some(outcome) => outcome,
+            None if saw_eof => ReadOutcome::Close,
+            None => ReadOutcome::Continue,
+        }
+    }
+
+    /// Attempts to frame one request from what is buffered; `None` means
+    /// incomplete. Parse errors are converted to a typed response queued
+    /// for write (the connection closes after it drains).
+    pub fn try_frame(&mut self, limits: &Limits) -> Option<ReadOutcome> {
+        match try_parse_request(self.buffered(), limits) {
+            Ok(ParseStatus::Complete(request, consumed)) => {
+                self.read_pos += consumed;
+                self.seq = self.seq.wrapping_add(1);
+                self.phase = Phase::Busy;
+                Some(ReadOutcome::Dispatch(request))
+            }
+            Ok(ParseStatus::Incomplete) => None,
+            Err(ParseError::TooLarge) => {
+                obs::incr("serve/http_4xx");
+                self.queue_response(&Response::error(413, "request body too large"), false);
+                Some(ReadOutcome::Continue)
+            }
+            Err(ParseError::BadRequest(msg)) => {
+                obs::incr("serve/http_4xx");
+                self.queue_response(&Response::error(400, &msg), false);
+                Some(ReadOutcome::Continue)
+            }
+            // The incremental parser never produces transport errors.
+            Err(_) => Some(ReadOutcome::Close),
+        }
+    }
+
+    /// Serializes `response` into the write buffer and enters
+    /// [`Phase::Writing`]. With `keep_alive` false the connection closes
+    /// once the bytes drain.
+    pub fn queue_response(&mut self, response: &Response, keep_alive: bool) {
+        self.write_buf = response.to_bytes(keep_alive);
+        self.write_pos = 0;
+        self.close_after_write = !keep_alive;
+        self.phase = Phase::Writing;
+    }
+
+    /// Pushes buffered response bytes at the socket until `WouldBlock`
+    /// or done. Returns the I/O error when the peer is gone.
+    ///
+    /// On a fully drained keep-alive response the connection re-enters
+    /// [`Phase::Reading`]; the caller must then re-offer any buffered
+    /// pipelined bytes via [`Conn::try_frame`].
+    pub fn on_writable(&mut self) -> std::io::Result<()> {
+        while self.write_pending() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.write_pos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.close_after_write {
+            self.phase = Phase::Closed;
+        } else {
+            self.write_buf.clear();
+            self.write_pos = 0;
+            self.phase = Phase::Reading;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn frames_request_split_across_reads() {
+        let (mut client, server) = pair();
+        let mut conn = Conn::new(server);
+        let limits = Limits::default();
+        client
+            .write_all(b"POST /judge HTTP/1.1\r\ncontent-le")
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(matches!(conn.on_readable(&limits), ReadOutcome::Continue));
+        client.write_all(b"ngth: 2\r\n\r\n{}").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        match conn.on_readable(&limits) {
+            ReadOutcome::Dispatch(req) => {
+                assert_eq!(req.path, "/judge");
+                assert_eq!(req.body, b"{}");
+            }
+            other => panic!("expected dispatch, got {other:?}"),
+        }
+        assert_eq!(conn.phase, Phase::Busy);
+    }
+
+    #[test]
+    fn parse_error_queues_close_response() {
+        let (mut client, server) = pair();
+        let mut conn = Conn::new(server);
+        client.write_all(b"NOT A REQUEST\r\n\r\n").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(matches!(
+            conn.on_readable(&Limits::default()),
+            ReadOutcome::Continue
+        ));
+        assert_eq!(conn.phase, Phase::Writing);
+        assert!(conn.close_after_write);
+        conn.on_writable().unwrap();
+        assert_eq!(conn.phase, Phase::Closed);
+    }
+
+    #[test]
+    fn keep_alive_response_returns_to_reading() {
+        let (_client, server) = pair();
+        let mut conn = Conn::new(server);
+        conn.queue_response(&Response::json(200, "{}"), true);
+        conn.on_writable().unwrap();
+        assert_eq!(conn.phase, Phase::Reading);
+        assert!(!conn.write_pending());
+    }
+
+    #[test]
+    fn eof_with_no_request_closes() {
+        let (client, server) = pair();
+        let mut conn = Conn::new(server);
+        drop(client);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(matches!(
+            conn.on_readable(&Limits::default()),
+            ReadOutcome::Close
+        ));
+    }
+}

@@ -1,0 +1,710 @@
+//! Hand-rolled epoll readiness loop — the I/O tier of the server.
+//!
+//! Dependency-free mio-style reactor (DESIGN.md §17): one thread owns an
+//! epoll instance, the listening socket, and a slab of non-blocking
+//! connections, each a [`crate::conn::Conn`] state machine. Fully framed
+//! requests are handed to a compute worker pool over the bounded MPMC
+//! channel; workers run the (blocking) handler — micro-batcher, admission
+//! gate, breaker and all — and push the response back through a
+//! completion queue, waking the loop via an `eventfd`. Concurrency is
+//! therefore bounded by *connections held open* only on the loop side:
+//! 10k idle keep-alive sockets cost 10k slab slots and one `epoll_wait`,
+//! not 10k threads.
+//!
+//! Registration is level-triggered with a per-connection interest mask:
+//! `EPOLLIN` while reading, nothing while a request is with the compute
+//! pool (so a pipelining client cannot make the loop spin), `EPOLLOUT`
+//! only while response bytes remain unflushed — the mio idiom of
+//! re-registering on state transitions rather than edge-triggered
+//! drain-to-EAGAIN bookkeeping (reads still drain to `WouldBlock`, so
+//! switching to `EPOLLET` would only change the registration flags).
+//!
+//! The syscall surface (`epoll_create1`/`epoll_ctl`/`epoll_wait`/
+//! `eventfd` plus `getrlimit`/`setrlimit`) is declared directly against
+//! libc, which `std` already links — no crate dependency.
+
+use crate::conn::{Conn, Phase, ReadOutcome};
+use crate::http::{Limits, Request, Response};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Syscall surface
+// ---------------------------------------------------------------------------
+
+#[allow(non_camel_case_types)]
+mod sys {
+    use std::os::raw::{c_int, c_uint};
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+    pub const RLIMIT_NOFILE: c_int = 7;
+
+    /// Mirrors glibc's `struct epoll_event`: packed on x86_64 (the
+    /// kernel ABI packs the 64-bit payload after the 32-bit mask), the
+    /// natural C layout elsewhere.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    pub struct rlimit {
+        pub rlim_cur: u64,
+        pub rlim_max: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        pub fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+        pub fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+    }
+}
+
+/// Raises the process's open-file soft limit to its hard limit (best
+/// effort) and returns the resulting soft limit. 10k+ keep-alive
+/// connections need the headroom; callers size tests and gates off the
+/// returned value instead of assuming it.
+pub fn raise_nofile_limit() -> u64 {
+    unsafe {
+        let mut lim = sys::rlimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        if sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) != 0 {
+            return 1024;
+        }
+        if lim.rlim_cur < lim.rlim_max {
+            let raised = sys::rlimit {
+                rlim_cur: lim.rlim_max,
+                rlim_max: lim.rlim_max,
+            };
+            if sys::setrlimit(sys::RLIMIT_NOFILE, &raised) == 0 {
+                return raised.rlim_cur;
+            }
+        }
+        lim.rlim_cur
+    }
+}
+
+/// An owned epoll instance.
+struct Epoll {
+    fd: i32,
+}
+
+impl Epoll {
+    fn new() -> std::io::Result<Self> {
+        let fd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Self { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: i32, events: u32, data: u64) -> std::io::Result<()> {
+        let mut ev = sys::epoll_event { events, data };
+        let rc = unsafe { sys::epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn add(&self, fd: i32, events: u32, data: u64) -> std::io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, events, data)
+    }
+
+    fn modify(&self, fd: i32, events: u32, data: u64) -> std::io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, events, data)
+    }
+
+    fn wait(&self, events: &mut [sys::epoll_event], timeout: Duration) -> usize {
+        let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+        let n = unsafe { sys::epoll_wait(self.fd, events.as_mut_ptr(), events.len() as i32, ms) };
+        // EINTR and transient errors surface as an empty batch; the loop
+        // just waits again.
+        if n < 0 {
+            0
+        } else {
+            n as usize
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+/// The wakeup channel: workers write the counter, the loop drains it.
+struct EventFd {
+    fd: i32,
+}
+
+impl EventFd {
+    fn new() -> std::io::Result<Self> {
+        let fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(Self { fd })
+    }
+
+    fn wake(&self) {
+        let one: u64 = 1;
+        unsafe { sys::write(self.fd, (&one as *const u64).cast(), 8) };
+    }
+
+    fn drain(&self) {
+        let mut buf = [0u8; 8];
+        unsafe { sys::read(self.fd, buf.as_mut_ptr(), 8) };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Service contract
+// ---------------------------------------------------------------------------
+
+/// What the compute tier does with a framed request. The shard server
+/// and the router both plug in here; the event loop stays protocol-only.
+pub trait Service: Send + Sync + 'static {
+    /// Handles one request. Runs on a compute worker thread and may
+    /// block (the shard handler waits on the micro-batcher).
+    fn handle(&self, request: &Request) -> Response;
+
+    /// The answer when the dispatch queue is full — backpressure at the
+    /// door, served from the loop thread without touching a worker.
+    fn overloaded(&self) -> Response {
+        Response::error(503, "dispatch queue full").with_header("retry-after", "1")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The loop
+// ---------------------------------------------------------------------------
+
+/// Event-loop tuning.
+#[derive(Debug, Clone)]
+pub struct EventLoopConfig {
+    /// Compute worker threads behind the loop.
+    pub workers: usize,
+    /// Bound on requests queued for the compute pool.
+    pub queue_depth: usize,
+    /// Framing limits + read timeout (also the keep-alive idle timeout).
+    pub limits: Limits,
+}
+
+struct Job {
+    token: u64,
+    seq: u32,
+    request: Request,
+}
+
+struct Done {
+    token: u64,
+    seq: u32,
+    response: Response,
+    keep_alive: bool,
+}
+
+/// Slab slot: the connection plus a reuse generation (the high half of
+/// the epoll token), so stale events or completions for a recycled slot
+/// are recognized and dropped.
+struct Slot {
+    conn: Conn,
+    gen: u32,
+}
+
+const TOKEN_LISTENER: u64 = u64::MAX;
+const TOKEN_WAKE: u64 = u64::MAX - 1;
+
+fn token(idx: usize, gen: u32) -> u64 {
+    ((gen as u64) << 32) | idx as u64
+}
+
+struct LoopState {
+    epoll: Epoll,
+    listener: TcpListener,
+    wake: Arc<EventFd>,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    next_gen: u32,
+    limits: Limits,
+    jobs: Arc<parallel::Channel<Job>>,
+    completions: Arc<Mutex<VecDeque<Done>>>,
+    service: Arc<dyn Service>,
+    stop: Arc<AtomicBool>,
+}
+
+/// A running event loop. [`EventLoopHandle::shutdown`] stops the loop,
+/// closes every connection, and joins the compute pool.
+pub struct EventLoopHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    wake: Arc<EventFd>,
+    jobs: Arc<parallel::Channel<Job>>,
+    loop_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+// The raw eventfd is only ever read/written through &self.
+unsafe impl Send for EventFd {}
+unsafe impl Sync for EventFd {}
+
+impl EventLoopHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the loop, closes all connections, joins every thread.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.wake.wake();
+        if let Some(t) = self.loop_thread.take() {
+            let _ = t.join();
+        }
+        self.jobs.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Blocks until the loop exits (it only exits via shutdown).
+    pub fn wait(&mut self) {
+        if let Some(t) = self.loop_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for EventLoopHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds nothing itself: takes an already bound listener, spawns the
+/// compute pool and the loop thread, and returns immediately.
+pub fn start(
+    listener: TcpListener,
+    service: Arc<dyn Service>,
+    config: EventLoopConfig,
+) -> std::io::Result<EventLoopHandle> {
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let epoll = Epoll::new()?;
+    let wake = Arc::new(EventFd::new()?);
+    epoll.add(listener.as_raw_fd(), sys::EPOLLIN, TOKEN_LISTENER)?;
+    epoll.add(wake.fd, sys::EPOLLIN, TOKEN_WAKE)?;
+
+    let jobs: Arc<parallel::Channel<Job>> =
+        Arc::new(parallel::Channel::bounded(config.queue_depth.max(1)));
+    let completions: Arc<Mutex<VecDeque<Done>>> = Arc::new(Mutex::new(VecDeque::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let workers = (0..config.workers.max(1))
+        .map(|k| {
+            let jobs = Arc::clone(&jobs);
+            let completions = Arc::clone(&completions);
+            let service = Arc::clone(&service);
+            let wake = Arc::clone(&wake);
+            std::thread::Builder::new()
+                .name(format!("hisrect-compute-{k}"))
+                .spawn(move || {
+                    while let Some(job) = jobs.recv() {
+                        let keep_alive = job.request.keep_alive;
+                        let response = service.handle(&job.request);
+                        completions
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push_back(Done {
+                                token: job.token,
+                                seq: job.seq,
+                                response,
+                                keep_alive,
+                            });
+                        wake.wake();
+                    }
+                })
+                .expect("spawn compute worker")
+        })
+        .collect();
+
+    let state = LoopState {
+        epoll,
+        listener,
+        wake: Arc::clone(&wake),
+        slots: Vec::new(),
+        free: Vec::new(),
+        next_gen: 1,
+        limits: config.limits,
+        jobs: Arc::clone(&jobs),
+        completions,
+        service,
+        stop: Arc::clone(&stop),
+    };
+    let loop_thread = std::thread::Builder::new()
+        .name("hisrect-event-loop".into())
+        .spawn(move || run(state))
+        .expect("spawn event loop");
+
+    Ok(EventLoopHandle {
+        addr,
+        stop,
+        wake,
+        jobs,
+        loop_thread: Some(loop_thread),
+        workers,
+    })
+}
+
+/// Granularity of the idle/timeout scan. Coarse on purpose: scanning n
+/// connections every tick is O(n), and 408 precision only needs to be
+/// within a tick of `Limits::read_timeout`.
+const SCAN_INTERVAL: Duration = Duration::from_millis(50);
+
+fn run(mut st: LoopState) {
+    let mut events = vec![sys::epoll_event { events: 0, data: 0 }; 1024];
+    let mut last_scan = Instant::now();
+    loop {
+        let n = st.epoll.wait(&mut events, SCAN_INTERVAL);
+        if st.stop.load(Ordering::Relaxed) {
+            return; // slots drop, closing every fd
+        }
+        for ev in &events[..n] {
+            let (mask, data) = (ev.events, ev.data);
+            match data {
+                TOKEN_LISTENER => accept_ready(&mut st),
+                TOKEN_WAKE => {
+                    st.wake.drain();
+                    drain_completions(&mut st);
+                }
+                tok => conn_ready(&mut st, tok, mask),
+            }
+        }
+        // Completions can also arrive while the loop is mid-batch; a
+        // missed wake is impossible (eventfd counts), but drain cheaply
+        // anyway so responses never wait a full tick.
+        drain_completions(&mut st);
+        if last_scan.elapsed() >= SCAN_INTERVAL {
+            scan_timeouts(&mut st);
+            last_scan = Instant::now();
+        }
+    }
+}
+
+fn accept_ready(st: &mut LoopState) {
+    loop {
+        match st.listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                obs::incr("serve/connections");
+                let idx = match st.free.pop() {
+                    Some(i) => i,
+                    None => {
+                        st.slots.push(None);
+                        st.slots.len() - 1
+                    }
+                };
+                let gen = st.next_gen;
+                st.next_gen = st.next_gen.wrapping_add(1);
+                let fd = stream.as_raw_fd();
+                let conn = Conn::new(stream);
+                st.slots[idx] = Some(Slot { conn, gen });
+                if st
+                    .epoll
+                    .add(fd, sys::EPOLLIN | sys::EPOLLRDHUP, token(idx, gen))
+                    .is_err()
+                {
+                    st.slots[idx] = None;
+                    st.free.push(idx);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // Transient accept errors (EMFILE under fd pressure, peer
+            // reset in the backlog): skip and keep serving.
+            Err(_) => return,
+        }
+    }
+}
+
+fn slot_mut(slots: &mut [Option<Slot>], tok: u64) -> Option<(usize, &mut Slot)> {
+    let idx = (tok & 0xFFFF_FFFF) as usize;
+    let gen = (tok >> 32) as u32;
+    match slots.get_mut(idx) {
+        Some(Some(slot)) if slot.gen == gen => Some((idx, slot)),
+        _ => None,
+    }
+}
+
+fn conn_ready(st: &mut LoopState, tok: u64, mask: u32) {
+    let idx = (tok & 0xFFFF_FFFF) as usize;
+    let gen = (tok >> 32) as u32;
+    let alive = matches!(st.slots.get(idx), Some(Some(slot)) if slot.gen == gen);
+    if !alive {
+        return; // stale event for a recycled slot
+    }
+    if mask & (sys::EPOLLERR | sys::EPOLLHUP) != 0 {
+        close_conn(st, idx);
+        return;
+    }
+    advance(st, idx, mask);
+}
+
+/// Drives one connection's state machine until it blocks, parks on the
+/// compute pool, or closes.
+fn advance(st: &mut LoopState, idx: usize, mask: u32) {
+    loop {
+        let Some(slot) = st.slots[idx].as_mut() else {
+            return;
+        };
+        match slot.conn.phase {
+            Phase::Reading => {
+                // Only read when the kernel said readable (or we just
+                // finished a response and are re-checking buffered bytes).
+                let outcome = if mask & sys::EPOLLIN != 0 {
+                    slot.conn.on_readable(&st.limits)
+                } else {
+                    match slot.conn.try_frame(&st.limits) {
+                        Some(o) => o,
+                        None => {
+                            set_interest(st, idx, sys::EPOLLIN | sys::EPOLLRDHUP);
+                            return;
+                        }
+                    }
+                };
+                match outcome {
+                    ReadOutcome::Dispatch(request) => {
+                        dispatch(st, idx, request);
+                        return;
+                    }
+                    ReadOutcome::Continue => {
+                        let Some(slot) = st.slots[idx].as_mut() else {
+                            return;
+                        };
+                        if slot.conn.phase == Phase::Writing {
+                            continue; // a parse error queued a response
+                        }
+                        set_interest(st, idx, sys::EPOLLIN | sys::EPOLLRDHUP);
+                        return;
+                    }
+                    ReadOutcome::Close => {
+                        close_conn(st, idx);
+                        return;
+                    }
+                }
+            }
+            Phase::Writing => {
+                if slot.conn.on_writable().is_err() {
+                    close_conn(st, idx);
+                    return;
+                }
+                let Some(slot) = st.slots[idx].as_mut() else {
+                    return;
+                };
+                match slot.conn.phase {
+                    Phase::Closed => {
+                        close_conn(st, idx);
+                        return;
+                    }
+                    Phase::Writing => {
+                        // Partial write: wait for EPOLLOUT (without
+                        // EPOLLRDHUP — a half-closed peer that still
+                        // reads must not spin the loop).
+                        set_interest(st, idx, sys::EPOLLOUT);
+                        return;
+                    }
+                    // Response drained, keep-alive: fall through to
+                    // Reading and re-offer buffered pipelined bytes.
+                    _ => continue,
+                }
+            }
+            Phase::Busy => {
+                // Nothing to do until the worker answers; interest is
+                // already cleared.
+                return;
+            }
+            Phase::Closed => {
+                close_conn(st, idx);
+                return;
+            }
+        }
+    }
+}
+
+fn dispatch(st: &mut LoopState, idx: usize, request: Request) {
+    let Some(slot) = st.slots[idx].as_mut() else {
+        return;
+    };
+    let seq = slot.conn.seq;
+    let gen = slot.gen;
+    let keep_alive = request.keep_alive;
+    // Park the socket while the request is in flight: no reads (a
+    // pipelining client must wait), no writes yet. Zero interest also
+    // avoids a level-triggered EPOLLRDHUP re-firing every wait if the
+    // peer half-closes mid-request; ERR/HUP are always reported anyway.
+    set_interest(st, idx, 0);
+    match st.jobs.try_send(Job {
+        token: token(idx, gen),
+        seq,
+        request,
+    }) {
+        Ok(()) => {}
+        Err(parallel::TrySendError::Full(_)) => {
+            // Backpressure at the door, answered from the loop thread.
+            obs::incr("serve/backpressure_503");
+            obs::incr("serve/http_5xx");
+            let response = st.service.overloaded();
+            if let Some(slot) = st.slots[idx].as_mut() {
+                slot.conn.queue_response(&response, keep_alive);
+            }
+            advance(st, idx, sys::EPOLLOUT);
+        }
+        Err(parallel::TrySendError::Closed(_)) => {
+            close_conn(st, idx);
+        }
+    }
+}
+
+fn drain_completions(st: &mut LoopState) {
+    loop {
+        let done = {
+            let mut q = st.completions.lock().unwrap_or_else(|e| e.into_inner());
+            q.pop_front()
+        };
+        let Some(done) = done else { return };
+        let Some((idx, slot)) = slot_mut(&mut st.slots, done.token) else {
+            continue; // connection died while the worker was busy
+        };
+        if slot.conn.seq != done.seq || slot.conn.phase != Phase::Busy {
+            continue; // stale completion
+        }
+        slot.conn.queue_response(&done.response, done.keep_alive);
+        advance(st, idx, sys::EPOLLOUT);
+    }
+}
+
+fn scan_timeouts(st: &mut LoopState) {
+    let timeout = st.limits.read_timeout;
+    let now = Instant::now();
+    let mut expired: Vec<(usize, bool)> = Vec::new();
+    for (idx, slot) in st.slots.iter().enumerate() {
+        let Some(slot) = slot else { continue };
+        let idle = now.duration_since(slot.conn.last_activity);
+        match slot.conn.phase {
+            // A worker owns the request; its own 10s bound applies.
+            Phase::Busy => {}
+            Phase::Reading => {
+                if idle > timeout {
+                    expired.push((idx, slot.conn.request_started()));
+                }
+            }
+            // A peer that will not drain its response (slow-loris
+            // reader) gets the same clock.
+            Phase::Writing | Phase::Closed => {
+                if idle > timeout {
+                    expired.push((idx, false));
+                }
+            }
+        }
+    }
+    for (idx, started) in expired {
+        if started {
+            // Mid-request stall ⇒ typed 408 then close, matching the
+            // blocking path's contract.
+            obs::incr("serve/http_4xx");
+            if let Some(slot) = st.slots[idx].as_mut() {
+                slot.conn
+                    .queue_response(&Response::error(408, "timed out reading request"), false);
+            }
+            advance(st, idx, sys::EPOLLOUT);
+        } else {
+            // Idle keep-alive (or a dead writer): silent close.
+            close_conn(st, idx);
+        }
+    }
+}
+
+fn set_interest(st: &mut LoopState, idx: usize, events: u32) {
+    let Some(slot) = st.slots[idx].as_ref() else {
+        return;
+    };
+    let fd = slot.conn.stream.as_raw_fd();
+    let tok = token(idx, slot.gen);
+    let _ = st.epoll.modify(fd, events, tok);
+}
+
+fn close_conn(st: &mut LoopState, idx: usize) {
+    if let Some(slot) = st.slots[idx].take() {
+        // Dropping the stream closes the fd, which also removes it from
+        // the epoll set; the explicit DEL keeps the set tidy when the fd
+        // has been dup'd elsewhere (it never is today).
+        let _ = st
+            .epoll
+            .ctl(sys::EPOLL_CTL_DEL, slot.conn.stream.as_raw_fd(), 0, 0);
+        drop(slot);
+        st.free.push(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nofile_limit_is_queryable_and_raisable() {
+        let lim = raise_nofile_limit();
+        assert!(lim >= 256, "suspiciously low fd limit: {lim}");
+        // Idempotent: already at the hard limit now.
+        assert_eq!(raise_nofile_limit(), lim);
+    }
+
+    #[test]
+    fn token_round_trips() {
+        let t = token(7, 42);
+        assert_eq!((t & 0xFFFF_FFFF) as usize, 7);
+        assert_eq!((t >> 32) as u32, 42);
+    }
+}

@@ -69,6 +69,112 @@ pub enum ParseError {
     Io(std::io::Error),
 }
 
+/// Outcome of one incremental parse attempt over a receive buffer.
+///
+/// The parser never consumes input itself: on [`ParseStatus::Complete`]
+/// the caller advances its buffer by the reported byte count. This is
+/// what lets the blocking [`Conn`] and the epoll event loop share one
+/// parser — both just accumulate bytes and re-offer the buffer.
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// Not enough bytes buffered yet; read more and try again.
+    Incomplete,
+    /// A full request was framed: the request plus the bytes it consumed.
+    Complete(Request, usize),
+}
+
+/// Attempts to frame one HTTP/1.1 request from `buf`.
+///
+/// Pure and restartable: callers may re-invoke with a longer buffer after
+/// every read. Errors are terminal for the connection ([`ParseError::
+/// BadRequest`] ⇒ 400, [`ParseError::TooLarge`] ⇒ 413); transport-level
+/// outcomes (timeout, EOF) stay with the caller, which owns the socket.
+pub fn try_parse_request(buf: &[u8], limits: &Limits) -> Result<ParseStatus, ParseError> {
+    let Some(head_end) = find_double_crlf(buf) else {
+        if buf.len() > limits.max_head_bytes {
+            return Err(ParseError::BadRequest(format!(
+                "request head exceeds {} bytes",
+                limits.max_head_bytes
+            )));
+        }
+        return Ok(ParseStatus::Incomplete);
+    };
+    if head_end > limits.max_head_bytes {
+        return Err(ParseError::BadRequest(format!(
+            "request head exceeds {} bytes",
+            limits.max_head_bytes
+        )));
+    }
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(ParseError::BadRequest(format!(
+                "malformed request line `{request_line}`"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::BadRequest(format!(
+            "unsupported protocol `{version}`"
+        )));
+    }
+
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    let mut deadline_ms = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::BadRequest(format!("malformed header `{line}`")));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| ParseError::BadRequest(format!("bad content-length `{value}`")))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(ParseError::BadRequest(
+                "transfer-encoding is not supported; send content-length".into(),
+            ));
+        } else if name.eq_ignore_ascii_case("x-deadline-ms") {
+            let ms: u64 = value
+                .parse()
+                .map_err(|_| ParseError::BadRequest(format!("bad x-deadline-ms `{value}`")))?;
+            if ms == 0 {
+                return Err(ParseError::BadRequest(
+                    "x-deadline-ms must be positive".into(),
+                ));
+            }
+            deadline_ms = Some(ms);
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return Err(ParseError::TooLarge);
+    }
+
+    let body_start = head_end + 4; // past "\r\n\r\n"
+    if buf.len() < body_start + content_length {
+        return Ok(ParseStatus::Incomplete);
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+    Ok(ParseStatus::Complete(
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            body,
+            keep_alive,
+            deadline_ms,
+        },
+        body_start + content_length,
+    ))
+}
+
 /// A buffered connection: bytes read past the current request head are
 /// kept for the body / the next pipelined request.
 pub struct Conn {
@@ -124,100 +230,26 @@ impl Conn {
 
     /// Reads and parses the next request off the connection.
     pub fn read_request(&mut self, limits: &Limits) -> Result<Request, ParseError> {
-        // Accumulate until the blank line ending the head.
-        let head_end = loop {
-            if let Some(i) = find_double_crlf(self.buffered()) {
-                break i;
-            }
-            if self.buffered().len() > limits.max_head_bytes {
-                return Err(ParseError::BadRequest(format!(
-                    "request head exceeds {} bytes",
-                    limits.max_head_bytes
-                )));
-            }
-            if self.fill()? == 0 {
-                return if self.buffered().is_empty() {
-                    Err(ParseError::Closed)
-                } else {
-                    Err(ParseError::Io(std::io::Error::new(
-                        std::io::ErrorKind::UnexpectedEof,
-                        "connection closed mid-head",
-                    )))
-                };
-            }
-        };
-        let head = String::from_utf8_lossy(&self.buffered()[..head_end]).into_owned();
-        self.pos += head_end + 4; // past "\r\n\r\n"
-
-        let mut lines = head.split("\r\n");
-        let request_line = lines.next().unwrap_or_default();
-        let mut parts = request_line.split(' ');
-        let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
-            (Some(m), Some(p), Some(v)) if !m.is_empty() && p.starts_with('/') => (m, p, v),
-            _ => {
-                return Err(ParseError::BadRequest(format!(
-                    "malformed request line `{request_line}`"
-                )))
-            }
-        };
-        if !version.starts_with("HTTP/1.") {
-            return Err(ParseError::BadRequest(format!(
-                "unsupported protocol `{version}`"
-            )));
-        }
-
-        let mut content_length = 0usize;
-        let mut keep_alive = true; // HTTP/1.1 default
-        let mut deadline_ms = None;
-        for line in lines {
-            let Some((name, value)) = line.split_once(':') else {
-                return Err(ParseError::BadRequest(format!("malformed header `{line}`")));
-            };
-            let value = value.trim();
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .parse()
-                    .map_err(|_| ParseError::BadRequest(format!("bad content-length `{value}`")))?;
-            } else if name.eq_ignore_ascii_case("connection") {
-                keep_alive = !value.eq_ignore_ascii_case("close");
-            } else if name.eq_ignore_ascii_case("transfer-encoding") {
-                return Err(ParseError::BadRequest(
-                    "transfer-encoding is not supported; send content-length".into(),
-                ));
-            } else if name.eq_ignore_ascii_case("x-deadline-ms") {
-                let ms: u64 = value
-                    .parse()
-                    .map_err(|_| ParseError::BadRequest(format!("bad x-deadline-ms `{value}`")))?;
-                if ms == 0 {
-                    return Err(ParseError::BadRequest(
-                        "x-deadline-ms must be positive".into(),
-                    ));
+        loop {
+            match try_parse_request(self.buffered(), limits)? {
+                ParseStatus::Complete(request, consumed) => {
+                    self.pos += consumed;
+                    return Ok(request);
                 }
-                deadline_ms = Some(ms);
+                ParseStatus::Incomplete => {
+                    if self.fill()? == 0 {
+                        return if self.buffered().is_empty() {
+                            Err(ParseError::Closed)
+                        } else {
+                            Err(ParseError::Io(std::io::Error::new(
+                                std::io::ErrorKind::UnexpectedEof,
+                                "connection closed mid-request",
+                            )))
+                        };
+                    }
+                }
             }
         }
-        if content_length > limits.max_body_bytes {
-            return Err(ParseError::TooLarge);
-        }
-
-        while self.buffered().len() < content_length {
-            if self.fill()? == 0 {
-                return Err(ParseError::Io(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-body",
-                )));
-            }
-        }
-        let body = self.buffered()[..content_length].to_vec();
-        self.pos += content_length;
-
-        Ok(Request {
-            method: method.to_string(),
-            path: path.to_string(),
-            body,
-            keep_alive,
-            deadline_ms,
-        })
     }
 }
 
@@ -259,9 +291,10 @@ impl Response {
         self
     }
 
-    /// Serializes the response onto `w`. `keep_alive` picks the
-    /// `Connection` header; the caller closes the socket when false.
-    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+    /// Serializes the full wire form (status line, headers, body) into a
+    /// byte buffer, for callers that flush incrementally (the event loop
+    /// resumes partial writes from such a buffer).
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let mut out = format!(
             "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
@@ -277,7 +310,13 @@ impl Response {
         }
         out.push_str("\r\n");
         out.push_str(&self.body);
-        w.write_all(out.as_bytes())?;
+        out.into_bytes()
+    }
+
+    /// Serializes the response onto `w`. `keep_alive` picks the
+    /// `Connection` header; the caller closes the socket when false.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        w.write_all(&self.to_bytes(keep_alive))?;
         w.flush()
     }
 }

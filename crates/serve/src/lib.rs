@@ -9,9 +9,13 @@
 //!
 //! The crate is organized as the request's journey:
 //!
-//! - [`http`] — framing: parse requests under strict limits, write typed
-//!   responses.
-//! - [`server`] — accept loop, worker pool, routing, handlers.
+//! - [`http`] — framing: incrementally parse requests under strict
+//!   limits, write typed responses.
+//! - [`conn`] — per-connection state machine (Reading → Busy → Writing)
+//!   over non-blocking sockets.
+//! - [`event_loop`] — the epoll readiness loop: one thread multiplexes
+//!   every socket, a small worker pool runs the blocking compute.
+//! - [`server`] — routing and handlers, mounted on the event loop.
 //! - [`registry`] — the loaded model, with atomic hot-reload
 //!   (`POST /reload`) under a generation counter.
 //! - [`cache`] — sharded LRU of per-profile features `F(r)`: features
@@ -35,6 +39,15 @@
 //! - [`watchdog`] — supervision of the batcher flusher: a stalled
 //!   heartbeat with work queued triggers an in-place restart.
 //!
+//! Sharded serving (DESIGN.md §17):
+//!
+//! - [`ring`] — consistent-hash ring mapping user ids to shard indices
+//!   (FNV-1a vnodes; ownership is cache locality, not correctness).
+//! - [`router`] — a front tier built on the same event loop that
+//!   proxies `/judge`, `/judge_batch`, `/candidates` to the owning
+//!   shard, health-checks and ejects dead shards, and runs draining
+//!   rolling reloads.
+//!
 //! Endpoints: `POST /judge`, `POST /judge_batch`, `GET /healthz`,
 //! `GET /metrics`, `POST /reload`.
 
@@ -43,8 +56,12 @@ pub mod batcher;
 pub mod breaker;
 pub mod cache;
 pub mod client;
+pub mod conn;
+pub mod event_loop;
 pub mod http;
 pub mod registry;
+pub mod ring;
+pub mod router;
 pub mod server;
 pub mod watchdog;
 
@@ -52,6 +69,9 @@ pub use admission::{AdmissionConfig, AdmissionGate};
 pub use batcher::Batcher;
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use client::{ClientResponse, HttpClient, RetryPolicy};
+pub use event_loop::{EventLoopConfig, Service};
 pub use registry::{LoadedModel, ModelRegistry};
+pub use ring::HashRing;
+pub use router::{route, RouterConfig, RouterHandle};
 pub use server::{serve, ServeConfig, ServerHandle};
 pub use watchdog::{Watchdog, WatchdogConfig};

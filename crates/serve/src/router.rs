@@ -1,0 +1,649 @@
+//! The router tier: consistent-hash request proxying across N shard
+//! processes, with health-checked ejection and draining restarts.
+//!
+//! A router is just another [`crate::event_loop`] server whose compute
+//! tier proxies instead of judging: `/judge` and `/candidates` forward
+//! to the shard owning the request's user id on the [`crate::ring::
+//! HashRing`]; `/judge_batch` scatters pairs to their owners and
+//! gathers the verdicts back in request order. Every shard loads the
+//! full corpus and model, so ownership is cache locality, not
+//! correctness — which is why ring-walk failover past an ejected or
+//! draining shard returns byte-identical answers.
+//!
+//! Shard lifecycle:
+//!
+//! - a poller GETs every shard's `/healthz` each `health_interval`;
+//!   `fail_threshold` consecutive failures eject the shard (ring walks
+//!   past it), the first success afterwards rejoins it;
+//! - `POST /drain {"shard": s}` / `POST /undrain` flip the draining
+//!   flag for rolling restarts: a draining shard takes no *new* routed
+//!   requests but stays up for in-flight ones;
+//! - `POST /reload` runs the drain → reload → undrain cycle across all
+//!   shards one at a time, reusing each shard's `/reload` generation
+//!   machinery — a whole-cluster model rollout with zero 5xx.
+//!
+//! Fault hooks: `shard-kill` makes the next proxy/health attempt behave
+//! as a dead upstream; `slow-shard` stalls a proxy attempt long enough
+//! to look like a struggling one.
+
+use crate::client::HttpClient;
+use crate::event_loop::{self, EventLoopConfig, EventLoopHandle, Service};
+use crate::http::{Limits, Request, Response};
+use crate::ring::HashRing;
+use hisrect::Judgement;
+use serde::{Deserialize, Serialize};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Router tuning knobs; every CLI `route` flag lands here.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Listen address, e.g. `127.0.0.1:7900` (port 0 picks one).
+    pub addr: String,
+    /// Shard addresses, `host:port` each, in ring order.
+    pub shards: Vec<String>,
+    /// Proxy worker threads (each holds one upstream connection per
+    /// shard at a time, checked out of the pool).
+    pub workers: usize,
+    /// Bound on requests queued for the proxy workers.
+    pub queue_depth: usize,
+    /// Inbound framing limits.
+    pub limits: Limits,
+    /// Vnodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// How often the health poller probes each shard.
+    pub health_interval: Duration,
+    /// Consecutive health/proxy failures before ejection.
+    pub fail_threshold: u32,
+    /// Per-attempt upstream timeout.
+    pub upstream_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7900".into(),
+            shards: Vec::new(),
+            workers: 8,
+            queue_depth: 1024,
+            limits: Limits::default(),
+            vnodes: HashRing::DEFAULT_VNODES,
+            health_interval: Duration::from_millis(250),
+            fail_threshold: 3,
+            upstream_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One upstream shard's live state.
+struct Shard {
+    addr: SocketAddr,
+    /// False once ejected by the health poller.
+    up: AtomicBool,
+    /// True while draining for a rolling restart.
+    draining: AtomicBool,
+    consecutive_failures: AtomicU32,
+    /// Last generation reported by `/healthz`.
+    generation: AtomicU64,
+    /// Keep-alive connection pool, one checkout per proxy attempt.
+    pool: Mutex<Vec<HttpClient>>,
+}
+
+impl Shard {
+    fn routable(&self) -> bool {
+        self.up.load(Ordering::Relaxed) && !self.draining.load(Ordering::Relaxed)
+    }
+}
+
+struct RouterInner {
+    shards: Vec<Shard>,
+    ring: HashRing,
+    fail_threshold: u32,
+    upstream_timeout: Duration,
+    stop: AtomicBool,
+}
+
+impl RouterInner {
+    fn checkout(&self, s: usize) -> HttpClient {
+        let mut pool = self.shards[s]
+            .pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        pool.pop().unwrap_or_else(|| {
+            let mut client = HttpClient::new(self.shards[s].addr);
+            client.set_timeout(self.upstream_timeout);
+            client
+        })
+    }
+
+    fn checkin(&self, s: usize, client: HttpClient) {
+        let mut pool = self.shards[s]
+            .pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if pool.len() < 32 {
+            pool.push(client);
+        }
+    }
+
+    /// Records a proxy/health outcome; ejects on the Nth consecutive
+    /// failure, rejoins on the first success.
+    fn record(&self, s: usize, ok: bool) {
+        let shard = &self.shards[s];
+        if ok {
+            shard.consecutive_failures.store(0, Ordering::Relaxed);
+            if !shard.up.swap(true, Ordering::Relaxed) {
+                obs::incr("router/rejoins");
+            }
+        } else {
+            let n = shard.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+            if n >= self.fail_threshold && shard.up.swap(false, Ordering::Relaxed) {
+                obs::incr("router/ejections");
+            }
+        }
+    }
+
+    /// One proxied request to shard `s`. Transport errors come back as
+    /// `Err` so the caller can fail over along the ring.
+    fn proxy(
+        &self,
+        s: usize,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<crate::client::ClientResponse> {
+        // Chaos trigger point: a shard that died between health probes.
+        if faultsim::fires(faultsim::FaultKind::ShardKill) {
+            obs::incr("router/shard_kill_injected");
+            self.record(s, false);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "injected shard kill",
+            ));
+        }
+        // Chaos trigger point: a shard answering slower than its peers.
+        if faultsim::fires(faultsim::FaultKind::SlowShard) {
+            obs::incr("router/slow_shard_injected");
+            std::thread::sleep(Duration::from_millis(150));
+        }
+        let mut client = self.checkout(s);
+        let result = client.request_with_headers(method, path, body, headers);
+        match result {
+            Ok(response) => {
+                self.record(s, true);
+                self.checkin(s, client);
+                Ok(response)
+            }
+            Err(e) => {
+                self.record(s, false);
+                Err(e)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request/response shapes (mirror the shard's private ones)
+// ---------------------------------------------------------------------------
+
+#[derive(Deserialize)]
+struct KeyedRequest {
+    i: usize,
+}
+
+#[derive(Deserialize)]
+struct BatchRequest {
+    pairs: Vec<(usize, usize)>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BatchBody {
+    judgements: Vec<Judgement>,
+}
+
+#[derive(Deserialize)]
+struct DrainRequest {
+    shard: usize,
+}
+
+#[derive(Deserialize)]
+struct ReloadRequest {
+    model: Option<String>,
+}
+
+#[derive(Serialize)]
+struct RouterHealth {
+    status: &'static str,
+    role: &'static str,
+    shards_total: usize,
+    shards_up: usize,
+    shards_draining: usize,
+    generations: Vec<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// The proxy service
+// ---------------------------------------------------------------------------
+
+struct RouterService {
+    inner: Arc<RouterInner>,
+}
+
+impl RouterService {
+    /// Forwards to the shard owning `uid`, failing over along the ring
+    /// once if the first attempt dies in transport.
+    fn forward(&self, uid: u64, request: &Request) -> Response {
+        let inner = &self.inner;
+        let body = std::str::from_utf8(&request.body)
+            .ok()
+            .map(|s| s.to_owned());
+        let deadline = request.deadline_ms.map(|ms| ms.to_string());
+        let headers: Vec<(&str, &str)> = deadline
+            .as_deref()
+            .map(|v| vec![("x-deadline-ms", v)])
+            .unwrap_or_default();
+        let mut tried: Vec<usize> = Vec::new();
+        for _attempt in 0..2 {
+            let Some(s) = inner
+                .ring
+                .owner_where(uid, |s| inner.shards[s].routable() && !tried.contains(&s))
+            else {
+                break;
+            };
+            tried.push(s);
+            match inner.proxy(s, &request.method, &request.path, body.as_deref(), &headers) {
+                Ok(upstream) => {
+                    obs::incr("router/proxied");
+                    return relay(upstream);
+                }
+                Err(_) => {
+                    obs::incr("router/failovers");
+                    continue;
+                }
+            }
+        }
+        obs::incr("router/no_shard_503");
+        Response::error(503, "no routable shard").with_header("retry-after", "1")
+    }
+
+    fn judge_batch(&self, request: &Request) -> Response {
+        let req: BatchRequest = match parse_body(&request.body) {
+            Ok(r) => r,
+            Err(resp) => return resp,
+        };
+        let inner = &self.inner;
+        // Scatter pairs to their owning shards, remembering where each
+        // came from so the gather restores request order.
+        let mut by_shard: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (pos, &(i, _j)) in req.pairs.iter().enumerate() {
+            let Some(s) = inner
+                .ring
+                .owner_where(i as u64, |s| inner.shards[s].routable())
+            else {
+                obs::incr("router/no_shard_503");
+                return Response::error(503, "no routable shard").with_header("retry-after", "1");
+            };
+            match by_shard.iter_mut().find(|(shard, _)| *shard == s) {
+                Some((_, positions)) => positions.push(pos),
+                None => by_shard.push((s, vec![pos])),
+            }
+        }
+        let mut gathered: Vec<Option<Judgement>> = vec![None; req.pairs.len()];
+        for (s, positions) in by_shard {
+            let subset: Vec<(usize, usize)> = positions.iter().map(|&p| req.pairs[p]).collect();
+            let body = serde_json::to_string(&SubBatch { pairs: subset }).expect("serializable");
+            let upstream = match inner.proxy(s, "POST", "/judge_batch", Some(&body), &[]) {
+                Ok(r) => r,
+                Err(_) => {
+                    return Response::error(503, "shard failed mid-batch")
+                        .with_header("retry-after", "1")
+                }
+            };
+            if upstream.status != 200 {
+                return relay(upstream);
+            }
+            let parsed: BatchBody = match serde_json::from_str(&upstream.body) {
+                Ok(b) => b,
+                Err(e) => {
+                    return Response::error(502, &format!("bad shard batch response: {e}"));
+                }
+            };
+            if parsed.judgements.len() != positions.len() {
+                return Response::error(502, "shard batch cardinality mismatch");
+            }
+            for (pos, judgement) in positions.into_iter().zip(parsed.judgements) {
+                gathered[pos] = Some(judgement);
+            }
+        }
+        let judgements: Vec<Judgement> = gathered
+            .into_iter()
+            .map(|j| j.expect("every position was scattered"))
+            .collect();
+        obs::incr("router/proxied");
+        Response::json(
+            200,
+            serde_json::to_string(&BatchBody { judgements }).expect("serializable"),
+        )
+    }
+
+    fn health(&self) -> Response {
+        let inner = &self.inner;
+        let up = inner
+            .shards
+            .iter()
+            .filter(|s| s.up.load(Ordering::Relaxed))
+            .count();
+        let draining = inner
+            .shards
+            .iter()
+            .filter(|s| s.draining.load(Ordering::Relaxed))
+            .count();
+        let generations = inner
+            .shards
+            .iter()
+            .map(|s| s.generation.load(Ordering::Relaxed))
+            .collect();
+        Response::json(
+            200,
+            serde_json::to_string(&RouterHealth {
+                status: if up > 0 { "ok" } else { "down" },
+                role: "router",
+                shards_total: inner.shards.len(),
+                shards_up: up,
+                shards_draining: draining,
+                generations,
+            })
+            .expect("serializable"),
+        )
+    }
+
+    fn set_draining(&self, body: &[u8], draining: bool) -> Response {
+        let req: DrainRequest = match parse_body(body) {
+            Ok(r) => r,
+            Err(resp) => return resp,
+        };
+        let Some(shard) = self.inner.shards.get(req.shard) else {
+            return Response::error(400, &format!("no shard {}", req.shard));
+        };
+        shard.draining.store(draining, Ordering::Relaxed);
+        obs::incr(if draining {
+            "router/drains"
+        } else {
+            "router/undrains"
+        });
+        Response::json(
+            200,
+            format!("{{\"shard\":{},\"draining\":{draining}}}", req.shard),
+        )
+    }
+
+    /// Rolling reload: drain each shard, push `/reload` through it,
+    /// undrain, move on. One shard is out of rotation at a time, so the
+    /// cluster keeps answering throughout.
+    fn rolling_reload(&self, body: &[u8]) -> Response {
+        let model = if body.is_empty() {
+            None
+        } else {
+            match parse_body::<ReloadRequest>(body) {
+                Ok(r) => r.model,
+                Err(resp) => return resp,
+            }
+        };
+        let reload_body = match &model {
+            Some(path) => format!(
+                "{{\"model\":{}}}",
+                serde_json::to_string(path).expect("strings serialize")
+            ),
+            None => String::new(),
+        };
+        let inner = &self.inner;
+        let mut generations = Vec::with_capacity(inner.shards.len());
+        for s in 0..inner.shards.len() {
+            inner.shards[s].draining.store(true, Ordering::Relaxed);
+            let result = inner.proxy(s, "POST", "/reload", Some(&reload_body), &[]);
+            inner.shards[s].draining.store(false, Ordering::Relaxed);
+            match result {
+                Ok(r) if r.status == 200 => {
+                    let generation = serde_json::from_str::<ReloadEcho>(&r.body)
+                        .map(|e| e.generation)
+                        .unwrap_or(0);
+                    inner.shards[s]
+                        .generation
+                        .store(generation, Ordering::Relaxed);
+                    generations.push(generation);
+                }
+                Ok(r) => return relay(r),
+                Err(e) => return Response::error(500, &format!("reload of shard {s} failed: {e}")),
+            }
+        }
+        obs::incr("router/rolling_reloads");
+        let rendered: Vec<String> = generations.iter().map(|g| g.to_string()).collect();
+        Response::json(200, format!("{{\"generations\":[{}]}}", rendered.join(",")))
+    }
+}
+
+#[derive(Serialize)]
+struct SubBatch {
+    pairs: Vec<(usize, usize)>,
+}
+
+#[derive(Deserialize)]
+struct ReloadEcho {
+    generation: u64,
+}
+
+impl Service for RouterService {
+    fn handle(&self, request: &Request) -> Response {
+        let start = Instant::now();
+        let response = match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => self.health(),
+            ("GET", "/metrics") => Response::json(200, obs::snapshot().to_json()),
+            ("POST", "/judge") | ("POST", "/candidates") => {
+                match parse_body::<KeyedRequest>(&request.body) {
+                    Ok(key) => self.forward(key.i as u64, request),
+                    Err(resp) => resp,
+                }
+            }
+            ("POST", "/judge_batch") => self.judge_batch(request),
+            ("POST", "/drain") => self.set_draining(&request.body, true),
+            ("POST", "/undrain") => self.set_draining(&request.body, false),
+            ("POST", "/reload") => self.rolling_reload(&request.body),
+            ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
+            _ => Response::error(405, "method not allowed"),
+        };
+        obs::incr("serve/requests");
+        match response.status {
+            400..=499 => obs::incr("serve/http_4xx"),
+            500..=599 => obs::incr("serve/http_5xx"),
+            _ => {}
+        }
+        obs::observe(
+            "router/request_latency_ms",
+            start.elapsed().as_secs_f64() * 1e3,
+        );
+        response
+    }
+}
+
+fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, Response> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| Response::error(400, "request body is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| Response::error(400, &format!("bad request body: {e}")))
+}
+
+/// Turns an upstream response into the client-facing one: status and
+/// body verbatim (byte-identity is the contract), plus the headers that
+/// carry protocol meaning across the hop.
+fn relay(upstream: crate::client::ClientResponse) -> Response {
+    let mut response = Response::json(upstream.status, upstream.body.clone());
+    for (name, value) in &upstream.headers {
+        if name == "retry-after" || name.starts_with("x-hisrect-") {
+            response = response.with_header(name, value);
+        }
+    }
+    response
+}
+
+// ---------------------------------------------------------------------------
+// Health poller + handle
+// ---------------------------------------------------------------------------
+
+#[derive(Deserialize)]
+struct ShardHealth {
+    generation: u64,
+}
+
+fn health_poll(inner: &RouterInner, interval: Duration) {
+    while !inner.stop.load(Ordering::Relaxed) {
+        for s in 0..inner.shards.len() {
+            if inner.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            // Chaos trigger point: the poller sees a killed shard.
+            if faultsim::fires(faultsim::FaultKind::ShardKill) {
+                obs::incr("router/shard_kill_injected");
+                inner.record(s, false);
+                continue;
+            }
+            let mut client = inner.checkout(s);
+            match client.get("/healthz") {
+                Ok(r) if r.status == 200 => {
+                    if let Ok(h) = serde_json::from_str::<ShardHealth>(&r.body) {
+                        inner.shards[s]
+                            .generation
+                            .store(h.generation, Ordering::Relaxed);
+                    }
+                    inner.record(s, true);
+                    inner.checkin(s, client);
+                }
+                Ok(_) | Err(_) => inner.record(s, false),
+            }
+        }
+        // Sleep in small steps so shutdown never waits a full interval.
+        let deadline = Instant::now() + interval;
+        while Instant::now() < deadline {
+            if inner.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10).min(interval));
+        }
+    }
+}
+
+/// A running router. Dropping the handle shuts it down.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    inner: Arc<RouterInner>,
+    event_loop: EventLoopHandle,
+    health_thread: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether shard `s` is currently routable (up and not draining).
+    pub fn shard_routable(&self, s: usize) -> bool {
+        self.inner.shards.get(s).is_some_and(Shard::routable)
+    }
+
+    /// Flips shard `s` in or out of the draining state.
+    pub fn set_draining(&self, s: usize, draining: bool) {
+        if let Some(shard) = self.inner.shards.get(s) {
+            shard.draining.store(draining, Ordering::Relaxed);
+        }
+    }
+
+    /// Stops the event loop and the health poller, joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Blocks until the router exits (it only exits via shutdown).
+    pub fn wait(mut self) {
+        self.event_loop.wait();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.inner.stop.store(true, Ordering::Relaxed);
+        self.event_loop.shutdown();
+        if let Some(t) = self.health_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds `config.addr`, resolves every shard address, starts the proxy
+/// event loop and the health poller, and returns immediately.
+pub fn route(config: RouterConfig) -> std::io::Result<RouterHandle> {
+    obs::set_enabled(true);
+    event_loop::raise_nofile_limit();
+    if config.shards.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "router needs at least one shard address",
+        ));
+    }
+    let mut shards = Vec::with_capacity(config.shards.len());
+    for spec in &config.shards {
+        let addr: SocketAddr = spec.parse().map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("bad shard address `{spec}`: {e}"),
+            )
+        })?;
+        shards.push(Shard {
+            addr,
+            up: AtomicBool::new(true),
+            draining: AtomicBool::new(false),
+            consecutive_failures: AtomicU32::new(0),
+            generation: AtomicU64::new(0),
+            pool: Mutex::new(Vec::new()),
+        });
+    }
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let inner = Arc::new(RouterInner {
+        shards,
+        ring: HashRing::new(config.shards.len(), config.vnodes),
+        fail_threshold: config.fail_threshold.max(1),
+        upstream_timeout: config.upstream_timeout,
+        stop: AtomicBool::new(false),
+    });
+    let service = Arc::new(RouterService {
+        inner: Arc::clone(&inner),
+    });
+    let event_loop = event_loop::start(
+        listener,
+        service,
+        EventLoopConfig {
+            workers: config.workers,
+            queue_depth: config.queue_depth,
+            limits: config.limits,
+        },
+    )?;
+    let poll_inner = Arc::clone(&inner);
+    let interval = config.health_interval;
+    let health_thread = std::thread::Builder::new()
+        .name("hisrect-health-poll".into())
+        .spawn(move || health_poll(&poll_inner, interval))
+        .expect("spawn health poller");
+    Ok(RouterHandle {
+        addr,
+        inner,
+        event_loop,
+        health_thread: Some(health_thread),
+    })
+}

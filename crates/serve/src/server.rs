@@ -1,35 +1,38 @@
-//! The threaded HTTP server: accept loop, worker pool, routing, and the
-//! judge request handlers.
+//! The HTTP server: epoll I/O tier, compute worker pool, routing, and
+//! the judge request handlers.
 //!
-//! Architecture (DESIGN.md §11):
+//! Architecture (DESIGN.md §11, §17):
 //!
 //! ```text
-//! accept loop ──try_send──▶ connection queue ──▶ worker pool (keep-alive)
-//!                                                   │ feature cache (F(r))
-//!                                                   ▼
-//!                                            micro-batcher ──▶ judge MLP
+//! epoll event loop ──framed requests──▶ compute pool (blocking handlers)
+//!   (10k+ sockets,                          │ feature cache (F(r))
+//!    one thread)                            ▼
+//!        ◀──responses via eventfd──  micro-batcher ──▶ judge MLP
 //! ```
 //!
-//! Every handler runs under `catch_unwind`, so a panicking request —
-//! injected by `faultsim` or real — produces a 500 and the worker
-//! survives to serve the next connection.
+//! The event loop ([`crate::event_loop`]) owns every socket and does
+//! nothing but framing and flushing; fully parsed requests cross to the
+//! compute pool, where the handlers below run exactly as they did under
+//! the old thread-per-connection model — admission gate, breaker,
+//! micro-batcher, watchdog all unchanged, and every handler under
+//! `catch_unwind` so a panicking request produces a 500 and the worker
+//! survives.
 
 use crate::admission::{AdmissionConfig, AdmissionGate};
 use crate::batcher::{Batcher, JobError, JudgeJob, SubmitError};
 use crate::breaker::{BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker};
 use crate::cache::{verdict_key, FeatureCache, VerdictCache};
-use crate::http::{Conn, Limits, ParseError, Request, Response};
+use crate::event_loop::{self, EventLoopConfig, EventLoopHandle, Service};
+use crate::http::{Limits, Request, Response};
 use crate::registry::{LoadedModel, ModelRegistry};
 use crate::watchdog::{Watchdog, WatchdogConfig};
 use hisrect::{profile_fingerprint, Judgement, Precision};
 use serde::{Deserialize, Serialize};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Server tuning knobs; every CLI `serve` flag lands here.
@@ -90,27 +93,70 @@ struct Shared {
     breaker: CircuitBreaker,
     /// Recently served learned verdicts, read while the breaker is open.
     verdicts: VerdictCache,
-    limits: Limits,
     default_deadline: Duration,
-    stop: AtomicBool,
+}
+
+/// The shard's compute-tier plug-in for the event loop: framed requests
+/// land here on a worker thread, with the same panic isolation and
+/// request counters the thread-per-connection model had.
+struct ShardService {
+    shared: Arc<Shared>,
+}
+
+impl Service for ShardService {
+    fn handle(&self, request: &Request) -> Response {
+        let start = Instant::now();
+        let response = match catch_unwind(AssertUnwindSafe(|| route(&self.shared, request))) {
+            Ok(r) => r,
+            Err(_) => {
+                obs::incr("serve/handler_panic");
+                Response::error(500, "internal error: handler panicked")
+            }
+        };
+        obs::incr("serve/requests");
+        match response.status {
+            400..=499 => obs::incr("serve/http_4xx"),
+            500..=599 => obs::incr("serve/http_5xx"),
+            _ => {}
+        }
+        obs::observe(
+            "serve/request_latency_ms",
+            start.elapsed().as_secs_f64() * 1e3,
+        );
+        response
+    }
+
+    fn overloaded(&self) -> Response {
+        // Backpressure at the door: answered from the loop thread so
+        // workers stay dedicated to real work. The Retry-After hint
+        // adapts to the observed drain rate behind the full queue.
+        let retry = self
+            .shared
+            .admission
+            .retry_after_secs(self.shared.batcher.queue_len());
+        Response::error(503, "connection queue full")
+            .with_header("retry-after", &retry.to_string())
+            .with_header("x-hisrect-shed", "queue")
+    }
 }
 
 /// A running server. Dropping the handle shuts it down.
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    event_loop: EventLoopHandle,
     watchdog: Watchdog,
 }
 
-/// Binds `config.addr`, spawns the worker pool and the accept loop, and
-/// returns immediately.
+/// Binds `config.addr`, starts the epoll event loop and its compute
+/// pool, and returns immediately.
 pub fn serve(config: ServeConfig, registry: ModelRegistry) -> std::io::Result<ServerHandle> {
     // `/metrics` is part of the serving contract, so the obs registry is
     // always on while a server runs. (Instrumentation never touches the
     // judge numerics — the golden-run suite pins that.)
     obs::set_enabled(true);
+    // 10k+ keep-alive sockets need fd headroom beyond the usual 1024.
+    event_loop::raise_nofile_limit();
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let admission = Arc::new(AdmissionGate::new(config.admission, config.queue_depth));
@@ -128,68 +174,26 @@ pub fn serve(config: ServeConfig, registry: ModelRegistry) -> std::io::Result<Se
         admission,
         breaker: CircuitBreaker::new(config.breaker),
         verdicts: VerdictCache::new(config.cache_capacity),
-        limits: config.limits,
         default_deadline: config.default_deadline,
-        stop: AtomicBool::new(false),
     });
 
-    let conn_queue: Arc<parallel::Channel<TcpStream>> =
-        Arc::new(parallel::Channel::bounded(config.queue_depth.max(1)));
-
-    let workers = (0..config.workers.max(1))
-        .map(|k| {
-            let shared = Arc::clone(&shared);
-            let queue = Arc::clone(&conn_queue);
-            std::thread::Builder::new()
-                .name(format!("hisrect-worker-{k}"))
-                .spawn(move || {
-                    while let Some(stream) = queue.recv() {
-                        handle_connection(&shared, stream);
-                    }
-                })
-                .expect("spawn server worker")
-        })
-        .collect();
-
-    let accept_shared = Arc::clone(&shared);
-    let accept_thread = std::thread::Builder::new()
-        .name("hisrect-accept".into())
-        .spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shared.stop.load(Ordering::Relaxed) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                obs::incr("serve/connections");
-                match conn_queue.try_send(stream) {
-                    Ok(()) => {}
-                    Err(parallel::TrySendError::Full(stream)) => {
-                        // Backpressure at the door: answer in the accept
-                        // thread so workers stay dedicated to real work.
-                        // The Retry-After hint adapts to the observed
-                        // drain rate behind the full queue.
-                        obs::incr("serve/backpressure_503");
-                        obs::incr("serve/http_5xx");
-                        let backlog = conn_queue.len() + accept_shared.batcher.queue_len();
-                        let retry = accept_shared.admission.retry_after_secs(backlog);
-                        let mut stream = stream;
-                        let _ = Response::error(503, "connection queue full")
-                            .with_header("retry-after", &retry.to_string())
-                            .with_header("x-hisrect-shed", "queue")
-                            .write_to(&mut stream, false);
-                    }
-                    Err(parallel::TrySendError::Closed(_)) => break,
-                }
-            }
-            conn_queue.close();
-        })
-        .expect("spawn accept loop");
+    let service = Arc::new(ShardService {
+        shared: Arc::clone(&shared),
+    });
+    let event_loop = event_loop::start(
+        listener,
+        service,
+        EventLoopConfig {
+            workers: config.workers,
+            queue_depth: config.queue_depth,
+            limits: config.limits,
+        },
+    )?;
 
     Ok(ServerHandle {
         addr,
         shared,
-        accept_thread: Some(accept_thread),
-        workers,
+        event_loop,
         watchdog,
     })
 }
@@ -214,19 +218,14 @@ impl ServerHandle {
         )
     }
 
-    /// Stops accepting, drains workers, and joins all threads.
+    /// Stops the event loop, drains the compute pool, joins all threads.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     /// Blocks until the server exits (it only exits via shutdown).
     pub fn wait(mut self) {
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.event_loop.wait();
     }
 
     /// Flusher restarts the watchdog has performed so far.
@@ -236,78 +235,14 @@ impl ServerHandle {
 
     fn stop_and_join(&mut self) {
         self.watchdog.shutdown();
-        self.shared.stop.store(true, Ordering::Relaxed);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.event_loop.shutdown();
+        self.shared.batcher.shutdown();
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.stop_and_join();
-    }
-}
-
-/// Serves one connection: keep-alive request loop with panic isolation.
-fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let mut conn = match Conn::new(stream, &shared.limits) {
-        Ok(c) => c,
-        Err(_) => return,
-    };
-    loop {
-        let request = match conn.read_request(&shared.limits) {
-            Ok(r) => r,
-            Err(ParseError::BadRequest(msg)) => {
-                obs::incr("serve/http_4xx");
-                let _ = Response::error(400, &msg).write_to(conn.stream(), false);
-                return;
-            }
-            Err(ParseError::TooLarge) => {
-                obs::incr("serve/http_4xx");
-                let _ =
-                    Response::error(413, "request body too large").write_to(conn.stream(), false);
-                return;
-            }
-            Err(ParseError::Timeout { started: true }) => {
-                obs::incr("serve/http_4xx");
-                let _ = Response::error(408, "timed out reading request")
-                    .write_to(conn.stream(), false);
-                return;
-            }
-            // Idle keep-alive timeout, clean close, or a dead socket:
-            // nothing to answer.
-            Err(ParseError::Timeout { started: false })
-            | Err(ParseError::Closed)
-            | Err(ParseError::Io(_)) => return,
-        };
-        let keep_alive = request.keep_alive;
-        let start = Instant::now();
-        let response = match catch_unwind(AssertUnwindSafe(|| route(shared, &request))) {
-            Ok(r) => r,
-            Err(_) => {
-                obs::incr("serve/handler_panic");
-                Response::error(500, "internal error: handler panicked")
-            }
-        };
-        obs::incr("serve/requests");
-        match response.status {
-            400..=499 => obs::incr("serve/http_4xx"),
-            500..=599 => obs::incr("serve/http_5xx"),
-            _ => {}
-        }
-        obs::observe(
-            "serve/request_latency_ms",
-            start.elapsed().as_secs_f64() * 1e3,
-        );
-        if response.write_to(conn.stream(), keep_alive).is_err() || !keep_alive {
-            return;
-        }
     }
 }
 

@@ -1,0 +1,453 @@
+//! Event-loop and cluster coverage the thread-per-connection server
+//! could not have passed: slow-loris trickle and stall storms, thousands
+//! of idle keep-alive connections on a handful of threads, deterministic
+//! connection-state fuzz via the faultsim slow-client/disconnect kinds,
+//! and a router-tier rolling restart that must stay 5xx-free while each
+//! shard drains.
+
+mod common;
+
+use common::{fixture, start_server, test_pairs};
+use faultsim::FaultKind;
+use serve::client::read_response;
+use serve::{route, HttpClient, RouterConfig, ServerHandle};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// The fault plan is process-global; tests that arm it must not overlap.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn judge_body(i: usize, j: usize) -> String {
+    format!("{{\"i\":{i},\"j\":{j}}}")
+}
+
+fn judge_head(len: usize) -> String {
+    format!("POST /judge HTTP/1.1\r\ncontent-length: {len}\r\n\r\n")
+}
+
+/// A request trickled at the server a few bytes at a time — the classic
+/// slow loris that ties up one blocking thread per connection. The epoll
+/// loop must frame it incrementally and still answer 200.
+#[test]
+fn slow_loris_trickle_still_completes() {
+    let server = start_server(|c| {
+        c.limits.read_timeout = Duration::from_secs(5);
+    });
+    let (i, j) = test_pairs(1)[0];
+    let body = judge_body(i, j);
+    let raw = format!("{}{}", judge_head(body.len()), body);
+
+    // The reference answer over a normal client.
+    let mut client = HttpClient::new(server.addr());
+    let expected = client.post("/judge", &body).unwrap();
+    assert_eq!(expected.status, 200, "{}", expected.body);
+
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for chunk in raw.as_bytes().chunks(3) {
+        stream.write_all(chunk).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let resp = read_response(&mut stream).expect("trickled request answered");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert_eq!(
+        resp.body, expected.body,
+        "trickled framing must not change the answer"
+    );
+    server.shutdown();
+}
+
+/// A storm of connections that stall mid-request must not starve live
+/// traffic: with thread-per-connection, 64 stalled sockets would pin 64
+/// worker threads; on the event loop they cost 64 idle registrations
+/// until the timeout scan answers each with 408.
+#[test]
+fn stalled_loris_storm_does_not_starve_live_traffic() {
+    let server = start_server(|c| {
+        c.limits.read_timeout = Duration::from_millis(300);
+    });
+    let addr = server.addr();
+
+    // 64 connections send half a request head and stall forever.
+    let mut stalled = Vec::new();
+    for _ in 0..64 {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let head = judge_head(2);
+        s.write_all(&head.as_bytes()[..head.len() / 2]).unwrap();
+        s.flush().unwrap();
+        stalled.push(s);
+    }
+
+    // Live traffic keeps answering promptly while the stalls are open.
+    let (i, j) = test_pairs(1)[0];
+    let mut client = HttpClient::new(addr);
+    let start = Instant::now();
+    for _ in 0..10 {
+        let r = client.post("/judge", &judge_body(i, j)).unwrap();
+        assert_eq!(r.status, 200, "{}", r.body);
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "live traffic starved behind stalled connections: {:?}",
+        start.elapsed()
+    );
+
+    // Every stalled connection is answered with a typed 408.
+    for mut s in stalled {
+        let r = read_response(&mut s).expect("stalled conn gets a response");
+        assert_eq!(r.status, 408, "{}", r.body);
+    }
+    server.shutdown();
+}
+
+/// Thousands of idle keep-alive connections, sized to the process fd
+/// limit (both ends live in this process, so each connection costs two
+/// descriptors). The server must hold them all open and still answer on
+/// any of them — the headline capability the epoll rewrite buys.
+#[test]
+fn idle_keepalive_connections_scale_to_the_fd_limit() {
+    let server = start_server(|c| {
+        // Idle conns must survive the whole test.
+        c.limits.read_timeout = Duration::from_secs(120);
+    });
+    let addr = server.addr();
+    let limit = serve::event_loop::raise_nofile_limit();
+    // Keep ~1k descriptors of headroom for the rest of the test binary.
+    let conns = (10_000u64).min((limit.saturating_sub(1_024)) / 2) as usize;
+    assert!(
+        conns >= 1_000,
+        "fd limit {limit} leaves no room for the test"
+    );
+
+    let (i, j) = test_pairs(1)[0];
+    let body = judge_body(i, j);
+    let raw = format!("{}{}", judge_head(body.len()), body);
+
+    let mut sockets = Vec::with_capacity(conns);
+    for n in 0..conns {
+        match TcpStream::connect(addr) {
+            Ok(s) => sockets.push(s),
+            Err(e) => panic!("connect #{n} of {conns} failed: {e}"),
+        }
+    }
+
+    // Exercise a spread of the held connections; the rest stay idle.
+    for &probe in &[0usize, conns / 2, conns - 1] {
+        let s = &mut sockets[probe];
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let r = read_response(s).expect("held connection still answers");
+        assert_eq!(r.status, 200, "conn #{probe}: {}", r.body);
+    }
+
+    // And a fresh connection still gets in past the held crowd.
+    let mut client = HttpClient::new(addr);
+    let r = client.post("/judge", &body).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+
+    drop(sockets);
+    server.shutdown();
+}
+
+/// Connection-state fuzz via the faultsim `disconnect` and `slow-client`
+/// kinds: each round arms one mid-body hangup and one half-head stall,
+/// then fires 8 concurrent connections that consult the plan — exactly
+/// two misbehave (whichever threads win the trigger race), the rest are
+/// good requests. A fault fires once per arming, so the outcome totals
+/// across rounds are exact; the loop must keep every good request at 200
+/// and never wedge.
+#[test]
+fn connection_state_fuzz_with_faultsim_kinds() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 10;
+    let _g = lock();
+    faultsim::clear();
+    let server = start_server(|c| {
+        c.limits.read_timeout = Duration::from_millis(150);
+    });
+    let addr = server.addr();
+    let (i, j) = test_pairs(1)[0];
+
+    let (mut hangups, mut n_408, mut n_200, mut other) = (0, 0, 0, 0);
+    for _round in 0..ROUNDS {
+        faultsim::configure_str("disconnect@1,slow-client@1").unwrap();
+        let workers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                std::thread::spawn(move || -> (usize, usize, usize, usize) {
+                    let body = judge_body(i, j);
+                    let mut s = TcpStream::connect(addr).unwrap();
+                    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                    if faultsim::fires(FaultKind::MidBodyDisconnect) {
+                        s.write_all(judge_head(body.len()).as_bytes()).unwrap();
+                        s.write_all(&body.as_bytes()[..body.len() / 2]).unwrap();
+                        return (1, 0, 0, 0); // vanish mid-body
+                    }
+                    if faultsim::fires(FaultKind::SlowClient) {
+                        let head = judge_head(body.len());
+                        s.write_all(&head.as_bytes()[..head.len() / 2]).unwrap();
+                        s.flush().unwrap();
+                        return match read_response(&mut s).expect("stall answered").status {
+                            408 => (0, 1, 0, 0),
+                            _ => (0, 0, 0, 1),
+                        };
+                    }
+                    s.write_all(judge_head(body.len()).as_bytes()).unwrap();
+                    s.write_all(body.as_bytes()).unwrap();
+                    match read_response(&mut s).expect("good request answered").status {
+                        200 => (0, 0, 1, 0),
+                        _ => (0, 0, 0, 1),
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            let (h, a, b, o) = w.join().expect("fuzz thread panicked");
+            hangups += h;
+            n_408 += a;
+            n_200 += b;
+            other += o;
+        }
+    }
+    assert_eq!(hangups, ROUNDS, "every armed disconnect must fire");
+    assert_eq!(n_408, ROUNDS, "every armed stall must be answered 408");
+    assert_eq!(
+        n_200,
+        ROUNDS * (THREADS - 2),
+        "good requests must all be 200"
+    );
+    assert_eq!(other, 0, "no unexpected statuses under fuzz");
+
+    let mut client = HttpClient::new(addr);
+    let r = client.get("/healthz").unwrap();
+    assert_eq!(r.status, 200, "server unhealthy after fuzz: {}", r.body);
+    faultsim::clear();
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Router tier
+// ---------------------------------------------------------------------------
+
+fn start_shards(n: usize) -> Vec<ServerHandle> {
+    (0..n)
+        .map(|_| {
+            start_server(|c| {
+                c.limits.read_timeout = Duration::from_secs(10);
+            })
+        })
+        .collect()
+}
+
+fn start_router(shards: &[ServerHandle]) -> serve::RouterHandle {
+    let config = RouterConfig {
+        addr: "127.0.0.1:0".into(),
+        shards: shards.iter().map(|s| s.addr().to_string()).collect(),
+        workers: 4,
+        health_interval: Duration::from_millis(50),
+        ..RouterConfig::default()
+    };
+    let router = route(config).expect("bind router");
+    wait_for_up(router.addr(), shards.len());
+    router
+}
+
+/// Polls the router's `/healthz` until it reports `want` shards up.
+fn wait_for_up(addr: SocketAddr, want: usize) {
+    let mut client = HttpClient::new(addr);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if let Ok(r) = client.get("/healthz") {
+            if r.status == 200 && r.body.contains(&format!("\"shards_up\":{want}")) {
+                return;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "router never saw {want} shards up"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Routed answers must be byte-identical to what a shard (and therefore
+/// the offline CLI, per the existing byte-identity suites) returns —
+/// sharding is cache locality, never a semantic boundary.
+#[test]
+fn routed_responses_are_byte_identical_to_direct_shard() {
+    let shards = start_shards(2);
+    let router = start_router(&shards);
+    let mut via_router = HttpClient::new(router.addr());
+    let mut direct = HttpClient::new(shards[0].addr());
+
+    for (i, j) in test_pairs(8) {
+        let body = judge_body(i, j);
+        let want = direct.post("/judge", &body).unwrap();
+        let got = via_router.post("/judge", &body).unwrap();
+        assert_eq!(got.status, want.status);
+        assert_eq!(got.body, want.body, "routed /judge differs for ({i},{j})");
+
+        let cbody = format!("{{\"i\":{i},\"k\":3}}");
+        let want = direct.post("/candidates", &cbody).unwrap();
+        let got = via_router.post("/candidates", &cbody).unwrap();
+        assert_eq!(got.status, want.status);
+        assert_eq!(got.body, want.body, "routed /candidates differs for {i}");
+    }
+
+    // Batch: scattered across shards by owner, gathered in order, and
+    // still byte-identical to a single shard answering the whole batch.
+    let pairs: Vec<String> = test_pairs(6)
+        .iter()
+        .map(|(i, j)| format!("[{i},{j}]"))
+        .collect();
+    let batch = format!("{{\"pairs\":[{}]}}", pairs.join(","));
+    let want = direct.post("/judge_batch", &batch).unwrap();
+    let got = via_router.post("/judge_batch", &batch).unwrap();
+    assert_eq!(got.status, want.status);
+    assert_eq!(
+        got.body, want.body,
+        "scatter-gather changed the batch bytes"
+    );
+
+    router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+/// The rolling-restart guarantee: while `POST /reload` drains, reloads
+/// and undrains each shard in turn, continuous `/judge` traffic through
+/// the router must see zero 5xx and zero transport errors.
+#[test]
+fn rolling_reload_keeps_traffic_5xx_free() {
+    let shards = start_shards(2);
+    let router = start_router(&shards);
+    let addr = router.addr();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let pairs = test_pairs(4);
+    let clients: Vec<_> = (0..4usize)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            let pairs = pairs.clone();
+            std::thread::spawn(move || -> (u64, u64, u64) {
+                let mut client = HttpClient::new(addr);
+                let (mut ok, mut err5xx, mut transport) = (0u64, 0u64, 0u64);
+                let mut n = t;
+                while !stop.load(Ordering::Relaxed) {
+                    let (i, j) = pairs[n % pairs.len()];
+                    n += 1;
+                    match client.post("/judge", &judge_body(i, j)) {
+                        Ok(r) if r.status == 200 => ok += 1,
+                        Ok(r) if r.status >= 500 => err5xx += 1,
+                        Ok(_) => {}
+                        Err(_) => transport += 1,
+                    }
+                }
+                (ok, err5xx, transport)
+            })
+        })
+        .collect();
+
+    // Let traffic establish, then roll the whole cluster twice.
+    std::thread::sleep(Duration::from_millis(100));
+    let mut admin = HttpClient::new(addr);
+    for roll in 0..2 {
+        let r = admin.post("/reload", "").unwrap();
+        assert_eq!(r.status, 200, "rolling reload {roll} failed: {}", r.body);
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let (mut ok, mut err5xx, mut transport) = (0, 0, 0);
+    for c in clients {
+        let (o, e, t) = c.join().expect("client thread panicked");
+        ok += o;
+        err5xx += e;
+        transport += t;
+    }
+    assert!(ok > 0, "no request succeeded; the test is vacuous");
+    assert_eq!(err5xx, 0, "rolling reload must be invisible: {err5xx} 5xx");
+    assert_eq!(transport, 0, "transport errors during rolling reload");
+
+    // Both shards advanced a generation per roll (restarted at 1).
+    let health = admin.get("/healthz").unwrap();
+    assert!(
+        health.body.contains("\"generations\":[3,3]"),
+        "expected generation 3 on both shards: {}",
+        health.body
+    );
+
+    router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+/// Killing a shard mid-traffic: the router fails over along the ring
+/// immediately (so clients never see the death) and ejects the shard
+/// from `/healthz` once consecutive probes fail.
+#[test]
+fn shard_kill_fails_over_and_ejects() {
+    let mut shards = start_shards(2);
+    let router = start_router(&shards);
+    let addr = router.addr();
+
+    let victim = shards.pop().unwrap();
+    victim.shutdown();
+
+    // Every user keeps getting answers — failover covers the dead
+    // shard's keyspace with at most one transport retry inside the
+    // router, never a 5xx.
+    let mut client = HttpClient::new(addr);
+    for (i, j) in test_pairs(8) {
+        let r = client.post("/judge", &judge_body(i, j)).unwrap();
+        assert_eq!(r.status, 200, "({i},{j}) after shard kill: {}", r.body);
+    }
+
+    // The health poller notices and ejects.
+    wait_for_up(addr, 1);
+
+    router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
+
+/// Byte-identity of `/judge` via the router against the *offline* model:
+/// the same judgement JSON the serving stack produces must come back
+/// through router → shard → batcher unchanged. (The shard-vs-offline leg
+/// is pinned by the existing suites; this closes router-vs-shard.)
+#[test]
+fn routed_judgement_matches_offline_model() {
+    let fix = fixture();
+    let model = hisrect::HisRectModel::load_json(&fix.model_path).expect("fixture model");
+    let shards = start_shards(1);
+    let router = start_router(&shards);
+    let mut client = HttpClient::new(router.addr());
+    let (i, j) = test_pairs(1)[0];
+    let r = client.post("/judge", &judge_body(i, j)).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let offline = model.judge_pair(&fix.corpus, i, j);
+    let served: serde::Value = serde_json::from_str(&r.body).unwrap();
+    let got = served
+        .get("p_co")
+        .and_then(|v| v.as_f64())
+        .expect("p_co field");
+    // f32 -> JSON text -> f64 is exact, so the routed probability must
+    // equal the offline one to the last bit.
+    assert_eq!(got, offline as f64, "routed p_co differs from offline");
+    router.shutdown();
+    for s in shards {
+        s.shutdown();
+    }
+}
